@@ -1,0 +1,87 @@
+//! One bench per table/figure of the paper: each measures the wall-clock
+//! of regenerating the experiment at Test scale and, as a side effect,
+//! asserts the result's headline property so a regression is caught by
+//! `cargo bench` as well as by the tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tm_bench::{
+    energy_comparison, fifo_sweep, fig6_7, fig8, matching_ablation, psnr_sweep,
+    recovery_ablation, replacement_ablation, ExperimentConfig,
+};
+use tm_kernels::workload::InputImage;
+use tm_kernels::{KernelId, Scale};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: Scale::Test,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_psnr_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, kernel, image) in [
+        ("fig2_sobel_face", KernelId::Sobel, InputImage::Face),
+        ("fig3_gaussian_face", KernelId::Gaussian, InputImage::Face),
+        ("fig4_sobel_book", KernelId::Sobel, InputImage::Book),
+        ("fig5_gaussian_book", KernelId::Gaussian, InputImage::Book),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let rows = psnr_sweep(kernel, image, &cfg());
+                assert_eq!(rows[0].psnr_db, f64::INFINITY);
+                rows
+            });
+        });
+    }
+    group.bench_function("fig6_hit_rates_sobel", |b| {
+        b.iter(|| fig6_7(KernelId::Sobel, InputImage::Face, &cfg()));
+    });
+    group.bench_function("fig7_hit_rates_gaussian", |b| {
+        b.iter(|| fig6_7(KernelId::Gaussian, InputImage::Face, &cfg()));
+    });
+    group.finish();
+}
+
+fn bench_energy_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("fig10_point_sobel_4pct", |b| {
+        b.iter(|| {
+            let cmp = energy_comparison(KernelId::Sobel, 0.04, &cfg());
+            assert!(cmp.saving() > 0.0);
+            cmp
+        });
+    });
+    group.bench_function("fig8_all_kernels", |b| {
+        b.iter(|| fig8(&cfg()));
+    });
+    group.finish();
+}
+
+fn bench_sweeps_and_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("fifo_depth_sweep", |b| b.iter(|| fifo_sweep(&cfg())));
+    group.bench_function("matching_ablation", |b| b.iter(|| matching_ablation(&cfg())));
+    group.bench_function("recovery_ablation", |b| b.iter(|| recovery_ablation(&cfg())));
+    group.bench_function("replacement_ablation", |b| {
+        b.iter(|| replacement_ablation(&cfg()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_psnr_figures,
+    bench_energy_figures,
+    bench_sweeps_and_ablations
+);
+criterion_main!(benches);

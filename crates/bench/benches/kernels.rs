@@ -1,0 +1,65 @@
+//! Whole-kernel simulation throughput: each of the seven workloads at its
+//! Table-1 design point, memoized vs baseline architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_bench::{kernel_policy, ExperimentConfig};
+use tm_kernels::{workload, Scale, ALL_KERNELS};
+use tm_sim::{ArchMode, Device, DeviceConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: Scale::Test,
+        ..ExperimentConfig::default()
+    };
+    let mut group = c.benchmark_group("kernel_simulation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &kernel in &ALL_KERNELS {
+        for (arch_name, arch) in [("memo", ArchMode::Memoized), ("baseline", ArchMode::Baseline)] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), arch_name),
+                &arch,
+                |b, &arch| {
+                    b.iter(|| {
+                        let device_config = DeviceConfig::default()
+                            .with_arch(arch)
+                            .with_policy(kernel_policy(kernel));
+                        let mut wl = workload::build(kernel, cfg.scale, cfg.seed);
+                        let mut device = Device::new(device_config);
+                        wl.run(&mut device)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_program_interpreter(c: &mut Criterion) {
+    use tm_image::synth;
+    use tm_kernels::ir::sobel_program;
+    let image = synth::face(64, 64, 1);
+    let mut group = c.benchmark_group("program_interpreter");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for in_flight in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sobel_ir", in_flight),
+            &in_flight,
+            |b, &in_flight| {
+                b.iter(|| {
+                    let mut ip = sobel_program(&image);
+                    let mut device = Device::new(DeviceConfig::default());
+                    device.run_program(&ip.program, &mut ip.bindings, ip.global_size, in_flight);
+                    ip
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_program_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the memoization primitives: LUT lookup/update and
+//! the full resilient-FPU access path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_core::{HashedLut, MatchPolicy, MemoFifo, MemoModule};
+use tm_fpu::{compute, FpOp, Operands};
+
+fn bench_fifo_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_lookup");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, policy) in [
+        ("exact", MatchPolicy::Exact),
+        ("threshold", MatchPolicy::threshold(0.5)),
+        ("mask", MatchPolicy::MaskBits(0xFFFF_FF00)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut fifo = MemoFifo::new(2);
+            fifo.insert(Operands::binary(1.0, 2.0), 3.0);
+            fifo.insert(Operands::binary(4.0, 5.0), 9.0);
+            let probe = Operands::binary(4.0, 5.0);
+            b.iter(|| fifo.lookup(black_box(&probe), black_box(policy), true));
+        });
+    }
+    group.finish();
+}
+
+fn bench_module_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("module_access");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("hit", |b| {
+        let mut m = MemoModule::new(FpOp::Sqrt, MatchPolicy::Exact);
+        m.preload(Operands::unary(2.0), std::f32::consts::SQRT_2);
+        b.iter(|| m.access(black_box(Operands::unary(2.0)), || unreachable!(), false));
+    });
+    group.bench_function("miss_update", |b| {
+        let mut m = MemoModule::new(FpOp::Sqrt, MatchPolicy::Exact);
+        let mut x = 0.0f32;
+        b.iter(|| {
+            x += 1.0;
+            m.access(black_box(Operands::unary(x)), || x.sqrt(), false)
+        });
+    });
+    group.finish();
+}
+
+fn bench_fpu_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpu_compute");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for op in [FpOp::Add, FpOp::MulAdd, FpOp::Sqrt, FpOp::Recip] {
+        group.bench_function(op.mnemonic(), |b| {
+            let operands = match op.arity() {
+                1 => Operands::unary(1.37),
+                2 => Operands::binary(1.37, 2.21),
+                _ => Operands::ternary(1.37, 2.21, 0.5),
+            };
+            b.iter(|| compute(black_box(op), black_box(operands)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashed_lut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashed_lut");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, sets, ways) in [("dm_16x1", 16usize, 1usize), ("sa_8x2", 8, 2)] {
+        group.bench_function(name, |b| {
+            let mut lut = HashedLut::new(sets, ways);
+            for i in 0..(sets * ways) {
+                lut.insert(Operands::unary(i as f32), i as f32);
+            }
+            let probe = Operands::unary(3.0);
+            b.iter(|| lut.lookup(black_box(&probe), MatchPolicy::Exact, false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fifo_lookup,
+    bench_module_access,
+    bench_fpu_compute,
+    bench_hashed_lut
+);
+criterion_main!(benches);

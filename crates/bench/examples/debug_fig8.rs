@@ -1,0 +1,38 @@
+//! Scratch: per-kernel per-FPU hit rates and energy comparison preview.
+
+use tm_bench::{energy_comparison, fig8, ExperimentConfig};
+use tm_kernels::{Scale, ALL_KERNELS};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::Test,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Default,
+    };
+    let cfg = ExperimentConfig {
+        scale,
+        ..ExperimentConfig::default()
+    };
+    for row in fig8(&cfg) {
+        print!("{:<16} avg {:5.1}%  ", row.kernel.to_string(), row.weighted_average * 100.0);
+        for (op, rate) in &row.per_op {
+            print!("{}={:.0}% ", op.mnemonic(), rate * 100.0);
+        }
+        println!("passed={}", row.passed);
+    }
+    println!();
+    for rate in [0.0, 0.04] {
+        for &k in &ALL_KERNELS {
+            let c = energy_comparison(k, rate, &cfg);
+            println!(
+                "{:<16} p={:.2}  saving {:6.1}%  hit {:5.1}%  memo {:.0} base {:.0}",
+                k.to_string(),
+                rate,
+                c.saving() * 100.0,
+                c.hit_rate * 100.0,
+                c.memo_pj,
+                c.baseline_pj
+            );
+        }
+    }
+}

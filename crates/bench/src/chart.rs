@@ -1,0 +1,181 @@
+//! Terminal chart rendering for the `repro` binary.
+//!
+//! Pure string builders — no terminal control codes — so the output is
+//! pipe- and log-friendly and the renderers are unit-testable.
+
+/// Renders a horizontal bar chart.
+///
+/// One row per `(label, value)`; bars scale to the maximum value. Values
+/// must be finite; negative values render with a `-` marker channel to
+/// the left of the axis.
+///
+/// # Examples
+///
+/// ```
+/// use tm_bench::chart::bar_chart;
+///
+/// let s = bar_chart("savings", &[("sobel", 55.0), ("fwt", -9.6)], 30);
+/// assert!(s.contains("sobel"));
+/// assert!(s.contains('█'));
+/// ```
+#[must_use]
+pub fn bar_chart(title: &str, bars: &[(&str, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if bars.is_empty() {
+        return out;
+    }
+    let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let max_abs = bars
+        .iter()
+        .map(|&(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    for &(label, value) in bars {
+        let cells = ((value.abs() / max_abs) * width as f64).round() as usize;
+        let bar: String = std::iter::repeat_n('█', cells).collect();
+        let sign = if value < 0.0 { "-" } else { " " };
+        out.push_str(&format!(
+            "{label:<label_w$} |{sign}{bar:<width$} {value:.1}\n"
+        ));
+    }
+    out
+}
+
+/// Renders an XY line chart on a character grid.
+///
+/// Each series plots with its own glyph; the legend maps glyphs to series
+/// names. Axes are annotated with the data's min/max.
+///
+/// # Examples
+///
+/// ```
+/// use tm_bench::chart::line_chart;
+///
+/// let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * i) as f64)).collect();
+/// let s = line_chart("quadratic", &[("y=x^2", &a)], 40, 10);
+/// assert!(s.contains("quadratic"));
+/// assert!(s.contains("y=x^2"));
+/// ```
+#[must_use]
+pub fn line_chart(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() || width < 2 || height < 2 {
+        out.push_str("(no finite data)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter().filter(|(x, y)| x.is_finite() && y.is_finite()) {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    out.push_str(&format!("{y_max:>10.2} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str(&format!("{:>10} ┤", ""));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.2} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>11}└{}\n{:>12}{x_min:<.2}{:>pad$}{x_max:.2}\n",
+        "",
+        "─".repeat(width),
+        "",
+        "",
+        pad = width.saturating_sub(format!("{x_min:.2}").len() + format!("{x_max:.2}").len() / 2)
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {name}\n", GLYPHS[si % GLYPHS.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart("t", &[("a", 10.0), ("b", 5.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let a_blocks = lines[1].matches('█').count();
+        let b_blocks = lines[2].matches('█').count();
+        assert_eq!(a_blocks, 10);
+        assert_eq!(b_blocks, 5);
+    }
+
+    #[test]
+    fn bar_chart_marks_negatives() {
+        let s = bar_chart("t", &[("neg", -3.0)], 10);
+        assert!(s.lines().nth(1).unwrap().contains("|-"));
+    }
+
+    #[test]
+    fn bar_chart_handles_empty() {
+        let s = bar_chart("t", &[], 10);
+        assert_eq!(s, "t\n");
+    }
+
+    #[test]
+    fn line_chart_plots_extremes() {
+        let pts = [(0.0, 0.0), (1.0, 1.0)];
+        let s = line_chart("t", &[("s", &pts)], 20, 5);
+        // Both the min and max y labels appear.
+        assert!(s.contains("1.00"));
+        assert!(s.contains("0.00"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn line_chart_legend_lists_all_series() {
+        let a = [(0.0, 1.0)];
+        let b = [(0.0, 2.0)];
+        let s = line_chart("t", &[("alpha", &a), ("beta", &b)], 10, 4);
+        assert!(s.contains("* alpha"));
+        assert!(s.contains("o beta"));
+    }
+
+    #[test]
+    fn line_chart_survives_degenerate_data() {
+        let pts = [(1.0, 5.0), (1.0, 5.0)];
+        let s = line_chart("t", &[("flat", &pts)], 10, 4);
+        assert!(s.contains("flat"));
+        let nan = [(f64::NAN, 1.0)];
+        let s = line_chart("t", &[("nan", &nan)], 10, 4);
+        assert!(s.contains("no finite data"));
+    }
+}

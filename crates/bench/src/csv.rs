@@ -1,0 +1,262 @@
+//! CSV serialization of experiment rows, for plotting outside the
+//! terminal.
+//!
+//! Plain string builders — the formats are stable, documented here, and
+//! unit-tested. The `repro` binary writes them next to its textual output
+//! when `--csv <dir>` is passed.
+
+use crate::{
+    Fig10Row, Fig11Row, Fig6Row, Fig8Row, FifoSweepRow, GatingAblationRow, InterleavingRow,
+    LutExplorationRow, PsnrRow, SpatialAblationRow,
+};
+
+fn esc(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// `threshold,gray_levels,psnr_db,hit_rate,acceptable` (PSNR `inf` for the
+/// exact row).
+#[must_use]
+pub fn psnr_csv(rows: &[PsnrRow]) -> String {
+    let mut out = String::from("threshold,gray_levels,psnr_db,hit_rate,acceptable\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.paper_threshold, r.gray_threshold, r.psnr_db, r.hit_rate, r.acceptable
+        ));
+    }
+    out
+}
+
+/// `threshold,op,hit_rate`.
+#[must_use]
+pub fn fig6_csv(rows: &[Fig6Row]) -> String {
+    let mut out = String::from("threshold,op,hit_rate\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            r.paper_threshold,
+            esc(r.op.mnemonic()),
+            r.hit_rate
+        ));
+    }
+    out
+}
+
+/// `kernel,op,hit_rate,weighted_average,passed` (one line per activated
+/// FPU).
+#[must_use]
+pub fn fig8_csv(rows: &[Fig8Row]) -> String {
+    let mut out = String::from("kernel,op,hit_rate,weighted_average,passed\n");
+    for r in rows {
+        for (op, rate) in &r.per_op {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                esc(r.kernel.name()),
+                esc(op.mnemonic()),
+                rate,
+                r.weighted_average,
+                r.passed
+            ));
+        }
+    }
+    out
+}
+
+/// `depth,average_hit_rate,gain_vs_depth2_pp`.
+#[must_use]
+pub fn fifo_sweep_csv(rows: &[FifoSweepRow]) -> String {
+    let mut out = String::from("depth,average_hit_rate,gain_vs_depth2_pp\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            r.depth, r.average_hit_rate, r.gain_vs_depth2
+        ));
+    }
+    out
+}
+
+/// `kernel,error_rate,saving,scoped_saving,hit_rate,masked_errors`.
+#[must_use]
+pub fn fig10_csv(rows: &[Fig10Row]) -> String {
+    let mut out = String::from("kernel,error_rate,saving,scoped_saving,hit_rate,masked_errors\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            esc(r.kernel.name()),
+            r.error_rate,
+            r.comparison.saving(),
+            r.comparison.scoped_saving(),
+            r.comparison.hit_rate,
+            r.comparison.masked_errors
+        ));
+    }
+    out
+}
+
+/// `kernel,vdd,error_rate,baseline_pj,memo_pj,scoped_saving`.
+#[must_use]
+pub fn fig11_csv(rows: &[Fig11Row]) -> String {
+    let mut out = String::from("kernel,vdd,error_rate,baseline_pj,memo_pj,scoped_saving\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            esc(r.kernel.name()),
+            r.vdd,
+            r.error_rate,
+            r.comparison.baseline_pj,
+            r.comparison.memo_pj,
+            r.comparison.scoped_saving()
+        ));
+    }
+    out
+}
+
+/// `kernel,temporal_hit,spatial_hit,temporal_pj,spatial_pj,baseline_pj`.
+#[must_use]
+pub fn spatial_csv(rows: &[SpatialAblationRow]) -> String {
+    let mut out =
+        String::from("kernel,temporal_hit,spatial_hit,temporal_pj,spatial_pj,baseline_pj\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            esc(r.kernel.name()),
+            r.temporal_hit_rate,
+            r.spatial_hit_rate,
+            r.temporal_pj,
+            r.spatial_pj,
+            r.baseline_pj
+        ));
+    }
+    out
+}
+
+/// `kernel,hit_rate,saving_plain,saving_gated`.
+#[must_use]
+pub fn gating_csv(rows: &[GatingAblationRow]) -> String {
+    let mut out = String::from("kernel,hit_rate,saving_plain,saving_gated\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            esc(r.kernel.name()),
+            r.hit_rate,
+            r.saving_plain,
+            r.saving_gated
+        ));
+    }
+    out
+}
+
+/// `kernel,events,shape,hit_rate`.
+#[must_use]
+pub fn lut_exploration_csv(rows: &[LutExplorationRow]) -> String {
+    let mut out = String::from("kernel,events,shape,hit_rate\n");
+    for r in rows {
+        for (shape, rate) in &r.hit_rates {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                esc(r.kernel.name()),
+                r.events,
+                esc(&shape.label()),
+                rate
+            ));
+        }
+    }
+    out
+}
+
+/// `in_flight,hit_rate,memo_pj,saving`.
+#[must_use]
+pub fn interleaving_csv(rows: &[InterleavingRow]) -> String {
+    let mut out = String::from("in_flight,hit_rate,memo_pj,saving\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            r.in_flight, r.hit_rate, r.memo_pj, r.saving
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyComparison;
+    use tm_kernels::KernelId;
+
+    #[test]
+    fn psnr_csv_has_header_and_rows() {
+        let rows = vec![PsnrRow {
+            paper_threshold: 0.2,
+            gray_threshold: 0.8,
+            psnr_db: 58.5,
+            hit_rate: 0.48,
+            acceptable: true,
+        }];
+        let csv = psnr_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "threshold,gray_levels,psnr_db,hit_rate,acceptable"
+        );
+        assert_eq!(lines.next().unwrap(), "0.2,0.8,58.5,0.48,true");
+    }
+
+    #[test]
+    fn infinite_psnr_serializes_as_inf() {
+        let rows = vec![PsnrRow {
+            paper_threshold: 0.0,
+            gray_threshold: 0.0,
+            psnr_db: f64::INFINITY,
+            hit_rate: 0.4,
+            acceptable: true,
+        }];
+        assert!(psnr_csv(&rows).contains("inf"));
+    }
+
+    #[test]
+    fn fig10_csv_round_trips_fields() {
+        let cmp = EnergyComparison {
+            memo_pj: 90.0,
+            baseline_pj: 100.0,
+            memo_scoped_pj: 45.0,
+            baseline_scoped_pj: 50.0,
+            hit_rate: 0.5,
+            masked_errors: 3,
+            memo_recoveries: 1,
+            baseline_recoveries: 4,
+        };
+        let rows = vec![Fig10Row {
+            kernel: KernelId::Sobel,
+            error_rate: 0.02,
+            comparison: cmp,
+        }];
+        let csv = fig10_csv(&rows);
+        assert!(csv.contains("Sobel,0.02,"));
+        assert!(csv.trim_end().ends_with(",0.5,3"));
+    }
+
+    #[test]
+    fn escaping_quotes_fields_with_commas() {
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fifo_sweep_csv_shape() {
+        let rows = vec![FifoSweepRow {
+            depth: 2,
+            average_hit_rate: 0.25,
+            gain_vs_depth2: 0.0,
+        }];
+        assert_eq!(
+            fifo_sweep_csv(&rows),
+            "depth,average_hit_rate,gain_vs_depth2_pp\n2,0.25,0\n"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Energy experiments: Fig. 10 (energy saving vs timing-error rate) and
+//! Fig. 11 (voltage overscaling).
+
+use crate::runner::{kernel_policy, run_workload, ExperimentConfig};
+use tm_energy::saving;
+use tm_kernels::{KernelId, ALL_KERNELS};
+use tm_sim::{ArchMode, DeviceConfig, ErrorMode};
+
+/// The Fig. 10 error-rate axis: 0–4 %.
+pub const FIG10_ERROR_RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.03, 0.04];
+
+/// The Fig. 11 voltage axis: 0.80–0.90 V.
+pub const FIG11_VOLTAGES: [f64; 6] = [0.80, 0.82, 0.84, 0.86, 0.88, 0.90];
+
+/// A single memoized-vs-baseline energy comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyComparison {
+    /// Total energy of the proposed (memoized) architecture, pJ.
+    pub memo_pj: f64,
+    /// Total energy of the baseline resilient architecture, pJ.
+    pub baseline_pj: f64,
+    /// Memoized energy restricted to the paper's six-unit scope, pJ.
+    pub memo_scoped_pj: f64,
+    /// Baseline energy restricted to the paper's six-unit scope, pJ.
+    pub baseline_scoped_pj: f64,
+    /// Weighted hit rate of the memoized run.
+    pub hit_rate: f64,
+    /// Errors masked for free by the memoized run.
+    pub masked_errors: u64,
+    /// ECU recoveries of the memoized run.
+    pub memo_recoveries: u64,
+    /// ECU recoveries of the baseline run.
+    pub baseline_recoveries: u64,
+}
+
+impl EnergyComparison {
+    /// Relative energy saving of the memoized architecture over all FP
+    /// instructions.
+    #[must_use]
+    pub fn saving(&self) -> f64 {
+        saving(self.memo_pj, self.baseline_pj)
+    }
+
+    /// Relative saving restricted to the six frequently exercised units —
+    /// the metric the paper's Figs. 10 and 11 report ("considering energy
+    /// consumption of ADD, MUL, SQRT, RECIP, MULADD, FP2INT").
+    #[must_use]
+    pub fn scoped_saving(&self) -> f64 {
+        saving(self.memo_scoped_pj, self.baseline_scoped_pj)
+    }
+}
+
+fn compare(kernel: KernelId, cfg: &ExperimentConfig, device: DeviceConfig) -> EnergyComparison {
+    let memo_cfg = device
+        .clone()
+        .with_arch(ArchMode::Memoized)
+        .with_policy(kernel_policy(kernel));
+    let base_cfg = device.with_arch(ArchMode::Baseline);
+    let memo = run_workload(kernel, cfg, memo_cfg);
+    let base = run_workload(kernel, cfg, base_cfg);
+    let stats = memo.report.total_stats();
+    EnergyComparison {
+        memo_pj: memo.report.total_energy_pj(),
+        baseline_pj: base.report.total_energy_pj(),
+        memo_scoped_pj: memo.report.scoped_energy_pj(),
+        baseline_scoped_pj: base.report.scoped_energy_pj(),
+        hit_rate: memo.report.weighted_hit_rate(),
+        masked_errors: stats.masked_errors,
+        memo_recoveries: memo.report.recoveries,
+        baseline_recoveries: base.report.recoveries,
+    }
+}
+
+/// Compares the memoized architecture against the baseline for one kernel
+/// at a fixed per-instruction timing-error rate.
+#[must_use]
+pub fn energy_comparison(
+    kernel: KernelId,
+    error_rate: f64,
+    cfg: &ExperimentConfig,
+) -> EnergyComparison {
+    let device = DeviceConfig::default()
+        .with_error_mode(ErrorMode::FixedRate(error_rate))
+        .with_seed(cfg.seed);
+    compare(kernel, cfg, device)
+}
+
+/// One (kernel, error-rate) point of Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Per-instruction timing-error rate.
+    pub error_rate: f64,
+    /// The comparison at that point.
+    pub comparison: EnergyComparison,
+}
+
+/// Fig. 10: energy saving of the proposed architecture for error rates of
+/// 0–4 % across all kernels. The paper reports average savings of
+/// 13/17/20/23/25 % at 0/1/2/3/4 %.
+#[must_use]
+pub fn fig10(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for &rate in &FIG10_ERROR_RATES {
+        for &kernel in &ALL_KERNELS {
+            rows.push(Fig10Row {
+                kernel,
+                error_rate: rate,
+                comparison: energy_comparison(kernel, rate, cfg),
+            });
+        }
+    }
+    rows
+}
+
+/// Average saving per error rate from Fig. 10 rows, using the paper's
+/// six-unit energy scope.
+#[must_use]
+pub fn fig10_average_savings(rows: &[Fig10Row]) -> Vec<(f64, f64)> {
+    FIG10_ERROR_RATES
+        .iter()
+        .map(|&rate| {
+            let (sum, n) = rows
+                .iter()
+                .filter(|r| r.error_rate == rate)
+                .fold((0.0, 0u32), |(s, n), r| {
+                    (s + r.comparison.scoped_saving(), n + 1)
+                });
+            (rate, sum / f64::from(n.max(1)))
+        })
+        .collect()
+}
+
+/// One (kernel, voltage) point of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig11Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// FPU supply voltage.
+    pub vdd: f64,
+    /// The voltage-induced per-instruction error rate.
+    pub error_rate: f64,
+    /// The comparison at that operating point.
+    pub comparison: EnergyComparison,
+}
+
+/// Fig. 11: total energy of both architectures under voltage overscaling
+/// (0.8–0.9 V at constant 1 GHz). The memoization module stays at the
+/// nominal 0.9 V. The paper reports 13 % average saving at 0.9 V, a dip
+/// to 11 % at 0.84 V, and 44 % at 0.8 V.
+#[must_use]
+pub fn fig11(cfg: &ExperimentConfig) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for &vdd in &FIG11_VOLTAGES {
+        for &kernel in &ALL_KERNELS {
+            let device = DeviceConfig::default()
+                .with_error_mode(ErrorMode::FromVoltage)
+                .with_vdd(vdd)
+                .with_seed(cfg.seed);
+            let error_rate = device.effective_error_rate();
+            rows.push(Fig11Row {
+                kernel,
+                vdd,
+                error_rate,
+                comparison: compare(kernel, cfg, device),
+            });
+        }
+    }
+    rows
+}
+
+/// Average saving per voltage from Fig. 11 rows, using the paper's
+/// six-unit energy scope.
+#[must_use]
+pub fn fig11_average_savings(rows: &[Fig11Row]) -> Vec<(f64, f64)> {
+    FIG11_VOLTAGES
+        .iter()
+        .map(|&vdd| {
+            let (sum, n) = rows
+                .iter()
+                .filter(|r| r.vdd == vdd)
+                .fold((0.0, 0u32), |(s, n), r| {
+                    (s + r.comparison.scoped_saving(), n + 1)
+                });
+            (vdd, sum / f64::from(n.max(1)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_kernels::Scale;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn error_free_saving_is_positive_for_high_locality_kernels() {
+        let cmp = energy_comparison(KernelId::Sobel, 0.0, &cfg());
+        assert!(cmp.saving() > 0.0, "saving {}", cmp.saving());
+        assert_eq!(cmp.masked_errors, 0);
+        assert_eq!(cmp.baseline_recoveries, 0);
+    }
+
+    #[test]
+    fn saving_grows_with_error_rate() {
+        let lo = energy_comparison(KernelId::Sobel, 0.0, &cfg());
+        let hi = energy_comparison(KernelId::Sobel, 0.04, &cfg());
+        assert!(
+            hi.saving() > lo.saving(),
+            "saving should grow with error rate: {} vs {}",
+            hi.saving(),
+            lo.saving()
+        );
+        assert!(hi.masked_errors > 0);
+        assert!(hi.memo_recoveries < hi.baseline_recoveries);
+    }
+
+    #[test]
+    fn average_saving_trends_upward_across_rates() {
+        let rows = fig10(&cfg());
+        let avgs = fig10_average_savings(&rows);
+        assert_eq!(avgs.len(), FIG10_ERROR_RATES.len());
+        let first = avgs.first().unwrap().1;
+        let last = avgs.last().unwrap().1;
+        assert!(
+            last > first,
+            "average saving should grow with the error rate: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn voltage_overscaling_crossover_shape() {
+        // The memoized architecture's edge shrinks near the error-onset
+        // knee (the LUT cannot scale its voltage) and explodes below it.
+        let c = |vdd: f64| {
+            let device = DeviceConfig::default()
+                .with_error_mode(ErrorMode::FromVoltage)
+                .with_vdd(vdd);
+            compare(KernelId::Sobel, &cfg(), device)
+        };
+        let nominal = c(0.90).saving();
+        let knee = c(0.86).saving();
+        let deep = c(0.80).saving();
+        assert!(knee < nominal, "knee {knee} should dip below nominal {nominal}");
+        assert!(deep > nominal, "deep VOS {deep} should beat nominal {nominal}");
+    }
+}

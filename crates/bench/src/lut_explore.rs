@@ -1,0 +1,240 @@
+//! Trace-driven LUT design-space exploration.
+//!
+//! Records one instruction trace per kernel, then replays each
+//! per-(stream core, opcode) operand stream through alternative LUT
+//! organizations — the paper's fully associative FIFO at several depths
+//! against direct-mapped and set-associative hashed tables of equal
+//! capacity. Answers: *how much of the 2-entry FIFO's hit rate is the
+//! full associativity, and what would a cheap hashed LUT of the same (or
+//! larger) capacity achieve?*
+
+use crate::runner::{kernel_policy, ExperimentConfig};
+use std::collections::BTreeMap;
+use tm_core::{HashedLut, MatchPolicy, MemoFifo};
+use tm_fpu::FpOp;
+use tm_kernels::{workload, KernelId, ALL_KERNELS};
+use tm_sim::{Device, DeviceConfig, TraceEvent};
+
+/// One LUT organization under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutShape {
+    /// Fully associative FIFO of `depth` entries (the paper's design at
+    /// `depth = 2`).
+    FullyAssociative {
+        /// Entry count.
+        depth: usize,
+    },
+    /// Hash-indexed table: `sets × ways` entries, FIFO within a set.
+    Hashed {
+        /// Number of sets (power of two).
+        sets: usize,
+        /// Ways per set.
+        ways: usize,
+    },
+}
+
+impl LutShape {
+    /// Total entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        match *self {
+            LutShape::FullyAssociative { depth } => depth,
+            LutShape::Hashed { sets, ways } => sets * ways,
+        }
+    }
+
+    /// A display label such as `assoc-2` or `dm-16x1`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            LutShape::FullyAssociative { depth } => format!("assoc-{depth}"),
+            LutShape::Hashed { sets, ways } => format!("hash-{sets}x{ways}"),
+        }
+    }
+}
+
+/// The organizations the exploration sweeps: the paper's design point,
+/// larger fully associative FIFOs, and equal-or-larger hashed tables.
+pub const LUT_SHAPES: [LutShape; 7] = [
+    LutShape::FullyAssociative { depth: 2 },
+    LutShape::FullyAssociative { depth: 4 },
+    LutShape::FullyAssociative { depth: 16 },
+    LutShape::Hashed { sets: 2, ways: 1 },
+    LutShape::Hashed { sets: 4, ways: 1 },
+    LutShape::Hashed { sets: 8, ways: 2 },
+    LutShape::Hashed { sets: 16, ways: 2 },
+];
+
+/// One kernel's replay results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutExplorationRow {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Lane instructions replayed.
+    pub events: u64,
+    /// `(shape, hit rate)` per swept organization, in [`LUT_SHAPES`] order.
+    pub hit_rates: Vec<(LutShape, f64)>,
+}
+
+enum Replayer {
+    Fifo(MemoFifo),
+    Hashed(HashedLut),
+}
+
+impl Replayer {
+    fn new(shape: LutShape) -> Self {
+        match shape {
+            LutShape::FullyAssociative { depth } => Replayer::Fifo(MemoFifo::new(depth)),
+            LutShape::Hashed { sets, ways } => Replayer::Hashed(HashedLut::new(sets, ways)),
+        }
+    }
+
+    fn access(&mut self, event: &TraceEvent, policy: MatchPolicy) -> bool {
+        let commutative = event.op.is_commutative();
+        match self {
+            Replayer::Fifo(fifo) => {
+                if fifo.lookup(&event.operands, policy, commutative).is_some() {
+                    true
+                } else {
+                    fifo.insert(event.operands, event.result);
+                    false
+                }
+            }
+            Replayer::Hashed(lut) => {
+                if lut.lookup(&event.operands, policy, commutative).is_some() {
+                    true
+                } else {
+                    lut.insert(event.operands, event.result);
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Replays a trace through one LUT shape, one table per
+/// `(stream core, opcode)` stream, and returns the overall hit rate.
+#[must_use]
+pub fn replay_hit_rate(events: &[TraceEvent], shape: LutShape, policy: MatchPolicy) -> f64 {
+    let mut tables: BTreeMap<(usize, FpOp), Replayer> = BTreeMap::new();
+    let mut hits = 0u64;
+    for e in events {
+        let table = tables
+            .entry((e.stream_core, e.op))
+            .or_insert_with(|| Replayer::new(shape));
+        if table.access(e, policy) {
+            hits += 1;
+        }
+    }
+    if events.is_empty() {
+        0.0
+    } else {
+        hits as f64 / events.len() as f64
+    }
+}
+
+/// Runs the exploration over every kernel at its Table-1 design point.
+#[must_use]
+pub fn lut_exploration(cfg: &ExperimentConfig) -> Vec<LutExplorationRow> {
+    ALL_KERNELS
+        .iter()
+        .map(|&kernel| {
+            let policy = kernel_policy(kernel);
+            let device_config = DeviceConfig::default()
+                .with_policy(policy)
+                .with_trace_depth(4_000_000);
+            let mut wl = workload::build(kernel, cfg.scale, cfg.seed);
+            let mut device = Device::new(device_config);
+            let _ = wl.run(&mut device);
+            let events: Vec<TraceEvent> = device.trace_events().copied().collect();
+            let hit_rates = LUT_SHAPES
+                .iter()
+                .map(|&shape| (shape, replay_hit_rate(&events, shape, policy)))
+                .collect();
+            LutExplorationRow {
+                kernel,
+                events: events.len() as u64,
+                hit_rates,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_fpu::Operands;
+    use tm_kernels::Scale;
+
+    fn event(v: f32, sc: usize) -> TraceEvent {
+        TraceEvent {
+            op: FpOp::Sqrt,
+            operands: Operands::unary(v),
+            result: v.sqrt(),
+            hit: false,
+            error: false,
+            stream_core: sc,
+            lane: 0,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn replay_of_constant_stream_hits_everywhere_after_warmup() {
+        let events: Vec<_> = (0..100).map(|_| event(4.0, 0)).collect();
+        for shape in LUT_SHAPES {
+            let rate = replay_hit_rate(&events, shape, MatchPolicy::Exact);
+            assert_eq!(rate, 0.99, "{}", shape.label());
+        }
+    }
+
+    #[test]
+    fn replay_matches_simulated_fifo_hit_rate() {
+        // The assoc-2 replay is definitionally the simulator's FIFO: the
+        // measured hit rate of a traced run must reproduce exactly.
+        let cfg = ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        };
+        let device_config = DeviceConfig::default()
+            .with_policy(kernel_policy(KernelId::Haar))
+            .with_trace_depth(4_000_000);
+        let mut wl = workload::build(KernelId::Haar, cfg.scale, cfg.seed);
+        let mut device = Device::new(device_config);
+        let _ = wl.run(&mut device);
+        let events: Vec<TraceEvent> = device.trace_events().copied().collect();
+        let replayed = replay_hit_rate(
+            &events,
+            LutShape::FullyAssociative { depth: 2 },
+            kernel_policy(KernelId::Haar),
+        );
+        let measured = device.report().weighted_hit_rate();
+        assert!(
+            (replayed - measured).abs() < 1e-9,
+            "replay {replayed} vs simulated {measured}"
+        );
+    }
+
+    #[test]
+    fn capacity_labels_and_sizes() {
+        assert_eq!(LutShape::FullyAssociative { depth: 2 }.capacity(), 2);
+        assert_eq!(LutShape::Hashed { sets: 8, ways: 2 }.capacity(), 16);
+        assert_eq!(LutShape::Hashed { sets: 4, ways: 1 }.label(), "hash-4x1");
+    }
+
+    #[test]
+    fn deeper_fifos_never_hit_less_on_replay() {
+        let events: Vec<_> = (0..500).map(|i| event((i % 9) as f32, i % 3)).collect();
+        let d2 = replay_hit_rate(
+            &events,
+            LutShape::FullyAssociative { depth: 2 },
+            MatchPolicy::Exact,
+        );
+        let d16 = replay_hit_rate(
+            &events,
+            LutShape::FullyAssociative { depth: 16 },
+            MatchPolicy::Exact,
+        );
+        assert!(d16 >= d2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Figures 2–5: output quality (PSNR) as a function of the approximation
+//! threshold, for Sobel and Gaussian over the *face* and *book* inputs.
+
+use crate::runner::ExperimentConfig;
+use tm_core::MatchPolicy;
+use tm_image::{psnr, GrayImage};
+use tm_kernels::workload::{self, InputImage};
+use tm_kernels::{KernelId, GRAY_LEVELS_PER_THRESHOLD_UNIT};
+use tm_sim::{Device, DeviceConfig};
+
+/// The paper's threshold axis (its Figs. 2–5 annotate 0, 0.2, 0.4, 0.6,
+/// 0.8, 1.0); each value is scaled by
+/// [`GRAY_LEVELS_PER_THRESHOLD_UNIT`] before matching.
+pub const PSNR_THRESHOLDS: [f32; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// One point of a PSNR-vs-threshold curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsnrRow {
+    /// Threshold on the paper's axis.
+    pub paper_threshold: f32,
+    /// The absolute gray-level threshold actually applied.
+    pub gray_threshold: f32,
+    /// Output quality against the exact output, in dB.
+    pub psnr_db: f64,
+    /// Weighted FIFO hit rate at this threshold.
+    pub hit_rate: f64,
+    /// Whether the 30 dB user-acceptability bar holds.
+    pub acceptable: bool,
+}
+
+/// Sweeps the approximation threshold for an image kernel over an input
+/// image, reproducing one of Figs. 2–5.
+///
+/// # Panics
+///
+/// Panics if `id` is not an image kernel.
+#[must_use]
+pub fn psnr_sweep(id: KernelId, image: InputImage, cfg: &ExperimentConfig) -> Vec<PsnrRow> {
+    assert!(id.is_error_tolerant(), "{id} is not an image kernel");
+    // The exact output is the PSNR reference ("threshold=0 results in the
+    // exact matching without any quality degradation, PSNR=inf").
+    let golden_wl = workload::build_image(id, image, cfg.scale, cfg.seed);
+    let reference = golden_wl.reference();
+    let side = workload::image_side(cfg.scale);
+    let golden = GrayImage::from_vec(side, side, reference);
+
+    PSNR_THRESHOLDS
+        .iter()
+        .map(|&t| {
+            let gray = t * GRAY_LEVELS_PER_THRESHOLD_UNIT;
+            let policy = MatchPolicy::threshold(gray);
+            let mut wl = workload::build_image(id, image, cfg.scale, cfg.seed);
+            let mut device = Device::new(DeviceConfig::default().with_policy(policy));
+            let output = wl.run(&mut device);
+            let out_img = GrayImage::from_vec(side, side, output);
+            let q = psnr(&golden, &out_img);
+            PsnrRow {
+                paper_threshold: t,
+                gray_threshold: gray,
+                psnr_db: q,
+                hit_rate: device.report().weighted_hit_rate(),
+                acceptable: q >= 30.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_kernels::Scale;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn exact_threshold_gives_infinite_psnr() {
+        let rows = psnr_sweep(KernelId::Sobel, InputImage::Face, &cfg());
+        assert_eq!(rows[0].paper_threshold, 0.0);
+        assert_eq!(rows[0].psnr_db, f64::INFINITY);
+        assert!(rows[0].acceptable);
+    }
+
+    #[test]
+    fn psnr_never_increases_much_with_threshold() {
+        // PSNR is near-monotone decreasing; allow small non-monotonic
+        // wiggle from discrete matching effects.
+        for image in [InputImage::Face, InputImage::Book] {
+            let rows = psnr_sweep(KernelId::Gaussian, image, &cfg());
+            for w in rows.windows(2) {
+                assert!(
+                    w[1].psnr_db <= w[0].psnr_db + 3.0,
+                    "PSNR should trend down: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hit_rate_grows_with_threshold() {
+        let rows = psnr_sweep(KernelId::Sobel, InputImage::Face, &cfg());
+        assert!(rows.last().unwrap().hit_rate > rows[0].hit_rate);
+    }
+
+    #[test]
+    fn paper_design_point_is_acceptable_on_face() {
+        let rows = psnr_sweep(KernelId::Sobel, InputImage::Face, &cfg());
+        let at_one = rows.iter().find(|r| r.paper_threshold == 1.0).unwrap();
+        assert!(at_one.acceptable, "Sobel/face must hold 30 dB at threshold 1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an image kernel")]
+    fn rejects_non_image_kernels() {
+        let _ = psnr_sweep(KernelId::Fwt, InputImage::Face, &cfg());
+    }
+}

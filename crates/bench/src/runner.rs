@@ -1,0 +1,78 @@
+//! Shared experiment plumbing.
+
+use tm_core::MatchPolicy;
+use tm_kernels::{calibrated_threshold, workload, KernelId, Scale};
+use tm_sim::{Device, DeviceConfig, DeviceReport};
+
+/// Knobs shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Problem-size preset.
+    pub scale: Scale,
+    /// Seed for inputs and error injection.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Default,
+            seed: 0xDA7E_2014,
+        }
+    }
+}
+
+/// The matching policy a kernel programs into the memoization modules:
+/// its calibrated Table-1 threshold (exact matching when the threshold is
+/// zero).
+#[must_use]
+pub fn kernel_policy(id: KernelId) -> MatchPolicy {
+    MatchPolicy::threshold(calibrated_threshold(id))
+}
+
+/// Everything one workload run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The device's post-run report.
+    pub report: DeviceReport,
+    /// The kernel's output vector.
+    pub output: Vec<f32>,
+    /// Whether the host-side acceptance check passed.
+    pub passed: bool,
+}
+
+/// Runs `id` at `cfg.scale` on a device built from `device_config`.
+#[must_use]
+pub fn run_workload(id: KernelId, cfg: &ExperimentConfig, device_config: DeviceConfig) -> RunOutcome {
+    let mut wl = workload::build(id, cfg.scale, cfg.seed);
+    let mut device = Device::new(device_config);
+    let output = wl.run(&mut device);
+    let passed = wl.acceptable(&output);
+    RunOutcome {
+        report: device.report(),
+        output,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_policy_reflects_table1() {
+        assert_eq!(kernel_policy(KernelId::Fwt), MatchPolicy::Exact);
+        assert_eq!(kernel_policy(KernelId::Sobel), MatchPolicy::Threshold(4.0));
+    }
+
+    #[test]
+    fn run_workload_reports_and_passes() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        };
+        let out = run_workload(KernelId::Haar, &cfg, DeviceConfig::default());
+        assert!(out.passed);
+        assert!(out.report.total_instructions() > 0);
+    }
+}

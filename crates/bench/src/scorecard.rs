@@ -1,0 +1,158 @@
+//! A one-page paper-vs-measured scorecard over the headline claims.
+//!
+//! Runs the key experiments and grades each claim `REPRODUCED`,
+//! `PARTIAL` or `DIVERGED`, so a reader (or CI) can see the state of the
+//! reproduction at a glance. The same checks back the `paper_claims`
+//! integration tests; the scorecard adds the measured numbers.
+
+use crate::energy::fig10_average_savings;
+use crate::psnr::psnr_sweep;
+use crate::runner::ExperimentConfig;
+use crate::{energy_comparison, fifo_sweep, fig10, fig8};
+use tm_kernels::workload::InputImage;
+use tm_kernels::KernelId;
+
+/// How well a claim reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grade {
+    /// The claim holds as stated.
+    Reproduced,
+    /// The direction/shape holds; the magnitude differs.
+    Partial,
+    /// The claim does not hold against our substitutions.
+    Diverged,
+}
+
+impl Grade {
+    /// Display label.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Grade::Reproduced => "REPRODUCED",
+            Grade::Partial => "PARTIAL",
+            Grade::Diverged => "DIVERGED",
+        }
+    }
+}
+
+/// One graded claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScorecardRow {
+    /// The paper's claim, paraphrased.
+    pub claim: &'static str,
+    /// What we measured.
+    pub measured: String,
+    /// The grade.
+    pub grade: Grade,
+}
+
+/// Builds the scorecard.
+#[must_use]
+pub fn scorecard(cfg: &ExperimentConfig) -> Vec<ScorecardRow> {
+    let mut rows = Vec::new();
+
+    // Claim 1: exact matching has no quality degradation.
+    let sweep = psnr_sweep(KernelId::Sobel, InputImage::Face, cfg);
+    let exact_ok = sweep[0].psnr_db.is_infinite();
+    rows.push(ScorecardRow {
+        claim: "threshold 0 == exact matching, PSNR = inf (Fig 2)",
+        measured: format!("PSNR {}", sweep[0].psnr_db),
+        grade: if exact_ok { Grade::Reproduced } else { Grade::Diverged },
+    });
+
+    // Claim 2: Sobel/face acceptable at threshold 1.0.
+    let at_one = sweep.iter().find(|r| r.paper_threshold == 1.0).unwrap();
+    rows.push(ScorecardRow {
+        claim: "Sobel/face holds 30 dB at threshold 1.0 (Fig 2)",
+        measured: format!("{:.1} dB, hit {:.0}%", at_one.psnr_db, at_one.hit_rate * 100.0),
+        grade: if at_one.acceptable { Grade::Reproduced } else { Grade::Diverged },
+    });
+
+    // Claim 3: FIFO growth 2→64 buys < 20 points.
+    let fifo = fifo_sweep(cfg);
+    let gain = fifo.last().unwrap().gain_vs_depth2;
+    rows.push(ScorecardRow {
+        claim: "2→64-entry FIFO gains < 20 pp hit rate (§4.1)",
+        measured: format!("+{gain:.1} pp"),
+        grade: if gain < 20.0 { Grade::Reproduced } else { Grade::Diverged },
+    });
+
+    // Claim 4: every kernel passes its host check at the design point.
+    let fig8_rows = fig8(cfg);
+    let all_pass = fig8_rows.iter().all(|r| r.passed);
+    rows.push(ScorecardRow {
+        claim: "all 7 kernels pass host checks at Table-1 thresholds (Fig 8)",
+        measured: format!(
+            "{}/7 passed",
+            fig8_rows.iter().filter(|r| r.passed).count()
+        ),
+        grade: if all_pass { Grade::Reproduced } else { Grade::Diverged },
+    });
+
+    // Claim 5: average saving 13 % at 0 % errors rising to 25 % at 4 %.
+    let f10 = fig10(cfg);
+    let avgs = fig10_average_savings(&f10);
+    let at0 = avgs.first().unwrap().1;
+    let at4 = avgs.last().unwrap().1;
+    let grade = if at0 > 0.05 && at4 > at0 {
+        if (0.10..=0.20).contains(&at0) {
+            Grade::Reproduced
+        } else {
+            Grade::Partial
+        }
+    } else {
+        Grade::Diverged
+    };
+    rows.push(ScorecardRow {
+        claim: "avg saving 13% @0% errors rising to 25% @4% (Fig 10)",
+        measured: format!("{:.1}% → {:.1}%", at0 * 100.0, at4 * 100.0),
+        grade,
+    });
+
+    // Claim 6: hits mask errors — memo recoveries < baseline recoveries.
+    let cmp = energy_comparison(KernelId::Sobel, 0.04, cfg);
+    rows.push(ScorecardRow {
+        claim: "LUT hits correct errant instructions for free (Table 2)",
+        measured: format!(
+            "recoveries {} vs baseline {}, {} masked",
+            cmp.memo_recoveries, cmp.baseline_recoveries, cmp.masked_errors
+        ),
+        grade: if cmp.memo_recoveries < cmp.baseline_recoveries && cmp.masked_errors > 0 {
+            Grade::Reproduced
+        } else {
+            Grade::Diverged
+        },
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_kernels::Scale;
+
+    #[test]
+    fn nothing_diverges_at_test_scale() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        };
+        for row in scorecard(&cfg) {
+            assert_ne!(
+                row.grade,
+                Grade::Diverged,
+                "{}: {}",
+                row.claim,
+                row.measured
+            );
+        }
+    }
+
+    #[test]
+    fn grades_have_labels() {
+        assert_eq!(Grade::Reproduced.label(), "REPRODUCED");
+        assert_eq!(Grade::Partial.label(), "PARTIAL");
+        assert_eq!(Grade::Diverged.label(), "DIVERGED");
+    }
+}

@@ -1,0 +1,285 @@
+//! The memoization FIFO — the storage half of the single-cycle LUT.
+
+use crate::MatchPolicy;
+use std::collections::VecDeque;
+use tm_fpu::Operands;
+
+/// Default FIFO depth.
+///
+/// The paper settles on **two entries**: growing the FIFO from 2 to 64
+/// entries raises the overall hit rate by less than 20 % (§4.1), so the
+///2-entry design wins on energy.
+pub const DEFAULT_FIFO_DEPTH: usize = 2;
+
+/// One memorized context: the input operands of an error-free execution and
+/// the result the FPU's last stage produced for them (`Q_S`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoEntry {
+    /// The stored input operands.
+    pub operands: Operands,
+    /// The memorized result.
+    pub result: f32,
+}
+
+/// Replacement policy of the LUT storage.
+///
+/// The paper's hardware is a plain FIFO ("the FIFO will be updated by
+/// cleaning its last entry and inserting the new incoming operands");
+/// [`Replacement::Lru`] is provided as a design-space ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// First-in first-out (the paper's design).
+    #[default]
+    Fifo,
+    /// Move-to-front on hit (least-recently-used eviction).
+    Lru,
+}
+
+/// A small FIFO of memorized execution contexts with parallel-comparator
+/// lookup.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::{MatchPolicy, MemoFifo};
+/// use tm_fpu::Operands;
+///
+/// let mut fifo = MemoFifo::new(2);
+/// fifo.insert(Operands::binary(1.0, 2.0), 3.0);
+/// let hit = fifo.lookup(&Operands::binary(1.0, 2.0), MatchPolicy::Exact, false);
+/// assert_eq!(hit, Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoFifo {
+    entries: VecDeque<MemoEntry>,
+    depth: usize,
+    replacement: Replacement,
+}
+
+impl MemoFifo {
+    /// Creates an empty FIFO holding up to `depth` contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        Self::with_replacement(depth, Replacement::Fifo)
+    }
+
+    /// Creates an empty FIFO with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn with_replacement(depth: usize, replacement: Replacement) -> Self {
+        assert!(depth > 0, "FIFO depth must be at least 1");
+        Self {
+            entries: VecDeque::with_capacity(depth),
+            depth,
+            replacement,
+        }
+    }
+
+    /// Maximum number of stored contexts.
+    #[must_use]
+    pub const fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of currently stored contexts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no context is stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The replacement policy.
+    #[must_use]
+    pub const fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Iterates over the stored contexts, newest first.
+    pub fn iter(&self) -> impl Iterator<Item = &MemoEntry> {
+        self.entries.iter()
+    }
+
+    /// Searches the FIFO with the given matching constraint.
+    ///
+    /// All comparators operate concurrently in hardware; the model checks
+    /// entries newest-first and returns the memorized result of the first
+    /// match (`Q_L` in Fig. 9). Under [`Replacement::Lru`] a hit also moves
+    /// the entry to the front.
+    pub fn lookup(
+        &mut self,
+        incoming: &Operands,
+        policy: MatchPolicy,
+        commutative: bool,
+    ) -> Option<f32> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| policy.matches(incoming, &e.operands, commutative))?;
+        let result = self.entries[idx].result;
+        if self.replacement == Replacement::Lru && idx != 0 {
+            let e = self.entries.remove(idx).expect("index was just found");
+            self.entries.push_front(e);
+        }
+        Some(result)
+    }
+
+    /// Non-mutating lookup (used by tests and reports).
+    #[must_use]
+    pub fn peek(&self, incoming: &Operands, policy: MatchPolicy, commutative: bool) -> Option<f32> {
+        self.entries
+            .iter()
+            .find(|e| policy.matches(incoming, &e.operands, commutative))
+            .map(|e| e.result)
+    }
+
+    /// Inserts a new error-free context, evicting the oldest entry when the
+    /// FIFO is full ("cleaning its last entry and inserting the new incoming
+    /// operands", §4.2).
+    pub fn insert(&mut self, operands: Operands, result: f32) {
+        if self.entries.len() == self.depth {
+            self.entries.pop_back();
+        }
+        self.entries.push_front(MemoEntry { operands, result });
+    }
+
+    /// Pre-loads a context without eviction-order side effects beyond a
+    /// normal insert.
+    ///
+    /// Models the paper's "compiler-directed analysis techniques or domain
+    /// experts … can also store pre-computed values in the LUT".
+    pub fn preload(&mut self, operands: Operands, result: f32) {
+        self.insert(operands, result);
+    }
+
+    /// Clears all stored contexts (e.g. on power-gating the module).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for MemoFifo {
+    /// A 2-entry FIFO, the paper's chosen design point.
+    fn default() -> Self {
+        Self::new(DEFAULT_FIFO_DEPTH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uo(v: f32) -> Operands {
+        Operands::unary(v)
+    }
+
+    #[test]
+    fn empty_fifo_misses() {
+        let mut f = MemoFifo::default();
+        assert_eq!(f.lookup(&uo(1.0), MatchPolicy::Exact, false), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut f = MemoFifo::default();
+        f.insert(uo(2.0), 4.0);
+        assert_eq!(f.lookup(&uo(2.0), MatchPolicy::Exact, false), Some(4.0));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut f = MemoFifo::new(2);
+        f.insert(uo(1.0), 10.0);
+        f.insert(uo(2.0), 20.0);
+        f.insert(uo(3.0), 30.0); // evicts 1.0
+        assert_eq!(f.lookup(&uo(1.0), MatchPolicy::Exact, false), None);
+        assert_eq!(f.lookup(&uo(2.0), MatchPolicy::Exact, false), Some(20.0));
+        assert_eq!(f.lookup(&uo(3.0), MatchPolicy::Exact, false), Some(30.0));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn fifo_hit_does_not_reorder() {
+        let mut f = MemoFifo::new(2);
+        f.insert(uo(1.0), 10.0);
+        f.insert(uo(2.0), 20.0);
+        // Hit the older entry; under FIFO replacement it stays oldest.
+        assert_eq!(f.lookup(&uo(1.0), MatchPolicy::Exact, false), Some(10.0));
+        f.insert(uo(3.0), 30.0);
+        assert_eq!(f.lookup(&uo(1.0), MatchPolicy::Exact, false), None);
+    }
+
+    #[test]
+    fn lru_hit_protects_entry() {
+        let mut f = MemoFifo::with_replacement(2, Replacement::Lru);
+        f.insert(uo(1.0), 10.0);
+        f.insert(uo(2.0), 20.0);
+        assert_eq!(f.lookup(&uo(1.0), MatchPolicy::Exact, false), Some(10.0));
+        f.insert(uo(3.0), 30.0); // evicts 2.0, not the recently used 1.0
+        assert_eq!(f.lookup(&uo(1.0), MatchPolicy::Exact, false), Some(10.0));
+        assert_eq!(f.lookup(&uo(2.0), MatchPolicy::Exact, false), None);
+    }
+
+    #[test]
+    fn newest_entry_wins_on_ambiguous_approximate_match() {
+        let mut f = MemoFifo::new(2);
+        f.insert(uo(1.0), 100.0);
+        f.insert(uo(1.1), 200.0);
+        // Both entries are within 0.2 of 1.05; the newest must answer.
+        let r = f.lookup(&uo(1.05), MatchPolicy::threshold(0.2), false);
+        assert_eq!(r, Some(200.0));
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut f = MemoFifo::with_replacement(2, Replacement::Lru);
+        f.insert(uo(1.0), 10.0);
+        f.insert(uo(2.0), 20.0);
+        let snapshot: Vec<MemoEntry> = f.iter().copied().collect();
+        let _ = f.peek(&uo(1.0), MatchPolicy::Exact, false);
+        let after: Vec<MemoEntry> = f.iter().copied().collect();
+        assert_eq!(snapshot, after);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = MemoFifo::default();
+        f.insert(uo(1.0), 1.0);
+        f.clear();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn preload_behaves_like_insert() {
+        let mut f = MemoFifo::default();
+        f.preload(uo(5.0), 25.0);
+        assert_eq!(f.lookup(&uo(5.0), MatchPolicy::Exact, false), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        let _ = MemoFifo::new(0);
+    }
+
+    #[test]
+    fn len_never_exceeds_depth() {
+        let mut f = MemoFifo::new(3);
+        for i in 0..100 {
+            f.insert(uo(i as f32), i as f32);
+            assert!(f.len() <= 3);
+        }
+    }
+}

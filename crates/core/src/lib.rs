@@ -1,0 +1,68 @@
+//! Temporal memoization for energy-efficient timing error recovery.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Rahimi, Benini, Gupta — DATE 2014): a lightweight, single-cycle lookup
+//! table (LUT) tightly coupled to every FPU of a GPGPU that *memorizes* the
+//! context of recent error-free executions — the input operands and the
+//! computed result — and reuses it to
+//!
+//! 1. skip redundant execution (clock-gating the remaining pipeline stages
+//!    on a hit), and
+//! 2. correct errant instructions with **zero cycle penalty** by masking the
+//!    timing-error signal whenever the LUT hits.
+//!
+//! The LUT (Fig. 9 of the paper) is a [`MemoFifo`] — a FIFO with two entries
+//! by default — searched by parallel combinational comparators implementing
+//! two programmable matching constraints ([`MatchPolicy`]):
+//!
+//! - **exact** matching (`threshold = 0`): full bit-by-bit comparison, for
+//!   error-intolerant applications, and
+//! - **approximate** matching (`threshold > 0` per Equation 1, or a 32-bit
+//!   masking vector ignoring low fraction bits), for error-tolerant
+//!   applications policed by an application-level fidelity metric (PSNR).
+//!
+//! The `(hit, error)` handling follows Table 2 of the paper ([`resolve`],
+//! [`Action`]), and the whole module is programmed through a small
+//! memory-mapped register file ([`MmioRegisters`]), including power-gating
+//! the module entirely when an application lacks value locality.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_core::{MatchPolicy, MemoModule};
+//! use tm_fpu::{FpOp, Operands};
+//!
+//! let mut module = MemoModule::new(FpOp::Mul, MatchPolicy::Exact);
+//! // First access misses and updates the FIFO.
+//! let a = module.access(Operands::binary(2.0, 8.0), || 16.0, false);
+//! assert!(!a.hit);
+//! assert_eq!(a.result, 16.0);
+//! // Same operands again: hit, FPU squashed, result recalled from the LUT.
+//! let b = module.access(Operands::binary(2.0, 8.0), || unreachable!(), false);
+//! assert!(b.hit);
+//! assert_eq!(b.result, 16.0);
+//! // A hit even masks a timing error: zero-cycle recovery.
+//! let c = module.access(Operands::binary(8.0, 2.0), || unreachable!(), true);
+//! assert!(c.hit && c.masked_error);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fifo;
+mod gate;
+mod lut;
+mod matching;
+mod mmio;
+mod module;
+mod state;
+mod stats;
+
+pub use fifo::{MemoEntry, MemoFifo, Replacement, DEFAULT_FIFO_DEPTH};
+pub use gate::{AdaptiveGate, GatePolicy};
+pub use lut::HashedLut;
+pub use matching::{fraction_mask, mask_for_threshold, MatchPolicy};
+pub use mmio::{ctrl_bits, MmioRegisters, Reg, CTRL_COMMUTATIVE, CTRL_ENABLE, CTRL_THRESHOLD_MODE};
+pub use module::{AccessOutcome, MemoModule};
+pub use state::{resolve, Action, OutputSelect};
+pub use stats::MemoStats;

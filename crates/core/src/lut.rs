@@ -1,0 +1,227 @@
+//! Alternative LUT organizations for design-space exploration.
+//!
+//! The paper's LUT is a **fully associative 2-entry FIFO** searched by
+//! parallel comparators. At larger capacities full associativity stops
+//! being free (comparator count grows linearly), so a natural question is
+//! whether a *hashed* organization — direct-mapped or set-associative on
+//! an operand hash — reaches the same hit rates with cheaper lookups.
+//! [`HashedLut`] models that alternative; the `lut-exploration` experiment
+//! in `tm-bench` replays recorded instruction traces through both.
+//!
+//! A hardware honesty note: hashing is computed from the operand **bits**,
+//! so two *nearly equal* operand sets generally land in different sets.
+//! Approximate matching therefore only sees candidates inside the indexed
+//! set — a hashed LUT structurally under-performs the fully associative
+//! FIFO under approximate constraints, which is itself a finding the
+//! exploration surfaces.
+
+use crate::MatchPolicy;
+use tm_fpu::Operands;
+
+/// A set-indexed lookup table of memorized execution contexts.
+///
+/// `sets` is a power of two; each set holds up to `ways` entries replaced
+/// in FIFO order. `HashedLut::new(1, n)` degenerates to the paper's fully
+/// associative n-entry FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::{HashedLut, MatchPolicy};
+/// use tm_fpu::Operands;
+///
+/// let mut lut = HashedLut::new(4, 1); // direct-mapped, 4 sets
+/// lut.insert(Operands::binary(1.0, 2.0), 3.0);
+/// let hit = lut.lookup(&Operands::binary(1.0, 2.0), MatchPolicy::Exact, false);
+/// assert_eq!(hit, Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashedLut {
+    sets: Vec<Vec<(Operands, f32)>>,
+    ways: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+impl HashedLut {
+    /// Creates a LUT with `sets` sets of `ways` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` is a non-zero power of two and `ways > 0`.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a non-zero power of two, got {sets}"
+        );
+        assert!(ways > 0, "need at least one way per set");
+        Self {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Total entry capacity (`sets × ways`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Multiplicative operand hash → set index (an XOR fold plus one
+    /// constant multiplier in hardware).
+    fn set_index(&self, operands: &Operands) -> usize {
+        let bits = operands.bits();
+        let mut h = operands.arity() as u32;
+        for b in bits.iter().take(operands.arity()) {
+            h = (h ^ b).wrapping_mul(0x9E37_79B1);
+            h ^= h >> 15;
+        }
+        h = h.wrapping_mul(0x85EB_CA77);
+        h ^= h >> 13;
+        (h as usize) & (self.sets.len() - 1)
+    }
+
+    /// Searches the indexed set under the matching constraint.
+    pub fn lookup(
+        &mut self,
+        incoming: &Operands,
+        policy: MatchPolicy,
+        commutative: bool,
+    ) -> Option<f32> {
+        self.lookups += 1;
+        let idx = self.set_index(incoming);
+        let hit = self.sets[idx]
+            .iter()
+            .rev() // newest first, like the FIFO
+            .find(|(stored, _)| policy.matches(incoming, stored, commutative))
+            .map(|&(_, result)| result);
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts a context into its set, evicting the set's oldest entry
+    /// when full.
+    pub fn insert(&mut self, operands: Operands, result: f32) {
+        let idx = self.set_index(&operands);
+        let set = &mut self.sets[idx];
+        if set.len() == self.ways {
+            set.remove(0);
+        }
+        set.push((operands, result));
+    }
+
+    /// Lookups performed.
+    #[must_use]
+    pub const fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that hit.
+    #[must_use]
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hit rate so far.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_set_behaves_like_the_fifo() {
+        let mut lut = HashedLut::new(1, 2);
+        lut.insert(Operands::unary(1.0), 10.0);
+        lut.insert(Operands::unary(2.0), 20.0);
+        lut.insert(Operands::unary(3.0), 30.0); // evicts 1.0
+        assert_eq!(lut.lookup(&Operands::unary(1.0), MatchPolicy::Exact, false), None);
+        assert_eq!(
+            lut.lookup(&Operands::unary(2.0), MatchPolicy::Exact, false),
+            Some(20.0)
+        );
+        assert_eq!(
+            lut.lookup(&Operands::unary(3.0), MatchPolicy::Exact, false),
+            Some(30.0)
+        );
+    }
+
+    #[test]
+    fn hashing_spreads_distinct_keys() {
+        let mut lut = HashedLut::new(64, 1);
+        for i in 0..64 {
+            lut.insert(Operands::unary(i as f32), i as f32);
+        }
+        // A direct-mapped table with 64 sets should retain well over half
+        // of 64 distinct keys (collisions allowed, pathology not).
+        let retained = (0..64)
+            .filter(|&i| {
+                lut.lookup(&Operands::unary(i as f32), MatchPolicy::Exact, false)
+                    .is_some()
+            })
+            .count();
+        assert!(retained > 32, "only {retained}/64 retained — bad hash");
+    }
+
+    #[test]
+    fn same_key_always_finds_its_set() {
+        let mut lut = HashedLut::new(16, 2);
+        for i in 0..1000 {
+            let key = Operands::binary(i as f32, (i % 7) as f32);
+            lut.insert(key, i as f32);
+            assert_eq!(
+                lut.lookup(&key, MatchPolicy::Exact, false),
+                Some(i as f32),
+                "fresh insert must be findable"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_matching_is_set_local() {
+        // Two nearly equal operands usually hash apart: approximate
+        // matching across sets is structurally impossible.
+        let mut lut = HashedLut::new(1024, 1);
+        lut.insert(Operands::unary(1.0), 1.0);
+        let near = Operands::unary(1.0 + f32::EPSILON);
+        let policy = MatchPolicy::threshold(0.1);
+        // Whether this hits depends on the hash; assert only that the
+        // fully-associative equivalent *does* hit, demonstrating the gap.
+        let mut assoc = HashedLut::new(1, 1024);
+        assoc.insert(Operands::unary(1.0), 1.0);
+        assert_eq!(assoc.lookup(&near, policy, false), Some(1.0));
+        let _ = lut.lookup(&near, policy, false);
+        assert!(lut.hit_rate() <= assoc.hit_rate());
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut lut = HashedLut::new(4, 1);
+        lut.insert(Operands::unary(5.0), 25.0);
+        let _ = lut.lookup(&Operands::unary(5.0), MatchPolicy::Exact, false);
+        let _ = lut.lookup(&Operands::unary(6.0), MatchPolicy::Exact, false);
+        assert_eq!(lut.lookups(), 2);
+        assert_eq!(lut.hits(), 1);
+        assert_eq!(lut.hit_rate(), 0.5);
+        assert_eq!(lut.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = HashedLut::new(3, 1);
+    }
+}

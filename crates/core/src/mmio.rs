@@ -1,0 +1,223 @@
+//! The memory-mapped register file that programs a memoization module.
+//!
+//! "Each application has full control over the temporal memoization module
+//! as a programmable module through the memory-mapped registers" (§4.2).
+
+use crate::MatchPolicy;
+
+/// Register addresses of the module's MMIO window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Reg {
+    /// Control register: enable / matching mode / commutativity.
+    Ctrl = 0x00,
+    /// The 32-bit masking vector driving the partial comparators.
+    Mask = 0x04,
+    /// Numeric threshold of Equation 1, encoded as IEEE-754 bits.
+    Threshold = 0x08,
+}
+
+/// `CTRL` bit 0: module enabled (0 ⇒ power-gated).
+pub const CTRL_ENABLE: u32 = 1 << 0;
+/// `CTRL` bit 1: use the numeric-threshold comparator instead of the
+/// masking vector.
+pub const CTRL_THRESHOLD_MODE: u32 = 1 << 1;
+/// `CTRL` bit 2: allow commutative operand matching.
+pub const CTRL_COMMUTATIVE: u32 = 1 << 2;
+
+/// The module's register file.
+///
+/// The reset state is: enabled, exact matching (full masking vector),
+/// commutativity allowed.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::{MatchPolicy, MmioRegisters, Reg};
+///
+/// let mut regs = MmioRegisters::new();
+/// assert_eq!(regs.policy(), Some(MatchPolicy::Exact));
+///
+/// // Program an approximate threshold of 0.8 (Gaussian/face in Table 1).
+/// regs.write(Reg::Threshold, 0.8f32.to_bits());
+/// regs.write(Reg::Ctrl, regs.read(Reg::Ctrl) | tm_core::ctrl_bits::THRESHOLD_MODE);
+/// assert_eq!(regs.policy(), Some(MatchPolicy::Threshold(0.8)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioRegisters {
+    ctrl: u32,
+    mask: u32,
+    threshold_bits: u32,
+}
+
+/// Re-exported control bits under a descriptive namespace for doc examples.
+pub mod ctrl_bits {
+    /// See [`super::CTRL_ENABLE`].
+    pub const ENABLE: u32 = super::CTRL_ENABLE;
+    /// See [`super::CTRL_THRESHOLD_MODE`].
+    pub const THRESHOLD_MODE: u32 = super::CTRL_THRESHOLD_MODE;
+    /// See [`super::CTRL_COMMUTATIVE`].
+    pub const COMMUTATIVE: u32 = super::CTRL_COMMUTATIVE;
+}
+
+impl MmioRegisters {
+    /// Registers in their reset state: enabled, exact matching,
+    /// commutativity allowed.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            ctrl: CTRL_ENABLE | CTRL_COMMUTATIVE,
+            mask: u32::MAX,
+            threshold_bits: 0,
+        }
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub const fn read(&self, reg: Reg) -> u32 {
+        match reg {
+            Reg::Ctrl => self.ctrl,
+            Reg::Mask => self.mask,
+            Reg::Threshold => self.threshold_bits,
+        }
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, reg: Reg, value: u32) {
+        match reg {
+            Reg::Ctrl => self.ctrl = value,
+            Reg::Mask => self.mask = value,
+            Reg::Threshold => self.threshold_bits = value,
+        }
+    }
+
+    /// Whether the module is enabled (not power-gated).
+    #[must_use]
+    pub const fn is_enabled(&self) -> bool {
+        self.ctrl & CTRL_ENABLE != 0
+    }
+
+    /// Enables or power-gates the module.
+    ///
+    /// "If an application lacks value locality, it can disable the entire
+    /// memoization module by power-gating thus avoid any power penalty."
+    pub fn set_enabled(&mut self, enabled: bool) {
+        if enabled {
+            self.ctrl |= CTRL_ENABLE;
+        } else {
+            self.ctrl &= !CTRL_ENABLE;
+        }
+    }
+
+    /// Whether commutative matching is allowed.
+    #[must_use]
+    pub const fn commutativity_enabled(&self) -> bool {
+        self.ctrl & CTRL_COMMUTATIVE != 0
+    }
+
+    /// The matching policy the registers currently encode, or `None` when
+    /// the module is power-gated.
+    #[must_use]
+    pub fn policy(&self) -> Option<MatchPolicy> {
+        if !self.is_enabled() {
+            return None;
+        }
+        Some(if self.ctrl & CTRL_THRESHOLD_MODE != 0 {
+            let t = f32::from_bits(self.threshold_bits);
+            if t > 0.0 {
+                MatchPolicy::Threshold(t)
+            } else {
+                MatchPolicy::Exact
+            }
+        } else if self.mask == u32::MAX {
+            MatchPolicy::Exact
+        } else {
+            MatchPolicy::MaskBits(self.mask)
+        })
+    }
+
+    /// Programs the registers to realize `policy` (keeps the enable and
+    /// commutativity bits).
+    pub fn set_policy(&mut self, policy: MatchPolicy) {
+        match policy {
+            MatchPolicy::Exact => {
+                self.ctrl &= !CTRL_THRESHOLD_MODE;
+                self.mask = u32::MAX;
+            }
+            MatchPolicy::Threshold(t) => {
+                self.ctrl |= CTRL_THRESHOLD_MODE;
+                self.threshold_bits = t.to_bits();
+            }
+            MatchPolicy::MaskBits(mask) => {
+                self.ctrl &= !CTRL_THRESHOLD_MODE;
+                self.mask = mask;
+            }
+        }
+    }
+}
+
+impl Default for MmioRegisters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_is_enabled_exact_commutative() {
+        let r = MmioRegisters::new();
+        assert!(r.is_enabled());
+        assert!(r.commutativity_enabled());
+        assert_eq!(r.policy(), Some(MatchPolicy::Exact));
+    }
+
+    #[test]
+    fn power_gating_yields_no_policy() {
+        let mut r = MmioRegisters::new();
+        r.set_enabled(false);
+        assert_eq!(r.policy(), None);
+        r.set_enabled(true);
+        assert_eq!(r.policy(), Some(MatchPolicy::Exact));
+    }
+
+    #[test]
+    fn threshold_mode_round_trips() {
+        let mut r = MmioRegisters::new();
+        r.set_policy(MatchPolicy::Threshold(0.046));
+        assert_eq!(r.policy(), Some(MatchPolicy::Threshold(0.046)));
+        // The raw register view agrees.
+        assert_eq!(f32::from_bits(r.read(Reg::Threshold)), 0.046);
+    }
+
+    #[test]
+    fn mask_mode_round_trips() {
+        let mut r = MmioRegisters::new();
+        r.set_policy(MatchPolicy::MaskBits(0xFFFF_FF00));
+        assert_eq!(r.policy(), Some(MatchPolicy::MaskBits(0xFFFF_FF00)));
+    }
+
+    #[test]
+    fn full_mask_reads_back_as_exact() {
+        let mut r = MmioRegisters::new();
+        r.set_policy(MatchPolicy::MaskBits(u32::MAX));
+        assert_eq!(r.policy(), Some(MatchPolicy::Exact));
+    }
+
+    #[test]
+    fn zero_threshold_reads_back_as_exact() {
+        let mut r = MmioRegisters::new();
+        r.write(Reg::Threshold, 0.0f32.to_bits());
+        r.write(Reg::Ctrl, r.read(Reg::Ctrl) | CTRL_THRESHOLD_MODE);
+        assert_eq!(r.policy(), Some(MatchPolicy::Exact));
+    }
+
+    #[test]
+    fn raw_register_access() {
+        let mut r = MmioRegisters::new();
+        r.write(Reg::Mask, 0xDEAD_BEEF);
+        assert_eq!(r.read(Reg::Mask), 0xDEAD_BEEF);
+    }
+}

@@ -1,0 +1,186 @@
+//! The `(hit, error)` handling state machine — Table 2 of the paper.
+
+use std::fmt;
+
+/// Which value drives the pipeline output mux (`Q_Pipe` in Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputSelect {
+    /// The FPU's last-stage result (`Q_S`).
+    FpuResult,
+    /// The LUT's propagated, previously-computed result (`Q_L`).
+    LutResult,
+}
+
+/// The action the resilient FPU takes for a `(hit, error)` combination.
+///
+/// This is Table 2 of the paper verbatim:
+///
+/// | Hit | Error | Action                                               | Q_Pipe |
+/// |-----|-------|------------------------------------------------------|--------|
+/// | 0   | 0     | Normal execution + LUT update                        | Q_S    |
+/// | 0   | 1     | Triggering baseline recovery (ECU)                   | Q_S    |
+/// | 1   | 0     | LUT output reuse + FPU clock-gating                  | Q_L    |
+/// | 1   | 1     | LUT output reuse + FPU clock-gating + masking error  | Q_L    |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Miss, no error: the FPU executes normally and the write-enable
+    /// (`W_en`) commits the error-free context into the FIFO.
+    NormalExecutionAndUpdate,
+    /// Miss with a timing error: the error signal propagates to the error
+    /// control unit, which triggers the costly baseline recovery (flush +
+    /// multiple-issue replay).
+    TriggerBaselineRecovery,
+    /// Hit, no error: the memorized result is reused and the remaining FPU
+    /// stages are squashed by clock-gating.
+    ReuseAndClockGate,
+    /// Hit with a timing error: reuse + clock-gating, and the hit signal
+    /// additionally *disables the propagation of the error signal to the
+    /// ECU* — correcting the errant instruction with zero cycle penalty.
+    ReuseClockGateAndMaskError,
+}
+
+impl Action {
+    /// The output-mux selection of this action (`Q_Pipe` column).
+    #[must_use]
+    pub const fn output(self) -> OutputSelect {
+        match self {
+            Action::NormalExecutionAndUpdate | Action::TriggerBaselineRecovery => {
+                OutputSelect::FpuResult
+            }
+            Action::ReuseAndClockGate | Action::ReuseClockGateAndMaskError => {
+                OutputSelect::LutResult
+            }
+        }
+    }
+
+    /// Whether the FIFO's write-enable fires for this action.
+    ///
+    /// `W_en` "ensures there is no timing error during execution of all the
+    /// stages of the FPU for computing Q_S" (§4.2) — only the error-free
+    /// miss path updates the LUT.
+    #[must_use]
+    pub const fn updates_lut(self) -> bool {
+        matches!(self, Action::NormalExecutionAndUpdate)
+    }
+
+    /// Whether the remaining FPU stages are clock-gated.
+    #[must_use]
+    pub const fn clock_gates_fpu(self) -> bool {
+        matches!(
+            self,
+            Action::ReuseAndClockGate | Action::ReuseClockGateAndMaskError
+        )
+    }
+
+    /// Whether the ECU's baseline recovery is triggered.
+    #[must_use]
+    pub const fn triggers_recovery(self) -> bool {
+        matches!(self, Action::TriggerBaselineRecovery)
+    }
+
+    /// Whether a timing error is masked (corrected at zero cycle cost).
+    #[must_use]
+    pub const fn masks_error(self) -> bool {
+        matches!(self, Action::ReuseClockGateAndMaskError)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::NormalExecutionAndUpdate => "normal execution + LUT update",
+            Action::TriggerBaselineRecovery => "triggering baseline recovery (ECU)",
+            Action::ReuseAndClockGate => "LUT output reuse + FPU clock-gating",
+            Action::ReuseClockGateAndMaskError => {
+                "LUT output reuse + FPU clock-gating + masking error"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resolves a `(hit, error)` pair to the Table-2 action.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::{resolve, Action, OutputSelect};
+///
+/// let a = resolve(true, true);
+/// assert_eq!(a, Action::ReuseClockGateAndMaskError);
+/// assert_eq!(a.output(), OutputSelect::LutResult);
+/// assert!(a.masks_error());
+/// ```
+#[must_use]
+pub const fn resolve(hit: bool, error: bool) -> Action {
+    match (hit, error) {
+        (false, false) => Action::NormalExecutionAndUpdate,
+        (false, true) => Action::TriggerBaselineRecovery,
+        (true, false) => Action::ReuseAndClockGate,
+        (true, true) => Action::ReuseClockGateAndMaskError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_by_row() {
+        // Row 1: {0,0}
+        let a = resolve(false, false);
+        assert_eq!(a, Action::NormalExecutionAndUpdate);
+        assert_eq!(a.output(), OutputSelect::FpuResult);
+        assert!(a.updates_lut() && !a.clock_gates_fpu() && !a.triggers_recovery());
+
+        // Row 2: {0,1}
+        let a = resolve(false, true);
+        assert_eq!(a, Action::TriggerBaselineRecovery);
+        assert_eq!(a.output(), OutputSelect::FpuResult);
+        assert!(!a.updates_lut() && a.triggers_recovery() && !a.masks_error());
+
+        // Row 3: {1,0}
+        let a = resolve(true, false);
+        assert_eq!(a, Action::ReuseAndClockGate);
+        assert_eq!(a.output(), OutputSelect::LutResult);
+        assert!(a.clock_gates_fpu() && !a.updates_lut() && !a.masks_error());
+
+        // Row 4: {1,1}
+        let a = resolve(true, true);
+        assert_eq!(a, Action::ReuseClockGateAndMaskError);
+        assert_eq!(a.output(), OutputSelect::LutResult);
+        assert!(a.clock_gates_fpu() && a.masks_error() && !a.triggers_recovery());
+    }
+
+    #[test]
+    fn exactly_one_action_updates_the_lut() {
+        let updating: Vec<Action> = [
+            resolve(false, false),
+            resolve(false, true),
+            resolve(true, false),
+            resolve(true, true),
+        ]
+        .into_iter()
+        .filter(|a| a.updates_lut())
+        .collect();
+        assert_eq!(updating, vec![Action::NormalExecutionAndUpdate]);
+    }
+
+    #[test]
+    fn hits_never_trigger_recovery() {
+        assert!(!resolve(true, true).triggers_recovery());
+        assert!(!resolve(true, false).triggers_recovery());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for a in [
+            Action::NormalExecutionAndUpdate,
+            Action::TriggerBaselineRecovery,
+            Action::ReuseAndClockGate,
+            Action::ReuseClockGateAndMaskError,
+        ] {
+            assert!(!a.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Statistics collected by a memoization module.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters of one memoization module (or an aggregate over many).
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::MemoStats;
+///
+/// let mut s = MemoStats::default();
+/// s.lookups = 10;
+/// s.hits = 4;
+/// assert_eq!(s.hit_rate(), 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Total LUT searches (one per instruction reaching the FPU while the
+    /// module is enabled).
+    pub lookups: u64,
+    /// Searches satisfying the matching constraint.
+    pub hits: u64,
+    /// Searches that missed.
+    pub misses: u64,
+    /// FIFO updates (error-free misses committing `W_en`).
+    pub updates: u64,
+    /// Timing errors corrected at zero cost because the LUT hit
+    /// (Table 2 row `{1,1}`).
+    pub masked_errors: u64,
+    /// Timing errors that fell through to the ECU baseline recovery
+    /// (Table 2 row `{0,1}`).
+    pub recoveries: u64,
+    /// Lookups performed while a timing error occurred in the FPU
+    /// (`masked_errors + recoveries`).
+    pub errors_seen: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups that hit, in `[0, 1]`; `0` when no lookup
+    /// happened yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of timing errors that the module masked for free.
+    #[must_use]
+    pub fn error_mask_rate(&self) -> f64 {
+        if self.errors_seen == 0 {
+            0.0
+        } else {
+            self.masked_errors as f64 / self.errors_seen as f64
+        }
+    }
+
+    /// Internal-consistency check, used by tests and debug assertions.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.hits + self.misses == self.lookups
+            && self.masked_errors + self.recoveries == self.errors_seen
+            && self.updates <= self.misses
+            && self.hits >= self.masked_errors
+    }
+}
+
+impl AddAssign for MemoStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.lookups += rhs.lookups;
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.updates += rhs.updates;
+        self.masked_errors += rhs.masked_errors;
+        self.recoveries += rhs.recoveries;
+        self.errors_seen += rhs.errors_seen;
+    }
+}
+
+impl std::iter::Sum for MemoStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut total = MemoStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
+impl fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lookups={} hits={} ({:.1}%) masked_errors={} recoveries={}",
+            self.lookups,
+            self.hits,
+            self.hit_rate() * 100.0,
+            self.masked_errors,
+            self.recoveries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sum_aggregates() {
+        let a = MemoStats {
+            lookups: 10,
+            hits: 5,
+            misses: 5,
+            updates: 5,
+            masked_errors: 1,
+            recoveries: 1,
+            errors_seen: 2,
+        };
+        let total: MemoStats = [a, a].into_iter().sum();
+        assert_eq!(total.lookups, 20);
+        assert_eq!(total.hits, 10);
+        assert!(total.is_consistent());
+    }
+
+    #[test]
+    fn consistency_detects_imbalance() {
+        let bad = MemoStats {
+            lookups: 10,
+            hits: 4,
+            misses: 5, // 4 + 5 != 10
+            ..MemoStats::default()
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn display_shows_rate() {
+        let s = MemoStats {
+            lookups: 4,
+            hits: 1,
+            misses: 3,
+            ..MemoStats::default()
+        };
+        assert!(s.to_string().contains("25.0%"));
+    }
+}

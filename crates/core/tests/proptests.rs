@@ -1,0 +1,151 @@
+//! Property-based tests of the memoization core.
+
+use proptest::prelude::*;
+use tm_core::{
+    fraction_mask, mask_for_threshold, MatchPolicy, MemoFifo, MemoModule, MmioRegisters,
+    Replacement,
+};
+use tm_fpu::{FpOp, Operands};
+
+fn finite() -> impl Strategy<Value = f32> {
+    prop::num::f32::NORMAL | prop::num::f32::ZERO
+}
+
+proptest! {
+    /// The FIFO never exceeds its depth and insertion makes the inserted
+    /// context immediately findable under exact matching.
+    #[test]
+    fn fifo_depth_and_recency(
+        depth in 1usize..8,
+        inserts in prop::collection::vec((finite(), finite()), 1..64),
+    ) {
+        let mut fifo = MemoFifo::new(depth);
+        for &(a, r) in &inserts {
+            fifo.insert(Operands::unary(a), r);
+            prop_assert!(fifo.len() <= depth);
+            let hit = fifo.lookup(&Operands::unary(a), MatchPolicy::Exact, false);
+            prop_assert_eq!(hit, Some(r), "freshly inserted context must hit");
+        }
+    }
+
+    /// Whatever matches under a tight threshold also matches under any
+    /// looser one (monotonicity of the matching constraint).
+    #[test]
+    fn threshold_matching_is_monotone(
+        a in finite(), b in finite(), x in finite(), y in finite(),
+        tight in 0.0f32..10.0, slack in 0.0f32..10.0,
+    ) {
+        let loose = tight + slack;
+        let p = Operands::binary(a, b);
+        let q = Operands::binary(x, y);
+        if MatchPolicy::threshold(tight).matches(&p, &q, false) {
+            prop_assert!(MatchPolicy::threshold(loose).matches(&p, &q, false));
+        }
+    }
+
+    /// Whatever matches under a fuller masking vector also matches under
+    /// any vector that compares fewer bits.
+    #[test]
+    fn mask_matching_is_monotone(
+        a in any::<u32>(), b in any::<u32>(),
+        tight_bits in 0u32..=23, extra in 0u32..=23,
+    ) {
+        let loose_bits = (tight_bits + extra).min(23);
+        let p = Operands::unary(f32::from_bits(a));
+        let q = Operands::unary(f32::from_bits(b));
+        let tight = MatchPolicy::MaskBits(fraction_mask(tight_bits));
+        let loose = MatchPolicy::MaskBits(fraction_mask(loose_bits));
+        if tight.matches(&p, &q, false) {
+            prop_assert!(loose.matches(&p, &q, false));
+        }
+    }
+
+    /// Commutative matching is a superset of plain matching.
+    #[test]
+    fn commutativity_only_adds_matches(
+        a in finite(), b in finite(), x in finite(), y in finite(),
+        t in 0.0f32..5.0,
+    ) {
+        let p = Operands::binary(a, b);
+        let q = Operands::binary(x, y);
+        let policy = MatchPolicy::threshold(t);
+        if policy.matches(&p, &q, false) {
+            prop_assert!(policy.matches(&p, &q, true));
+        }
+    }
+
+    /// `mask_for_threshold` never loosens as the threshold tightens.
+    #[test]
+    fn mask_for_threshold_monotone(t1 in 1e-6f32..100.0, factor in 1.0f32..100.0, scale in 1.0f32..1000.0) {
+        let tight = mask_for_threshold(t1, scale);
+        let loose = mask_for_threshold(t1 * factor, scale);
+        prop_assert!(loose.count_ones() <= tight.count_ones());
+    }
+
+    /// LRU and FIFO replacement agree on *what* can hit; only eviction
+    /// order differs. After inserting a single context, both hit it.
+    #[test]
+    fn replacement_policies_agree_on_singleton(a in finite(), r in finite()) {
+        for repl in [Replacement::Fifo, Replacement::Lru] {
+            let mut fifo = MemoFifo::with_replacement(2, repl);
+            fifo.insert(Operands::unary(a), r);
+            prop_assert_eq!(
+                fifo.lookup(&Operands::unary(a), MatchPolicy::Exact, false),
+                Some(r)
+            );
+        }
+    }
+
+    /// The module under exact matching is result-transparent for any
+    /// access sequence, and hits never exceed lookups.
+    #[test]
+    fn module_transparency(values in prop::collection::vec((0u8..16, 0u8..16), 1..128)) {
+        let mut m = MemoModule::new(FpOp::Add, MatchPolicy::Exact);
+        for &(a, b) in &values {
+            let (a, b) = (f32::from(a), f32::from(b));
+            let out = m.access(Operands::binary(a, b), || a + b, false);
+            prop_assert_eq!(out.result.to_bits(), (a + b).to_bits());
+        }
+        let s = m.stats();
+        prop_assert!(s.hits <= s.lookups);
+        prop_assert!(s.is_consistent());
+    }
+
+    /// MMIO policy programming round-trips for any threshold.
+    #[test]
+    fn mmio_policy_round_trip(t in 1e-9f32..1e9) {
+        let mut regs = MmioRegisters::new();
+        regs.set_policy(MatchPolicy::Threshold(t));
+        prop_assert_eq!(regs.policy(), Some(MatchPolicy::Threshold(t)));
+    }
+
+    /// MMIO mask programming round-trips for any vector.
+    #[test]
+    fn mmio_mask_round_trip(mask in any::<u32>()) {
+        let mut regs = MmioRegisters::new();
+        regs.set_policy(MatchPolicy::MaskBits(mask));
+        let expect = if mask == u32::MAX {
+            MatchPolicy::Exact
+        } else {
+            MatchPolicy::MaskBits(mask)
+        };
+        prop_assert_eq!(regs.policy(), Some(expect));
+    }
+
+    /// Power-gating and re-enabling always leaves the module cold but
+    /// functional.
+    #[test]
+    fn gate_cycle_resets_cleanly(values in prop::collection::vec(finite(), 1..32)) {
+        let mut m = MemoModule::new(FpOp::Sqrt, MatchPolicy::Exact);
+        for &v in &values {
+            m.access(Operands::unary(v), || v.sqrt(), false);
+        }
+        m.set_enabled(false);
+        m.set_enabled(true);
+        prop_assert!(m.fifo().is_empty());
+        let v = values[0];
+        let out = m.access(Operands::unary(v), || v.sqrt(), false);
+        prop_assert!(!out.hit, "post-gate access must be a cold miss");
+        prop_assert_eq!(out.result.to_bits(), v.sqrt().to_bits());
+    }
+}

@@ -1,0 +1,46 @@
+//! Analytical 45 nm-style energy model for the resilient-FPU architecture.
+//!
+//! The paper evaluates energy on post-layout TSMC 45 nm netlists (FloPoCo
+//! FPU cores, Synopsys flow). This crate substitutes an analytical model
+//! with the same structure, so the *relative* energies that drive every
+//! conclusion — memoized architecture vs. baseline, across timing-error
+//! rates and voltage-overscaling points — are reproduced:
+//!
+//! - every FP instruction charges an op-specific energy-per-instruction
+//!   (EPI), split uniformly over its pipeline stages;
+//! - a **hit** charges only the first stage (the LUT searches in parallel
+//!   with stage 1, then clock-gates the rest) plus the LUT lookup;
+//! - a **miss** charges the full execution plus the LUT lookup and the
+//!   FIFO update (`W_en`);
+//! - a **baseline recovery** charges the replayed execution plus a
+//!   per-recovery-cycle control overhead (flush, reissue);
+//! - under voltage overscaling the FPU's dynamic energy scales as `V²`
+//!   while the memoization module stays at the fixed nominal voltage
+//!   (paper §5.3), which is exactly why the baseline briefly wins around
+//!   the error-onset knee and loses badly below it.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_energy::{EnergyLedger, EnergyModel};
+//! use tm_fpu::FpOp;
+//!
+//! let model = EnergyModel::tsmc45();
+//! let exec = model.exec_energy(FpOp::Sqrt, 1.0);
+//! let hit = model.hit_energy(FpOp::Sqrt, 1.0);
+//! assert!(hit < exec, "a memoized hit must cost less than execution");
+//!
+//! let mut ledger = EnergyLedger::new();
+//! ledger.charge_exec(exec);
+//! ledger.charge_hit(hit);
+//! assert_eq!(ledger.total_pj(), exec + hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ledger;
+mod model;
+
+pub use ledger::{saving, EnergyBreakdown, EnergyLedger};
+pub use model::EnergyModel;

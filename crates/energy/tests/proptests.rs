@@ -1,0 +1,107 @@
+//! Property-based tests of the energy model and ledger.
+
+use proptest::prelude::*;
+use tm_energy::{saving, EnergyLedger, EnergyModel};
+use tm_fpu::{FpOp, ALL_OPS};
+use tm_timing::RecoveryPolicy;
+
+fn op_strategy() -> impl Strategy<Value = FpOp> {
+    prop::sample::select(ALL_OPS.to_vec())
+}
+
+proptest! {
+    /// A hit is always cheaper than an execution, at any supply point.
+    #[test]
+    fn hit_beats_exec_at_any_voltage(op in op_strategy(), scale in 0.3f64..1.5) {
+        let m = EnergyModel::tsmc45();
+        prop_assert!(m.hit_energy(op, scale) < m.exec_energy(op, scale) + m.lut_lookup_energy());
+    }
+
+    /// All per-access energies are positive and finite.
+    #[test]
+    fn energies_are_positive(op in op_strategy(), scale in 0.1f64..2.0) {
+        let m = EnergyModel::tsmc45();
+        for e in [
+            m.exec_energy(op, scale),
+            m.hit_energy(op, scale),
+            m.miss_energy(op, scale, true),
+            m.miss_energy(op, scale, false),
+            m.spatial_reuse_energy(op, scale),
+            m.recovery_energy(op, RecoveryPolicy::default(), scale),
+        ] {
+            prop_assert!(e.is_finite() && e > 0.0);
+        }
+    }
+
+    /// FPU-side energies scale linearly with the dynamic factor; the LUT
+    /// portion does not (it is pinned at nominal voltage).
+    #[test]
+    fn dynamic_scaling_is_linear_on_fpu_portion(op in op_strategy(), s in 0.2f64..1.0) {
+        let m = EnergyModel::tsmc45();
+        let full = m.exec_energy(op, 1.0);
+        let scaled = m.exec_energy(op, s);
+        prop_assert!((scaled - full * s).abs() < 1e-9);
+
+        let lut_share = m.lut_lookup_energy();
+        let hit_full = m.hit_energy(op, 1.0) - lut_share;
+        let hit_scaled = m.hit_energy(op, s) - lut_share;
+        prop_assert!((hit_scaled - hit_full * s).abs() < 1e-9);
+    }
+
+    /// Recovery energy grows with the recovery cycle count across
+    /// policies.
+    #[test]
+    fn costlier_recoveries_cost_more(op in op_strategy(), scale in 0.5f64..1.2) {
+        let m = EnergyModel::tsmc45();
+        let cheap = RecoveryPolicy::DecouplingQueue;
+        let dear = RecoveryPolicy::MultipleIssueReplay { issues: 3 };
+        prop_assert!(
+            m.recovery_energy(op, cheap, scale) < m.recovery_energy(op, dear, scale)
+        );
+    }
+
+    /// The ledger is order-independent: charging in any order yields the
+    /// same totals.
+    #[test]
+    fn ledger_total_is_order_independent(mut charges in prop::collection::vec(0.0f64..100.0, 1..32)) {
+        let mut forward = EnergyLedger::new();
+        for &c in &charges {
+            forward.charge_exec(c);
+        }
+        charges.reverse();
+        let mut backward = EnergyLedger::new();
+        for &c in &charges {
+            backward.charge_exec(c);
+        }
+        prop_assert!((forward.total_pj() - backward.total_pj()).abs() < 1e-9);
+    }
+
+    /// `saving` is antisymmetric around zero and bounded above by 1.
+    #[test]
+    fn saving_bounds(ours in 0.0f64..1e9, base in 1e-6f64..1e9) {
+        let s = saving(ours, base);
+        prop_assert!(s <= 1.0);
+        if ours <= base {
+            prop_assert!(s >= 0.0);
+        } else {
+            prop_assert!(s < 0.0);
+        }
+    }
+
+    /// Merging ledgers equals charging everything into one.
+    #[test]
+    fn merge_is_additive(a in prop::collection::vec(0.0f64..50.0, 0..16), b in prop::collection::vec(0.0f64..50.0, 0..16)) {
+        let mut la = EnergyLedger::new();
+        for &c in &a {
+            la.charge_recovery(c);
+        }
+        let mut lb = EnergyLedger::new();
+        for &c in &b {
+            lb.charge_recovery(c);
+        }
+        let mut merged = la;
+        merged.merge(&lb);
+        let expect: f64 = a.iter().chain(b.iter()).sum();
+        prop_assert!((merged.total_pj() - expect).abs() < 1e-9);
+    }
+}

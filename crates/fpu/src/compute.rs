@@ -1,0 +1,221 @@
+//! Functional (golden) evaluation of the FP instructions.
+
+use crate::{FpOp, Operands};
+
+/// Evaluates `op` on `operands` and returns the single-precision result.
+///
+/// This is the *functional* model of the FPU — the value the last pipeline
+/// stage (`Q_S` in Fig. 9 of the paper) produces in an error-free execution.
+/// Timing errors and memoized reuse are layered on top by `tm-timing` and
+/// `tm-core`; they never change what the correct result *would be*.
+///
+/// Conversion semantics: registers in this model are `f32` lanes, so
+/// `FLT_TO_INT` produces the truncated integer *value* represented as `f32`
+/// (saturating at the `i32` range, NaN → 0, as GPU ISAs do), and
+/// `INT_TO_FLT` rounds its integer-valued input to the nearest integer.
+///
+/// # Panics
+///
+/// Panics if `operands.arity()` differs from `op.arity()` — a malformed
+/// instruction is a programming error, not a runtime condition.
+///
+/// # Examples
+///
+/// ```
+/// use tm_fpu::{compute, FpOp, Operands};
+///
+/// let r = compute(FpOp::MulAdd, Operands::ternary(2.0, 3.0, 1.0));
+/// assert_eq!(r, 7.0);
+/// let c = compute(FpOp::FpToInt, Operands::unary(-2.7));
+/// assert_eq!(c, -2.0);
+/// ```
+#[must_use]
+pub fn compute(op: FpOp, operands: Operands) -> f32 {
+    assert_eq!(
+        operands.arity(),
+        op.arity(),
+        "{op} expects {} operands, got {}",
+        op.arity(),
+        operands.arity()
+    );
+    let s = operands.as_slice();
+    match op {
+        FpOp::Add => s[0] + s[1],
+        FpOp::Sub => s[0] - s[1],
+        FpOp::Mul => s[0] * s[1],
+        FpOp::MulAdd => s[0].mul_add(s[1], s[2]),
+        FpOp::Recip => 1.0 / s[0],
+        FpOp::RecipSqrt => 1.0 / s[0].sqrt(),
+        FpOp::Sqrt => s[0].sqrt(),
+        FpOp::Exp2 => s[0].exp2(),
+        FpOp::Log2 => s[0].log2(),
+        FpOp::Sin => s[0].sin(),
+        FpOp::Cos => s[0].cos(),
+        FpOp::Floor => s[0].floor(),
+        FpOp::Ceil => s[0].ceil(),
+        FpOp::Trunc => s[0].trunc(),
+        FpOp::RoundNearest => round_nearest_even(s[0]),
+        FpOp::Fract => s[0] - s[0].floor(),
+        FpOp::Max => s[0].max(s[1]),
+        FpOp::Min => s[0].min(s[1]),
+        FpOp::Abs => s[0].abs(),
+        FpOp::Neg => -s[0],
+        FpOp::SetEq => set(s[0] == s[1]),
+        FpOp::SetGt => set(s[0] > s[1]),
+        FpOp::SetGe => set(s[0] >= s[1]),
+        FpOp::SetNe => set(s[0] != s[1]),
+        FpOp::CndEq => {
+            if s[0] == 0.0 {
+                s[1]
+            } else {
+                s[2]
+            }
+        }
+        FpOp::FpToInt => flt_to_int(s[0]),
+        FpOp::IntToFp => round_nearest_even(s[0]),
+    }
+}
+
+fn set(cond: bool) -> f32 {
+    if cond {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn flt_to_int(x: f32) -> f32 {
+    if x.is_nan() {
+        return 0.0;
+    }
+    let t = x.trunc();
+    t.clamp(i32::MIN as f32, i32::MAX as f32)
+}
+
+/// IEEE round-to-nearest-even for `f32`.
+fn round_nearest_even(x: f32) -> f32 {
+    let r = x.round();
+    // `f32::round` rounds halfway cases away from zero; fix ties to even.
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - (r - x).signum()
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c1(op: FpOp, a: f32) -> f32 {
+        compute(op, Operands::unary(a))
+    }
+    fn c2(op: FpOp, a: f32, b: f32) -> f32 {
+        compute(op, Operands::binary(a, b))
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(c2(FpOp::Add, 2.0, 3.0), 5.0);
+        assert_eq!(c2(FpOp::Sub, 2.0, 3.0), -1.0);
+        assert_eq!(c2(FpOp::Mul, 2.0, 3.0), 6.0);
+        assert_eq!(c1(FpOp::Sqrt, 9.0), 3.0);
+        assert_eq!(c1(FpOp::Recip, 4.0), 0.25);
+        assert_eq!(c1(FpOp::RecipSqrt, 4.0), 0.5);
+    }
+
+    #[test]
+    fn muladd_is_fused() {
+        // A value where fused and unfused differ in the last bit.
+        let a = 1.000_000_1_f32;
+        let fused = compute(FpOp::MulAdd, Operands::ternary(a, a, -1.0));
+        assert_eq!(fused, a.mul_add(a, -1.0));
+    }
+
+    #[test]
+    fn transcendentals() {
+        assert_eq!(c1(FpOp::Exp2, 3.0), 8.0);
+        assert_eq!(c1(FpOp::Log2, 8.0), 3.0);
+        assert!((c1(FpOp::Sin, std::f32::consts::FRAC_PI_2) - 1.0).abs() < 1e-6);
+        assert!((c1(FpOp::Cos, 0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rounding_family() {
+        assert_eq!(c1(FpOp::Floor, 1.7), 1.0);
+        assert_eq!(c1(FpOp::Ceil, 1.2), 2.0);
+        assert_eq!(c1(FpOp::Trunc, -1.7), -1.0);
+        assert_eq!(c1(FpOp::Fract, 1.25), 0.25);
+    }
+
+    #[test]
+    fn round_nearest_even_ties() {
+        assert_eq!(c1(FpOp::RoundNearest, 0.5), 0.0);
+        assert_eq!(c1(FpOp::RoundNearest, 1.5), 2.0);
+        assert_eq!(c1(FpOp::RoundNearest, 2.5), 2.0);
+        assert_eq!(c1(FpOp::RoundNearest, -0.5), 0.0);
+        assert_eq!(c1(FpOp::RoundNearest, -1.5), -2.0);
+        assert_eq!(c1(FpOp::RoundNearest, 1.3), 1.0);
+    }
+
+    #[test]
+    fn comparisons_produce_zero_or_one() {
+        assert_eq!(c2(FpOp::SetEq, 1.0, 1.0), 1.0);
+        assert_eq!(c2(FpOp::SetEq, 1.0, 2.0), 0.0);
+        assert_eq!(c2(FpOp::SetGt, 2.0, 1.0), 1.0);
+        assert_eq!(c2(FpOp::SetGe, 1.0, 1.0), 1.0);
+        assert_eq!(c2(FpOp::SetNe, 1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn conditional_select() {
+        assert_eq!(compute(FpOp::CndEq, Operands::ternary(0.0, 5.0, 9.0)), 5.0);
+        assert_eq!(compute(FpOp::CndEq, Operands::ternary(1.0, 5.0, 9.0)), 9.0);
+    }
+
+    #[test]
+    fn fp_to_int_truncates_and_saturates() {
+        assert_eq!(c1(FpOp::FpToInt, 2.9), 2.0);
+        assert_eq!(c1(FpOp::FpToInt, -2.9), -2.0);
+        assert_eq!(c1(FpOp::FpToInt, f32::NAN), 0.0);
+        assert_eq!(c1(FpOp::FpToInt, 1e20), i32::MAX as f32);
+        assert_eq!(c1(FpOp::FpToInt, -1e20), i32::MIN as f32);
+    }
+
+    #[test]
+    fn abs_neg() {
+        assert_eq!(c1(FpOp::Abs, -3.0), 3.0);
+        assert_eq!(c1(FpOp::Neg, 3.0), -3.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(c2(FpOp::Max, 1.0, 2.0), 2.0);
+        assert_eq!(c2(FpOp::Min, 1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn arity_mismatch_panics() {
+        let _ = compute(FpOp::Add, Operands::unary(1.0));
+    }
+
+    #[test]
+    fn commutative_ops_commute_on_samples() {
+        use crate::ALL_OPS;
+        let samples = [(1.5f32, -2.25f32), (0.0, 3.0), (1e-3, 1e3)];
+        for op in ALL_OPS {
+            if op.is_commutative() && op.arity() == 2 {
+                for &(a, b) in &samples {
+                    let x = compute(op, Operands::binary(a, b));
+                    let y = compute(op, Operands::binary(b, a));
+                    assert_eq!(x.to_bits(), y.to_bits(), "{op} not commutative");
+                }
+            }
+        }
+        // MULADD commutes in its factors.
+        let x = compute(FpOp::MulAdd, Operands::ternary(2.0, 3.0, 4.0));
+        let y = compute(FpOp::MulAdd, Operands::ternary(3.0, 2.0, 4.0));
+        assert_eq!(x, y);
+    }
+}

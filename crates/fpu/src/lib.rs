@@ -1,0 +1,44 @@
+//! Evergreen-style single-precision floating-point functional units.
+//!
+//! This crate models the *execute stage* ingredients of an AMD Evergreen
+//! (Radeon HD 5000) stream core that the temporal-memoization paper
+//! instruments:
+//!
+//! - [`FpOp`] — the 27 single-precision FP machine instructions whose value
+//!   locality the paper measures (§5: "statistics for computing the temporal
+//!   value locality out of 27 single precision floating-point instructions").
+//! - [`Operands`] — a fixed-arity operand set (1–3 `f32` sources) with
+//!   bit-exact equality, the unit of matching for the memoization FIFO.
+//! - [`compute`] — the functional (golden) evaluation of each instruction.
+//! - [`FpuPipeline`] — a fully pipelined execution-unit timing model with a
+//!   4-cycle latency (16 cycles for `RECIP`, paper §5.1) and a throughput of
+//!   one instruction per cycle.
+//! - [`ProcessingElement`] — the X/Y/Z/W/T VLIW slot an instruction executes
+//!   on (transcendentals run on the T unit).
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_fpu::{compute, FpOp, Operands};
+//!
+//! let ops = Operands::binary(3.0, 4.0);
+//! let sum = compute(FpOp::Add, ops);
+//! assert_eq!(sum, 7.0);
+//! assert_eq!(FpOp::Add.arity(), 2);
+//! assert!(FpOp::Add.is_commutative());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute;
+mod op;
+mod operands;
+mod pipeline;
+mod unit;
+
+pub use compute::compute;
+pub use op::{FpOp, ProcessingElement, ALL_OPS, PAPER_SIX};
+pub use operands::{Operands, MAX_ARITY};
+pub use pipeline::{Completion, FpuPipeline};
+pub use unit::{Fpu, FpuCounters};

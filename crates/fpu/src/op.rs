@@ -1,0 +1,445 @@
+//! The 27 Evergreen single-precision floating-point machine instructions.
+
+use std::fmt;
+
+/// A single-precision floating-point machine instruction of the Evergreen
+/// ALU engine.
+///
+/// The set mirrors the 27 SP FP instructions the paper's modified Multi2Sim
+/// collects value-locality statistics for. The six *frequently exercised*
+/// units whose energy the evaluation reports (§5.1) are listed in
+/// [`PAPER_SIX`]: `ADD`, `MUL`, `SQRT`, `RECIP`, `MULADD`, `FP2INT`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_fpu::{FpOp, ProcessingElement};
+///
+/// assert_eq!(FpOp::Sqrt.pe(), ProcessingElement::T);
+/// assert_eq!(FpOp::Recip.latency(), 16);
+/// assert_eq!(FpOp::MulAdd.arity(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum FpOp {
+    /// `ADD`: `src0 + src1`.
+    Add,
+    /// `SUB`: `src0 - src1` (an `ADD` with a negate modifier on Evergreen).
+    Sub,
+    /// `MUL_IEEE`: `src0 * src1`.
+    Mul,
+    /// `MULADD_IEEE`: fused `src0 * src1 + src2`.
+    MulAdd,
+    /// `RECIP_IEEE`: `1 / src0` (16-cycle transcendental).
+    Recip,
+    /// `RECIPSQRT_IEEE`: `1 / sqrt(src0)`.
+    RecipSqrt,
+    /// `SQRT_IEEE`: `sqrt(src0)`.
+    Sqrt,
+    /// `EXP_IEEE`: `2^src0`.
+    Exp2,
+    /// `LOG_IEEE`: `log2(src0)`.
+    Log2,
+    /// `SIN`: `sin(src0)` with the operand in radians.
+    Sin,
+    /// `COS`: `cos(src0)` with the operand in radians.
+    Cos,
+    /// `FLOOR`: round toward negative infinity.
+    Floor,
+    /// `CEIL`: round toward positive infinity.
+    Ceil,
+    /// `TRUNC`: round toward zero.
+    Trunc,
+    /// `RNDNE`: round to nearest even.
+    RoundNearest,
+    /// `FRACT`: `src0 - floor(src0)`.
+    Fract,
+    /// `MAX`: IEEE maximum of two operands.
+    Max,
+    /// `MIN`: IEEE minimum of two operands.
+    Min,
+    /// Absolute value (an input modifier folded to an instruction here).
+    Abs,
+    /// Negation (an input modifier folded to an instruction here).
+    Neg,
+    /// `SETE`: `1.0` if `src0 == src1` else `0.0`.
+    SetEq,
+    /// `SETGT`: `1.0` if `src0 > src1` else `0.0`.
+    SetGt,
+    /// `SETGE`: `1.0` if `src0 >= src1` else `0.0`.
+    SetGe,
+    /// `SETNE`: `1.0` if `src0 != src1` else `0.0`.
+    SetNe,
+    /// `CNDE`: `src1` if `src0 == 0.0` else `src2` (conditional select).
+    CndEq,
+    /// `FLT_TO_INT`: float to integer conversion (the paper's `FP2INT`).
+    FpToInt,
+    /// `INT_TO_FLT`: integer to float conversion.
+    IntToFp,
+}
+
+/// All 27 instructions, in declaration order.
+///
+/// Useful for exhaustive sweeps and reports.
+pub const ALL_OPS: [FpOp; 27] = [
+    FpOp::Add,
+    FpOp::Sub,
+    FpOp::Mul,
+    FpOp::MulAdd,
+    FpOp::Recip,
+    FpOp::RecipSqrt,
+    FpOp::Sqrt,
+    FpOp::Exp2,
+    FpOp::Log2,
+    FpOp::Sin,
+    FpOp::Cos,
+    FpOp::Floor,
+    FpOp::Ceil,
+    FpOp::Trunc,
+    FpOp::RoundNearest,
+    FpOp::Fract,
+    FpOp::Max,
+    FpOp::Min,
+    FpOp::Abs,
+    FpOp::Neg,
+    FpOp::SetEq,
+    FpOp::SetGt,
+    FpOp::SetGe,
+    FpOp::SetNe,
+    FpOp::CndEq,
+    FpOp::FpToInt,
+    FpOp::IntToFp,
+];
+
+/// The six frequently exercised functional units whose energy the paper's
+/// evaluation section reports (§5.1): ADD, MUL, SQRT, RECIP, MULADD, FP2INT.
+pub const PAPER_SIX: [FpOp; 6] = [
+    FpOp::Add,
+    FpOp::Mul,
+    FpOp::Sqrt,
+    FpOp::Recip,
+    FpOp::MulAdd,
+    FpOp::FpToInt,
+];
+
+/// The VLIW slot of a stream core an instruction executes on.
+///
+/// Evergreen stream cores contain five processing elements labeled X, Y, Z,
+/// W and T (Fig. 1 of the paper); the T ("transcendental") unit executes
+/// `RECIP`, `SQRT`, `EXP`, `LOG`, `SIN`, `COS` and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProcessingElement {
+    /// Vector slot X.
+    X,
+    /// Vector slot Y.
+    Y,
+    /// Vector slot Z.
+    Z,
+    /// Vector slot W.
+    W,
+    /// Transcendental slot T.
+    T,
+}
+
+impl fmt::Display for ProcessingElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessingElement::X => "X",
+            ProcessingElement::Y => "Y",
+            ProcessingElement::Z => "Z",
+            ProcessingElement::W => "W",
+            ProcessingElement::T => "T",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FpOp {
+    /// Number of source operands (1–3).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use tm_fpu::FpOp;
+    /// assert_eq!(FpOp::Sqrt.arity(), 1);
+    /// assert_eq!(FpOp::Add.arity(), 2);
+    /// assert_eq!(FpOp::CndEq.arity(), 3);
+    /// ```
+    #[must_use]
+    pub const fn arity(self) -> usize {
+        match self {
+            FpOp::Recip
+            | FpOp::RecipSqrt
+            | FpOp::Sqrt
+            | FpOp::Exp2
+            | FpOp::Log2
+            | FpOp::Sin
+            | FpOp::Cos
+            | FpOp::Floor
+            | FpOp::Ceil
+            | FpOp::Trunc
+            | FpOp::RoundNearest
+            | FpOp::Fract
+            | FpOp::Abs
+            | FpOp::Neg
+            | FpOp::FpToInt
+            | FpOp::IntToFp => 1,
+            FpOp::MulAdd | FpOp::CndEq => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether swapping the first two operands leaves the result unchanged.
+    ///
+    /// The memoization LUT's matching constraints "allow commutativity of
+    /// the operands where applicable" (§4.2); this predicate tells the LUT
+    /// where it applies. `MULADD` is commutative in its two factors.
+    #[must_use]
+    pub const fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            FpOp::Add
+                | FpOp::Mul
+                | FpOp::MulAdd
+                | FpOp::Max
+                | FpOp::Min
+                | FpOp::SetEq
+                | FpOp::SetNe
+        )
+    }
+
+    /// Pipeline latency in cycles.
+    ///
+    /// Every Evergreen ALU functional unit has a latency of four cycles and
+    /// a throughput of one instruction per cycle; to balance the clock across
+    /// the FP pipelines the generated `RECIP` has 16 stages (paper §5.1).
+    #[must_use]
+    pub const fn latency(self) -> u32 {
+        match self {
+            FpOp::Recip => 16,
+            _ => 4,
+        }
+    }
+
+    /// The VLIW processing element this instruction is steered to.
+    ///
+    /// Transcendentals execute on the T unit; the remaining instructions are
+    /// steered to a fixed vector slot per opcode so that each op type keeps a
+    /// private functional unit (and therefore a private memoization FIFO) in
+    /// every stream core, as the paper's per-FPU FIFOs do.
+    #[must_use]
+    pub const fn pe(self) -> ProcessingElement {
+        match self {
+            FpOp::Recip
+            | FpOp::RecipSqrt
+            | FpOp::Sqrt
+            | FpOp::Exp2
+            | FpOp::Log2
+            | FpOp::Sin
+            | FpOp::Cos => ProcessingElement::T,
+            FpOp::Add | FpOp::Sub | FpOp::IntToFp => ProcessingElement::X,
+            FpOp::Mul | FpOp::FpToInt => ProcessingElement::Y,
+            FpOp::MulAdd | FpOp::CndEq => ProcessingElement::Z,
+            _ => ProcessingElement::W,
+        }
+    }
+
+    /// Relative energy-per-instruction weight, normalized to `ADD = 1.0`.
+    ///
+    /// These weights reflect the usual area/energy ordering of 45 nm FPU
+    /// implementations (FloPoCo-generated cores in the paper): fused
+    /// multiply-add and transcendentals cost multiples of an addition, while
+    /// comparisons and sign manipulation are cheaper. The absolute scale is
+    /// applied by `tm-energy`.
+    #[must_use]
+    pub const fn relative_energy(self) -> f64 {
+        match self {
+            FpOp::Add | FpOp::Sub => 1.0,
+            FpOp::Mul => 1.35,
+            FpOp::MulAdd => 1.9,
+            FpOp::Recip => 3.4,
+            FpOp::RecipSqrt => 3.0,
+            FpOp::Sqrt => 2.6,
+            FpOp::Exp2 | FpOp::Log2 => 2.8,
+            FpOp::Sin | FpOp::Cos => 3.1,
+            FpOp::Floor | FpOp::Ceil | FpOp::Trunc | FpOp::RoundNearest | FpOp::Fract => 0.7,
+            FpOp::Max | FpOp::Min => 0.6,
+            FpOp::Abs | FpOp::Neg => 0.35,
+            FpOp::SetEq | FpOp::SetGt | FpOp::SetGe | FpOp::SetNe => 0.6,
+            FpOp::CndEq => 0.65,
+            FpOp::FpToInt | FpOp::IntToFp => 0.8,
+        }
+    }
+
+    /// The mnemonic used in reports (matches the paper's figure labels for
+    /// the six evaluated units).
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "ADD",
+            FpOp::Sub => "SUB",
+            FpOp::Mul => "MUL",
+            FpOp::MulAdd => "MULADD",
+            FpOp::Recip => "RECIP",
+            FpOp::RecipSqrt => "RSQ",
+            FpOp::Sqrt => "SQRT",
+            FpOp::Exp2 => "EXP",
+            FpOp::Log2 => "LOG",
+            FpOp::Sin => "SIN",
+            FpOp::Cos => "COS",
+            FpOp::Floor => "FLOOR",
+            FpOp::Ceil => "CEIL",
+            FpOp::Trunc => "TRUNC",
+            FpOp::RoundNearest => "RNDNE",
+            FpOp::Fract => "FRACT",
+            FpOp::Max => "MAX",
+            FpOp::Min => "MIN",
+            FpOp::Abs => "ABS",
+            FpOp::Neg => "NEG",
+            FpOp::SetEq => "SETE",
+            FpOp::SetGt => "SETGT",
+            FpOp::SetGe => "SETGE",
+            FpOp::SetNe => "SETNE",
+            FpOp::CndEq => "CNDE",
+            FpOp::FpToInt => "FP2INT",
+            FpOp::IntToFp => "INT2FP",
+        }
+    }
+
+    /// Whether this opcode falls in the paper's evaluation scope — "the
+    /// six frequently exercised functional units: ADD, MUL, SQRT, RECIP,
+    /// MULADD, FP2INT" (§5.1). `SUB` is an `ADD` with a negate modifier on
+    /// Evergreen, so it counts as the ADD unit.
+    #[must_use]
+    pub const fn in_paper_scope(self) -> bool {
+        matches!(
+            self,
+            FpOp::Add
+                | FpOp::Sub
+                | FpOp::Mul
+                | FpOp::Sqrt
+                | FpOp::Recip
+                | FpOp::MulAdd
+                | FpOp::FpToInt
+        )
+    }
+
+    /// Stable dense index of the opcode, in [`ALL_OPS`] order.
+    ///
+    /// Useful for array-indexed per-op statistics.
+    #[must_use]
+    pub fn index(self) -> usize {
+        ALL_OPS
+            .iter()
+            .position(|&op| op == self)
+            .expect("every FpOp is listed in ALL_OPS")
+    }
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_ops_has_27_distinct_entries() {
+        let set: HashSet<FpOp> = ALL_OPS.iter().copied().collect();
+        assert_eq!(set.len(), 27);
+    }
+
+    #[test]
+    fn paper_six_are_distinct_and_in_all_ops() {
+        let set: HashSet<FpOp> = PAPER_SIX.iter().copied().collect();
+        assert_eq!(set.len(), 6);
+        for op in PAPER_SIX {
+            assert!(ALL_OPS.contains(&op));
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, op) in ALL_OPS.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn recip_is_the_only_16_cycle_unit() {
+        for op in ALL_OPS {
+            if op == FpOp::Recip {
+                assert_eq!(op.latency(), 16);
+            } else {
+                assert_eq!(op.latency(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn transcendentals_run_on_t() {
+        for op in [
+            FpOp::Recip,
+            FpOp::RecipSqrt,
+            FpOp::Sqrt,
+            FpOp::Exp2,
+            FpOp::Log2,
+            FpOp::Sin,
+            FpOp::Cos,
+        ] {
+            assert_eq!(op.pe(), ProcessingElement::T);
+        }
+        assert_ne!(FpOp::Add.pe(), ProcessingElement::T);
+    }
+
+    #[test]
+    fn arity_bounds() {
+        for op in ALL_OPS {
+            assert!((1..=3).contains(&op.arity()), "{op} arity out of range");
+        }
+    }
+
+    #[test]
+    fn commutative_ops_are_at_least_binary() {
+        for op in ALL_OPS {
+            if op.is_commutative() {
+                assert!(op.arity() >= 2, "{op} cannot be commutative with arity 1");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_weights_are_positive_and_bounded() {
+        for op in ALL_OPS {
+            let w = op.relative_energy();
+            assert!(w > 0.0 && w < 10.0, "{op} weight {w} out of range");
+        }
+    }
+
+    #[test]
+    fn paper_scope_is_the_six_units_plus_sub() {
+        let scoped: Vec<FpOp> = ALL_OPS.iter().copied().filter(|op| op.in_paper_scope()).collect();
+        assert_eq!(scoped.len(), 7); // six units; SUB folds into ADD
+        for op in PAPER_SIX {
+            assert!(op.in_paper_scope());
+        }
+        assert!(FpOp::Sub.in_paper_scope());
+        assert!(!FpOp::Sin.in_paper_scope());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: HashSet<&str> = ALL_OPS.iter().map(|op| op.mnemonic()).collect();
+        assert_eq!(set.len(), 27);
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(FpOp::FpToInt.to_string(), "FP2INT");
+        assert_eq!(ProcessingElement::T.to_string(), "T");
+    }
+}

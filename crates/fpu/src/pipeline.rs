@@ -1,0 +1,159 @@
+//! Pipelined execution-unit timing model.
+
+/// The issue/completion cycles of one instruction in a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Completion {
+    /// Cycle at which the instruction entered stage 1.
+    pub issued_at: u64,
+    /// Cycle at which the result leaves the last stage.
+    pub done_at: u64,
+}
+
+/// A fully pipelined functional unit with a fixed stage count.
+///
+/// Evergreen ALU functional units have "a latency of four cycles and a
+/// throughput of one instruction per cycle" (paper §5.1); `RECIP` is
+/// generated with 16 stages. The model enforces the single-issue-per-cycle
+/// structural hazard: issuing at an occupied cycle slips to the next free
+/// one.
+///
+/// # Examples
+///
+/// ```
+/// use tm_fpu::FpuPipeline;
+///
+/// let mut p = FpuPipeline::new(4);
+/// let a = p.issue(10);
+/// assert_eq!((a.issued_at, a.done_at), (10, 14));
+/// // Back-to-back issue in the very next cycle: fully pipelined.
+/// let b = p.issue(11);
+/// assert_eq!(b.done_at, 15);
+/// // Trying to double-issue in an occupied cycle slips by one.
+/// let c = p.issue(11);
+/// assert_eq!((c.issued_at, c.done_at), (12, 16));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpuPipeline {
+    stages: u32,
+    /// Last cycle an instruction was issued at (issue port occupancy).
+    last_issue: Option<u64>,
+    issued: u64,
+    /// Cycles the issue port slipped due to structural hazards.
+    slip_cycles: u64,
+}
+
+impl FpuPipeline {
+    /// Creates a pipeline with `stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    #[must_use]
+    pub fn new(stages: u32) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        Self {
+            stages,
+            last_issue: None,
+            issued: 0,
+            slip_cycles: 0,
+        }
+    }
+
+    /// Number of pipeline stages (== latency in cycles).
+    #[must_use]
+    pub const fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Total instructions issued so far.
+    #[must_use]
+    pub const fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total cycles lost to issue-port structural hazards.
+    #[must_use]
+    pub const fn slip_cycles(&self) -> u64 {
+        self.slip_cycles
+    }
+
+    /// Issues one instruction at (or after) cycle `now`.
+    ///
+    /// Returns the actual issue and completion cycles. If the issue port is
+    /// already taken at `now`, the issue slips to the first free cycle.
+    pub fn issue(&mut self, now: u64) -> Completion {
+        let at = match self.last_issue {
+            Some(last) if last >= now => last + 1,
+            _ => now,
+        };
+        self.slip_cycles += at - now;
+        self.last_issue = Some(at);
+        self.issued += 1;
+        Completion {
+            issued_at: at,
+            done_at: at + u64::from(self.stages),
+        }
+    }
+
+    /// Forgets issue-port occupancy (e.g. after a pipeline flush).
+    ///
+    /// Counters are preserved; only the structural-hazard state resets.
+    pub fn flush(&mut self) {
+        self.last_issue = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_stage_count() {
+        let mut p = FpuPipeline::new(16);
+        let c = p.issue(0);
+        assert_eq!(c.done_at - c.issued_at, 16);
+    }
+
+    #[test]
+    fn throughput_is_one_per_cycle() {
+        let mut p = FpuPipeline::new(4);
+        for i in 0..100u64 {
+            let c = p.issue(i);
+            assert_eq!(c.issued_at, i);
+        }
+        assert_eq!(p.slip_cycles(), 0);
+        assert_eq!(p.issued(), 100);
+    }
+
+    #[test]
+    fn double_issue_slips() {
+        let mut p = FpuPipeline::new(4);
+        p.issue(5);
+        let c = p.issue(5);
+        assert_eq!(c.issued_at, 6);
+        assert_eq!(p.slip_cycles(), 1);
+    }
+
+    #[test]
+    fn issue_in_the_past_slips_to_after_last() {
+        let mut p = FpuPipeline::new(4);
+        p.issue(10);
+        let c = p.issue(3);
+        assert_eq!(c.issued_at, 11);
+    }
+
+    #[test]
+    fn flush_clears_occupancy() {
+        let mut p = FpuPipeline::new(4);
+        p.issue(5);
+        p.flush();
+        let c = p.issue(5);
+        assert_eq!(c.issued_at, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_rejected() {
+        let _ = FpuPipeline::new(0);
+    }
+}

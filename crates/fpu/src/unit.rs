@@ -1,0 +1,149 @@
+//! A complete functional unit: opcode binding, pipeline, and counters.
+
+use crate::{compute, Completion, FpOp, FpuPipeline, Operands};
+
+/// Execution counters of a single FPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpuCounters {
+    /// Instructions fully executed by the pipeline (misses, in a memoized
+    /// architecture).
+    pub executed: u64,
+    /// Instructions whose remaining stages were squashed by the memoization
+    /// hit signal (clock-gated reuse).
+    pub squashed: u64,
+}
+
+impl FpuCounters {
+    /// Total instructions that entered the unit.
+    #[must_use]
+    pub const fn total(&self) -> u64 {
+        self.executed + self.squashed
+    }
+}
+
+/// A pipelined FPU bound to one opcode.
+///
+/// In this model each stream core instantiates one `Fpu` per opcode it
+/// executes, mirroring the paper's "private FIFO for every individual FPU"
+/// granularity (§4.1): each op type's operand stream flows through a private
+/// functional unit.
+///
+/// # Examples
+///
+/// ```
+/// use tm_fpu::{Fpu, FpOp, Operands};
+///
+/// let mut fpu = Fpu::new(FpOp::Mul);
+/// let (result, completion) = fpu.execute(Operands::binary(3.0, 5.0), 100);
+/// assert_eq!(result, 15.0);
+/// assert_eq!(completion.done_at, 104);
+/// assert_eq!(fpu.counters().executed, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fpu {
+    op: FpOp,
+    pipeline: FpuPipeline,
+    counters: FpuCounters,
+}
+
+impl Fpu {
+    /// Creates a unit for `op` with the op's architectural latency.
+    #[must_use]
+    pub fn new(op: FpOp) -> Self {
+        Self {
+            op,
+            pipeline: FpuPipeline::new(op.latency()),
+            counters: FpuCounters::default(),
+        }
+    }
+
+    /// The opcode this unit executes.
+    #[must_use]
+    pub const fn op(&self) -> FpOp {
+        self.op
+    }
+
+    /// Execution counters.
+    #[must_use]
+    pub const fn counters(&self) -> FpuCounters {
+        self.counters
+    }
+
+    /// The underlying pipeline model.
+    #[must_use]
+    pub const fn pipeline(&self) -> &FpuPipeline {
+        &self.pipeline
+    }
+
+    /// Fully executes one instruction at cycle `now`.
+    ///
+    /// Returns the result (`Q_S`) and the issue/completion cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand arity does not match the opcode.
+    pub fn execute(&mut self, operands: Operands, now: u64) -> (f32, Completion) {
+        let result = compute(self.op, operands);
+        let completion = self.pipeline.issue(now);
+        self.counters.executed += 1;
+        (result, completion)
+    }
+
+    /// Records a memoization hit: stage 1 ran in parallel with the LUT, the
+    /// remaining stages are clock-gated (§4.2: "the LUT raises the hit
+    /// signal that squashes the remaining stages of the FPU").
+    ///
+    /// The instruction still occupies the issue slot for one cycle; the
+    /// memoized result is available with single-cycle latency.
+    pub fn squash(&mut self, now: u64) -> Completion {
+        self.counters.squashed += 1;
+        // The LUT is single-cycle: result is ready the next cycle.
+        Completion {
+            issued_at: now,
+            done_at: now + 1,
+        }
+    }
+
+    /// Flushes the pipeline (baseline recovery path).
+    pub fn flush(&mut self) {
+        self.pipeline.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_counts_and_computes() {
+        let mut fpu = Fpu::new(FpOp::Add);
+        let (r, c) = fpu.execute(Operands::binary(1.0, 2.0), 0);
+        assert_eq!(r, 3.0);
+        assert_eq!(c.done_at, 4);
+        assert_eq!(fpu.counters().total(), 1);
+    }
+
+    #[test]
+    fn recip_unit_has_16_cycle_latency() {
+        let mut fpu = Fpu::new(FpOp::Recip);
+        let (_, c) = fpu.execute(Operands::unary(2.0), 0);
+        assert_eq!(c.done_at, 16);
+    }
+
+    #[test]
+    fn squash_is_single_cycle_and_counted() {
+        let mut fpu = Fpu::new(FpOp::Sqrt);
+        let c = fpu.squash(7);
+        assert_eq!(c.done_at, 8);
+        assert_eq!(fpu.counters().squashed, 1);
+        assert_eq!(fpu.counters().executed, 0);
+    }
+
+    #[test]
+    fn counters_total_sums_both_paths() {
+        let mut fpu = Fpu::new(FpOp::Mul);
+        fpu.execute(Operands::binary(1.0, 1.0), 0);
+        fpu.squash(1);
+        assert_eq!(fpu.counters().total(), 2);
+    }
+}

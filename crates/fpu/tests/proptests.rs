@@ -1,0 +1,124 @@
+//! Property-based tests of the FPU substrate.
+
+use proptest::prelude::*;
+use tm_fpu::{compute, FpOp, FpuPipeline, Operands, ALL_OPS};
+
+fn finite() -> impl Strategy<Value = f32> {
+    prop::num::f32::NORMAL | prop::num::f32::ZERO
+}
+
+fn op_strategy() -> impl Strategy<Value = FpOp> {
+    prop::sample::select(ALL_OPS.to_vec())
+}
+
+fn operands_for(op: FpOp, a: f32, b: f32, c: f32) -> Operands {
+    match op.arity() {
+        1 => Operands::unary(a),
+        2 => Operands::binary(a, b),
+        _ => Operands::ternary(a, b, c),
+    }
+}
+
+proptest! {
+    /// Every commutative binary opcode really commutes, bit for bit.
+    #[test]
+    fn commutative_ops_commute(op in op_strategy(), a in finite(), b in finite()) {
+        if op.is_commutative() && op.arity() == 2 {
+            let x = compute(op, Operands::binary(a, b));
+            let y = compute(op, Operands::binary(b, a));
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// MULADD commutes in its two factors.
+    #[test]
+    fn muladd_commutes_in_factors(a in finite(), b in finite(), c in finite()) {
+        let x = compute(FpOp::MulAdd, Operands::ternary(a, b, c));
+        let y = compute(FpOp::MulAdd, Operands::ternary(b, a, c));
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    /// Evaluation is a pure function of (opcode, operands).
+    #[test]
+    fn compute_is_deterministic(op in op_strategy(), a in finite(), b in finite(), c in finite()) {
+        let operands = operands_for(op, a, b, c);
+        let x = compute(op, operands);
+        let y = compute(op, operands);
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    /// The comparison family returns only 0.0 or 1.0.
+    #[test]
+    fn set_ops_are_boolean(a in finite(), b in finite()) {
+        for op in [FpOp::SetEq, FpOp::SetGt, FpOp::SetGe, FpOp::SetNe] {
+            let r = compute(op, Operands::binary(a, b));
+            prop_assert!(r == 0.0 || r == 1.0, "{op} produced {r}");
+        }
+    }
+
+    /// MIN/MAX return one of their operands and bracket correctly.
+    #[test]
+    fn min_max_bracket(a in finite(), b in finite()) {
+        let lo = compute(FpOp::Min, Operands::binary(a, b));
+        let hi = compute(FpOp::Max, Operands::binary(a, b));
+        prop_assert!(lo <= hi);
+        prop_assert!(lo == a || lo == b);
+        prop_assert!(hi == a || hi == b);
+    }
+
+    /// The rounding family agrees with its mathematical contracts.
+    #[test]
+    fn rounding_contracts(a in -1.0e6f32..1.0e6) {
+        let floor = compute(FpOp::Floor, Operands::unary(a));
+        let ceil = compute(FpOp::Ceil, Operands::unary(a));
+        let trunc = compute(FpOp::Trunc, Operands::unary(a));
+        let fract = compute(FpOp::Fract, Operands::unary(a));
+        prop_assert!(floor <= a && a <= ceil);
+        prop_assert!(trunc.abs() <= a.abs());
+        prop_assert!((0.0..1.0).contains(&fract), "fract {fract}");
+    }
+
+    /// FLT_TO_INT stays within the i32 range and drops the fraction.
+    #[test]
+    fn fp2int_contract(a in finite()) {
+        let r = compute(FpOp::FpToInt, Operands::unary(a));
+        prop_assert!(r >= i32::MIN as f32 && r <= i32::MAX as f32);
+        prop_assert_eq!(r.fract(), 0.0);
+    }
+
+    /// Operand equality is reflexive and swapping twice round-trips.
+    #[test]
+    fn operand_swap_involution(a in finite(), b in finite(), c in finite()) {
+        let ops = Operands::ternary(a, b, c);
+        prop_assert_eq!(ops, ops);
+        prop_assert_eq!(ops.swapped().swapped(), ops);
+        prop_assert_eq!(ops.max_abs_diff(&ops), 0.0);
+    }
+
+    /// `max_abs_diff` is symmetric and satisfies the identity axiom.
+    #[test]
+    fn max_abs_diff_is_a_premetric(a in finite(), b in finite(), x in finite(), y in finite()) {
+        let p = Operands::binary(a, b);
+        let q = Operands::binary(x, y);
+        prop_assert_eq!(p.max_abs_diff(&q), q.max_abs_diff(&p));
+        prop_assert!(p.max_abs_diff(&q) >= 0.0);
+    }
+
+    /// A pipeline never issues two instructions in the same cycle and
+    /// completion always trails issue by exactly the stage count.
+    #[test]
+    fn pipeline_issue_ordering(stages in 1u32..20, requests in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut p = FpuPipeline::new(stages);
+        let mut last_issue = None;
+        for &now in &requests {
+            let c = p.issue(now);
+            prop_assert_eq!(c.done_at - c.issued_at, u64::from(stages));
+            if let Some(prev) = last_issue {
+                prop_assert!(c.issued_at > prev, "double issue at {}", c.issued_at);
+            }
+            prop_assert!(c.issued_at >= now);
+            last_issue = Some(c.issued_at);
+        }
+        prop_assert_eq!(p.issued(), requests.len() as u64);
+    }
+}

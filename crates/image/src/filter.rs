@@ -1,0 +1,148 @@
+//! Host-side golden implementations of the image filters.
+//!
+//! These are the bit-faithful references the simulated kernels are checked
+//! against (exact matching must reproduce them exactly) and the "exact
+//! output" that PSNR comparisons of approximate runs use as `reference`.
+
+use crate::GrayImage;
+
+/// The 3×3 Gaussian kernel (1/16 · [1 2 1; 2 4 2; 1 2 1]) used by the
+/// AMD APP SDK `GaussianNoise`/blur samples.
+pub const GAUSSIAN3X3_KERNEL: [[f32; 3]; 3] = [
+    [1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0],
+    [2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0],
+    [1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0],
+];
+
+/// Full-scale pixel value, used when mapping the paper's absolute
+/// approximation thresholds (gray levels) to masking vectors — see
+/// `tm_core::mask_for_threshold`.
+pub const PIXEL_SCALE: f32 = 256.0;
+
+/// Reference Sobel filter: gradient magnitude `sqrt(gx² + gy²)` clamped to
+/// `[0, 255]`, with replicate border handling.
+///
+/// The per-pixel arithmetic mirrors what GPU compilers emit for the SDK
+/// kernel: the ±1/±2 tap weights are strength-reduced to subtractions and
+/// additions (`2x` becomes `x + x`), so **no weight constants ever reach
+/// the FPU operand stream** — every operand is pixel- or gradient-scaled.
+/// This matters for approximate matching: small constant weights sitting
+/// within `threshold` of each other would otherwise cross-match
+/// catastrophically. The sequence — 6 SUB, 6 ADD, one MUL, one MULADD,
+/// one SQRT, one MIN, and a final FP2INT for the `uchar` write-out — is
+/// reproduced bit for bit by the simulated kernel.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::{sobel_reference, GrayImage};
+///
+/// let flat = GrayImage::from_fn(8, 8, |_, _| 100.0);
+/// let edges = sobel_reference(&flat);
+/// assert!(edges.iter().all(|p| p == 0.0), "a flat image has no edges");
+/// ```
+#[must_use]
+pub fn sobel_reference(input: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(input.width(), input.height(), |x, y| {
+        let p = |dx: isize, dy: isize| input.get_clamped(x as isize + dx, y as isize + dy);
+        // Column differences for gx, row differences for gy.
+        let a = p(1, -1) - p(-1, -1);
+        let b = p(1, 0) - p(-1, 0);
+        let c = p(1, 1) - p(-1, 1);
+        let d = p(-1, 1) - p(-1, -1);
+        let e = p(0, 1) - p(0, -1);
+        let f = p(1, 1) - p(1, -1);
+        // gx = a + 2b + c and gy = d + 2e + f, with 2x as x + x.
+        let gx = ((a + b) + b) + c;
+        let gy = ((d + e) + e) + f;
+        let mag = gy.mul_add(gy, gx * gx).sqrt();
+        // The SDK kernel writes a uchar pixel: FLT_TO_INT truncation.
+        mag.min(255.0).trunc()
+    })
+}
+
+/// Reference 3×3 Gaussian blur with replicate border handling.
+///
+/// Like [`sobel_reference`], the arithmetic is the strength-reduced form a
+/// GPU compiler emits: the 1/2/4 tap weights become adds (`2x = x + x`)
+/// and a single final multiply by `1/16` — no small weight constants in
+/// the operand stream. The sequence — 11 ADD, one MUL, and a final FP2INT
+/// for the `uchar` write-out — is reproduced bit for bit by the simulated
+/// kernel.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::{gaussian3x3_reference, GrayImage};
+///
+/// let flat = GrayImage::from_fn(8, 8, |_, _| 100.0);
+/// let blurred = gaussian3x3_reference(&flat);
+/// assert!(blurred.iter().all(|p| (p - 100.0).abs() < 1e-4));
+/// ```
+#[must_use]
+pub fn gaussian3x3_reference(input: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(input.width(), input.height(), |x, y| {
+        let p = |dx: isize, dy: isize| input.get_clamped(x as isize + dx, y as isize + dy);
+        let c1 = p(-1, -1) + p(1, -1);
+        let c2 = p(-1, 1) + p(1, 1);
+        let corners = c1 + c2;
+        let e1 = p(0, -1) + p(-1, 0);
+        let e2 = p(1, 0) + p(0, 1);
+        let edges = e1 + e2;
+        let edges2 = edges + edges;
+        let c4 = p(0, 0) + p(0, 0);
+        let c8 = c4 + c4;
+        let sum = (corners + edges2) + c8;
+        // The SDK kernel writes a uchar pixel: FLT_TO_INT truncation.
+        (sum * (1.0 / 16.0)).trunc()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn sobel_detects_a_vertical_edge() {
+        // Left half dark, right half bright.
+        let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 200.0 });
+        let edges = sobel_reference(&img);
+        // Response peaks along the boundary columns and is zero far away.
+        assert!(edges.get(3, 4) > 100.0 || edges.get(4, 4) > 100.0);
+        assert_eq!(edges.get(1, 4), 0.0);
+    }
+
+    #[test]
+    fn sobel_clamps_to_255() {
+        let img = GrayImage::from_fn(8, 8, |x, _| if x % 2 == 0 { 0.0 } else { 255.0 });
+        let edges = sobel_reference(&img);
+        assert!(edges.iter().all(|p| p <= 255.0));
+    }
+
+    #[test]
+    fn gaussian_preserves_mean_of_interior() {
+        let img = synth::face(32, 32, 3);
+        let blurred = gaussian3x3_reference(&img);
+        let mean_in: f32 = img.iter().sum::<f32>() / img.len() as f32;
+        let mean_out: f32 = blurred.iter().sum::<f32>() / blurred.len() as f32;
+        assert!((mean_in - mean_out).abs() < 2.0);
+    }
+
+    #[test]
+    fn gaussian_smooths_variance() {
+        let img = synth::book(64, 64, 3);
+        let blurred = gaussian3x3_reference(&img);
+        let var = |im: &GrayImage| {
+            let m: f32 = im.iter().sum::<f32>() / im.len() as f32;
+            im.iter().map(|p| (p - m) * (p - m)).sum::<f32>() / im.len() as f32
+        };
+        assert!(var(&blurred) < var(&img));
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        let sum: f32 = GAUSSIAN3X3_KERNEL.iter().flatten().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,216 @@
+//! The grayscale image container.
+
+use std::fmt;
+
+/// A row-major grayscale image with `f32` pixels in `[0, 255]`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::GrayImage;
+///
+/// let mut img = GrayImage::new(4, 3);
+/// img.set(1, 2, 128.0);
+/// assert_eq!(img.get(1, 2), 128.0);
+/// assert_eq!(img.get_clamped(-5, 99), img.get(0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// A black image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` for every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Wraps an existing pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    #[must_use]
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert_eq!(
+            data.len(),
+            width * height,
+            "buffer length {} does not match {width}x{height}",
+            data.len()
+        );
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of pixels.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether the image contains no pixels (never true — dimensions are
+    /// validated to be non-zero — but provided for API completeness).
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel at signed coordinates clamped to the border (replicate
+    /// padding, the usual convolution boundary rule).
+    #[must_use]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// The raw row-major pixel buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the image and returns the pixel buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterates over pixels in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = f32> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Clamps every pixel into `[0, 255]`.
+    pub fn clamp_to_range(&mut self) {
+        for p in &mut self.data {
+            *p = p.clamp(0.0, 255.0);
+        }
+    }
+}
+
+impl fmt::Display for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GrayImage {}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = GrayImage::new(3, 2);
+        assert!(img.iter().all(|p| p == 0.0));
+        assert_eq!(img.len(), 6);
+    }
+
+    #[test]
+    fn from_fn_evaluates_each_pixel() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (x + 10 * y) as f32);
+        assert_eq!(img.get(2, 1), 12.0);
+    }
+
+    #[test]
+    fn clamped_access_replicates_border() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (x + 2 * y) as f32);
+        assert_eq!(img.get_clamped(-3, 0), img.get(0, 0));
+        assert_eq!(img.get_clamped(5, 5), img.get(1, 1));
+    }
+
+    #[test]
+    fn clamp_to_range_saturates() {
+        let mut img = GrayImage::from_vec(2, 1, vec![-5.0, 300.0]);
+        img.clamp_to_range();
+        assert_eq!(img.as_slice(), &[0.0, 255.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_checks_bounds() {
+        let _ = GrayImage::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        let _ = GrayImage::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn round_trip_vec() {
+        let img = GrayImage::from_vec(2, 1, vec![1.0, 2.0]);
+        assert_eq!(img.clone().into_vec(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Grayscale image substrate for the error-tolerant workloads.
+//!
+//! The paper's image-processing experiments run Sobel and Gaussian filters
+//! over two 1536×1536 photographs (*face* and *book*) and judge the
+//! approximate-matching output by PSNR against the exact output, with
+//! 30 dB as the user-acceptability bar. The photographs are not
+//! redistributable, so this crate provides **deterministic synthetic
+//! stand-ins with the same spatial-frequency character** (see DESIGN.md):
+//!
+//! - [`synth::face`] — a smooth, low-frequency portrait-like image
+//!   (large gradients, soft blobs). Smooth content ⇒ high value locality
+//!   and high PSNR at a given approximation threshold.
+//! - [`synth::book`] — a high-frequency text-like page (dense glyph
+//!   strokes). Busy content ⇒ the PSNR-vs-threshold cutoff arrives earlier,
+//!   reproducing the paper's observation that *book* tolerates only
+//!   threshold 0.2 where *face* tolerates 0.8–1.0.
+//!
+//! Pixels are `f32` in `[0, 255]`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_image::{psnr, synth, GrayImage};
+//!
+//! let img = synth::face(64, 64, 7);
+//! let same = img.clone();
+//! assert_eq!(psnr(&img, &same), f64::INFINITY);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod image;
+mod metrics;
+mod pgm;
+pub mod synth;
+
+pub use filter::{gaussian3x3_reference, sobel_reference, GAUSSIAN3X3_KERNEL, PIXEL_SCALE};
+pub use image::GrayImage;
+pub use metrics::{mse, psnr, PEAK_VALUE};
+pub use pgm::{read_pgm, write_pgm, ReadPgmError};

@@ -1,0 +1,110 @@
+//! Fidelity metrics: MSE and PSNR.
+
+use crate::GrayImage;
+
+/// Peak pixel value used in PSNR computations.
+pub const PEAK_VALUE: f64 = 255.0;
+
+/// Mean squared error between two images of equal dimensions.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::{mse, GrayImage};
+///
+/// let a = GrayImage::from_vec(2, 1, vec![10.0, 20.0]);
+/// let b = GrayImage::from_vec(2, 1, vec![13.0, 16.0]);
+/// assert_eq!(mse(&a, &b), (9.0 + 16.0) / 2.0);
+/// ```
+#[must_use]
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "images must have identical dimensions"
+    );
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(pa, pb)| {
+            let d = f64::from(pa) - f64::from(pb);
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio of `test` against `reference`, in decibels.
+///
+/// `PSNR = 20·log10(255 / √MSE)`. Identical images yield
+/// `f64::INFINITY`. The paper uses PSNR ≥ 30 dB as the bar "generally
+/// considered acceptable from users perspective in image processing
+/// applications" (§4.1).
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::{psnr, GrayImage};
+///
+/// let a = GrayImage::from_vec(2, 1, vec![10.0, 20.0]);
+/// assert_eq!(psnr(&a, &a), f64::INFINITY);
+/// ```
+#[must_use]
+pub fn psnr(reference: &GrayImage, test: &GrayImage) -> f64 {
+    let e = mse(reference, test);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (PEAK_VALUE / e.sqrt()).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = GrayImage::from_fn(8, 8, |x, y| (x * y) as f32);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Uniform error of 1.0 ⇒ MSE 1 ⇒ PSNR = 20 log10(255) ≈ 48.13 dB.
+        let a = GrayImage::new(4, 4);
+        let b = GrayImage::from_fn(4, 4, |_, _| 1.0);
+        assert!((psnr(&a, &b) - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psnr_falls_as_error_grows() {
+        let a = GrayImage::new(4, 4);
+        let small = GrayImage::from_fn(4, 4, |_, _| 1.0);
+        let large = GrayImage::from_fn(4, 4, |_, _| 8.0);
+        assert!(psnr(&a, &small) > psnr(&a, &large));
+    }
+
+    #[test]
+    fn thirty_db_corresponds_to_rmse_eight() {
+        // RMSE ≈ 8.06 gives exactly 30 dB — a useful anchor for threshold
+        // calibration in the Sobel/Gaussian experiments.
+        let a = GrayImage::new(10, 10);
+        let b = GrayImage::from_fn(10, 10, |_, _| 8.06396);
+        assert!((psnr(&a, &b) - 30.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn mse_checks_dimensions() {
+        let _ = mse(&GrayImage::new(2, 2), &GrayImage::new(3, 2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Binary PGM (P5) reading and writing.
+//!
+//! The repro harness writes its filter outputs as PGM so a user can eyeball
+//! the quality-vs-threshold images corresponding to the paper's Figs. 2–5.
+
+use crate::GrayImage;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing a PGM stream.
+#[derive(Debug)]
+pub enum ReadPgmError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The stream is not a valid binary PGM.
+    Malformed(String),
+}
+
+impl fmt::Display for ReadPgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadPgmError::Io(e) => write!(f, "i/o error reading pgm: {e}"),
+            ReadPgmError::Malformed(msg) => write!(f, "malformed pgm: {msg}"),
+        }
+    }
+}
+
+impl Error for ReadPgmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadPgmError::Io(e) => Some(e),
+            ReadPgmError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadPgmError {
+    fn from(e: io::Error) -> Self {
+        ReadPgmError::Io(e)
+    }
+}
+
+/// Writes `img` as a binary PGM (P5, maxval 255); pixels are rounded and
+/// clamped to `[0, 255]`.
+///
+/// # Errors
+///
+/// Returns any error from the underlying writer. A `&mut` writer can be
+/// passed, e.g. `write_pgm(&img, &mut file)?`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> std::io::Result<()> {
+/// use tm_image::{write_pgm, GrayImage};
+///
+/// let img = GrayImage::from_fn(2, 2, |x, y| (x + y) as f32 * 100.0);
+/// let mut buf = Vec::new();
+/// write_pgm(&img, &mut buf)?;
+/// assert!(buf.starts_with(b"P5\n2 2\n255\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_pgm<W: Write>(img: &GrayImage, mut writer: W) -> io::Result<()> {
+    write!(writer, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let bytes: Vec<u8> = img
+        .iter()
+        .map(|p| p.round().clamp(0.0, 255.0) as u8)
+        .collect();
+    writer.write_all(&bytes)
+}
+
+/// Reads a binary PGM (P5, maxval ≤ 255) into a [`GrayImage`].
+///
+/// A `&mut` reader can be passed, e.g. `read_pgm(&mut file)?`.
+///
+/// # Errors
+///
+/// Returns [`ReadPgmError::Malformed`] if the stream is not a P5 PGM with
+/// an 8-bit maxval, or [`ReadPgmError::Io`] on reader failure.
+pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<GrayImage, ReadPgmError> {
+    fn next_token<R: BufRead>(reader: &mut R) -> Result<String, ReadPgmError> {
+        let mut token = Vec::new();
+        let mut in_comment = false;
+        loop {
+            let mut byte = [0u8; 1];
+            match reader.read(&mut byte)? {
+                0 => break,
+                _ => {
+                    let b = byte[0];
+                    if in_comment {
+                        if b == b'\n' {
+                            in_comment = false;
+                        }
+                        continue;
+                    }
+                    if b == b'#' {
+                        in_comment = true;
+                        continue;
+                    }
+                    if b.is_ascii_whitespace() {
+                        if token.is_empty() {
+                            continue;
+                        }
+                        break;
+                    }
+                    token.push(b);
+                }
+            }
+        }
+        if token.is_empty() {
+            return Err(ReadPgmError::Malformed("unexpected end of header".into()));
+        }
+        String::from_utf8(token).map_err(|_| ReadPgmError::Malformed("non-ascii header".into()))
+    }
+
+    let magic = next_token(&mut reader)?;
+    if magic != "P5" {
+        return Err(ReadPgmError::Malformed(format!(
+            "expected magic P5, found {magic}"
+        )));
+    }
+    let parse = |s: String| -> Result<usize, ReadPgmError> {
+        s.parse()
+            .map_err(|_| ReadPgmError::Malformed(format!("bad header number {s}")))
+    };
+    let width = parse(next_token(&mut reader)?)?;
+    let height = parse(next_token(&mut reader)?)?;
+    let maxval = parse(next_token(&mut reader)?)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ReadPgmError::Malformed(format!(
+            "unsupported maxval {maxval}"
+        )));
+    }
+    if width == 0 || height == 0 {
+        return Err(ReadPgmError::Malformed("zero dimension".into()));
+    }
+    let mut bytes = vec![0u8; width * height];
+    reader.read_exact(&mut bytes)?;
+    Ok(GrayImage::from_vec(
+        width,
+        height,
+        bytes.into_iter().map(f32::from).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn round_trip_preserves_rounded_pixels() {
+        let img = synth::face(16, 12, 1);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!((back.width(), back.height()), (16, 12));
+        for (a, b) in img.iter().zip(back.iter()) {
+            assert!((a.round() - b).abs() < 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_pgm(&b"P2\n2 2\n255\n0123"[..]).unwrap_err();
+        assert!(matches!(err, ReadPgmError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let err = read_pgm(&b"P5\n4 4\n255\nxx"[..]).unwrap_err();
+        assert!(matches!(err, ReadPgmError::Io(_)));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let data = b"P5\n# a comment\n2 1\n255\nAB";
+        let img = read_pgm(&data[..]).unwrap();
+        assert_eq!(img.get(0, 0), f32::from(b'A'));
+        assert_eq!(img.get(1, 0), f32::from(b'B'));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_pgm(&b"P2\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("P5"));
+    }
+}

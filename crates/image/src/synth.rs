@@ -1,0 +1,283 @@
+//! Deterministic synthetic stand-ins for the paper's input photographs.
+//!
+//! See the crate docs and DESIGN.md for the substitution rationale: what
+//! the experiments need from *face* and *book* is their spatial-frequency
+//! character, not their actual content.
+
+use crate::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A smooth, low-frequency, portrait-like image (the *face* stand-in).
+///
+/// Composition: a soft vertical background gradient, a large bright
+/// ellipse ("head") with smooth shading, two darker blobs ("eyes") and a
+/// horizontal ridge ("mouth"), plus a whisper of low-amplitude noise so
+/// exact matching is not trivially perfect. All features are smooth, so
+/// neighbouring pixels — and therefore consecutive operands on a stream
+/// core — are numerically close.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::synth;
+///
+/// let a = synth::face(32, 32, 1);
+/// let b = synth::face(32, 32, 1);
+/// assert_eq!(a, b, "generation is deterministic in (size, seed)");
+/// ```
+#[must_use]
+pub fn face(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+    let w = width as f32;
+    let h = height as f32;
+    let (cx, cy) = (w * 0.5, h * 0.45);
+    let (rx, ry) = (w * 0.30, h * 0.38);
+    let mut img = GrayImage::from_fn(width, height, |x, y| {
+        let xf = x as f32;
+        let yf = y as f32;
+        // Background: gentle vertical gradient 40 → 90.
+        let mut v = 40.0 + 50.0 * yf / h;
+        // Head: smooth ellipse with cosine falloff.
+        let dx = (xf - cx) / rx;
+        let dy = (yf - cy) / ry;
+        let r2 = dx * dx + dy * dy;
+        if r2 < 1.0 {
+            let shade = 0.5 * (1.0 + (std::f32::consts::PI * r2.sqrt()).cos());
+            v = 120.0 + 90.0 * shade;
+            // Eyes: two soft dark blobs.
+            for ex in [cx - rx * 0.45, cx + rx * 0.45] {
+                let ey = cy - ry * 0.25;
+                let d2 = ((xf - ex) / (rx * 0.16)).powi(2) + ((yf - ey) / (ry * 0.12)).powi(2);
+                if d2 < 1.0 {
+                    v -= 80.0 * (1.0 - d2);
+                }
+            }
+            // Mouth: a soft horizontal ridge.
+            let my = cy + ry * 0.45;
+            let d2 = ((xf - cx) / (rx * 0.45)).powi(2) + ((yf - my) / (ry * 0.08)).powi(2);
+            if d2 < 1.0 {
+                v -= 60.0 * (1.0 - d2);
+            }
+        }
+        v
+    });
+    // A studio portrait is oversampled and nearly noise-free: a whisper of
+    // sensor noise, then 8-bit quantization (photographs are u8). The
+    // quantization restores the exact-value repeats that exact matching
+    // (threshold = 0) feeds on, and the low local diversity keeps
+    // approximate-match errors small — the property behind the paper's
+    // high face-image thresholds.
+    for p in img.as_mut_slice() {
+        *p = (*p + rng.gen_range(-0.2..0.2)).round();
+    }
+    img.clamp_to_range();
+    img
+}
+
+/// A high-frequency, text-like page (the *book* stand-in).
+///
+/// Composition: a bright paper background with rows of dark glyph strokes
+/// of randomized width, spacing and height, plus paper-grain noise. The
+/// dense dark/bright transitions give the image the high spatial-frequency
+/// content of photographed text, which is what drives the earlier
+/// PSNR-vs-threshold cutoff the paper observes for *book*.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::synth;
+///
+/// let page = synth::book(64, 64, 3);
+/// // Text pages are mostly bright with dark strokes.
+/// let mean: f32 = page.iter().sum::<f32>() / page.len() as f32;
+/// assert!(mean > 120.0);
+/// ```
+#[must_use]
+pub fn book(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB00C);
+    let mut img = GrayImage::from_fn(width, height, |_, _| 225.0);
+
+    // Text lines: every line is `line_h` tall with an inter-line gap.
+    let line_h = (height / 24).max(3);
+    let gap = (line_h / 2).max(1);
+    let mut y = gap;
+    while y + line_h < height {
+        // Words made of glyph strokes.
+        let mut x = gap;
+        while x + 2 < width {
+            let word_len = rng.gen_range(2..7usize);
+            for _ in 0..word_len {
+                if x + 2 >= width {
+                    break;
+                }
+                let stroke_w = rng.gen_range(1..3usize);
+                let ink = rng.gen_range(20.0..70.0f32);
+                let ascender = rng.gen_bool(0.3);
+                let top = if ascender { y } else { y + line_h / 3 };
+                for yy in top..(y + line_h).min(height) {
+                    for xx in x..(x + stroke_w).min(width) {
+                        img.set(xx, yy, ink);
+                    }
+                }
+                x += stroke_w + 1;
+            }
+            x += rng.gen_range(2..5usize); // inter-word space
+        }
+        y += line_h + gap;
+    }
+
+    // Paper grain, then 8-bit quantization as above.
+    for p in img.as_mut_slice() {
+        *p = (*p + rng.gen_range(-3.0..3.0)).round();
+    }
+    img.clamp_to_range();
+    img
+}
+
+/// A smooth two-dimensional sinusoidal plaid — a controllable middle
+/// ground between *face* (very smooth) and *book* (very busy), used by
+/// sensitivity studies that need a tunable spatial frequency.
+///
+/// `period` is the wavelength in pixels; smaller periods mean busier
+/// images.
+///
+/// # Panics
+///
+/// Panics if a dimension is zero or `period` is not positive.
+#[must_use]
+pub fn plaid(width: usize, height: usize, period: f32, seed: u64) -> GrayImage {
+    assert!(period > 0.0, "period must be positive, got {period}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A1D);
+    let k = 2.0 * std::f32::consts::PI / period;
+    let mut img = GrayImage::from_fn(width, height, |x, y| {
+        let v = (x as f32 * k).sin() + (y as f32 * k).cos();
+        127.5 + 55.0 * v / 2.0
+    });
+    for p in img.as_mut_slice() {
+        *p = (*p + rng.gen_range(-0.5..0.5)).round();
+    }
+    img.clamp_to_range();
+    img
+}
+
+/// A flat field with additive Gaussian-ish sensor noise — the zero-signal
+/// control input: all locality comes from the noise distribution's
+/// quantization, none from structure.
+///
+/// # Panics
+///
+/// Panics if a dimension is zero or `sigma` is negative.
+#[must_use]
+pub fn noise_field(width: usize, height: usize, sigma: f32, seed: u64) -> GrayImage {
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0153);
+    let mut img = GrayImage::from_fn(width, height, |_, _| 128.0);
+    for p in img.as_mut_slice() {
+        // Sum of uniforms ≈ normal; three terms is plenty for a texture.
+        let n: f32 = (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>() / 3.0;
+        *p = (*p + n * sigma).round();
+    }
+    img.clamp_to_range();
+    img
+}
+
+/// High-frequency content measure: mean absolute horizontal gradient.
+///
+/// Used by tests to assert that the *book* stand-in is busier than the
+/// *face* stand-in, which is the property the experiments rely on.
+#[must_use]
+pub fn mean_abs_gradient(img: &GrayImage) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0u64;
+    for y in 0..img.height() {
+        for x in 1..img.width() {
+            sum += f64::from((img.get(x, y) - img.get(x - 1, y)).abs());
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(face(48, 48, 9), face(48, 48, 9));
+        assert_eq!(book(48, 48, 9), book(48, 48, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(face(48, 48, 1), face(48, 48, 2));
+        assert_ne!(book(48, 48, 1), book(48, 48, 2));
+    }
+
+    #[test]
+    fn pixels_stay_in_range() {
+        for img in [face(64, 64, 5), book(64, 64, 5)] {
+            assert!(img.iter().all(|p| (0.0..=255.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn book_has_more_high_frequency_content_than_face() {
+        let f = face(128, 128, 11);
+        let b = book(128, 128, 11);
+        let gf = mean_abs_gradient(&f);
+        let gb = mean_abs_gradient(&b);
+        assert!(
+            gb > 3.0 * gf,
+            "book gradient {gb:.2} should dwarf face gradient {gf:.2}"
+        );
+    }
+
+    #[test]
+    fn face_is_smooth() {
+        let f = face(128, 128, 11);
+        assert!(mean_abs_gradient(&f) < 5.0);
+    }
+
+    #[test]
+    fn plaid_frequency_controls_gradient() {
+        let smooth = plaid(96, 96, 64.0, 1);
+        let busy = plaid(96, 96, 4.0, 1);
+        assert!(mean_abs_gradient(&busy) > 2.0 * mean_abs_gradient(&smooth));
+    }
+
+    #[test]
+    fn noise_field_sigma_controls_texture() {
+        let quiet = noise_field(96, 96, 1.0, 1);
+        let loud = noise_field(96, 96, 16.0, 1);
+        assert!(mean_abs_gradient(&loud) > mean_abs_gradient(&quiet));
+        assert!(quiet.iter().all(|p| (0.0..=255.0).contains(&p)));
+    }
+
+    #[test]
+    fn extra_generators_are_deterministic() {
+        assert_eq!(plaid(32, 32, 8.0, 5), plaid(32, 32, 8.0, 5));
+        assert_eq!(noise_field(32, 32, 4.0, 5), noise_field(32, 32, 4.0, 5));
+    }
+
+    #[test]
+    fn non_square_sizes_work() {
+        let img = face(33, 17, 0);
+        assert_eq!((img.width(), img.height()), (33, 17));
+        let img = book(17, 33, 0);
+        assert_eq!((img.width(), img.height()), (17, 33));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests of the image substrate.
+
+use proptest::prelude::*;
+use tm_image::{mse, psnr, read_pgm, write_pgm, GrayImage};
+
+fn image_strategy() -> impl Strategy<Value = GrayImage> {
+    (1usize..24, 1usize..24)
+        .prop_flat_map(|(w, h)| {
+            prop::collection::vec(0.0f32..=255.0, w * h)
+                .prop_map(move |data| GrayImage::from_vec(w, h, data))
+        })
+}
+
+proptest! {
+    /// PSNR of an image with itself is infinite; MSE is zero.
+    #[test]
+    fn self_similarity(img in image_strategy()) {
+        prop_assert_eq!(mse(&img, &img), 0.0);
+        prop_assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    /// MSE is symmetric and non-negative.
+    #[test]
+    fn mse_symmetry(a in image_strategy()) {
+        let b = GrayImage::from_fn(a.width(), a.height(), |x, y| {
+            255.0 - a.get(x, y)
+        });
+        prop_assert!(mse(&a, &b) >= 0.0);
+        prop_assert_eq!(mse(&a, &b), mse(&b, &a));
+    }
+
+    /// Adding uniform error strictly decreases PSNR.
+    #[test]
+    fn psnr_decreases_with_error(img in image_strategy(), e1 in 0.5f32..8.0, e2 in 8.5f32..64.0) {
+        let shift = |im: &GrayImage, d: f32| {
+            GrayImage::from_fn(im.width(), im.height(), |x, y| im.get(x, y) + d)
+        };
+        let small = shift(&img, e1);
+        let large = shift(&img, e2);
+        prop_assert!(psnr(&img, &small) > psnr(&img, &large));
+    }
+
+    /// PGM round trips within rounding error and preserves dimensions.
+    #[test]
+    fn pgm_round_trip(img in image_strategy()) {
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).expect("write to memory");
+        let back = read_pgm(buf.as_slice()).expect("parse what we wrote");
+        prop_assert_eq!((back.width(), back.height()), (img.width(), img.height()));
+        for (a, b) in img.iter().zip(back.iter()) {
+            prop_assert!((a.round().clamp(0.0, 255.0) - b).abs() < 0.5 + 1e-6);
+        }
+    }
+
+    /// Border clamping never reads outside the image.
+    #[test]
+    fn clamped_access_in_bounds(img in image_strategy(), x in -50isize..50, y in -50isize..50) {
+        let v = img.get_clamped(x, y);
+        prop_assert!(img.iter().any(|p| p.to_bits() == v.to_bits()));
+    }
+}

@@ -1,0 +1,46 @@
+//! Calibration harness: PSNR and hit rate vs absolute gray-level
+//! threshold for the image kernels over both synthetic inputs. This is
+//! the sweep behind `GRAY_LEVELS_PER_THRESHOLD_UNIT` (see DESIGN.md's
+//! calibration decisions); rerun it whenever the generators change.
+//!
+//! Usage: `cargo run --release -p tm-kernels --example tune_psnr [side]`
+
+use tm_core::MatchPolicy;
+
+fn policy_for(t: f32) -> MatchPolicy {
+    MatchPolicy::threshold(t)
+}
+use tm_image::{gaussian3x3_reference, psnr, sobel_reference, synth};
+use tm_kernels::gaussian::GaussianKernel;
+use tm_kernels::sobel::SobelKernel;
+use tm_sim::{Device, DeviceConfig};
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    for (img_name, img) in [
+        ("face", synth::face(side, side, 7)),
+        ("book", synth::book(side, side, 7)),
+    ] {
+        let sobel_ref = sobel_reference(&img);
+        let gauss_ref = gaussian3x3_reference(&img);
+        for t in [0.0f32, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let cfg = DeviceConfig::default().with_policy(policy_for(t));
+            let mut d1 = Device::new(cfg.clone());
+            let s_out = SobelKernel::new(&img).run(&mut d1);
+            let s_hit = d1.report().weighted_hit_rate();
+            let mut d2 = Device::new(cfg);
+            let g_out = GaussianKernel::new(&img).run(&mut d2);
+            let g_hit = d2.report().weighted_hit_rate();
+            println!(
+                "{img_name} t={t:.1}  sobel: {:6.1} dB (hit {:4.1}%)   gauss: {:6.1} dB (hit {:4.1}%)",
+                psnr(&sobel_ref, &s_out),
+                s_hit * 100.0,
+                psnr(&gauss_ref, &g_out),
+                g_hit * 100.0
+            );
+        }
+    }
+}

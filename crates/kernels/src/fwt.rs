@@ -1,0 +1,159 @@
+//! Fast Walsh transform (AMD APP SDK `FastWalshTransform`).
+//!
+//! In-place Walsh–Hadamard butterflies: for each stage with span `h`, the
+//! pair `(x[i], x[i+h])` becomes `(x[i] + x[i+h], x[i] − x[i+h])`. One
+//! work-item per butterfly pair per stage; the paper pins this kernel to
+//! exact matching (`threshold = 0.0`, Table 1).
+
+use tm_sim::{Device, Kernel, VReg, WaveCtx};
+
+/// One butterfly stage as a device kernel.
+#[derive(Debug)]
+struct FwtStage {
+    data: Vec<f32>,
+    span: usize,
+}
+
+impl FwtStage {
+    /// Index of the first element of lane `gid`'s butterfly pair.
+    fn pair_index(&self, gid: usize) -> usize {
+        let block = gid / self.span;
+        let offset = gid % self.span;
+        block * 2 * self.span + offset
+    }
+}
+
+impl Kernel for FwtStage {
+    fn name(&self) -> &'static str {
+        "fwt_stage"
+    }
+
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+        let lo = VReg::from_fn(ctx.lanes(), |l| self.data[self.pair_index(ctx.lane_ids()[l])]);
+        let hi = VReg::from_fn(ctx.lanes(), |l| {
+            self.data[self.pair_index(ctx.lane_ids()[l]) + self.span]
+        });
+        let sum = ctx.add(&lo, &hi);
+        let diff = ctx.sub(&lo, &hi);
+        for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+            let i = self.pair_index(gid);
+            self.data[i] = sum[l];
+            self.data[i + self.span] = diff[l];
+        }
+    }
+}
+
+/// Runs the full fast Walsh transform of `signal` on `device`.
+///
+/// # Panics
+///
+/// Panics unless the signal length is a power of two of at least 2.
+///
+/// # Examples
+///
+/// ```
+/// use tm_kernels::fwt::{fwt_reference, run_fwt};
+/// use tm_sim::{Device, DeviceConfig};
+///
+/// let signal = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+/// let mut device = Device::new(DeviceConfig::default());
+/// let out = run_fwt(&mut device, &signal);
+/// assert_eq!(out, fwt_reference(&signal));
+/// ```
+#[must_use]
+pub fn run_fwt(device: &mut Device, signal: &[f32]) -> Vec<f32> {
+    let n = signal.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "signal length {n} must be a power of two >= 2"
+    );
+    let mut data = signal.to_vec();
+    let mut span = 1usize;
+    while span < n {
+        let mut stage = FwtStage { data, span };
+        device.run(&mut stage, n / 2);
+        data = stage.data;
+        span *= 2;
+    }
+    data
+}
+
+/// Host golden Walsh–Hadamard transform (same butterfly order, scalar).
+///
+/// # Panics
+///
+/// Panics unless the signal length is a power of two of at least 2.
+#[must_use]
+pub fn fwt_reference(signal: &[f32]) -> Vec<f32> {
+    let n = signal.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "signal length {n} must be a power of two >= 2"
+    );
+    let mut data = signal.to_vec();
+    let mut span = 1usize;
+    while span < n {
+        for pair in 0..n / 2 {
+            let block = pair / span;
+            let offset = pair % span;
+            let i = block * 2 * span + offset;
+            let (a, b) = (data[i], data[i + span]);
+            data[i] = a + b;
+            data[i + span] = a - b;
+        }
+        span *= 2;
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_fpu::FpOp;
+    use tm_sim::DeviceConfig;
+
+    #[test]
+    fn device_matches_reference_bit_for_bit() {
+        let signal: Vec<f32> = (0..512).map(|i| ((i * 7) % 23) as f32 - 11.0).collect();
+        let mut device = Device::new(DeviceConfig::default());
+        let out = run_fwt(&mut device, &signal);
+        let golden = fwt_reference(&signal);
+        for (a, b) in out.iter().zip(golden.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_all_ones() {
+        let mut signal = vec![0.0f32; 16];
+        signal[0] = 1.0;
+        assert!(fwt_reference(&signal).iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn transform_is_self_inverse_up_to_n() {
+        let signal: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let twice = fwt_reference(&fwt_reference(&signal));
+        for (a, b) in signal.iter().zip(twice.iter()) {
+            assert!((a * 64.0 - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_scales_by_n() {
+        let signal: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
+        let out = fwt_reference(&signal);
+        let ein: f64 = signal.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let eout: f64 = out.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        assert!((eout / ein - 32.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn activates_only_add_and_sub() {
+        let mut device = Device::new(DeviceConfig::default());
+        let signal: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let _ = run_fwt(&mut device, &signal);
+        let ops: Vec<FpOp> = device.report().per_op.iter().map(|r| r.op).collect();
+        assert_eq!(ops, vec![FpOp::Add, FpOp::Sub]);
+    }
+}

@@ -1,0 +1,141 @@
+//! 3×3 Gaussian blur (error-tolerant, PSNR-judged).
+//!
+//! One work-item per pixel combines the nine taps in the strength-reduced
+//! form a GPU compiler emits — the 1/2/4 weights become ADD chains
+//! (`2x = x + x`) and a single final multiply by `1/16` — reproducing
+//! [`tm_image::gaussian3x3_reference`] bit for bit under exact matching.
+
+use tm_image::GrayImage;
+use tm_sim::{Device, Kernel, VReg, WaveCtx};
+
+/// The Gaussian-blur device kernel.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::{gaussian3x3_reference, synth};
+/// use tm_kernels::gaussian::GaussianKernel;
+/// use tm_sim::{Device, DeviceConfig};
+///
+/// let input = synth::face(32, 32, 1);
+/// let mut device = Device::new(DeviceConfig::default());
+/// let out = GaussianKernel::new(&input).run(&mut device);
+/// assert_eq!(out.as_slice(), gaussian3x3_reference(&input).as_slice());
+/// ```
+#[derive(Debug)]
+pub struct GaussianKernel<'a> {
+    input: &'a GrayImage,
+    output: Vec<f32>,
+}
+
+impl<'a> GaussianKernel<'a> {
+    /// Creates the kernel over `input`.
+    #[must_use]
+    pub fn new(input: &'a GrayImage) -> Self {
+        Self {
+            input,
+            output: vec![0.0; input.len()],
+        }
+    }
+
+    /// Dispatches one work-item per pixel and returns the blurred image.
+    pub fn run(mut self, device: &mut Device) -> GrayImage {
+        let (w, h) = (self.input.width(), self.input.height());
+        device.run(&mut self, w * h);
+        GrayImage::from_vec(w, h, self.output)
+    }
+
+    fn gather(&self, ctx: &WaveCtx<'_>, dx: isize, dy: isize) -> VReg {
+        let w = self.input.width() as isize;
+        VReg::from_fn(ctx.lanes(), |l| {
+            let gid = ctx.lane_ids()[l] as isize;
+            let x = gid % w;
+            let y = gid / w;
+            self.input.get_clamped(x + dx, y + dy)
+        })
+    }
+}
+
+impl Kernel for GaussianKernel<'_> {
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+        let (p_ul, p_ur) = (self.gather(ctx, -1, -1), self.gather(ctx, 1, -1));
+        let (p_dl, p_dr) = (self.gather(ctx, -1, 1), self.gather(ctx, 1, 1));
+        let (p_u, p_l) = (self.gather(ctx, 0, -1), self.gather(ctx, -1, 0));
+        let (p_r, p_d) = (self.gather(ctx, 1, 0), self.gather(ctx, 0, 1));
+        let p_c = self.gather(ctx, 0, 0);
+        let c1 = ctx.add(&p_ul, &p_ur);
+        let c2 = ctx.add(&p_dl, &p_dr);
+        let corners = ctx.add(&c1, &c2);
+        let e1 = ctx.add(&p_u, &p_l);
+        let e2 = ctx.add(&p_r, &p_d);
+        let edges = ctx.add(&e1, &e2);
+        let edges2 = ctx.add(&edges, &edges);
+        let c4 = ctx.add(&p_c, &p_c);
+        let c8 = ctx.add(&c4, &c4);
+        let partial = ctx.add(&corners, &edges2);
+        let sum = ctx.add(&partial, &c8);
+        let sixteenth = ctx.splat(1.0 / 16.0);
+        let acc = ctx.mul(&sum, &sixteenth);
+        // uchar write-out: FLT_TO_INT truncation (the paper's FP2INT).
+        let out = ctx.fp2int(&acc);
+        for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+            self.output[gid] = out[l];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::MatchPolicy;
+    use tm_fpu::FpOp;
+    use tm_image::{gaussian3x3_reference, psnr, synth};
+    use tm_sim::DeviceConfig;
+
+    #[test]
+    fn exact_matching_reproduces_reference_bit_for_bit() {
+        let input = synth::book(48, 48, 3);
+        let mut device = Device::new(DeviceConfig::default());
+        let out = GaussianKernel::new(&input).run(&mut device);
+        let golden = gaussian3x3_reference(&input);
+        for (a, b) in out.iter().zip(golden.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn activates_add_mul_fp2int() {
+        let input = synth::face(32, 32, 3);
+        let mut device = Device::new(DeviceConfig::default());
+        let _ = GaussianKernel::new(&input).run(&mut device);
+        let report = device.report();
+        let ops: Vec<FpOp> = report.per_op.iter().map(|r| r.op).collect();
+        assert_eq!(ops, vec![FpOp::Add, FpOp::Mul, FpOp::FpToInt]);
+        // 11 ADD + 1 MUL + 1 FP2INT per pixel.
+        assert_eq!(report.op(FpOp::Add).unwrap().lane_instructions, 32 * 32 * 11);
+        assert_eq!(report.op(FpOp::Mul).unwrap().lane_instructions, 32 * 32);
+        assert_eq!(
+            report.op(FpOp::FpToInt).unwrap().lane_instructions,
+            32 * 32
+        );
+    }
+
+    #[test]
+    fn paper_threshold_keeps_psnr_above_30db_on_face() {
+        let input = synth::face(96, 96, 5);
+        let golden = gaussian3x3_reference(&input);
+        let threshold = crate::calibrated_threshold(crate::KernelId::Gaussian);
+        let mut device =
+            Device::new(DeviceConfig::default().with_policy(MatchPolicy::threshold(threshold)));
+        let out = GaussianKernel::new(&input).run(&mut device);
+        let q = psnr(&golden, &out);
+        assert!(
+            q >= 30.0,
+            "threshold {threshold} on face must keep PSNR ≥ 30, got {q:.1}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Sobel edge-detection filter (error-tolerant, PSNR-judged).
+//!
+//! One work-item per pixel computes the 3×3 gradient magnitude
+//! `min(√(gx² + gy²), 255)`. The instruction sequence is the
+//! strength-reduced form a GPU compiler emits (±1/±2 weights become
+//! SUB/ADD chains, `2x = x + x`), so no weight constants reach the FPU
+//! operand stream; it reproduces [`tm_image::sobel_reference`] bit for bit
+//! under exact matching.
+
+use tm_image::GrayImage;
+use tm_sim::{Device, Kernel, VReg, WaveCtx};
+
+/// The Sobel device kernel.
+///
+/// # Examples
+///
+/// ```
+/// use tm_image::{sobel_reference, synth};
+/// use tm_kernels::sobel::SobelKernel;
+/// use tm_sim::{Device, DeviceConfig};
+///
+/// let input = synth::face(32, 32, 1);
+/// let mut device = Device::new(DeviceConfig::default());
+/// let out = SobelKernel::new(&input).run(&mut device);
+/// assert_eq!(out.as_slice(), sobel_reference(&input).as_slice());
+/// ```
+#[derive(Debug)]
+pub struct SobelKernel<'a> {
+    input: &'a GrayImage,
+    output: Vec<f32>,
+}
+
+impl<'a> SobelKernel<'a> {
+    /// Creates the kernel over `input`.
+    #[must_use]
+    pub fn new(input: &'a GrayImage) -> Self {
+        Self {
+            input,
+            output: vec![0.0; input.len()],
+        }
+    }
+
+    /// Dispatches one work-item per pixel and returns the filtered image.
+    pub fn run(mut self, device: &mut Device) -> GrayImage {
+        let (w, h) = (self.input.width(), self.input.height());
+        device.run(&mut self, w * h);
+        GrayImage::from_vec(w, h, self.output)
+    }
+
+    fn gather(&self, ctx: &WaveCtx<'_>, dx: isize, dy: isize) -> VReg {
+        let w = self.input.width() as isize;
+        VReg::from_fn(ctx.lanes(), |l| {
+            let gid = ctx.lane_ids()[l] as isize;
+            let x = gid % w;
+            let y = gid / w;
+            self.input.get_clamped(x + dx, y + dy)
+        })
+    }
+}
+
+impl Kernel for SobelKernel<'_> {
+    fn name(&self) -> &'static str {
+        "sobel"
+    }
+
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+        let p = |dx: isize, dy: isize, ctx: &WaveCtx<'_>| self.gather(ctx, dx, dy);
+        // Column differences for gx, row differences for gy.
+        let (p_ul, p_ur) = (p(-1, -1, ctx), p(1, -1, ctx));
+        let (p_l, p_r) = (p(-1, 0, ctx), p(1, 0, ctx));
+        let (p_dl, p_dr) = (p(-1, 1, ctx), p(1, 1, ctx));
+        let (p_u, p_d) = (p(0, -1, ctx), p(0, 1, ctx));
+        let a = ctx.sub(&p_ur, &p_ul);
+        let b = ctx.sub(&p_r, &p_l);
+        let c = ctx.sub(&p_dr, &p_dl);
+        let d = ctx.sub(&p_dl, &p_ul);
+        let e = ctx.sub(&p_d, &p_u);
+        let f = ctx.sub(&p_dr, &p_ur);
+        // gx = a + 2b + c and gy = d + 2e + f, with 2x as x + x.
+        let gx = ctx.add(&a, &b);
+        let gx = ctx.add(&gx, &b);
+        let gx = ctx.add(&gx, &c);
+        let gy = ctx.add(&d, &e);
+        let gy = ctx.add(&gy, &e);
+        let gy = ctx.add(&gy, &f);
+        let gx2 = ctx.mul(&gx, &gx);
+        let m2 = ctx.muladd(&gy, &gy, &gx2);
+        let mag = ctx.sqrt(&m2);
+        let cap = ctx.splat(255.0);
+        let clamped = ctx.min(&mag, &cap);
+        // uchar write-out: FLT_TO_INT truncation (the paper's FP2INT —
+        // one of the two highest-hit-rate units in Fig. 8).
+        let out = ctx.fp2int(&clamped);
+        for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+            self.output[gid] = out[l];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::MatchPolicy;
+    use tm_fpu::FpOp;
+    use tm_image::{psnr, sobel_reference, synth};
+    use tm_sim::DeviceConfig;
+
+    #[test]
+    fn exact_matching_reproduces_reference_bit_for_bit() {
+        let input = synth::face(48, 48, 3);
+        let mut device = Device::new(DeviceConfig::default());
+        let out = SobelKernel::new(&input).run(&mut device);
+        let golden = sobel_reference(&input);
+        for (a, b) in out.iter().zip(golden.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn activated_fpus_match_the_instruction_mix() {
+        let input = synth::face(32, 32, 3);
+        let mut device = Device::new(DeviceConfig::default());
+        let _ = SobelKernel::new(&input).run(&mut device);
+        let report = device.report();
+        let ops: Vec<FpOp> = report.per_op.iter().map(|r| r.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                FpOp::Add,
+                FpOp::Sub,
+                FpOp::Mul,
+                FpOp::MulAdd,
+                FpOp::Sqrt,
+                FpOp::Min,
+                FpOp::FpToInt
+            ],
+            "Sobel activates ADD, SUB, MUL, MULADD, SQRT, MIN, FP2INT"
+        );
+        // 6 ADD + 6 SUB + 1 MUL + 1 MULADD + 1 SQRT + 1 MIN + 1 FP2INT
+        // per pixel.
+        assert_eq!(report.op(FpOp::Add).unwrap().lane_instructions, 32 * 32 * 6);
+        assert_eq!(report.op(FpOp::Sub).unwrap().lane_instructions, 32 * 32 * 6);
+        assert_eq!(report.op(FpOp::Sqrt).unwrap().lane_instructions, 32 * 32);
+    }
+
+    #[test]
+    fn approximate_matching_keeps_psnr_above_30db() {
+        let input = synth::face(96, 96, 5);
+        let golden = sobel_reference(&input);
+
+        let threshold = crate::calibrated_threshold(crate::KernelId::Sobel);
+        let mut device =
+            Device::new(DeviceConfig::default().with_policy(MatchPolicy::threshold(threshold)));
+        let out = SobelKernel::new(&input).run(&mut device);
+        let q = psnr(&golden, &out);
+        assert!(
+            q >= 30.0,
+            "threshold {threshold} on face must keep PSNR ≥ 30, got {q:.1}"
+        );
+        // And approximation must actually buy hits.
+        let approx_rate = device.report().weighted_hit_rate();
+        let mut exact_dev = Device::new(DeviceConfig::default());
+        let _ = SobelKernel::new(&input).run(&mut exact_dev);
+        let exact_rate = exact_dev.report().weighted_hit_rate();
+        assert!(approx_rate > exact_rate);
+    }
+}

@@ -1,0 +1,216 @@
+//! Table 1 of the paper: kernels, input parameters, and the selected
+//! matching thresholds.
+
+use std::fmt;
+
+/// Identifier of one of the seven evaluated kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelId {
+    /// Sobel edge-detection filter (error-tolerant).
+    Sobel,
+    /// 3×3 Gaussian blur (error-tolerant).
+    Gaussian,
+    /// One-dimensional Haar wavelet transform.
+    Haar,
+    /// Binomial-lattice European option pricing.
+    BinomialOption,
+    /// Black–Scholes European option pricing.
+    BlackScholes,
+    /// Fast Walsh transform.
+    Fwt,
+    /// Eigenvalues of a symmetric (tridiagonal) matrix.
+    EigenValue,
+}
+
+/// All seven kernels in Table-1 order.
+pub const ALL_KERNELS: [KernelId; 7] = [
+    KernelId::Sobel,
+    KernelId::Gaussian,
+    KernelId::Haar,
+    KernelId::BinomialOption,
+    KernelId::BlackScholes,
+    KernelId::Fwt,
+    KernelId::EigenValue,
+];
+
+impl KernelId {
+    /// The kernel's display name (matches the paper's table).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelId::Sobel => "Sobel",
+            KernelId::Gaussian => "Gaussian",
+            KernelId::Haar => "Haar",
+            KernelId::BinomialOption => "BinomialOption",
+            KernelId::BlackScholes => "BlackScholes",
+            KernelId::Fwt => "FWT",
+            KernelId::EigenValue => "EigenValue",
+        }
+    }
+
+    /// Whether the paper classifies this kernel as error-tolerant (image
+    /// processing, PSNR-judged).
+    #[must_use]
+    pub const fn is_error_tolerant(self) -> bool {
+        matches!(self, KernelId::Sobel | KernelId::Gaussian)
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Entry {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// The paper's input-parameter column, verbatim.
+    pub input_parameter: &'static str,
+    /// The selected approximation threshold.
+    pub threshold: f32,
+}
+
+/// The paper's Table 1, verbatim.
+///
+/// Sobel and Gaussian take the relatively large thresholds that keep PSNR
+/// above 30 dB; Haar, BinomialOption and BlackScholes tolerate the small
+/// numerical slack the SDK host check accepts; FWT and EigenValue require
+/// exact (bit-by-bit) matching.
+///
+/// # Examples
+///
+/// ```
+/// use tm_kernels::{table1, KernelId};
+///
+/// let t = table1();
+/// assert_eq!(t.len(), 7);
+/// let fwt = t.iter().find(|e| e.kernel == KernelId::Fwt).unwrap();
+/// assert_eq!(fwt.threshold, 0.0);
+/// ```
+#[must_use]
+pub fn table1() -> Vec<Table1Entry> {
+    vec![
+        Table1Entry {
+            kernel: KernelId::Sobel,
+            input_parameter: "face (1536x1536)",
+            threshold: 1.0,
+        },
+        Table1Entry {
+            kernel: KernelId::Gaussian,
+            input_parameter: "face (1536x1536)",
+            threshold: 0.8,
+        },
+        Table1Entry {
+            kernel: KernelId::Haar,
+            input_parameter: "1024",
+            threshold: 0.046,
+        },
+        Table1Entry {
+            kernel: KernelId::BinomialOption,
+            input_parameter: "20",
+            threshold: 0.000_025,
+        },
+        Table1Entry {
+            kernel: KernelId::BlackScholes,
+            input_parameter: "20",
+            threshold: 0.000_025,
+        },
+        Table1Entry {
+            kernel: KernelId::Fwt,
+            input_parameter: "1000000",
+            threshold: 0.0,
+        },
+        Table1Entry {
+            kernel: KernelId::EigenValue,
+            input_parameter: "1000x1000",
+            threshold: 0.0,
+        },
+    ]
+}
+
+/// The paper's threshold for a kernel (its Table-1 row).
+#[must_use]
+pub fn paper_threshold(kernel: KernelId) -> f32 {
+    table1()
+        .into_iter()
+        .find(|e| e.kernel == kernel)
+        .map(|e| e.threshold)
+        .expect("every kernel has a Table 1 row")
+}
+
+/// Gray levels per paper threshold unit for the image kernels.
+///
+/// The paper's image thresholds (0–1.0) are quoted against its input
+/// photographs. Against this repo's synthetic stand-ins the PSNR ≥ 30 dB
+/// bar is crossed at 8–16 gray levels for Sobel on *face*, so one paper
+/// threshold unit calibrates to 4 gray levels — conservatively, so the
+/// bar holds at every image size the tests use (see EXPERIMENTS.md for
+/// the measured curves). The non-image kernels' thresholds are absolute
+/// numerical tolerances and are used verbatim.
+pub const GRAY_LEVELS_PER_THRESHOLD_UNIT: f32 = 4.0;
+
+/// The matching threshold actually used in this repo's experiments: the
+/// paper's Table-1 value, with image-kernel thresholds rescaled by
+/// [`GRAY_LEVELS_PER_THRESHOLD_UNIT`].
+///
+/// # Examples
+///
+/// ```
+/// use tm_kernels::{calibrated_threshold, KernelId};
+///
+/// assert_eq!(calibrated_threshold(KernelId::Sobel), 4.0);
+/// assert_eq!(calibrated_threshold(KernelId::Haar), 0.046);
+/// ```
+#[must_use]
+pub fn calibrated_threshold(kernel: KernelId) -> f32 {
+    let t = paper_threshold(kernel);
+    if kernel.is_error_tolerant() {
+        t * GRAY_LEVELS_PER_THRESHOLD_UNIT
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_every_kernel_once() {
+        let t = table1();
+        for k in ALL_KERNELS {
+            assert_eq!(t.iter().filter(|e| e.kernel == k).count(), 1, "{k}");
+        }
+    }
+
+    #[test]
+    fn error_intolerant_rows_use_exact_or_tiny_thresholds() {
+        for e in table1() {
+            if !e.kernel.is_error_tolerant() {
+                assert!(e.threshold < 0.05, "{}: {}", e.kernel, e.threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn tolerant_kernels_are_exactly_the_image_filters() {
+        assert!(KernelId::Sobel.is_error_tolerant());
+        assert!(KernelId::Gaussian.is_error_tolerant());
+        assert!(!KernelId::Fwt.is_error_tolerant());
+    }
+
+    #[test]
+    fn paper_threshold_lookup() {
+        assert_eq!(paper_threshold(KernelId::Sobel), 1.0);
+        assert_eq!(paper_threshold(KernelId::Haar), 0.046);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelId::Fwt.to_string(), "FWT");
+        assert_eq!(KernelId::BlackScholes.to_string(), "BlackScholes");
+    }
+}

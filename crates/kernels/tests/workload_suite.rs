@@ -1,0 +1,126 @@
+//! Workload-suite integration tests: every kernel, multiple seeds, error
+//! injection, and architecture modes through the uniform runner.
+
+use tm_core::MatchPolicy;
+use tm_kernels::{calibrated_threshold, workload, KernelId, Scale, ALL_KERNELS};
+use tm_sim::{ArchMode, Device, DeviceConfig, ErrorMode};
+
+fn bit_exact(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn exact_runs_are_bit_exact_across_seeds() {
+    for &kernel in &ALL_KERNELS {
+        for seed in [1u64, 99, 0xDEAD] {
+            let mut wl = workload::build(kernel, Scale::Test, seed);
+            let mut device = Device::new(DeviceConfig::default());
+            let out = wl.run(&mut device);
+            assert!(
+                bit_exact(&wl.reference(), &out),
+                "{kernel} seed {seed}: exact run diverged from golden"
+            );
+        }
+    }
+}
+
+#[test]
+fn outputs_are_error_rate_invariant_under_exact_matching() {
+    // Timing errors are recovered (misses) or masked (hits); the
+    // architectural output must be identical either way.
+    for &kernel in &ALL_KERNELS {
+        let mut clean_wl = workload::build(kernel, Scale::Test, 7);
+        let mut clean_dev = Device::new(DeviceConfig::default());
+        let clean = clean_wl.run(&mut clean_dev);
+
+        let mut noisy_wl = workload::build(kernel, Scale::Test, 7);
+        let mut noisy_dev = Device::new(
+            DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.1)),
+        );
+        let noisy = noisy_wl.run(&mut noisy_dev);
+        assert!(noisy_dev.report().errors_injected > 0, "{kernel}");
+        assert!(
+            bit_exact(&clean, &noisy),
+            "{kernel}: timing errors leaked into the output"
+        );
+    }
+}
+
+#[test]
+fn baseline_and_memoized_agree_bit_for_bit() {
+    for &kernel in &ALL_KERNELS {
+        let mut memo_wl = workload::build(kernel, Scale::Test, 3);
+        let mut memo_dev = Device::new(DeviceConfig::default());
+        let memo = memo_wl.run(&mut memo_dev);
+
+        let mut base_wl = workload::build(kernel, Scale::Test, 3);
+        let mut base_dev = Device::new(DeviceConfig::default().with_arch(ArchMode::Baseline));
+        let base = base_wl.run(&mut base_dev);
+        assert!(bit_exact(&memo, &base), "{kernel}");
+    }
+}
+
+#[test]
+fn spatial_architecture_is_transparent_under_exact_matching() {
+    for &kernel in &ALL_KERNELS {
+        let mut wl = workload::build(kernel, Scale::Test, 5);
+        let mut device = Device::new(DeviceConfig::default().with_arch(ArchMode::Spatial));
+        let out = wl.run(&mut device);
+        assert!(
+            bit_exact(&wl.reference(), &out),
+            "{kernel}: spatial reuse changed the output under exact matching"
+        );
+    }
+}
+
+#[test]
+fn approximate_image_runs_differ_but_stay_acceptable() {
+    for kernel in [KernelId::Sobel, KernelId::Gaussian] {
+        let policy = MatchPolicy::threshold(calibrated_threshold(kernel));
+        let mut wl = workload::build(kernel, Scale::Test, 11);
+        let mut device = Device::new(DeviceConfig::default().with_policy(policy));
+        let out = wl.run(&mut device);
+        assert!(
+            !bit_exact(&wl.reference(), &out),
+            "{kernel}: approximation should introduce (bounded) error"
+        );
+        assert!(wl.acceptable(&out), "{kernel}: PSNR bar violated");
+    }
+}
+
+#[test]
+fn error_intolerant_kernels_reject_coarse_approximation() {
+    // The reason FWT and EigenValue are pinned to exact matching: a
+    // coarse threshold breaks their bit-exactness check. (FWT's operands
+    // are integer-valued, so the threshold must reach 1.0 before distinct
+    // operands can cross-match at all.)
+    for (kernel, threshold) in [(KernelId::Fwt, 1.0), (KernelId::EigenValue, 0.5)] {
+        let mut wl = workload::build(kernel, Scale::Test, 13);
+        let mut device =
+            Device::new(DeviceConfig::default().with_policy(MatchPolicy::threshold(threshold)));
+        let out = wl.run(&mut device);
+        assert!(
+            !wl.acceptable(&out),
+            "{kernel}: threshold {threshold} should violate bit-exactness"
+        );
+    }
+}
+
+#[test]
+fn scales_change_problem_size_not_correctness() {
+    for scale in [Scale::Test, Scale::Default] {
+        let mut wl = workload::build(KernelId::Haar, scale, 21);
+        let mut device = Device::new(DeviceConfig::default());
+        let out = wl.run(&mut device);
+        assert!(wl.acceptable(&out), "{scale:?}");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_inputs() {
+    let mut a = workload::build(KernelId::Fwt, Scale::Test, 1);
+    let mut b = workload::build(KernelId::Fwt, Scale::Test, 2);
+    let mut d1 = Device::new(DeviceConfig::default());
+    let mut d2 = Device::new(DeviceConfig::default());
+    assert_ne!(a.run(&mut d1), b.run(&mut d2));
+}

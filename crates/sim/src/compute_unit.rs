@@ -1,0 +1,418 @@
+//! A compute unit: 16 stream cores plus error/recovery/energy machinery.
+
+use crate::config::{ArchMode, DeviceConfig};
+use crate::stream_core::StreamCore;
+use crate::trace::{TraceBuffer, TraceEvent};
+use std::collections::BTreeMap;
+use tm_core::MemoStats;
+use tm_energy::EnergyLedger;
+use tm_fpu::{FpOp, Operands};
+use tm_timing::{Ecu, ErrorInjector};
+
+/// Per-opcode execution tallies of one compute unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpTally {
+    /// Lane-level (scalar) instructions issued.
+    pub lane_instructions: u64,
+    /// Wavefront-level (vector) instructions issued.
+    pub vector_instructions: u64,
+    /// Lane instructions satisfied by *spatial* (intra-slot) reuse when
+    /// the device runs in [`ArchMode::Spatial`].
+    pub spatial_hits: u64,
+    /// Timing errors masked by spatial reuse.
+    pub spatial_masked_errors: u64,
+    /// Energy attributed to this opcode's instructions, pJ.
+    pub energy_pj: f64,
+}
+
+/// One compute unit of the device.
+///
+/// Owns the stream cores (and through them every FPU + memoization module),
+/// the per-CU timing-error injector, the error control unit and the energy
+/// ledger. The [`ComputeUnit::issue_vector`] method is the execute stage:
+/// it walks the wavefront's lanes in sub-wavefront order, routes each lane
+/// to its stream core, draws the EDS verdict, consults the memoization
+/// module, and charges cycles and energy per the Table-2 action.
+#[derive(Debug, Clone)]
+pub struct ComputeUnit {
+    config: DeviceConfig,
+    stream_cores: Vec<StreamCore>,
+    injector: ErrorInjector,
+    ecu: Ecu,
+    ledger: EnergyLedger,
+    cycles: u64,
+    tallies: BTreeMap<FpOp, OpTally>,
+    trace: TraceBuffer,
+}
+
+impl ComputeUnit {
+    /// Builds a compute unit; `index` decorrelates the error-injection seed
+    /// across CUs.
+    #[must_use]
+    pub fn new(config: &DeviceConfig, index: usize) -> Self {
+        let rate = config.effective_error_rate();
+        let seed = config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+        Self {
+            config: config.clone(),
+            stream_cores: (0..config.stream_cores_per_cu)
+                .map(|_| StreamCore::new())
+                .collect(),
+            injector: ErrorInjector::new(rate, seed),
+            ecu: Ecu::new(config.recovery),
+            ledger: EnergyLedger::new(),
+            cycles: 0,
+            tallies: BTreeMap::new(),
+            trace: TraceBuffer::new(config.trace_depth),
+        }
+    }
+
+    /// The instruction-trace buffer (empty unless
+    /// [`DeviceConfig::trace_depth`] is non-zero).
+    #[must_use]
+    pub const fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Resets every statistic — memoization counters, energy ledger, ECU
+    /// tallies, cycles, per-op tallies, trace — while **keeping the FIFO
+    /// contents and gate state**: the measurement boundary the paper's
+    /// per-kernel statistics use.
+    pub fn reset_stats(&mut self) {
+        for sc in &mut self.stream_cores {
+            sc.reset_stats();
+        }
+        self.ecu.reset();
+        self.ledger.reset();
+        self.cycles = 0;
+        self.tallies.clear();
+        self.trace.clear();
+    }
+
+    /// The device configuration this CU was built with.
+    #[must_use]
+    pub const fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Elapsed cycles (issue slots plus recovery stalls).
+    #[must_use]
+    pub const fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The energy ledger.
+    #[must_use]
+    pub const fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// The error control unit.
+    #[must_use]
+    pub const fn ecu(&self) -> &Ecu {
+        &self.ecu
+    }
+
+    /// Total timing violations injected so far.
+    #[must_use]
+    pub const fn errors_injected(&self) -> u64 {
+        self.injector.errors()
+    }
+
+    /// The stream cores.
+    #[must_use]
+    pub fn stream_cores(&self) -> &[StreamCore] {
+        &self.stream_cores
+    }
+
+    /// Per-opcode instruction tallies.
+    pub fn tallies(&self) -> impl Iterator<Item = (&FpOp, &OpTally)> {
+        self.tallies.iter()
+    }
+
+    /// Aggregated memoization statistics for `op` across this CU's cores.
+    #[must_use]
+    pub fn op_stats(&self, op: FpOp) -> MemoStats {
+        self.stream_cores
+            .iter()
+            .filter_map(|sc| sc.unit(op))
+            .map(|u| u.memo().stats())
+            .sum()
+    }
+
+    /// Issues one wavefront-wide vector instruction.
+    ///
+    /// `srcs` holds one slice per source operand, each `lanes` long;
+    /// `active` is the execution mask. Lanes are walked in increasing
+    /// order, which on the `lane → SC (lane mod 16)` mapping is exactly
+    /// the sub-wavefront slot order of the hardware — the property that
+    /// shapes each FIFO's operand stream.
+    ///
+    /// Returns the per-lane results (inactive lanes produce `0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand counts or lane lengths are inconsistent with the
+    /// opcode and mask.
+    pub fn issue_vector(&mut self, op: FpOp, srcs: &[&[f32]], active: &[bool]) -> Vec<f32> {
+        assert_eq!(srcs.len(), op.arity(), "{op} arity mismatch");
+        let lanes = active.len();
+        for s in srcs {
+            assert_eq!(s.len(), lanes, "operand vector length mismatch");
+        }
+
+        let scale = self.config.dynamic_scale();
+        let model = self.config.energy_model;
+        let policy = self.config.recovery;
+        let stages = op.latency();
+        let num_scs = self.config.stream_cores_per_cu;
+
+        let mut out = vec![0.0f32; lanes];
+        let mut recovery_stall: u64 = 0;
+        let energy_before = self.ledger.total_pj();
+        let spatial = self.config.arch == ArchMode::Spatial;
+        let commutative = op.is_commutative();
+        // Spatial reuse table: the distinct operand sets executed so far
+        // within the *current* sub-wavefront slot, with their results.
+        let mut slot_table: Vec<(Operands, f32)> = Vec::new();
+        let mut spatial_hits: u64 = 0;
+        let mut spatial_masked: u64 = 0;
+
+        for lane in 0..lanes {
+            if !active[lane] {
+                continue;
+            }
+            if spatial && lane % num_scs == 0 {
+                // A new slot's 16 lanes execute concurrently; reuse does
+                // not cross slot boundaries.
+                slot_table.clear();
+            }
+            let mut vals = [0.0f32; tm_fpu::MAX_ARITY];
+            for (k, s) in srcs.iter().enumerate() {
+                vals[k] = s[lane];
+            }
+            let operands = Operands::from_slice(&vals[..op.arity()]);
+            let error = self
+                .injector
+                .sample_with_rate(self.config.effective_error_rate_for_stages(stages));
+            let now = self.cycles + (lane / num_scs) as u64;
+
+            if spatial {
+                if let Some(&(_, result)) = slot_table
+                    .iter()
+                    .find(|(stored, _)| self.config.policy.matches(&operands, stored, commutative))
+                {
+                    // Broadcast reuse: squash this lane's FPU, mask any
+                    // timing error for free.
+                    out[lane] = result;
+                    let sc = &mut self.stream_cores[lane % num_scs];
+                    sc.unit_mut(op, &self.config).squash_for_reuse(now);
+                    self.ledger
+                        .charge_hit(model.spatial_reuse_energy(op, scale));
+                    spatial_hits += 1;
+                    if error {
+                        spatial_masked += 1;
+                    }
+                    self.trace.record(TraceEvent {
+                        op,
+                        operands,
+                        result,
+                        hit: true,
+                        error,
+                        stream_core: lane % num_scs,
+                        lane,
+                        cycle: now,
+                    });
+                    continue;
+                }
+            }
+
+            let sc = &mut self.stream_cores[lane % num_scs];
+            let outcome = sc.unit_mut(op, &self.config).issue(operands, error, now);
+            out[lane] = outcome.result;
+            self.trace.record(TraceEvent {
+                op,
+                operands,
+                result: outcome.result,
+                hit: outcome.hit,
+                error,
+                stream_core: lane % num_scs,
+                lane,
+                cycle: now,
+            });
+            if spatial {
+                // The (possibly replayed, therefore correct) result is
+                // broadcast for the rest of the slot; the cross-lane
+                // comparators cost about a LUT search.
+                slot_table.push((operands, outcome.result));
+                self.ledger.charge_lut_lookup(model.lut_lookup_energy());
+            }
+
+            // Energy per the Table-2 action (see tm-energy docs).
+            if outcome.hit {
+                self.ledger.charge_hit(model.hit_energy(op, scale));
+            } else {
+                self.ledger.charge_exec(model.exec_energy(op, scale));
+                if !outcome.bypassed {
+                    self.ledger.charge_lut_lookup(model.lut_lookup_energy());
+                }
+                if outcome.updated {
+                    self.ledger.charge_lut_update(model.lut_update_energy());
+                }
+                if outcome.recovered {
+                    self.ledger
+                        .charge_recovery(model.recovery_energy(op, policy, scale));
+                    recovery_stall += u64::from(self.ecu.recover(stages));
+                }
+            }
+        }
+
+        // Issue occupies one slot per sub-wavefront; lock-step recovery
+        // stalls the wavefront for the accumulated penalty.
+        self.cycles += self.config.subwavefront_slots() as u64 + recovery_stall;
+
+        let tally = self.tallies.entry(op).or_default();
+        tally.vector_instructions += 1;
+        tally.lane_instructions += active.iter().filter(|&&a| a).count() as u64;
+        tally.spatial_hits += spatial_hits;
+        tally.spatial_masked_errors += spatial_masked;
+        tally.energy_pj += self.ledger.total_pj() - energy_before;
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchMode, ErrorMode};
+
+    fn cu(config: &DeviceConfig) -> ComputeUnit {
+        ComputeUnit::new(config, 0)
+    }
+
+    #[test]
+    fn issue_vector_computes_per_lane() {
+        let config = DeviceConfig::default();
+        let mut cu = cu(&config);
+        let a: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let b = vec![1.0f32; 64];
+        let out = cu.issue_vector(FpOp::Add, &[&a, &b], &[true; 64]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32 + 1.0);
+        }
+        assert_eq!(cu.tallies().next().unwrap().1.lane_instructions, 64);
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_execute() {
+        let config = DeviceConfig::default();
+        let mut cu = cu(&config);
+        let a = vec![2.0f32; 64];
+        let mut active = vec![false; 64];
+        active[3] = true;
+        let out = cu.issue_vector(FpOp::Sqrt, &[&a], &active);
+        assert_eq!(out[3], 2.0f32.sqrt());
+        assert_eq!(out[4], 0.0);
+        assert_eq!(cu.op_stats(FpOp::Sqrt).lookups, 1);
+    }
+
+    #[test]
+    fn constant_operands_hit_after_warmup() {
+        let config = DeviceConfig::default();
+        let mut cu = cu(&config);
+        let a = vec![3.0f32; 64];
+        let active = vec![true; 64];
+        cu.issue_vector(FpOp::Sqrt, &[&a], &active);
+        cu.issue_vector(FpOp::Sqrt, &[&a], &active);
+        let stats = cu.op_stats(FpOp::Sqrt);
+        // 16 cold misses (one per SC FIFO), everything else hits.
+        assert_eq!(stats.misses, 16);
+        assert_eq!(stats.hits, 128 - 16);
+    }
+
+    #[test]
+    fn cycles_advance_by_slots() {
+        let config = DeviceConfig::default();
+        let mut cu = cu(&config);
+        let a = vec![1.0f32; 64];
+        let active = vec![true; 64];
+        cu.issue_vector(FpOp::Neg, &[&a], &active);
+        assert_eq!(cu.cycles(), 4);
+    }
+
+    #[test]
+    fn errors_charge_recovery_in_baseline() {
+        let config = DeviceConfig::default()
+            .with_arch(ArchMode::Baseline)
+            .with_error_mode(ErrorMode::FixedRate(1.0));
+        let mut cu = cu(&config);
+        let a = vec![1.0f32; 64];
+        let active = vec![true; 64];
+        cu.issue_vector(FpOp::Add, &[&a, &a], &active);
+        assert_eq!(cu.ecu().recoveries(), 64);
+        assert!(cu.ledger().breakdown().recovery_pj > 0.0);
+        // 4 issue slots + 64 recoveries * 12 cycles.
+        assert_eq!(cu.cycles(), 4 + 64 * 12);
+    }
+
+    #[test]
+    fn memoized_arch_masks_hit_errors() {
+        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(1.0));
+        let mut cu = cu(&config);
+        let a = vec![1.0f32; 64];
+        let active = vec![true; 64];
+        // Warm the FIFOs: all 64 lanes recover (miss + error, no update...)
+        cu.issue_vector(FpOp::Add, &[&a, &a], &active);
+        // With a 100% error rate nothing was committed (W_en gated), so
+        // recoveries keep happening — Table 2 row {0,1} has no update.
+        let stats = cu.op_stats(FpOp::Add);
+        assert_eq!(stats.recoveries, 64);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn memoized_arch_masks_errors_after_preload_via_update_path() {
+        // At a moderate error rate some misses commit, after which hits
+        // mask subsequent errors.
+        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.3));
+        let mut cu = cu(&config);
+        let a = vec![1.0f32; 64];
+        let active = vec![true; 64];
+        for _ in 0..4 {
+            cu.issue_vector(FpOp::Add, &[&a, &a], &active);
+        }
+        let stats = cu.op_stats(FpOp::Add);
+        assert!(stats.masked_errors > 0, "hits should have masked errors");
+        assert!(stats.is_consistent());
+    }
+
+    #[test]
+    fn seeds_decorrelate_across_cus() {
+        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.5));
+        let mut a = ComputeUnit::new(&config, 0);
+        let mut b = ComputeUnit::new(&config, 1);
+        let x = vec![1.0f32; 64];
+        let active = vec![true; 64];
+        a.issue_vector(FpOp::Add, &[&x, &x], &active);
+        b.issue_vector(FpOp::Add, &[&x, &x], &active);
+        assert_ne!(a.errors_injected(), 0);
+        // Equality of counts is possible but full equality of behaviour
+        // across different seeds over 64 Bernoulli draws is unlikely; the
+        // cycle counters diverge almost surely.
+        assert!(
+            a.cycles() != b.cycles() || a.errors_injected() != b.errors_injected(),
+            "CUs with different seeds should not be in lock-step"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_checked() {
+        let config = DeviceConfig::default();
+        let mut cu = cu(&config);
+        let a = vec![1.0f32; 64];
+        let _ = cu.issue_vector(FpOp::Add, &[&a], &[true; 64]);
+    }
+}

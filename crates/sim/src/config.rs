@@ -1,0 +1,324 @@
+//! Device configuration.
+
+use tm_core::{GatePolicy, MatchPolicy, Replacement, DEFAULT_FIFO_DEPTH};
+use tm_energy::EnergyModel;
+use tm_timing::{RecoveryPolicy, VoltageModel, NOMINAL_VDD};
+
+/// Which architecture variant the device models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ArchMode {
+    /// The proposed architecture: baseline detect-then-correct plus the
+    /// temporal memoization modules on every FPU.
+    #[default]
+    Memoized,
+    /// The baseline resilient architecture alone (EDS + ECU recovery, no
+    /// memoization hardware and none of its energy).
+    Baseline,
+    /// *Spatial* memoization (Rahimi et al., TCAS-II 2013 — the paper's
+    /// reference \[20\]): within each sub-wavefront slot, the first lane
+    /// to execute a distinct operand set broadcasts its result to the
+    /// other 15 concurrent lanes, which reuse it when their operands
+    /// match. No per-FPU FIFO — reuse is purely intra-instruction, which
+    /// is exactly the scalability limitation the paper argues temporal
+    /// memoization removes.
+    Spatial,
+}
+
+/// Where per-instruction timing-error events come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorMode {
+    /// A fixed per-instruction error rate (the Fig. 10 sweep, 0–4 %).
+    FixedRate(f64),
+    /// A fixed per-*stage* violation rate: the per-instruction rate then
+    /// grows with pipeline depth (`1 − (1 − p)^stages`, see
+    /// [`tm_timing::EdsChain`]), so the 16-stage RECIP errs roughly 4×
+    /// as often as the 4-stage units — the depth effect §1 of the paper
+    /// highlights.
+    PerStageRate(f64),
+    /// The rate implied by the FPU supply voltage through the
+    /// [`VoltageModel`] (the Fig. 11 voltage-overscaling sweep).
+    FromVoltage,
+}
+
+impl Default for ErrorMode {
+    /// Error-free operation.
+    fn default() -> Self {
+        ErrorMode::FixedRate(0.0)
+    }
+}
+
+/// Full configuration of a simulated device.
+///
+/// The defaults model a single Radeon HD 5870 compute-unit pair with the
+/// paper's design point: 2-entry FIFOs, exact matching, the 12-cycle
+/// baseline recovery, nominal 0.9 V, no injected errors. Experiments
+/// override fields with the `with_*` builders.
+///
+/// # Examples
+///
+/// ```
+/// use tm_sim::{ArchMode, DeviceConfig, ErrorMode};
+/// use tm_core::MatchPolicy;
+///
+/// let config = DeviceConfig::default()
+///     .with_policy(MatchPolicy::threshold(0.5))
+///     .with_error_mode(ErrorMode::FixedRate(0.02))
+///     .with_seed(7);
+/// assert_eq!(config.stream_cores_per_cu, 16);
+/// assert_eq!(config.arch, ArchMode::Memoized);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of compute units (the HD 5870 has 20; experiments default to
+    /// 2 for simulation speed — hit rates are per-FPU properties and do not
+    /// depend on the CU count).
+    pub compute_units: usize,
+    /// Stream cores (SIMD lanes) per compute unit.
+    pub stream_cores_per_cu: usize,
+    /// Work-items per wavefront.
+    pub wavefront_size: usize,
+    /// Architecture variant.
+    pub arch: ArchMode,
+    /// Memoization FIFO depth (the paper settles on 2).
+    pub fifo_depth: usize,
+    /// FIFO replacement policy (FIFO in the paper; LRU for ablation).
+    pub replacement: Replacement,
+    /// The matching constraint programmed into every module's MMIO window.
+    pub policy: MatchPolicy,
+    /// Baseline recovery mechanism.
+    pub recovery: RecoveryPolicy,
+    /// Timing-error source.
+    pub error_mode: ErrorMode,
+    /// FPU supply voltage (the memo module always stays at nominal).
+    pub vdd: f64,
+    /// Voltage/error/energy scaling model.
+    pub voltage_model: VoltageModel,
+    /// Energy constants.
+    pub energy_model: EnergyModel,
+    /// PRNG seed for error injection.
+    pub seed: u64,
+    /// Per-compute-unit instruction-trace capacity (`0` disables tracing;
+    /// see [`crate::TraceEvent`] and [`crate::locality`]).
+    pub trace_depth: usize,
+    /// Optional adaptive power gating of every memoization module (the
+    /// automated form of the paper's software-controlled power gating).
+    pub adaptive_gate: Option<GatePolicy>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            compute_units: 2,
+            stream_cores_per_cu: 16,
+            wavefront_size: 64,
+            arch: ArchMode::Memoized,
+            fifo_depth: DEFAULT_FIFO_DEPTH,
+            replacement: Replacement::Fifo,
+            policy: MatchPolicy::Exact,
+            recovery: RecoveryPolicy::default(),
+            error_mode: ErrorMode::default(),
+            vdd: NOMINAL_VDD,
+            voltage_model: VoltageModel::tsmc45(),
+            energy_model: EnergyModel::tsmc45(),
+            seed: 0xC0FFEE,
+            trace_depth: 0,
+            adaptive_gate: None,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// The full Radeon HD 5870 geometry (20 compute units).
+    #[must_use]
+    pub fn radeon_hd_5870() -> Self {
+        Self {
+            compute_units: 20,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the matching policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: MatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the architecture variant.
+    #[must_use]
+    pub fn with_arch(mut self, arch: ArchMode) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the FIFO depth.
+    #[must_use]
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the replacement policy.
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Sets the timing-error source.
+    #[must_use]
+    pub fn with_error_mode(mut self, mode: ErrorMode) -> Self {
+        self.error_mode = mode;
+        self
+    }
+
+    /// Sets the recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the FPU supply voltage (VOS experiments).
+    #[must_use]
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Sets the error-injection seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of compute units.
+    #[must_use]
+    pub fn with_compute_units(mut self, n: usize) -> Self {
+        self.compute_units = n;
+        self
+    }
+
+    /// Enables instruction tracing with the given per-CU capacity.
+    #[must_use]
+    pub fn with_trace_depth(mut self, depth: usize) -> Self {
+        self.trace_depth = depth;
+        self
+    }
+
+    /// Enables adaptive power gating of the memoization modules.
+    #[must_use]
+    pub fn with_adaptive_gate(mut self, policy: GatePolicy) -> Self {
+        self.adaptive_gate = Some(policy);
+        self
+    }
+
+    /// The per-instruction error rate this configuration induces for a
+    /// standard 4-stage unit.
+    #[must_use]
+    pub fn effective_error_rate(&self) -> f64 {
+        self.effective_error_rate_for_stages(4)
+    }
+
+    /// The per-instruction error rate for a unit of the given pipeline
+    /// depth.
+    #[must_use]
+    pub fn effective_error_rate_for_stages(&self, stages: u32) -> f64 {
+        match self.error_mode {
+            ErrorMode::FixedRate(r) => r,
+            ErrorMode::PerStageRate(p) => {
+                tm_timing::EdsChain::new(stages).instruction_error_rate(p)
+            }
+            ErrorMode::FromVoltage => self.voltage_model.error_rate(self.vdd),
+        }
+    }
+
+    /// Dynamic-energy scale of the FPU at the configured supply.
+    #[must_use]
+    pub fn dynamic_scale(&self) -> f64 {
+        self.voltage_model.dynamic_energy_scale(self.vdd)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical geometry (zero CUs/SCs, a wavefront that is
+    /// not a positive multiple of the SC count) or an out-of-range error
+    /// rate.
+    pub fn validate(&self) {
+        assert!(self.compute_units > 0, "need at least one compute unit");
+        assert!(self.stream_cores_per_cu > 0, "need at least one stream core");
+        assert!(
+            self.wavefront_size > 0 && self.wavefront_size.is_multiple_of(self.stream_cores_per_cu),
+            "wavefront size {} must be a positive multiple of the SC count {}",
+            self.wavefront_size,
+            self.stream_cores_per_cu
+        );
+        assert!(self.fifo_depth > 0, "FIFO depth must be at least 1");
+        let r = self.effective_error_rate();
+        assert!((0.0..=1.0).contains(&r), "error rate {r} out of range");
+        assert!(self.vdd > 0.0, "vdd must be positive");
+    }
+
+    /// Sub-wavefront slots per vector instruction
+    /// (`wavefront_size / stream_cores_per_cu`, 4 on Evergreen).
+    #[must_use]
+    pub fn subwavefront_slots(&self) -> usize {
+        self.wavefront_size / self.stream_cores_per_cu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let c = DeviceConfig::default();
+        c.validate();
+        assert_eq!(c.fifo_depth, 2);
+        assert_eq!(c.subwavefront_slots(), 4);
+        assert_eq!(c.effective_error_rate(), 0.0);
+        assert!((c.dynamic_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radeon_geometry() {
+        let c = DeviceConfig::radeon_hd_5870();
+        assert_eq!(c.compute_units, 20);
+        assert_eq!(c.stream_cores_per_cu, 16);
+        assert_eq!(c.wavefront_size, 64);
+    }
+
+    #[test]
+    fn voltage_mode_derives_rate() {
+        let c = DeviceConfig::default()
+            .with_error_mode(ErrorMode::FromVoltage)
+            .with_vdd(0.80);
+        assert!(c.effective_error_rate() > 0.2);
+        assert!(c.dynamic_scale() < 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the SC count")]
+    fn validate_rejects_ragged_wavefront() {
+        let c = DeviceConfig {
+            wavefront_size: 63,
+            ..DeviceConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = DeviceConfig::default()
+            .with_fifo_depth(8)
+            .with_seed(1)
+            .with_compute_units(1)
+            .with_arch(ArchMode::Baseline);
+        assert_eq!(c.fifo_depth, 8);
+        assert_eq!(c.arch, ArchMode::Baseline);
+    }
+}

@@ -1,0 +1,546 @@
+//! The top-level device: dispatch and reporting.
+
+use crate::compute_unit::ComputeUnit;
+use crate::config::DeviceConfig;
+use crate::kernel::Kernel;
+use crate::program::{Bindings, Src, VInst, VProgram, WavefrontContext};
+use crate::report::{DeviceReport, OpReport};
+use crate::wave::WaveCtx;
+use tm_core::MemoStats;
+use tm_fpu::ALL_OPS;
+
+/// A simulated Evergreen-style GPGPU.
+///
+/// See the crate-level docs for the architecture and an end-to-end
+/// example.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    compute_units: Vec<ComputeUnit>,
+    wavefronts_dispatched: u64,
+}
+
+impl Device {
+    /// Builds a device from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`DeviceConfig::validate`]).
+    #[must_use]
+    pub fn new(config: DeviceConfig) -> Self {
+        config.validate();
+        let compute_units = (0..config.compute_units)
+            .map(|i| ComputeUnit::new(&config, i))
+            .collect();
+        Self {
+            config,
+            compute_units,
+            wavefronts_dispatched: 0,
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub const fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The compute units.
+    #[must_use]
+    pub fn compute_units(&self) -> &[ComputeUnit] {
+        &self.compute_units
+    }
+
+    /// Number of wavefronts dispatched so far.
+    #[must_use]
+    pub const fn wavefronts_dispatched(&self) -> u64 {
+        self.wavefronts_dispatched
+    }
+
+    /// Runs `kernel` over an ND-range of `global_size` work-items.
+    ///
+    /// The range is split into wavefronts of `wavefront_size` work-items
+    /// (the trailing wavefront may be partial); wavefront *w* executes on
+    /// compute unit *(w mod CUs)*, mirroring the ultra-threaded
+    /// dispatcher's round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_size` is zero.
+    pub fn run<K: Kernel + ?Sized>(&mut self, kernel: &mut K, global_size: usize) {
+        assert!(global_size > 0, "cannot dispatch an empty ND-range");
+        let wf_size = self.config.wavefront_size;
+        let num_cus = self.compute_units.len();
+        let mut start = 0usize;
+        let mut w = 0usize;
+        while start < global_size {
+            let end = (start + wf_size).min(global_size);
+            let lane_ids: Vec<usize> = (start..end).collect();
+            let cu = &mut self.compute_units[w % num_cus];
+            let mut ctx = WaveCtx::new(cu, lane_ids);
+            kernel.execute(&mut ctx);
+            self.wavefronts_dispatched += 1;
+            start = end;
+            w += 1;
+        }
+    }
+
+    /// Runs a [`VProgram`] over an ND-range with `in_flight` wavefronts
+    /// interleaved per compute unit.
+    ///
+    /// With `in_flight = 1` this matches [`Device::run`]'s
+    /// wavefront-at-a-time order. Larger values model the hardware's
+    /// wavefront interleaving: the scheduler round-robins one vector
+    /// instruction from each resident wavefront, so consecutive operands
+    /// on an FPU come from *different* wavefronts — the stress case for
+    /// the 2-entry FIFO's temporal locality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_size` or `in_flight` is zero, or a
+    /// gather/scatter index leaves its buffer.
+    pub fn run_program(
+        &mut self,
+        program: &VProgram,
+        bindings: &mut Bindings,
+        global_size: usize,
+        in_flight: usize,
+    ) {
+        assert!(global_size > 0, "cannot dispatch an empty ND-range");
+        assert!(in_flight > 0, "need at least one wavefront in flight");
+        let wf_size = self.config.wavefront_size;
+        let num_cus = self.compute_units.len();
+
+        // Build each CU's wavefront queue (round-robin assignment, as in
+        // `run`).
+        let mut queues: Vec<Vec<WavefrontContext>> = vec![Vec::new(); num_cus];
+        let mut start = 0usize;
+        let mut w = 0usize;
+        while start < global_size {
+            let end = (start + wf_size).min(global_size);
+            queues[w % num_cus].push(WavefrontContext::new(
+                (start..end).collect(),
+                program.registers(),
+            ));
+            self.wavefronts_dispatched += 1;
+            start = end;
+            w += 1;
+        }
+
+        for (cu_idx, queue) in queues.into_iter().enumerate() {
+            let cu = &mut self.compute_units[cu_idx];
+            let mut pending = queue.into_iter();
+            let mut active: Vec<WavefrontContext> = pending.by_ref().take(in_flight).collect();
+            while !active.is_empty() {
+                let mut i = 0;
+                while i < active.len() {
+                    Self::step_program(cu, program, &mut active[i], bindings);
+                    if active[i].done(program) {
+                        match pending.next() {
+                            Some(fresh) => active[i] = fresh,
+                            None => {
+                                active.remove(i);
+                                continue;
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction of one wavefront context.
+    fn step_program(
+        cu: &mut ComputeUnit,
+        program: &VProgram,
+        ctx: &mut WavefrontContext,
+        bindings: &mut Bindings,
+    ) {
+        let lanes = ctx.lane_ids.len();
+        let inst = &program.instructions()[ctx.pc];
+        match inst {
+            VInst::LaneId { dst } => {
+                for l in 0..lanes {
+                    ctx.regs[*dst as usize][l] = ctx.lane_ids[l] as f32;
+                }
+            }
+            VInst::Gather { dst, data, indices } => {
+                for l in 0..lanes {
+                    ctx.regs[*dst as usize][l] = bindings.gather(*data, *indices, ctx.lane_ids[l]);
+                }
+            }
+            VInst::Scatter { src, data, indices } => {
+                for l in 0..lanes {
+                    let v = ctx.regs[*src as usize][l];
+                    bindings.scatter(*data, *indices, ctx.lane_ids[l], v);
+                }
+            }
+            VInst::Alu { op, dst, srcs } => {
+                // Materialize immediate operands as splat vectors.
+                let materialized: Vec<Vec<f32>> = srcs
+                    .iter()
+                    .map(|s| match s {
+                        Src::Reg(r) => ctx.regs[*r as usize].clone(),
+                        Src::Imm(v) => vec![*v; lanes],
+                    })
+                    .collect();
+                let slices: Vec<&[f32]> = materialized.iter().map(Vec::as_slice).collect();
+                let active = vec![true; lanes];
+                ctx.regs[*dst as usize] = cu.issue_vector(*op, &slices, &active);
+            }
+        }
+        ctx.pc += 1;
+    }
+
+    /// Aggregated memoization statistics for `op` across the device.
+    #[must_use]
+    pub fn op_stats(&self, op: tm_fpu::FpOp) -> MemoStats {
+        self.compute_units.iter().map(|cu| cu.op_stats(op)).sum()
+    }
+
+    /// All retained trace events across compute units (empty unless the
+    /// configuration enabled tracing via `trace_depth`).
+    pub fn trace_events(&self) -> impl Iterator<Item = &crate::TraceEvent> {
+        self.compute_units.iter().flat_map(|cu| cu.trace().events())
+    }
+
+    /// Resets every statistic on the device (see
+    /// [`ComputeUnit::reset_stats`]) while keeping FIFO contents — the
+    /// per-kernel measurement boundary.
+    pub fn reset_stats(&mut self) {
+        for cu in &mut self.compute_units {
+            cu.reset_stats();
+        }
+        self.wavefronts_dispatched = 0;
+    }
+
+    /// Builds the full post-run report.
+    #[must_use]
+    pub fn report(&self) -> DeviceReport {
+        let mut per_op = Vec::new();
+        for op in ALL_OPS {
+            let stats = self.op_stats(op);
+            let (lane_instructions, energy_pj) = self
+                .compute_units
+                .iter()
+                .flat_map(|cu| cu.tallies())
+                .filter(|(&o, _)| o == op)
+                .fold((0u64, 0.0f64), |(n, e), (_, t)| {
+                    (n + t.lane_instructions, e + t.energy_pj)
+                });
+            if lane_instructions > 0 {
+                per_op.push(OpReport {
+                    op,
+                    stats,
+                    lane_instructions,
+                    energy_pj,
+                });
+            }
+        }
+        let mut energy = tm_energy::EnergyLedger::new();
+        for cu in &self.compute_units {
+            energy.merge(cu.ledger());
+        }
+        DeviceReport {
+            per_op,
+            energy: energy.breakdown(),
+            cycles_max: self
+                .compute_units
+                .iter()
+                .map(ComputeUnit::cycles)
+                .max()
+                .unwrap_or(0),
+            cycles_total: self.compute_units.iter().map(ComputeUnit::cycles).sum(),
+            recoveries: self.compute_units.iter().map(|cu| cu.ecu().recoveries()).sum(),
+            errors_injected: self
+                .compute_units
+                .iter()
+                .map(ComputeUnit::errors_injected)
+                .sum(),
+            wavefronts: self.wavefronts_dispatched,
+            spatial_hits: self
+                .compute_units
+                .iter()
+                .flat_map(|cu| cu.tallies())
+                .map(|(_, t)| t.spatial_hits)
+                .sum(),
+            spatial_masked_errors: self
+                .compute_units
+                .iter()
+                .flat_map(|cu| cu.tallies())
+                .map(|(_, t)| t.spatial_masked_errors)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchMode, ErrorMode};
+    use crate::wave::VReg;
+    use tm_fpu::FpOp;
+
+    struct AddOne {
+        out: Vec<f32>,
+    }
+
+    impl Kernel for AddOne {
+        fn name(&self) -> &'static str {
+            "add_one"
+        }
+        fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+            let x = ctx.iota();
+            let one = ctx.splat(1.0);
+            let y = ctx.add(&x, &one);
+            for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+                self.out[gid] = y[l];
+            }
+        }
+    }
+
+    #[test]
+    fn run_covers_full_ndrange_including_partial_wavefront() {
+        let mut device = Device::new(DeviceConfig::default());
+        let n = 100; // 64 + a partial wavefront of 36
+        let mut k = AddOne { out: vec![0.0; n] };
+        device.run(&mut k, n);
+        for (i, v) in k.out.iter().enumerate() {
+            assert_eq!(*v, i as f32 + 1.0);
+        }
+        assert_eq!(device.wavefronts_dispatched(), 2);
+    }
+
+    #[test]
+    fn wavefronts_round_robin_across_cus() {
+        let mut device = Device::new(DeviceConfig::default().with_compute_units(2));
+        let mut k = AddOne {
+            out: vec![0.0; 256],
+        };
+        device.run(&mut k, 256);
+        for cu in device.compute_units() {
+            assert!(cu.cycles() > 0, "both CUs should have executed work");
+        }
+    }
+
+    #[test]
+    fn report_lists_only_activated_ops() {
+        let mut device = Device::new(DeviceConfig::default());
+        let mut k = AddOne { out: vec![0.0; 64] };
+        device.run(&mut k, 64);
+        let report = device.report();
+        assert_eq!(report.per_op.len(), 1);
+        assert_eq!(report.per_op[0].op, FpOp::Add);
+        assert_eq!(report.per_op[0].lane_instructions, 64);
+        assert!(report.energy.total_pj() > 0.0);
+    }
+
+    struct ConstSqrt;
+    impl Kernel for ConstSqrt {
+        fn name(&self) -> &'static str {
+            "const_sqrt"
+        }
+        fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+            let x = VReg::splat(ctx.lanes(), 2.0);
+            let _ = ctx.sqrt(&x);
+        }
+    }
+
+    #[test]
+    fn memoized_beats_baseline_on_redundant_work() {
+        let run = |arch: ArchMode| {
+            let mut device = Device::new(DeviceConfig::default().with_arch(arch));
+            device.run(&mut ConstSqrt, 4096);
+            device.report().energy.total_pj()
+        };
+        let memo = run(ArchMode::Memoized);
+        let baseline = run(ArchMode::Baseline);
+        assert!(
+            memo < baseline * 0.6,
+            "constant operands should memoize well: memo={memo} baseline={baseline}"
+        );
+    }
+
+    #[test]
+    fn error_injection_shows_up_in_report() {
+        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.5));
+        let mut device = Device::new(config);
+        device.run(&mut ConstSqrt, 1024);
+        let report = device.report();
+        assert!(report.errors_injected > 0);
+        let sqrt = &report.per_op[0];
+        assert_eq!(
+            sqrt.stats.errors_seen,
+            report.errors_injected,
+            "every injected error is either masked or recovered"
+        );
+        assert_eq!(
+            sqrt.stats.masked_errors + sqrt.stats.recoveries,
+            report.errors_injected
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ND-range")]
+    fn zero_size_dispatch_panics() {
+        let mut device = Device::new(DeviceConfig::default());
+        device.run(&mut ConstSqrt, 0);
+    }
+
+    #[test]
+    fn tracing_records_events_and_locality_predicts_hits() {
+        let config = DeviceConfig::default()
+            .with_compute_units(1)
+            .with_trace_depth(100_000);
+        let mut device = Device::new(config);
+        device.run(&mut ConstSqrt, 1024);
+        let events: Vec<_> = device.trace_events().copied().collect();
+        assert_eq!(events.len(), 1024);
+        // Constant operands ⇒ zero entropy and near-perfect predicted
+        // reuse, matching the measured hit rate.
+        let entropy = crate::locality::operand_entropy_bits(events.iter());
+        assert_eq!(entropy, 0.0);
+        let profile = crate::locality::StackDistanceProfile::from_events(events.iter());
+        let predicted = profile.hit_rate_at_depth(2);
+        let measured = device.report().weighted_hit_rate();
+        assert!(
+            (predicted - measured).abs() < 1e-9,
+            "LRU prediction {predicted} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let mut device = Device::new(DeviceConfig::default());
+        device.run(&mut ConstSqrt, 64);
+        assert_eq!(device.trace_events().count(), 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_fifo_contents() {
+        let mut device = Device::new(DeviceConfig::default());
+        device.run(&mut ConstSqrt, 256);
+        assert!(device.report().total_instructions() > 0);
+        device.reset_stats();
+        let cleared = device.report();
+        assert_eq!(cleared.total_instructions(), 0);
+        assert_eq!(cleared.total_energy_pj(), 0.0);
+        assert_eq!(cleared.wavefronts, 0);
+        // FIFOs survived: the very first wavefront after the reset hits.
+        device.run(&mut ConstSqrt, 64);
+        let warm = device.report();
+        assert_eq!(
+            warm.weighted_hit_rate(),
+            1.0,
+            "warm FIFOs should hit immediately after a stats reset"
+        );
+    }
+
+    #[test]
+    fn per_stage_error_mode_hits_deep_pipelines_harder() {
+        struct RecipAndAdd;
+        impl Kernel for RecipAndAdd {
+            fn name(&self) -> &'static str {
+                "recip_and_add"
+            }
+            fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+                let x = ctx.iota();
+                let _ = ctx.recip(&x); // 16 stages
+                let _ = ctx.add(&x, &x); // 4 stages
+            }
+        }
+        // Memoized mode records per-op error statistics; iota operands
+        // are unique per work-item, so every access is a (recorded) miss.
+        let config = DeviceConfig::default()
+            .with_error_mode(ErrorMode::PerStageRate(0.01))
+            .with_compute_units(1)
+            .with_seed(4);
+        let mut device = Device::new(config);
+        device.run(&mut RecipAndAdd, 16384);
+        let report = device.report();
+        let recip = report.op(FpOp::Recip).unwrap();
+        let add = report.op(FpOp::Add).unwrap();
+        // 1-(1-p)^16 ≈ 14.9 % vs 1-(1-p)^4 ≈ 3.9 % — about 3.8x.
+        let recip_rate = recip.stats.errors_seen as f64 / recip.lane_instructions as f64;
+        let add_rate = add.stats.errors_seen as f64 / add.lane_instructions as f64;
+        assert!(
+            recip_rate > 2.5 * add_rate,
+            "deep pipeline should err more: recip {recip_rate:.3} vs add {add_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn spatial_mode_reuses_within_slots() {
+        // Constant operands: in every 16-lane slot, one lane executes and
+        // 15 reuse — spatial hit rate of exactly 15/16.
+        let mut device = Device::new(DeviceConfig::default().with_arch(ArchMode::Spatial));
+        device.run(&mut ConstSqrt, 1024);
+        let report = device.report();
+        assert_eq!(report.spatial_hits, 1024 / 16 * 15);
+        assert!((report.spatial_hit_rate() - 15.0 / 16.0).abs() < 1e-12);
+        // The per-FPU FIFOs are power-gated in this mode.
+        assert_eq!(report.total_stats().lookups, 0);
+    }
+
+    #[test]
+    fn spatial_mode_masks_errors_on_reused_lanes() {
+        let config = DeviceConfig::default()
+            .with_arch(ArchMode::Spatial)
+            .with_error_mode(ErrorMode::FixedRate(0.5));
+        let mut device = Device::new(config);
+        device.run(&mut ConstSqrt, 1024);
+        let report = device.report();
+        assert!(report.spatial_masked_errors > 0);
+        // Errors on executing lanes still go to the ECU; reused lanes are free.
+        assert_eq!(
+            report.recoveries + report.spatial_masked_errors,
+            report.errors_injected
+        );
+    }
+
+    #[test]
+    fn spatial_mode_is_correct_on_varied_inputs() {
+        let mut memo_dev = Device::new(DeviceConfig::default());
+        let mut spatial_dev = Device::new(DeviceConfig::default().with_arch(ArchMode::Spatial));
+        let mut a = AddOne { out: vec![0.0; 200] };
+        let mut b = AddOne { out: vec![0.0; 200] };
+        memo_dev.run(&mut a, 200);
+        spatial_dev.run(&mut b, 200);
+        assert_eq!(a.out, b.out);
+    }
+
+    #[test]
+    fn temporal_beats_spatial_on_temporal_locality() {
+        // Values recur over time (across wavefronts) but are distinct
+        // within each slot — the workload shape the paper argues for.
+        struct TimeLocal;
+        impl Kernel for TimeLocal {
+            fn name(&self) -> &'static str {
+                "time_local"
+            }
+            fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+                // lane value = sc index (distinct within a slot), same for
+                // every slot... so make it distinct per lane within slot
+                // but identical across wavefronts.
+                let x = VReg::from_fn(ctx.lanes(), |l| (l % 16) as f32 * 1.25 + 1.0);
+                let _ = ctx.sqrt(&x);
+            }
+        }
+        let run = |arch: ArchMode| {
+            let mut device = Device::new(
+                DeviceConfig::default()
+                    .with_arch(arch)
+                    .with_compute_units(1),
+            );
+            device.run(&mut TimeLocal, 4096);
+            device.report()
+        };
+        let temporal = run(ArchMode::Memoized);
+        let spatial = run(ArchMode::Spatial);
+        assert!(temporal.weighted_hit_rate() > 0.9);
+        assert!(spatial.spatial_hit_rate() < 0.1);
+        assert!(temporal.total_energy_pj() < spatial.total_energy_pj());
+    }
+}

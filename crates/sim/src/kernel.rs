@@ -1,0 +1,52 @@
+//! The kernel abstraction.
+
+use crate::wave::WaveCtx;
+
+/// A data-parallel device kernel, the unit [`crate::Device::run`] executes.
+///
+/// This plays the role of an OpenCL kernel in the paper's setup: the
+/// runtime splits the ND-range into wavefronts and calls
+/// [`Kernel::execute`] once per wavefront with a SIMT context. Work-item
+/// identity comes from [`WaveCtx::lane_ids`]; inputs and outputs live on
+/// the kernel value itself (the memory system is assumed resilient and is
+/// not modeled, per §5.1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use tm_sim::{Device, DeviceConfig, Kernel, WaveCtx};
+///
+/// /// out[i] = in[i] * in[i]
+/// struct Square {
+///     input: Vec<f32>,
+///     output: Vec<f32>,
+/// }
+///
+/// impl Kernel for Square {
+///     fn name(&self) -> &'static str {
+///         "square"
+///     }
+///     fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+///         let x = tm_sim::VReg::from_fn(ctx.lanes(), |l| self.input[ctx.lane_ids()[l]]);
+///         let y = ctx.mul(&x, &x);
+///         for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+///             self.output[gid] = y[l];
+///         }
+///     }
+/// }
+///
+/// let mut device = Device::new(DeviceConfig::default());
+/// let mut k = Square {
+///     input: (0..128).map(|i| i as f32).collect(),
+///     output: vec![0.0; 128],
+/// };
+/// device.run(&mut k, 128);
+/// assert_eq!(k.output[5], 25.0);
+/// ```
+pub trait Kernel {
+    /// A short kernel name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes one wavefront.
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>);
+}

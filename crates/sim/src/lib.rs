@@ -1,0 +1,95 @@
+//! An Evergreen-style GPGPU simulator with per-FPU temporal memoization.
+//!
+//! This crate stands in for the paper's modified Multi2Sim: a
+//! cycle-approximate model of the AMD Radeon HD 5870's execute stage that
+//! reproduces the one property the temporal-memoization technique lives on
+//! — **the order in which operand sets arrive at each FPU**.
+//!
+//! # Architecture (paper §3)
+//!
+//! - A [`Device`] contains compute units; each [`ComputeUnit`] contains 16
+//!   stream cores executing one wavefront of 64 work-items in SIMD
+//!   lock-step.
+//! - A wavefront is split into four *sub-wavefronts* at the execute stage:
+//!   lane *l* executes on stream core *(l mod 16)* in time-multiplex slot
+//!   *(l div 16)*. Consecutive operands on a given FPU therefore come from
+//!   work-items 16 apart, every cycle — the "congested temporal value
+//!   locality" of §4.1.
+//! - Each stream core instantiates one pipelined FPU (and one
+//!   [`tm_core::MemoModule`]) per opcode it executes, mirroring the paper's
+//!   private FIFO per individual FPU.
+//!
+//! # Programming model
+//!
+//! Two ways to express a kernel:
+//!
+//! - implement [`Kernel`] against [`WaveCtx`], a wavefront-wide SIMT
+//!   context: every ALU call (e.g. [`WaveCtx::mul`]) issues one Evergreen
+//!   vector instruction over all active lanes, routing each lane through
+//!   its stream core's FPU + memoization module, charging cycles and
+//!   energy per the Table-2 action; or
+//! - build a [`program::VProgram`] (a straight-line vector-instruction
+//!   list) and run it with [`Device::run_program`], which can *interleave*
+//!   multiple wavefronts per compute unit the way real hardware does.
+//!
+//! Three architecture variants are selectable via [`ArchMode`]: the
+//! baseline resilient design, the paper's temporal memoization, and the
+//! authors' earlier cross-lane *spatial* memoization. Set
+//! `DeviceConfig::trace_depth` to record per-instruction [`TraceEvent`]s
+//! and analyse them with [`locality`] (operand entropy, LRU stack
+//! distances).
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_sim::{Device, DeviceConfig, Kernel, VReg, WaveCtx};
+//!
+//! /// y[i] = sqrt(x[i]) over a constant input — maximal value locality.
+//! struct SqrtAll {
+//!     out: Vec<f32>,
+//! }
+//!
+//! impl Kernel for SqrtAll {
+//!     fn name(&self) -> &'static str {
+//!         "sqrt_all"
+//!     }
+//!     fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+//!         let x = VReg::splat(ctx.lanes(), 9.0);
+//!         let y = ctx.sqrt(&x);
+//!         for (i, gid) in ctx.lane_ids().to_vec().into_iter().enumerate() {
+//!             self.out[gid] = y[i];
+//!         }
+//!     }
+//! }
+//!
+//! let mut device = Device::new(DeviceConfig::default());
+//! let mut kernel = SqrtAll { out: vec![0.0; 256] };
+//! device.run(&mut kernel, 256);
+//! assert!(kernel.out.iter().all(|&v| v == 3.0));
+//! let report = device.report();
+//! // After one cold miss per stream-core FIFO, every identical operand hits.
+//! assert!(report.weighted_hit_rate() > 0.85);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute_unit;
+mod config;
+mod device;
+mod kernel;
+pub mod locality;
+pub mod program;
+mod report;
+mod stream_core;
+mod trace;
+mod wave;
+
+pub use compute_unit::ComputeUnit;
+pub use config::{ArchMode, DeviceConfig, ErrorMode};
+pub use device::Device;
+pub use kernel::Kernel;
+pub use report::{DeviceReport, OpReport};
+pub use stream_core::{LaneUnit, StreamCore};
+pub use trace::{TraceBuffer, TraceEvent};
+pub use wave::{VReg, WaveCtx};

@@ -1,0 +1,429 @@
+//! A vector-instruction program representation and its interpreter.
+//!
+//! The [`crate::Kernel`] closure API executes one wavefront to completion
+//! before the next — fine for value-locality studies of a single
+//! wavefront's stream, but real Evergreen compute units **interleave**
+//! wavefronts on the ALU engine, which perturbs each FPU's operand stream
+//! and therefore the 2-entry FIFO's temporal locality. Interleaving
+//! requires suspending a wavefront between instructions, which closures
+//! cannot do; [`VProgram`] can: it is a flat list of vector instructions
+//! over a register file, so the scheduler in
+//! [`crate::Device::run_program`] is free to issue instruction *i* of
+//! wavefront A, then instruction *j* of wavefront B.
+//!
+//! The representation doubles as a model of the paper's §3 "clause-based
+//! format": a `VProgram` is one ALU clause; gathers/scatters stand in for
+//! the TEX clauses that surround it.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_sim::program::{Bindings, Src, VInst, VProgram};
+//! use tm_sim::{Device, DeviceConfig};
+//! use tm_fpu::FpOp;
+//!
+//! // out[i] = sqrt(in[i]) + 1.0
+//! let program = VProgram::new(2, vec![
+//!     VInst::Gather { dst: 0, data: 0, indices: 1 },
+//!     VInst::Alu { op: FpOp::Sqrt, dst: 1, srcs: vec![Src::Reg(0)] },
+//!     VInst::Alu { op: FpOp::Add, dst: 1, srcs: vec![Src::Reg(1), Src::Imm(1.0)] },
+//!     VInst::Scatter { src: 1, data: 2, indices: 1 },
+//! ]).expect("well-formed program");
+//!
+//! let n = 128;
+//! let mut bindings = Bindings::new(vec![
+//!     (0..n).map(|i| (i % 4) as f32).collect(), // input
+//!     (0..n).map(|i| i as f32).collect(),       // identity indices
+//!     vec![0.0; n],                             // output
+//! ]);
+//! let mut device = Device::new(DeviceConfig::default());
+//! device.run_program(&program, &mut bindings, n, 1);
+//! assert_eq!(bindings.buffer(2)[5], 2.0); // sqrt(1) + 1
+//! ```
+
+use std::fmt;
+
+/// A virtual vector-register index.
+pub type VReg8 = u8;
+
+/// A buffer index into a [`Bindings`] set.
+pub type BufferId = usize;
+
+/// A source operand of an ALU instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Src {
+    /// A vector register.
+    Reg(VReg8),
+    /// An immediate (the same literal in every lane — Evergreen's literal
+    /// constants).
+    Imm(f32),
+}
+
+/// One vector instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VInst {
+    /// An FP ALU instruction over the active lanes.
+    Alu {
+        /// The opcode.
+        op: tm_fpu::FpOp,
+        /// Destination register.
+        dst: VReg8,
+        /// Source operands (length must equal the opcode's arity).
+        srcs: Vec<Src>,
+    },
+    /// `dst[lane] = data[indices[gid]]` — an indexed load (a TEX-clause
+    /// fetch). Indices come from a host-prepared buffer of positions, one
+    /// per work-item, read at the work-item's global id.
+    Gather {
+        /// Destination register.
+        dst: VReg8,
+        /// Buffer holding the data.
+        data: BufferId,
+        /// Buffer holding one f32 index per work-item.
+        indices: BufferId,
+    },
+    /// `data[indices[gid]] = src[lane]` — an indexed store.
+    Scatter {
+        /// Source register.
+        src: VReg8,
+        /// Buffer written.
+        data: BufferId,
+        /// Buffer holding one f32 index per work-item.
+        indices: BufferId,
+    },
+    /// `dst[lane] = gid as f32` — the work-item id (Evergreen's
+    /// `get_global_id`).
+    LaneId {
+        /// Destination register.
+        dst: VReg8,
+    },
+}
+
+/// A straight-line vector program (one ALU clause).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VProgram {
+    registers: usize,
+    instructions: Vec<VInst>,
+}
+
+/// Why a program failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateProgramError(String);
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid vector program: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+impl VProgram {
+    /// Builds and validates a program with `registers` vector registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateProgramError`] when an instruction references a
+    /// register out of range or an ALU arity does not match its opcode.
+    pub fn new(registers: usize, instructions: Vec<VInst>) -> Result<Self, ValidateProgramError> {
+        let check_reg = |r: VReg8, what: &str| {
+            if (r as usize) < registers {
+                Ok(())
+            } else {
+                Err(ValidateProgramError(format!(
+                    "{what} register r{r} out of range (program has {registers})"
+                )))
+            }
+        };
+        for (i, inst) in instructions.iter().enumerate() {
+            match inst {
+                VInst::Alu { op, dst, srcs } => {
+                    check_reg(*dst, "destination")?;
+                    if srcs.len() != op.arity() {
+                        return Err(ValidateProgramError(format!(
+                            "instruction {i}: {op} expects {} operands, got {}",
+                            op.arity(),
+                            srcs.len()
+                        )));
+                    }
+                    for s in srcs {
+                        if let Src::Reg(r) = s {
+                            check_reg(*r, "source")?;
+                        }
+                    }
+                }
+                VInst::Gather { dst, .. } | VInst::LaneId { dst } => check_reg(*dst, "destination")?,
+                VInst::Scatter { src, .. } => check_reg(*src, "source")?,
+            }
+        }
+        Ok(Self {
+            registers,
+            instructions,
+        })
+    }
+
+    /// Number of vector registers.
+    #[must_use]
+    pub const fn registers(&self) -> usize {
+        self.registers
+    }
+
+    /// The instruction list.
+    #[must_use]
+    pub fn instructions(&self) -> &[VInst] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Pretty-prints the program as an Evergreen-flavoured assembly
+    /// listing — handy when debugging IR builders.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_sim::program::{Src, VInst, VProgram};
+    /// use tm_fpu::FpOp;
+    ///
+    /// let p = VProgram::new(2, vec![
+    ///     VInst::LaneId { dst: 0 },
+    ///     VInst::Alu { op: FpOp::Add, dst: 1, srcs: vec![Src::Reg(0), Src::Imm(1.0)] },
+    /// ]).unwrap();
+    /// let listing = p.disassemble();
+    /// assert!(listing.contains("ADD    r1, r0, #1"));
+    /// ```
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = format!("; {} registers, {} instructions\n", self.registers, self.len());
+        for (pc, inst) in self.instructions.iter().enumerate() {
+            let body = match inst {
+                VInst::Alu { op, dst, srcs } => {
+                    let operands: Vec<String> = srcs
+                        .iter()
+                        .map(|s| match s {
+                            Src::Reg(r) => format!("r{r}"),
+                            Src::Imm(v) => format!("#{v}"),
+                        })
+                        .collect();
+                    format!("{:<6} r{dst}, {}", op.mnemonic(), operands.join(", "))
+                }
+                VInst::Gather { dst, data, indices } => {
+                    format!("GATHER r{dst}, buf{data}[buf{indices}[gid]]")
+                }
+                VInst::Scatter { src, data, indices } => {
+                    format!("SCATTR buf{data}[buf{indices}[gid]], r{src}")
+                }
+                VInst::LaneId { dst } => format!("LANEID r{dst}"),
+            };
+            out.push_str(&format!("{pc:>4}: {body}\n"));
+        }
+        out
+    }
+
+    /// Per-opcode ALU instruction counts — the static instruction mix.
+    #[must_use]
+    pub fn op_histogram(&self) -> Vec<(tm_fpu::FpOp, usize)> {
+        let mut counts: std::collections::BTreeMap<tm_fpu::FpOp, usize> =
+            std::collections::BTreeMap::new();
+        for inst in &self.instructions {
+            if let VInst::Alu { op, .. } = inst {
+                *counts.entry(*op).or_default() += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// The buffers a program runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bindings {
+    buffers: Vec<Vec<f32>>,
+}
+
+impl Bindings {
+    /// Wraps a set of buffers; `BufferId` N is `buffers[N]`.
+    #[must_use]
+    pub fn new(buffers: Vec<Vec<f32>>) -> Self {
+        Self { buffers }
+    }
+
+    /// Read access to buffer `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn buffer(&self, id: BufferId) -> &[f32] {
+        &self.buffers[id]
+    }
+
+    /// Write access to buffer `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn buffer_mut(&mut self, id: BufferId) -> &mut Vec<f32> {
+        &mut self.buffers[id]
+    }
+
+    /// Number of bound buffers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether no buffer is bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    pub(crate) fn gather(&self, data: BufferId, indices: BufferId, gid: usize) -> f32 {
+        let idx = self.buffers[indices][gid] as usize;
+        self.buffers[data][idx]
+    }
+
+    pub(crate) fn scatter(&mut self, data: BufferId, indices: BufferId, gid: usize, value: f32) {
+        let idx = self.buffers[indices][gid] as usize;
+        self.buffers[data][idx] = value;
+    }
+}
+
+/// The execution state of one in-flight wavefront: program counter plus a
+/// register file of per-lane values.
+#[derive(Debug, Clone)]
+pub(crate) struct WavefrontContext {
+    pub lane_ids: Vec<usize>,
+    pub pc: usize,
+    pub regs: Vec<Vec<f32>>,
+}
+
+impl WavefrontContext {
+    pub fn new(lane_ids: Vec<usize>, registers: usize) -> Self {
+        let lanes = lane_ids.len();
+        Self {
+            lane_ids,
+            pc: 0,
+            regs: vec![vec![0.0; lanes]; registers],
+        }
+    }
+
+    pub fn done(&self, program: &VProgram) -> bool {
+        self.pc >= program.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_fpu::FpOp;
+
+    #[test]
+    fn validation_rejects_bad_registers() {
+        let err = VProgram::new(
+            1,
+            vec![VInst::Alu {
+                op: FpOp::Neg,
+                dst: 1,
+                srcs: vec![Src::Reg(0)],
+            }],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_arity() {
+        let err = VProgram::new(
+            2,
+            vec![VInst::Alu {
+                op: FpOp::Add,
+                dst: 0,
+                srcs: vec![Src::Reg(0)],
+            }],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expects 2 operands"));
+    }
+
+    #[test]
+    fn disassembly_covers_every_instruction_form() {
+        let p = VProgram::new(
+            2,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Gather {
+                    dst: 1,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Alu {
+                    op: FpOp::MulAdd,
+                    dst: 1,
+                    srcs: vec![Src::Reg(1), Src::Imm(2.0), Src::Reg(0)],
+                },
+                VInst::Scatter {
+                    src: 1,
+                    data: 2,
+                    indices: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let listing = p.disassemble();
+        assert!(listing.contains("LANEID r0"));
+        assert!(listing.contains("GATHER r1, buf0[buf1[gid]]"));
+        assert!(listing.contains("MULADD r1, r1, #2, r0"));
+        assert!(listing.contains("SCATTR buf2[buf1[gid]], r1"));
+        assert_eq!(listing.lines().count(), 5); // header + 4 instructions
+    }
+
+    #[test]
+    fn op_histogram_counts_alu_only() {
+        let p = VProgram::new(
+            1,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Alu {
+                    op: FpOp::Neg,
+                    dst: 0,
+                    srcs: vec![Src::Reg(0)],
+                },
+                VInst::Alu {
+                    op: FpOp::Neg,
+                    dst: 0,
+                    srcs: vec![Src::Reg(0)],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.op_histogram(), vec![(FpOp::Neg, 2)]);
+    }
+
+    #[test]
+    fn bindings_gather_scatter_round_trip() {
+        let mut b = Bindings::new(vec![vec![10.0, 20.0, 30.0], vec![2.0, 0.0, 1.0]]);
+        assert_eq!(b.gather(0, 1, 0), 30.0);
+        b.scatter(0, 1, 1, 99.0);
+        assert_eq!(b.buffer(0)[0], 99.0);
+    }
+
+    #[test]
+    fn wavefront_context_tracks_completion() {
+        let p = VProgram::new(1, vec![VInst::LaneId { dst: 0 }]).unwrap();
+        let mut ctx = WavefrontContext::new(vec![0, 1], 1);
+        assert!(!ctx.done(&p));
+        ctx.pc = 1;
+        assert!(ctx.done(&p));
+    }
+}

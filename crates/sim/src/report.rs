@@ -1,0 +1,230 @@
+//! Post-run reports.
+
+use std::fmt;
+use tm_core::MemoStats;
+use tm_energy::EnergyBreakdown;
+use tm_fpu::FpOp;
+
+/// Per-opcode results of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpReport {
+    /// The opcode.
+    pub op: FpOp,
+    /// Aggregated memoization statistics across every FPU of this type.
+    pub stats: MemoStats,
+    /// Lane-level instructions executed.
+    pub lane_instructions: u64,
+    /// Energy attributed to this opcode, pJ.
+    pub energy_pj: f64,
+}
+
+impl OpReport {
+    /// Hit rate of this opcode's FIFOs.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+}
+
+/// The full result of a device run: the raw material of every table and
+/// figure in the paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// One entry per *activated* opcode (ops that executed at least once),
+    /// in [`tm_fpu::ALL_OPS`] order.
+    pub per_op: Vec<OpReport>,
+    /// Energy breakdown across the device.
+    pub energy: EnergyBreakdown,
+    /// Cycles of the busiest compute unit (wall-clock proxy).
+    pub cycles_max: u64,
+    /// Summed cycles across compute units.
+    pub cycles_total: u64,
+    /// ECU baseline recoveries performed.
+    pub recoveries: u64,
+    /// Timing violations injected.
+    pub errors_injected: u64,
+    /// Wavefronts dispatched.
+    pub wavefronts: u64,
+    /// Lane instructions satisfied by spatial (cross-lane) reuse — only
+    /// non-zero under [`crate::ArchMode::Spatial`].
+    pub spatial_hits: u64,
+    /// Timing errors masked by spatial reuse.
+    pub spatial_masked_errors: u64,
+}
+
+impl DeviceReport {
+    /// The report entry for `op`, if it was activated.
+    #[must_use]
+    pub fn op(&self, op: FpOp) -> Option<&OpReport> {
+        self.per_op.iter().find(|r| r.op == op)
+    }
+
+    /// Total lane-level FP instructions executed.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.per_op.iter().map(|r| r.lane_instructions).sum()
+    }
+
+    /// The lookup-weighted average hit rate over the activated FPUs — the
+    /// "weighted average hit rate of the activated FPUs" of Fig. 8.
+    #[must_use]
+    pub fn weighted_hit_rate(&self) -> f64 {
+        let (hits, lookups) = self.per_op.iter().fold((0u64, 0u64), |(h, l), r| {
+            (h + r.stats.hits, l + r.stats.lookups)
+        });
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+
+    /// Energy of the opcodes inside the paper's evaluation scope — "the
+    /// six frequently exercised functional units: ADD, MUL, SQRT, RECIP,
+    /// MULADD, FP2INT" (§5.1; `SUB` folds into the ADD unit). This is the
+    /// quantity Figs. 10 and 11 compare.
+    #[must_use]
+    pub fn scoped_energy_pj(&self) -> f64 {
+        self.per_op
+            .iter()
+            .filter(|r| r.op.in_paper_scope())
+            .map(|r| r.energy_pj)
+            .sum()
+    }
+
+    /// Fraction of lane instructions satisfied by spatial reuse.
+    #[must_use]
+    pub fn spatial_hit_rate(&self) -> f64 {
+        let total = self.total_instructions();
+        if total == 0 {
+            0.0
+        } else {
+            self.spatial_hits as f64 / total as f64
+        }
+    }
+
+    /// Aggregated memoization statistics across all opcodes.
+    #[must_use]
+    pub fn total_stats(&self) -> MemoStats {
+        self.per_op.iter().map(|r| r.stats).sum()
+    }
+}
+
+impl fmt::Display for DeviceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "device report: {} instructions, {} wavefronts, {} cycles (max CU), {:.1} pJ",
+            self.total_instructions(),
+            self.wavefronts,
+            self.cycles_max,
+            self.total_energy_pj()
+        )?;
+        writeln!(
+            f,
+            "  weighted hit rate {:.1}%, {} errors injected, {} recoveries",
+            self.weighted_hit_rate() * 100.0,
+            self.errors_injected,
+            self.recoveries
+        )?;
+        for r in &self.per_op {
+            writeln!(
+                f,
+                "  {:<7} {:>10} instr  hit {:>5.1}%  masked {:>6}  recovered {:>6}",
+                r.op.mnemonic(),
+                r.lane_instructions,
+                r.hit_rate() * 100.0,
+                r.stats.masked_errors,
+                r.stats.recoveries
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeviceReport {
+        DeviceReport {
+            per_op: vec![
+                OpReport {
+                    op: FpOp::Add,
+                    stats: MemoStats {
+                        lookups: 100,
+                        hits: 50,
+                        misses: 50,
+                        updates: 50,
+                        ..MemoStats::default()
+                    },
+                    lane_instructions: 100,
+                    energy_pj: 500.0,
+                },
+                OpReport {
+                    op: FpOp::Sqrt,
+                    stats: MemoStats {
+                        lookups: 100,
+                        hits: 90,
+                        misses: 10,
+                        updates: 10,
+                        ..MemoStats::default()
+                    },
+                    lane_instructions: 100,
+                    energy_pj: 800.0,
+                },
+            ],
+            energy: EnergyBreakdown::default(),
+            cycles_max: 10,
+            cycles_total: 20,
+            recoveries: 0,
+            errors_injected: 0,
+            wavefronts: 2,
+            spatial_hits: 0,
+            spatial_masked_errors: 0,
+        }
+    }
+
+    #[test]
+    fn weighted_hit_rate_weights_by_lookups() {
+        let r = sample();
+        assert!((r.weighted_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_by_op() {
+        let r = sample();
+        assert!(r.op(FpOp::Add).is_some());
+        assert!(r.op(FpOp::Mul).is_none());
+        assert_eq!(r.total_instructions(), 200);
+    }
+
+    #[test]
+    fn display_contains_mnemonics() {
+        let s = sample().to_string();
+        assert!(s.contains("ADD") && s.contains("SQRT"));
+    }
+
+    #[test]
+    fn empty_report_has_zero_rate() {
+        let r = DeviceReport {
+            per_op: vec![],
+            energy: EnergyBreakdown::default(),
+            cycles_max: 0,
+            cycles_total: 0,
+            recoveries: 0,
+            errors_injected: 0,
+            wavefronts: 0,
+            spatial_hits: 0,
+            spatial_masked_errors: 0,
+        };
+        assert_eq!(r.weighted_hit_rate(), 0.0);
+        assert_eq!(r.total_instructions(), 0);
+    }
+}

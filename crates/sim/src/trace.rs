@@ -1,0 +1,147 @@
+//! Instruction tracing — the raw material for value-locality analysis.
+//!
+//! The paper's modified Multi2Sim "collect[s] the statistics for computing
+//! the temporal value locality out of 27 single precision floating-point
+//! instructions" (§5). This module is that collector: when
+//! [`crate::DeviceConfig::trace_depth`] is non-zero, every lane
+//! instruction appends a [`TraceEvent`] to its compute unit's ring buffer,
+//! and [`crate::locality`] turns the streams into entropy and
+//! reuse-distance statistics.
+
+use std::collections::VecDeque;
+use tm_fpu::{FpOp, Operands};
+
+/// One lane-level FP instruction as it passed through a stream core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The opcode.
+    pub op: FpOp,
+    /// The input operands.
+    pub operands: Operands,
+    /// The architecturally visible result (`Q_Pipe`).
+    pub result: f32,
+    /// Whether the memoization LUT hit.
+    pub hit: bool,
+    /// Whether the EDS sensors flagged a timing violation.
+    pub error: bool,
+    /// Stream core index within the compute unit.
+    pub stream_core: usize,
+    /// Lane index within the wavefront.
+    pub lane: usize,
+    /// Issue cycle.
+    pub cycle: u64,
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding up to `capacity` events (`0` disables tracing).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event (oldest events fall off when full).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that fell off the ring.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the buffer (counters included).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(v: f32) -> TraceEvent {
+        TraceEvent {
+            op: FpOp::Add,
+            operands: Operands::binary(v, v),
+            result: v + v,
+            hit: false,
+            error: false,
+            stream_core: 0,
+            lane: 0,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut buf = TraceBuffer::new(0);
+        assert!(!buf.is_enabled());
+        buf.record(event(1.0));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut buf = TraceBuffer::new(2);
+        buf.record(event(1.0));
+        buf.record(event(2.0));
+        buf.record(event(3.0));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        let first = buf.events().next().unwrap();
+        assert_eq!(first.result, 4.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut buf = TraceBuffer::new(2);
+        buf.record(event(1.0));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 0);
+    }
+}

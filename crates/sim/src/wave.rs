@@ -1,0 +1,453 @@
+//! The wavefront SIMT execution context and vector registers.
+
+use crate::compute_unit::ComputeUnit;
+use std::ops::Index;
+use tm_fpu::FpOp;
+
+/// A wavefront-wide vector register: one `f32` per lane.
+///
+/// # Examples
+///
+/// ```
+/// use tm_sim::VReg;
+///
+/// let r = VReg::from_fn(4, |lane| lane as f32 * 2.0);
+/// assert_eq!(r[3], 6.0);
+/// assert_eq!(r.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VReg {
+    values: Vec<f32>,
+}
+
+impl VReg {
+    /// A register with every lane set to `value`.
+    #[must_use]
+    pub fn splat(lanes: usize, value: f32) -> Self {
+        Self {
+            values: vec![value; lanes],
+        }
+    }
+
+    /// Builds a register by evaluating `f(lane)`.
+    #[must_use]
+    pub fn from_fn(lanes: usize, f: impl FnMut(usize) -> f32) -> Self {
+        Self {
+            values: (0..lanes).map(f).collect(),
+        }
+    }
+
+    /// Wraps a per-lane value vector.
+    #[must_use]
+    pub fn from_vec(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the register has zero lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The per-lane values.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Copies the values out.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.values.clone()
+    }
+
+    /// Iterates over lane values.
+    pub fn iter(&self) -> impl Iterator<Item = f32> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl Index<usize> for VReg {
+    type Output = f32;
+    fn index(&self, lane: usize) -> &f32 {
+        &self.values[lane]
+    }
+}
+
+impl From<Vec<f32>> for VReg {
+    fn from(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+}
+
+macro_rules! unary_op {
+    ($(#[$doc:meta])* $name:ident, $op:expr) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: &VReg) -> VReg {
+            self.alu($op, &[a])
+        }
+    };
+}
+
+macro_rules! binary_op {
+    ($(#[$doc:meta])* $name:ident, $op:expr) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: &VReg, b: &VReg) -> VReg {
+            self.alu($op, &[a, b])
+        }
+    };
+}
+
+/// The SIMT execution context handed to a [`crate::Kernel`] for one
+/// wavefront.
+///
+/// Every ALU method issues one Evergreen vector instruction across the
+/// active lanes of the wavefront, through the owning compute unit's stream
+/// cores (and their FPUs + memoization modules). Divergence is expressed
+/// with the [`WaveCtx::push_mask`] / [`WaveCtx::pop_mask`] execution-mask
+/// stack, mirroring the hardware's predication.
+pub struct WaveCtx<'a> {
+    cu: &'a mut ComputeUnit,
+    lane_ids: Vec<usize>,
+    mask_stack: Vec<Vec<bool>>,
+    active: Vec<bool>,
+}
+
+impl<'a> WaveCtx<'a> {
+    /// Creates the context for one wavefront. `lane_ids` are the global
+    /// work-item ids of the wavefront's lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_ids` is empty.
+    #[must_use]
+    pub fn new(cu: &'a mut ComputeUnit, lane_ids: Vec<usize>) -> Self {
+        assert!(!lane_ids.is_empty(), "a wavefront needs at least one lane");
+        let lanes = lane_ids.len();
+        Self {
+            cu,
+            lane_ids,
+            mask_stack: Vec::new(),
+            active: vec![true; lanes],
+        }
+    }
+
+    /// Number of lanes in this wavefront.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lane_ids.len()
+    }
+
+    /// Global work-item ids of the lanes.
+    #[must_use]
+    pub fn lane_ids(&self) -> &[usize] {
+        &self.lane_ids
+    }
+
+    /// The current effective execution mask.
+    #[must_use]
+    pub fn active_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// A register holding every lane's global work-item id as `f32`.
+    #[must_use]
+    pub fn iota(&self) -> VReg {
+        VReg::from_fn(self.lanes(), |l| self.lane_ids[l] as f32)
+    }
+
+    /// A register with every lane set to `value` (convenience splat).
+    #[must_use]
+    pub fn splat(&self, value: f32) -> VReg {
+        VReg::splat(self.lanes(), value)
+    }
+
+    /// Pushes a predicate onto the execution-mask stack: lanes where
+    /// `cond` is `false` become inactive until the matching
+    /// [`WaveCtx::pop_mask`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond.len()` differs from the lane count.
+    pub fn push_mask(&mut self, cond: &[bool]) {
+        assert_eq!(cond.len(), self.lanes(), "mask length mismatch");
+        self.mask_stack.push(cond.to_vec());
+        self.recompute_active();
+    }
+
+    /// Pops the innermost predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask stack is empty.
+    pub fn pop_mask(&mut self) {
+        assert!(self.mask_stack.pop().is_some(), "mask stack underflow");
+        self.recompute_active();
+    }
+
+    fn recompute_active(&mut self) {
+        let lanes = self.lanes();
+        self.active = (0..lanes)
+            .map(|l| self.mask_stack.iter().all(|m| m[l]))
+            .collect();
+    }
+
+    /// Issues an arbitrary vector ALU instruction — the generic form of
+    /// the named methods below, for code that dispatches on [`FpOp`]
+    /// dynamically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs.len()` differs from the opcode's arity or any
+    /// register's lane count differs from the wavefront's.
+    pub fn alu(&mut self, op: FpOp, srcs: &[&VReg]) -> VReg {
+        for s in srcs {
+            assert_eq!(s.len(), self.lanes(), "{op}: vector register length mismatch");
+        }
+        let slices: Vec<&[f32]> = srcs.iter().map(|s| s.as_slice()).collect();
+        VReg::from_vec(self.cu.issue_vector(op, &slices, &self.active))
+    }
+
+    binary_op!(
+        /// `ADD`: lane-wise `a + b`.
+        add,
+        FpOp::Add
+    );
+    binary_op!(
+        /// `SUB`: lane-wise `a - b`.
+        sub,
+        FpOp::Sub
+    );
+    binary_op!(
+        /// `MUL_IEEE`: lane-wise `a * b`.
+        mul,
+        FpOp::Mul
+    );
+    binary_op!(
+        /// `MAX`: lane-wise maximum.
+        max,
+        FpOp::Max
+    );
+    binary_op!(
+        /// `MIN`: lane-wise minimum.
+        min,
+        FpOp::Min
+    );
+    binary_op!(
+        /// `SETE`: lane-wise `a == b` as `1.0` / `0.0`.
+        set_eq,
+        FpOp::SetEq
+    );
+    binary_op!(
+        /// `SETGT`: lane-wise `a > b` as `1.0` / `0.0`.
+        set_gt,
+        FpOp::SetGt
+    );
+    binary_op!(
+        /// `SETGE`: lane-wise `a >= b` as `1.0` / `0.0`.
+        set_ge,
+        FpOp::SetGe
+    );
+    binary_op!(
+        /// `SETNE`: lane-wise `a != b` as `1.0` / `0.0`.
+        set_ne,
+        FpOp::SetNe
+    );
+
+    unary_op!(
+        /// `RECIP_IEEE`: lane-wise `1 / a` (the 16-cycle unit).
+        recip,
+        FpOp::Recip
+    );
+    unary_op!(
+        /// `RECIPSQRT_IEEE`: lane-wise `1 / sqrt(a)`.
+        rsq,
+        FpOp::RecipSqrt
+    );
+    unary_op!(
+        /// `SQRT_IEEE`: lane-wise square root.
+        sqrt,
+        FpOp::Sqrt
+    );
+    unary_op!(
+        /// `EXP_IEEE`: lane-wise `2^a`.
+        exp2,
+        FpOp::Exp2
+    );
+    unary_op!(
+        /// `LOG_IEEE`: lane-wise `log2(a)`.
+        log2,
+        FpOp::Log2
+    );
+    unary_op!(
+        /// `SIN`: lane-wise sine.
+        sin,
+        FpOp::Sin
+    );
+    unary_op!(
+        /// `COS`: lane-wise cosine.
+        cos,
+        FpOp::Cos
+    );
+    unary_op!(
+        /// `FLOOR`: lane-wise floor.
+        floor,
+        FpOp::Floor
+    );
+    unary_op!(
+        /// `CEIL`: lane-wise ceiling.
+        ceil,
+        FpOp::Ceil
+    );
+    unary_op!(
+        /// `TRUNC`: lane-wise truncation toward zero.
+        trunc,
+        FpOp::Trunc
+    );
+    unary_op!(
+        /// `RNDNE`: lane-wise round to nearest even.
+        round_ne,
+        FpOp::RoundNearest
+    );
+    unary_op!(
+        /// `FRACT`: lane-wise fractional part.
+        fract,
+        FpOp::Fract
+    );
+    unary_op!(
+        /// Lane-wise absolute value.
+        abs,
+        FpOp::Abs
+    );
+    unary_op!(
+        /// Lane-wise negation.
+        neg,
+        FpOp::Neg
+    );
+    unary_op!(
+        /// `FLT_TO_INT`: lane-wise truncating conversion (FP2INT).
+        fp2int,
+        FpOp::FpToInt
+    );
+    unary_op!(
+        /// `INT_TO_FLT`: lane-wise integer-to-float rounding.
+        int2fp,
+        FpOp::IntToFp
+    );
+
+    /// `MULADD_IEEE`: lane-wise fused `a * b + c`.
+    pub fn muladd(&mut self, a: &VReg, b: &VReg, c: &VReg) -> VReg {
+        self.alu(FpOp::MulAdd, &[a, b, c])
+    }
+
+    /// `CNDE`: lane-wise `if cond == 0.0 { when_zero } else { otherwise }`.
+    pub fn cnd_eq(&mut self, cond: &VReg, when_zero: &VReg, otherwise: &VReg) -> VReg {
+        self.alu(FpOp::CndEq, &[cond, when_zero, otherwise])
+    }
+
+    /// Convenience select on a boolean-ish predicate register
+    /// (`1.0`/`0.0` as produced by the `SET*` instructions): returns
+    /// `when_true` where `pred != 0`, `when_false` elsewhere. Lowered to a
+    /// single `CNDE`.
+    pub fn select(&mut self, pred: &VReg, when_true: &VReg, when_false: &VReg) -> VReg {
+        self.cnd_eq(pred, when_false, when_true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn with_ctx<R>(lanes: usize, f: impl FnOnce(&mut WaveCtx<'_>) -> R) -> R {
+        let config = DeviceConfig::default();
+        let mut cu = ComputeUnit::new(&config, 0);
+        let mut ctx = WaveCtx::new(&mut cu, (0..lanes).collect());
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn basic_vector_arithmetic() {
+        with_ctx(64, |ctx| {
+            let a = ctx.iota();
+            let b = ctx.splat(2.0);
+            let sum = ctx.add(&a, &b);
+            assert_eq!(sum[10], 12.0);
+            let prod = ctx.mul(&a, &b);
+            assert_eq!(prod[10], 20.0);
+            let fma = ctx.muladd(&a, &b, &sum);
+            assert_eq!(fma[10], 32.0);
+        });
+    }
+
+    #[test]
+    fn masks_disable_lanes() {
+        with_ctx(8, |ctx| {
+            let cond: Vec<bool> = (0..8).map(|l| l % 2 == 0).collect();
+            ctx.push_mask(&cond);
+            let a = ctx.splat(9.0);
+            let r = ctx.sqrt(&a);
+            assert_eq!(r[0], 3.0);
+            assert_eq!(r[1], 0.0, "inactive lane must not execute");
+            ctx.pop_mask();
+            let r = ctx.sqrt(&a);
+            assert_eq!(r[1], 3.0);
+        });
+    }
+
+    #[test]
+    fn nested_masks_intersect() {
+        with_ctx(4, |ctx| {
+            ctx.push_mask(&[true, true, false, false]);
+            ctx.push_mask(&[true, false, true, false]);
+            assert_eq!(ctx.active_mask(), &[true, false, false, false]);
+            ctx.pop_mask();
+            assert_eq!(ctx.active_mask(), &[true, true, false, false]);
+        });
+    }
+
+    #[test]
+    fn select_lowered_through_cnde() {
+        with_ctx(4, |ctx| {
+            let a = ctx.iota();
+            let two = ctx.splat(2.0);
+            let pred = ctx.set_ge(&a, &two); // lanes 2,3
+            let yes = ctx.splat(1.0);
+            let no = ctx.splat(-1.0);
+            let r = ctx.select(&pred, &yes, &no);
+            assert_eq!(r.as_slice(), &[-1.0, -1.0, 1.0, 1.0]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mask stack underflow")]
+    fn pop_on_empty_stack_panics() {
+        with_ctx(4, |ctx| ctx.pop_mask());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_register_length_panics() {
+        with_ctx(4, |ctx| {
+            let short = VReg::splat(3, 1.0);
+            let ok = ctx.splat(1.0);
+            let _ = ctx.add(&short, &ok);
+        });
+    }
+
+    #[test]
+    fn vreg_utilities() {
+        let r = VReg::from_vec(vec![1.0, 2.0]);
+        assert!(!r.is_empty());
+        assert_eq!(r.to_vec(), vec![1.0, 2.0]);
+        assert_eq!(r.iter().sum::<f32>(), 3.0);
+        let s: VReg = vec![5.0].into();
+        assert_eq!(s[0], 5.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The error control unit and its recovery cost models.
+
+use std::fmt;
+
+/// How the baseline architecture recovers an errant instruction.
+///
+/// The paper's resilient-FPU baseline "costs 12 cycles per error" (§5.1);
+/// the alternatives come from the works the paper builds on and are used by
+/// the recovery-ablation bench:
+///
+/// - [`RecoveryPolicy::FlushReplay`] — flush the pipeline, replay the
+///   errant instruction (the paper's baseline; default 12 cycles).
+/// - [`RecoveryPolicy::MultipleIssueReplay`] — the scalable ECU of Bowman
+///   et al. \[9\]: the errant instruction is issued `issues` times; up to
+///   28 extra cycles for the 7-stage scalar core.
+/// - [`RecoveryPolicy::HalfFrequencyReplay`] — replay at half clock
+///   frequency \[9\]: the whole pipeline re-traverses at doubled cycle time.
+/// - [`RecoveryPolicy::DecouplingQueue`] — per-lane private queues
+///   (Pawlowski et al. \[11\]): one cycle penalty over a two-stage unit,
+///   scaling with depth because the global clock-gate signal must cross the
+///   pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Pipeline flush + single replay with `cycles_per_error` total cost.
+    FlushReplay {
+        /// Total recovery penalty charged per error.
+        cycles_per_error: u32,
+    },
+    /// Multiple-issue instruction replay at the same frequency.
+    MultipleIssueReplay {
+        /// How many times the errant instruction is reissued.
+        issues: u32,
+    },
+    /// Instruction replay at half frequency.
+    HalfFrequencyReplay,
+    /// Per-lane decoupling queues with local clock-gating.
+    DecouplingQueue,
+}
+
+impl RecoveryPolicy {
+    /// The paper's baseline: 12 recovery cycles per error.
+    pub const PAPER_BASELINE_CYCLES: u32 = 12;
+
+    /// Recovery penalty in cycles for an errant instruction in a pipeline
+    /// of `stages` stages.
+    #[must_use]
+    pub fn recovery_cycles(&self, stages: u32) -> u32 {
+        match *self {
+            RecoveryPolicy::FlushReplay { cycles_per_error } => cycles_per_error,
+            // Flush (stages) + reissue the instruction `issues` times.
+            RecoveryPolicy::MultipleIssueReplay { issues } => stages + issues * stages,
+            // The whole replay traverses at half frequency: 2x stages, plus
+            // the flush.
+            RecoveryPolicy::HalfFrequencyReplay => stages + 2 * stages,
+            // One cycle over a 2-stage unit in [11]; the stall signal must
+            // cross the deeper GPGPU pipeline, so the penalty scales with
+            // the extra depth.
+            RecoveryPolicy::DecouplingQueue => 1 + stages.saturating_sub(2),
+        }
+    }
+
+    /// Relative energy multiplier of a recovery relative to one nominal
+    /// execution of the instruction.
+    ///
+    /// A flush-and-replay re-executes the instruction and burns pipeline
+    /// overhead for the flushed cycles; the decoupling queue only stalls a
+    /// single lane.
+    #[must_use]
+    pub fn energy_factor(&self, stages: u32) -> f64 {
+        // One full re-execution plus per-cycle control overhead proportional
+        // to the recovery length.
+        let cycles = f64::from(self.recovery_cycles(stages));
+        let replay_executions = match *self {
+            RecoveryPolicy::MultipleIssueReplay { issues } => f64::from(issues.max(1)),
+            _ => 1.0,
+        };
+        replay_executions + 0.1 * cycles
+    }
+}
+
+impl Default for RecoveryPolicy {
+    /// The paper's baseline recovery (12 cycles/error).
+    fn default() -> Self {
+        RecoveryPolicy::FlushReplay {
+            cycles_per_error: Self::PAPER_BASELINE_CYCLES,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryPolicy::FlushReplay { cycles_per_error } => {
+                write!(f, "flush+replay ({cycles_per_error} cycles/error)")
+            }
+            RecoveryPolicy::MultipleIssueReplay { issues } => {
+                write!(f, "multiple-issue replay (x{issues})")
+            }
+            RecoveryPolicy::HalfFrequencyReplay => f.write_str("half-frequency replay"),
+            RecoveryPolicy::DecouplingQueue => f.write_str("decoupling queue"),
+        }
+    }
+}
+
+/// The error control unit: tallies recoveries and their cycle cost.
+///
+/// # Examples
+///
+/// ```
+/// use tm_timing::{Ecu, RecoveryPolicy};
+///
+/// let mut ecu = Ecu::new(RecoveryPolicy::default());
+/// let penalty = ecu.recover(4);
+/// assert_eq!(penalty, 12);
+/// assert_eq!(ecu.recoveries(), 1);
+/// assert_eq!(ecu.recovery_cycles(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ecu {
+    policy: RecoveryPolicy,
+    recoveries: u64,
+    recovery_cycles: u64,
+}
+
+impl Ecu {
+    /// An ECU using `policy`.
+    #[must_use]
+    pub const fn new(policy: RecoveryPolicy) -> Self {
+        Self {
+            policy,
+            recoveries: 0,
+            recovery_cycles: 0,
+        }
+    }
+
+    /// The active recovery policy.
+    #[must_use]
+    pub const fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Handles one errant instruction in a `stages`-deep pipeline and
+    /// returns the cycle penalty charged.
+    pub fn recover(&mut self, stages: u32) -> u32 {
+        let cycles = self.policy.recovery_cycles(stages);
+        self.recoveries += 1;
+        self.recovery_cycles += u64::from(cycles);
+        cycles
+    }
+
+    /// Number of recoveries performed.
+    #[must_use]
+    pub const fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Total cycles spent recovering.
+    #[must_use]
+    pub const fn recovery_cycles(&self) -> u64 {
+        self.recovery_cycles
+    }
+
+    /// Resets the tallies.
+    pub fn reset(&mut self) {
+        self.recoveries = 0;
+        self.recovery_cycles = 0;
+    }
+}
+
+impl Default for Ecu {
+    fn default() -> Self {
+        Self::new(RecoveryPolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_12_cycles() {
+        assert_eq!(RecoveryPolicy::default().recovery_cycles(4), 12);
+        assert_eq!(RecoveryPolicy::default().recovery_cycles(16), 12);
+    }
+
+    #[test]
+    fn multiple_issue_matches_bowman_scale() {
+        // [9]: up to 28 recovery cycles for the 7-stage core at 3 issues.
+        let p = RecoveryPolicy::MultipleIssueReplay { issues: 3 };
+        assert_eq!(p.recovery_cycles(7), 28);
+    }
+
+    #[test]
+    fn decoupling_queue_matches_pawlowski_scale() {
+        // [11]: one cycle recovery penalty over a two-stage execution unit.
+        let p = RecoveryPolicy::DecouplingQueue;
+        assert_eq!(p.recovery_cycles(2), 1);
+        assert!(p.recovery_cycles(16) > p.recovery_cycles(2));
+    }
+
+    #[test]
+    fn half_frequency_costs_more_than_flush_for_deep_pipes() {
+        let hf = RecoveryPolicy::HalfFrequencyReplay;
+        assert_eq!(hf.recovery_cycles(16), 48);
+    }
+
+    #[test]
+    fn energy_factor_positive_and_ordered() {
+        let stages = 4;
+        let flush = RecoveryPolicy::default().energy_factor(stages);
+        let multi = RecoveryPolicy::MultipleIssueReplay { issues: 3 }.energy_factor(stages);
+        let queue = RecoveryPolicy::DecouplingQueue.energy_factor(stages);
+        assert!(queue < flush, "local queue recovery is cheapest");
+        assert!(flush < multi, "multi-issue burns the most energy");
+    }
+
+    #[test]
+    fn ecu_accumulates() {
+        let mut ecu = Ecu::default();
+        ecu.recover(4);
+        ecu.recover(4);
+        assert_eq!(ecu.recoveries(), 2);
+        assert_eq!(ecu.recovery_cycles(), 24);
+        ecu.reset();
+        assert_eq!(ecu.recoveries(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(RecoveryPolicy::default().to_string().contains("12"));
+    }
+}

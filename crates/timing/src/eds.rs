@@ -1,0 +1,133 @@
+//! Error-detection sequential (EDS) sensor chain.
+
+/// The EDS sensors of one FPU pipeline.
+///
+/// "Every stage uses EDS circuit sensors to detect the timing errors by
+/// propagating an error signal toward the end of pipeline that finally
+/// reaches the ECU" (§4.2). The chain converts between the *per-stage*
+/// violation probability that circuit analysis produces and the
+/// *per-instruction* error rate that the architectural experiments sweep:
+/// an instruction is errant when any of its stages violates timing.
+///
+/// # Examples
+///
+/// ```
+/// use tm_timing::EdsChain;
+///
+/// let chain = EdsChain::new(4);
+/// let p_instr = chain.instruction_error_rate(0.01);
+/// assert!((p_instr - 0.0394).abs() < 1e-3); // 1 - 0.99^4
+/// let p_stage = chain.stage_error_rate(p_instr);
+/// assert!((p_stage - 0.01).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdsChain {
+    stages: u32,
+}
+
+impl EdsChain {
+    /// A sensor chain over a pipeline with `stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    #[must_use]
+    pub fn new(stages: u32) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        Self { stages }
+    }
+
+    /// Number of instrumented stages.
+    #[must_use]
+    pub const fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Per-instruction error rate induced by a per-stage rate:
+    /// `1 - (1 - p_stage)^stages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_stage` is a probability.
+    #[must_use]
+    pub fn instruction_error_rate(&self, p_stage: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p_stage),
+            "per-stage rate must be a probability, got {p_stage}"
+        );
+        1.0 - (1.0 - p_stage).powi(self.stages as i32)
+    }
+
+    /// Per-stage error rate that would induce a given per-instruction rate
+    /// (the inverse of [`Self::instruction_error_rate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_instr` is a probability.
+    #[must_use]
+    pub fn stage_error_rate(&self, p_instr: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p_instr),
+            "per-instruction rate must be a probability, got {p_instr}"
+        );
+        1.0 - (1.0 - p_instr).powf(1.0 / f64::from(self.stages))
+    }
+
+    /// Folds independent per-stage violation events into the propagated
+    /// error signal that reaches the ECU at the end of the pipeline.
+    #[must_use]
+    pub fn propagate(&self, stage_violations: &[bool]) -> bool {
+        assert_eq!(
+            stage_violations.len(),
+            self.stages as usize,
+            "one violation flag per stage"
+        );
+        stage_violations.iter().any(|&v| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_round_trip() {
+        for stages in [1u32, 4, 16] {
+            let chain = EdsChain::new(stages);
+            for p in [0.0, 0.001, 0.04, 0.5, 1.0] {
+                let back = chain.stage_error_rate(chain.instruction_error_rate(p));
+                // powf/powi round-trip within fp noise
+                let expect = chain.stage_error_rate(1.0 - (1.0 - p).powi(stages as i32));
+                assert!((back - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_rate_grows_with_stage_count() {
+        let short = EdsChain::new(4).instruction_error_rate(0.01);
+        let long = EdsChain::new(16).instruction_error_rate(0.01);
+        assert!(long > short, "deeper pipelines are more error prone");
+    }
+
+    #[test]
+    fn propagate_ors_stage_events() {
+        let chain = EdsChain::new(4);
+        assert!(!chain.propagate(&[false; 4]));
+        assert!(chain.propagate(&[false, false, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one violation flag per stage")]
+    fn propagate_checks_stage_count() {
+        let chain = EdsChain::new(4);
+        let _ = chain.propagate(&[false; 3]);
+    }
+
+    #[test]
+    fn zero_rate_maps_to_zero() {
+        let chain = EdsChain::new(4);
+        assert_eq!(chain.instruction_error_rate(0.0), 0.0);
+        assert_eq!(chain.stage_error_rate(0.0), 0.0);
+    }
+}

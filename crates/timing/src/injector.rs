@@ -1,0 +1,187 @@
+//! Seeded Bernoulli injection of per-instruction timing violations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic source of timing-error events.
+///
+/// The paper sweeps instruction-level timing error rates of 0–4 % (Fig. 10)
+/// obtained from back-annotated post-layout delay analysis. Here the rate
+/// is an explicit parameter and every draw comes from a seeded PRNG, so a
+/// simulation is exactly reproducible from `(rate, seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_timing::ErrorInjector;
+///
+/// let mut a = ErrorInjector::new(0.5, 7);
+/// let mut b = ErrorInjector::new(0.5, 7);
+/// let sa: Vec<bool> = (0..32).map(|_| a.sample()).collect();
+/// let sb: Vec<bool> = (0..32).map(|_| b.sample()).collect();
+/// assert_eq!(sa, sb);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorInjector {
+    rate: f64,
+    rng: StdRng,
+    drawn: u64,
+    errors: u64,
+}
+
+impl ErrorInjector {
+    /// Creates an injector with a per-instruction error probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "error rate must be a probability, got {rate}"
+        );
+        Self {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            drawn: 0,
+            errors: 0,
+        }
+    }
+
+    /// An injector that never fires (error-free environment).
+    #[must_use]
+    pub fn error_free(seed: u64) -> Self {
+        Self::new(0.0, seed)
+    }
+
+    /// The configured per-instruction error probability.
+    #[must_use]
+    pub const fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws one instruction: `true` means the EDS sensors flagged a
+    /// timing violation.
+    pub fn sample(&mut self) -> bool {
+        let rate = self.rate;
+        self.sample_with_rate(rate)
+    }
+
+    /// Draws one instruction at an explicit per-instruction rate —
+    /// used when the rate varies by opcode (deeper pipelines cross more
+    /// EDS sensors; see [`crate::EdsChain`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is a probability.
+    pub fn sample_with_rate(&mut self, rate: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "error rate must be a probability, got {rate}"
+        );
+        self.drawn += 1;
+        // Fast path: a zero rate must not advance the RNG differently from
+        // run to run, but also costs nothing.
+        if rate == 0.0 {
+            return false;
+        }
+        let hit = self.rng.gen_bool(rate);
+        if hit {
+            self.errors += 1;
+        }
+        hit
+    }
+
+    /// Total instructions drawn.
+    #[must_use]
+    pub const fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Total violations injected.
+    #[must_use]
+    pub const fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Empirical error rate observed so far.
+    #[must_use]
+    pub fn observed_rate(&self) -> f64 {
+        if self.drawn == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.drawn as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut inj = ErrorInjector::error_free(1);
+        assert!((0..10_000).all(|_| !inj.sample()));
+        assert_eq!(inj.errors(), 0);
+    }
+
+    #[test]
+    fn unit_rate_always_fires() {
+        let mut inj = ErrorInjector::new(1.0, 1);
+        assert!((0..100).all(|_| inj.sample()));
+    }
+
+    #[test]
+    fn observed_rate_converges() {
+        let mut inj = ErrorInjector::new(0.04, 99);
+        for _ in 0..100_000 {
+            inj.sample();
+        }
+        let obs = inj.observed_rate();
+        assert!(
+            (obs - 0.04).abs() < 0.005,
+            "observed {obs} too far from 0.04"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ErrorInjector::new(0.5, 1);
+        let mut b = ErrorInjector::new(0.5, 2);
+        let sa: Vec<bool> = (0..64).map(|_| a.sample()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.sample()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_rate_above_one() {
+        let _ = ErrorInjector::new(1.5, 0);
+    }
+
+    #[test]
+    fn sample_with_rate_overrides_configured_rate() {
+        let mut inj = ErrorInjector::error_free(3);
+        let hits = (0..1000).filter(|_| inj.sample_with_rate(0.5)).count();
+        assert!((400..600).contains(&hits), "got {hits}");
+        assert_eq!(inj.drawn(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn sample_with_rate_validates() {
+        ErrorInjector::error_free(0).sample_with_rate(1.5);
+    }
+
+    #[test]
+    fn counters_track_draws() {
+        let mut inj = ErrorInjector::new(0.3, 5);
+        for _ in 0..50 {
+            inj.sample();
+        }
+        assert_eq!(inj.drawn(), 50);
+        assert!(inj.errors() <= 50);
+    }
+}

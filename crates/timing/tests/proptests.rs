@@ -1,0 +1,80 @@
+//! Property-based tests of the timing-error machinery.
+
+use proptest::prelude::*;
+use tm_timing::{Ecu, EdsChain, ErrorInjector, RecoveryPolicy, VoltageModel};
+
+proptest! {
+    /// Injection is exactly reproducible from (rate, seed).
+    #[test]
+    fn injector_is_deterministic(rate in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut a = ErrorInjector::new(rate, seed);
+        let mut b = ErrorInjector::new(rate, seed);
+        for _ in 0..256 {
+            prop_assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    /// Counters never disagree with the stream.
+    #[test]
+    fn injector_counters_track(rate in 0.0f64..=1.0, seed in any::<u64>(), n in 1usize..512) {
+        let mut inj = ErrorInjector::new(rate, seed);
+        let errors = (0..n).filter(|_| inj.sample()).count() as u64;
+        prop_assert_eq!(inj.drawn(), n as u64);
+        prop_assert_eq!(inj.errors(), errors);
+        prop_assert!((0.0..=1.0).contains(&inj.observed_rate()));
+    }
+
+    /// Stage/instruction rate conversions invert each other and both stay
+    /// probabilities.
+    #[test]
+    fn eds_round_trip(stages in 1u32..32, p in 0.0f64..=0.5) {
+        // p is restricted to the physically meaningful per-stage range:
+        // near p = 1 the survival product (1-p)^stages underflows and the
+        // inversion is numerically ill-conditioned.
+        let chain = EdsChain::new(stages);
+        let instr = chain.instruction_error_rate(p);
+        prop_assert!((0.0..=1.0).contains(&instr));
+        let back = chain.stage_error_rate(instr);
+        prop_assert!((back - p).abs() < 1e-9, "{back} vs {p}");
+    }
+
+    /// Recovery cycle counts are strictly positive and ECU accounting is
+    /// exact.
+    #[test]
+    fn recovery_accounting(stages in 1u32..32, errors in 1u32..64) {
+        for policy in [
+            RecoveryPolicy::default(),
+            RecoveryPolicy::MultipleIssueReplay { issues: 3 },
+            RecoveryPolicy::HalfFrequencyReplay,
+            RecoveryPolicy::DecouplingQueue,
+        ] {
+            prop_assert!(policy.recovery_cycles(stages) >= 1, "{policy}");
+            prop_assert!(policy.energy_factor(stages) > 0.0);
+            let mut ecu = Ecu::new(policy);
+            let mut total = 0u64;
+            for _ in 0..errors {
+                total += u64::from(ecu.recover(stages));
+            }
+            prop_assert_eq!(ecu.recoveries(), u64::from(errors));
+            prop_assert_eq!(ecu.recovery_cycles(), total);
+        }
+    }
+
+    /// The voltage model's error rate falls monotonically with supply and
+    /// its energy scale rises monotonically.
+    #[test]
+    fn voltage_monotonicity(lo in 0.5f64..1.1, delta in 0.001f64..0.3) {
+        let hi = lo + delta;
+        let m = VoltageModel::tsmc45();
+        prop_assert!(m.error_rate(hi) <= m.error_rate(lo));
+        prop_assert!(m.dynamic_energy_scale(hi) > m.dynamic_energy_scale(lo));
+        prop_assert!(m.delay_scale(hi) < m.delay_scale(lo));
+    }
+
+    /// Above the onset voltage the model is exactly error-free.
+    #[test]
+    fn no_errors_above_onset(extra in 0.0f64..0.5) {
+        let m = VoltageModel::tsmc45();
+        prop_assert_eq!(m.error_rate(m.onset_vdd() + extra), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests through the `temporal_memo` facade:
+//! a custom kernel, architectural transparency, error masking, and
+//! reproducibility.
+
+use temporal_memo::prelude::*;
+
+/// `y = a*x + b` elementwise — a SAXPY-style kernel.
+struct Saxpy {
+    a: f32,
+    b: f32,
+    x: Vec<f32>,
+    y: Vec<f32>,
+}
+
+impl Kernel for Saxpy {
+    fn name(&self) -> &'static str {
+        "saxpy"
+    }
+
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+        let x = VReg::from_fn(ctx.lanes(), |l| self.x[ctx.lane_ids()[l]]);
+        let a = ctx.splat(self.a);
+        let b = ctx.splat(self.b);
+        let y = ctx.muladd(&a, &x, &b);
+        for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+            self.y[gid] = y[l];
+        }
+    }
+}
+
+fn saxpy_input(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 13) % 32) as f32 * 0.25).collect()
+}
+
+fn run_saxpy(config: DeviceConfig, n: usize) -> (Vec<f32>, tm_sim::DeviceReport) {
+    let mut kernel = Saxpy {
+        a: 2.0,
+        b: 1.0,
+        x: saxpy_input(n),
+        y: vec![0.0; n],
+    };
+    let mut device = Device::new(config);
+    device.run(&mut kernel, n);
+    (kernel.y, device.report())
+}
+
+#[test]
+fn memoized_architecture_is_bit_transparent_under_exact_matching() {
+    let n = 2000; // includes a partial wavefront
+    let (base, _) = run_saxpy(DeviceConfig::default().with_arch(ArchMode::Baseline), n);
+    let (memo, report) = run_saxpy(DeviceConfig::default(), n);
+    assert_eq!(base, memo);
+    assert!(report.weighted_hit_rate() > 0.0);
+    // And both match the host computation.
+    for (i, x) in saxpy_input(n).iter().enumerate() {
+        assert_eq!(memo[i], 2.0f32.mul_add(*x, 1.0));
+    }
+}
+
+#[test]
+fn outputs_stay_correct_under_heavy_timing_errors() {
+    let n = 1024;
+    let errorful = DeviceConfig::default()
+        .with_error_mode(ErrorMode::FixedRate(0.25))
+        .with_seed(99);
+    let (out, report) = run_saxpy(errorful, n);
+    assert!(report.errors_injected > 100);
+    for (i, x) in saxpy_input(n).iter().enumerate() {
+        assert_eq!(out[i], 2.0f32.mul_add(*x, 1.0), "lane {i} corrupted");
+    }
+    // Every injected error was either masked by a hit or recovered.
+    let stats = report.total_stats();
+    assert_eq!(stats.masked_errors + stats.recoveries, report.errors_injected);
+    assert!(stats.masked_errors > 0, "some errors should hit the LUT");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_reports() {
+    let config = DeviceConfig::default()
+        .with_error_mode(ErrorMode::FixedRate(0.05))
+        .with_seed(7);
+    let (out_a, rep_a) = run_saxpy(config.clone(), 512);
+    let (out_b, rep_b) = run_saxpy(config, 512);
+    assert_eq!(out_a, out_b);
+    assert_eq!(rep_a, rep_b);
+}
+
+#[test]
+fn memoization_saves_energy_on_low_entropy_input() {
+    let n = 8192;
+    let (_, base) = run_saxpy(DeviceConfig::default().with_arch(ArchMode::Baseline), n);
+    let (_, memo) = run_saxpy(DeviceConfig::default(), n);
+    assert!(
+        memo.total_energy_pj() < base.total_energy_pj(),
+        "memo {} !< base {}",
+        memo.total_energy_pj(),
+        base.total_energy_pj()
+    );
+}
+
+#[test]
+fn power_gated_module_behaves_like_baseline_with_lut_idle() {
+    // Baseline arch == memo modules power-gated: same output, same
+    // recovery behaviour, no lookups.
+    let n = 512;
+    let config = DeviceConfig::default()
+        .with_arch(ArchMode::Baseline)
+        .with_error_mode(ErrorMode::FixedRate(0.1))
+        .with_seed(3);
+    let (out, report) = run_saxpy(config, n);
+    assert_eq!(report.total_stats().lookups, 0);
+    assert_eq!(report.recoveries, report.errors_injected);
+    for (i, x) in saxpy_input(n).iter().enumerate() {
+        assert_eq!(out[i], 2.0f32.mul_add(*x, 1.0));
+    }
+}
+
+#[test]
+fn divergent_control_flow_composes_with_memoization() {
+    /// Clamps negative inputs to zero using a mask, then takes a sqrt.
+    struct ClampSqrt {
+        x: Vec<f32>,
+        y: Vec<f32>,
+    }
+    impl Kernel for ClampSqrt {
+        fn name(&self) -> &'static str {
+            "clamp_sqrt"
+        }
+        fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+            let x = VReg::from_fn(ctx.lanes(), |l| self.x[ctx.lane_ids()[l]]);
+            let nonneg: Vec<bool> = x.iter().map(|v| v >= 0.0).collect();
+            let mut y = vec![0.0f32; ctx.lanes()];
+            ctx.push_mask(&nonneg);
+            let r = ctx.sqrt(&x);
+            ctx.pop_mask();
+            for l in 0..ctx.lanes() {
+                y[l] = if nonneg[l] { r[l] } else { 0.0 };
+            }
+            for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+                self.y[gid] = y[l];
+            }
+        }
+    }
+    let n = 256;
+    let mut kernel = ClampSqrt {
+        x: (0..n).map(|i| i as f32 - 128.0).collect(),
+        y: vec![0.0; n],
+    };
+    let mut device = Device::new(DeviceConfig::default());
+    device.run(&mut kernel, n);
+    for i in 0..n {
+        let x = i as f32 - 128.0;
+        let expect = if x >= 0.0 { x.sqrt() } else { 0.0 };
+        assert_eq!(kernel.y[i], expect, "lane {i}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Pins the paper's headline claims at Test scale, via the experiment
+//! harness. EXPERIMENTS.md records the full-scale paper-vs-measured
+//! numbers; these tests keep the *shape* of each result from regressing.
+
+use tm_bench::{
+    energy_comparison, fifo_sweep, fig8, psnr_sweep, ExperimentConfig,
+};
+use tm_kernels::workload::InputImage;
+use tm_kernels::{KernelId, Scale, ALL_KERNELS};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: Scale::Test,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn claim_exact_matching_has_no_quality_degradation() {
+    // "the threshold=0 results in the exact matching without any quality
+    // degradation (PSNR = inf)" — §4.1.
+    for (kernel, image) in [
+        (KernelId::Sobel, InputImage::Face),
+        (KernelId::Sobel, InputImage::Book),
+        (KernelId::Gaussian, InputImage::Face),
+        (KernelId::Gaussian, InputImage::Book),
+    ] {
+        let rows = psnr_sweep(kernel, image, &cfg());
+        assert_eq!(rows[0].psnr_db, f64::INFINITY, "{kernel} {image:?}");
+    }
+}
+
+#[test]
+fn claim_increasing_threshold_decreases_psnr() {
+    // "By increasing the threshold value the PSNR decreases" — §4.1.
+    let rows = psnr_sweep(KernelId::Sobel, InputImage::Face, &cfg());
+    let first_finite = rows.iter().find(|r| r.psnr_db.is_finite()).unwrap();
+    let last = rows.last().unwrap();
+    assert!(last.psnr_db < first_finite.psnr_db);
+}
+
+#[test]
+fn claim_table1_design_points_preserve_output_quality() {
+    // Sobel at threshold 1.0 and Gaussian at 0.8 (calibrated) keep
+    // PSNR >= 30 dB on the face input — Figs. 2 and 3.
+    for kernel in [KernelId::Sobel, KernelId::Gaussian] {
+        let rows = psnr_sweep(kernel, InputImage::Face, &cfg());
+        let design = rows
+            .iter()
+            .find(|r| {
+                (r.paper_threshold - tm_kernels::paper_threshold(kernel)).abs() < 1e-6
+            })
+            .expect("design threshold is on the sweep axis");
+        assert!(
+            design.acceptable,
+            "{kernel}: {:.1} dB at its design threshold",
+            design.psnr_db
+        );
+    }
+}
+
+#[test]
+fn claim_every_kernel_passes_host_check_at_design_point() {
+    // Fig. 8 runs every kernel at its Table-1 threshold; the outputs are
+    // "accepted by the test program executed in the host code".
+    for row in fig8(&cfg()) {
+        assert!(row.passed, "{} failed", row.kernel);
+    }
+}
+
+#[test]
+fn claim_fifo_growth_buys_less_than_20_points() {
+    // "The hit rate increases less than 20% when the size of FIFOs is
+    // increased from 2 to 64" — §4.1.
+    let rows = fifo_sweep(&cfg());
+    let last = rows.last().unwrap();
+    assert_eq!(last.depth, 64);
+    assert!(
+        last.gain_vs_depth2 < 20.0,
+        "64-entry FIFO gained {:.1} points",
+        last.gain_vs_depth2
+    );
+}
+
+#[test]
+fn claim_saving_grows_with_error_rate_for_every_kernel() {
+    // Fig. 10's monotone trend, per kernel.
+    for &kernel in &ALL_KERNELS {
+        let lo = energy_comparison(kernel, 0.0, &cfg());
+        let hi = energy_comparison(kernel, 0.04, &cfg());
+        assert!(
+            hi.saving() >= lo.saving() - 1e-6,
+            "{kernel}: saving fell from {:.3} to {:.3}",
+            lo.saving(),
+            hi.saving()
+        );
+    }
+}
+
+#[test]
+fn claim_memoized_recoveries_never_exceed_baseline() {
+    // Every hit-with-error is a recovery the baseline pays and the
+    // memoized architecture does not.
+    for &kernel in &ALL_KERNELS {
+        let cmp = energy_comparison(kernel, 0.03, &cfg());
+        assert!(
+            cmp.memo_recoveries <= cmp.baseline_recoveries,
+            "{kernel}: {} > {}",
+            cmp.memo_recoveries,
+            cmp.baseline_recoveries
+        );
+    }
+}
+
+#[test]
+fn claim_error_tolerant_kernels_gain_hit_rate_from_approximation() {
+    // "the temporal value locality is a function of both operation type
+    // and input data" — approximation must buy the image kernels hits.
+    use tm_bench::matching_ablation;
+    for row in matching_ablation(&cfg()) {
+        if row.kernel.is_error_tolerant() {
+            assert!(
+                row.approx_hit_rate > row.exact_hit_rate,
+                "{}: approximation bought nothing",
+                row.kernel
+            );
+        }
+    }
+}
