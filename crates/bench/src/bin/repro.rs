@@ -6,12 +6,14 @@
 //! repro --list
 //! ```
 //!
-//! Experiment ids: `scorecard`, `table1`, `table2`, `fig2`–`fig8`,
-//! `fifo-sweep`, `fig10`, `fig11`, `locality`, `frequency`,
-//! `matching-ablation`, `recovery-ablation`, `replacement-ablation`,
-//! `spatial-ablation`, `gating-ablation`, `lut-exploration`,
-//! `interleaving`, `sensitivity`. Pass `--csv DIR` to also write the
-//! figure data as CSV.
+//! Experiment ids: `scorecard`, `speedup`, `table1`, `table2`,
+//! `fig2`–`fig8`, `fifo-sweep`, `fig10`, `fig11`, `locality`,
+//! `frequency`, `matching-ablation`, `recovery-ablation`,
+//! `replacement-ablation`, `spatial-ablation`, `gating-ablation`,
+//! `lut-exploration`, `interleaving`, `sensitivity`. Pass `--csv DIR` to
+//! also write the figure data as CSV; pass `--parallel` to execute every
+//! workload on one worker thread per compute unit (bit-identical
+//! results).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,8 +31,9 @@ use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
 
-const EXPERIMENTS: [&str; 23] = [
+const EXPERIMENTS: [&str; 24] = [
     "scorecard",
+    "speedup",
     "locality",
     "frequency",
     "gating-ablation",
@@ -89,6 +92,9 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--parallel" | "-p" => {
+                cfg.backend = tm_sim::ExecBackend::Parallel;
+            }
             "--csv" => {
                 i += 1;
                 match args.get(i) {
@@ -107,7 +113,10 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--csv DIR]"
+                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR]"
+                );
+                println!(
+                    "--parallel runs one worker thread per compute unit; results are bit-identical"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(", "));
                 return ExitCode::SUCCESS;
@@ -171,6 +180,7 @@ fn run(experiment: &str, cfg: &ExperimentConfig, csv_dir: Option<&Path>) {
         "sensitivity" => print_sensitivity(cfg),
         "frequency" => print_frequency(cfg),
         "scorecard" => print_scorecard(cfg),
+        "speedup" => print_speedup(cfg),
         _ => unreachable!("validated in main"),
     }
 }
@@ -456,6 +466,33 @@ fn print_scorecard(cfg: &ExperimentConfig) {
         println!("[{:<10}] {}", row.grade.label(), row.claim);
         println!("{:>13} measured: {}", "", row.measured);
     }
+}
+
+fn print_speedup(cfg: &ExperimentConfig) {
+    println!(
+        "backend speedup on the Fig. 8 workload set ({} CUs, {} host cores)",
+        tm_bench::SPEEDUP_CUS,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>10}",
+        "kernel", "seq(ms)", "parallel(ms)", "speedup", "identical"
+    );
+    let rows = tm_bench::backend_speedup(cfg);
+    for row in &rows {
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>8.2}x {:>10}",
+            row.kernel.to_string(),
+            row.sequential_ms,
+            row.parallel_ms,
+            row.speedup(),
+            if row.identical { "yes" } else { "NO" }
+        );
+    }
+    let seq: f64 = rows.iter().map(|r| r.sequential_ms).sum();
+    let par: f64 = rows.iter().map(|r| r.parallel_ms).sum();
+    println!("{:<16} {:>12.1} {:>12.1} {:>8.2}x", "TOTAL", seq, par, seq / par);
+    println!("(speedup approaches min(CUs, cores); reports stay bit-identical either way)");
 }
 
 fn print_frequency(cfg: &ExperimentConfig) {

@@ -36,6 +36,7 @@ mod psnr;
 mod runner;
 mod scorecard;
 mod sensitivity;
+mod speedup;
 
 pub use ablation::{
     gating_ablation, matching_ablation, recovery_ablation, replacement_ablation,
@@ -58,3 +59,4 @@ pub use psnr::{psnr_sweep, PsnrRow, PSNR_THRESHOLDS};
 pub use runner::{kernel_policy, run_workload, ExperimentConfig, RunOutcome};
 pub use scorecard::{scorecard, Grade, ScorecardRow};
 pub use sensitivity::{sensitivity_sweep, SensitivityRow, LUT_FRACS, RECOVERY_FRACS};
+pub use speedup::{backend_speedup, SpeedupRow, SPEEDUP_CUS};

@@ -2,7 +2,7 @@
 
 use tm_core::MatchPolicy;
 use tm_kernels::{calibrated_threshold, workload, KernelId, Scale};
-use tm_sim::{Device, DeviceConfig, DeviceReport};
+use tm_sim::{Device, DeviceConfig, DeviceReport, ExecBackend};
 
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -11,6 +11,10 @@ pub struct ExperimentConfig {
     pub scale: Scale,
     /// Seed for inputs and error injection.
     pub seed: u64,
+    /// Execution backend every workload device runs on. The parallel
+    /// backend produces bit-identical reports (see [`tm_sim::engine`]),
+    /// so experiments can opt into it purely for wall-clock speed.
+    pub backend: ExecBackend,
 }
 
 impl Default for ExperimentConfig {
@@ -18,6 +22,7 @@ impl Default for ExperimentConfig {
         Self {
             scale: Scale::Default,
             seed: 0xDA7E_2014,
+            backend: ExecBackend::Sequential,
         }
     }
 }
@@ -41,11 +46,12 @@ pub struct RunOutcome {
     pub passed: bool,
 }
 
-/// Runs `id` at `cfg.scale` on a device built from `device_config`.
+/// Runs `id` at `cfg.scale` on a device built from `device_config`,
+/// executing on the backend `cfg` selects.
 #[must_use]
 pub fn run_workload(id: KernelId, cfg: &ExperimentConfig, device_config: DeviceConfig) -> RunOutcome {
     let mut wl = workload::build(id, cfg.scale, cfg.seed);
-    let mut device = Device::new(device_config);
+    let mut device = Device::new(device_config.with_backend(cfg.backend));
     let output = wl.run(&mut device);
     let passed = wl.acceptable(&output);
     RunOutcome {
@@ -74,5 +80,22 @@ mod tests {
         let out = run_workload(KernelId::Haar, &cfg, DeviceConfig::default());
         assert!(out.passed);
         assert!(out.report.total_instructions() > 0);
+    }
+
+    #[test]
+    fn parallel_backend_reproduces_sequential_outcome() {
+        let seq_cfg = ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        };
+        let par_cfg = ExperimentConfig {
+            backend: ExecBackend::Parallel,
+            ..seq_cfg
+        };
+        let dc = DeviceConfig::default().with_compute_units(4);
+        let seq = run_workload(KernelId::Sobel, &seq_cfg, dc.clone());
+        let par = run_workload(KernelId::Sobel, &par_cfg, dc);
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.output, par.output);
     }
 }

@@ -1,0 +1,100 @@
+//! Backend speedup measurement: sequential vs parallel wall-clock on the
+//! Fig. 8 workload set (every kernel at its Table-1 design point).
+//!
+//! The parallel engine runs one worker thread per compute unit, so its
+//! speedup over the sequential reference approaches
+//! `min(compute_units, host cores)` for CU-bound runs; on a single-core
+//! host it degenerates to ~1x. Either way the outputs and the
+//! [`tm_sim::DeviceReport`] are bit-identical — [`backend_speedup`]
+//! checks that on every row.
+
+use crate::runner::{kernel_policy, run_workload, ExperimentConfig};
+use std::time::Instant;
+use tm_kernels::{KernelId, ALL_KERNELS};
+use tm_sim::{DeviceConfig, ExecBackend};
+
+/// Compute units used by the speedup experiment (the acceptance point:
+/// >= 2x on >= 4 CUs when the host has >= 4 cores).
+pub const SPEEDUP_CUS: usize = 4;
+
+/// One kernel's sequential-vs-parallel timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupRow {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Wall-clock of the sequential engine, in milliseconds.
+    pub sequential_ms: f64,
+    /// Wall-clock of the parallel engine, in milliseconds.
+    pub parallel_ms: f64,
+    /// Whether output and report were bit-identical across backends.
+    pub identical: bool,
+}
+
+impl SpeedupRow {
+    /// Sequential time over parallel time.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential_ms / self.parallel_ms
+    }
+}
+
+/// Times every kernel at its Table-1 design point on [`SPEEDUP_CUS`]
+/// compute units under both backends and verifies the runs are
+/// bit-identical.
+#[must_use]
+pub fn backend_speedup(cfg: &ExperimentConfig) -> Vec<SpeedupRow> {
+    ALL_KERNELS
+        .iter()
+        .map(|&kernel| {
+            let device_config = DeviceConfig::default()
+                .with_policy(kernel_policy(kernel))
+                .with_compute_units(SPEEDUP_CUS);
+            let seq_cfg = ExperimentConfig {
+                backend: ExecBackend::Sequential,
+                ..*cfg
+            };
+            let par_cfg = ExperimentConfig {
+                backend: ExecBackend::Parallel,
+                ..*cfg
+            };
+            let t0 = Instant::now();
+            let seq = run_workload(kernel, &seq_cfg, device_config.clone());
+            let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let par = run_workload(kernel, &par_cfg, device_config);
+            let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+            SpeedupRow {
+                kernel,
+                sequential_ms,
+                parallel_ms,
+                identical: seq.report == par.report
+                    && seq.output.len() == par.output.len()
+                    && seq
+                        .output
+                        .iter()
+                        .zip(&par.output)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_kernels::Scale;
+
+    #[test]
+    fn speedup_rows_are_identical_across_backends() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        };
+        let rows = backend_speedup(&cfg);
+        assert_eq!(rows.len(), ALL_KERNELS.len());
+        for row in rows {
+            assert!(row.identical, "{} diverged across backends", row.kernel);
+            assert!(row.sequential_ms > 0.0 && row.parallel_ms > 0.0);
+        }
+    }
+}

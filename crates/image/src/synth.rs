@@ -5,8 +5,7 @@
 //! character, not their actual content.
 
 use crate::GrayImage;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_rng::Pcg32;
 
 /// A smooth, low-frequency, portrait-like image (the *face* stand-in).
 ///
@@ -32,7 +31,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[must_use]
 pub fn face(width: usize, height: usize, seed: u64) -> GrayImage {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0xFACE);
     let w = width as f32;
     let h = height as f32;
     let (cx, cy) = (w * 0.5, h * 0.45);
@@ -73,7 +72,7 @@ pub fn face(width: usize, height: usize, seed: u64) -> GrayImage {
     // approximate-match errors small — the property behind the paper's
     // high face-image thresholds.
     for p in img.as_mut_slice() {
-        *p = (*p + rng.gen_range(-0.2..0.2)).round();
+        *p = (*p + rng.gen_range(-0.2f32..0.2)).round();
     }
     img.clamp_to_range();
     img
@@ -103,7 +102,7 @@ pub fn face(width: usize, height: usize, seed: u64) -> GrayImage {
 /// ```
 #[must_use]
 pub fn book(width: usize, height: usize, seed: u64) -> GrayImage {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB00C);
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0xB00C);
     let mut img = GrayImage::from_fn(width, height, |_, _| 225.0);
 
     // Text lines: every line is `line_h` tall with an inter-line gap.
@@ -137,7 +136,7 @@ pub fn book(width: usize, height: usize, seed: u64) -> GrayImage {
 
     // Paper grain, then 8-bit quantization as above.
     for p in img.as_mut_slice() {
-        *p = (*p + rng.gen_range(-3.0..3.0)).round();
+        *p = (*p + rng.gen_range(-3.0f32..3.0)).round();
     }
     img.clamp_to_range();
     img
@@ -156,14 +155,14 @@ pub fn book(width: usize, height: usize, seed: u64) -> GrayImage {
 #[must_use]
 pub fn plaid(width: usize, height: usize, period: f32, seed: u64) -> GrayImage {
     assert!(period > 0.0, "period must be positive, got {period}");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A1D);
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0x9A1D);
     let k = 2.0 * std::f32::consts::PI / period;
     let mut img = GrayImage::from_fn(width, height, |x, y| {
         let v = (x as f32 * k).sin() + (y as f32 * k).cos();
         127.5 + 55.0 * v / 2.0
     });
     for p in img.as_mut_slice() {
-        *p = (*p + rng.gen_range(-0.5..0.5)).round();
+        *p = (*p + rng.gen_range(-0.5f32..0.5)).round();
     }
     img.clamp_to_range();
     img
@@ -179,7 +178,7 @@ pub fn plaid(width: usize, height: usize, period: f32, seed: u64) -> GrayImage {
 #[must_use]
 pub fn noise_field(width: usize, height: usize, sigma: f32, seed: u64) -> GrayImage {
     assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0153);
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0x0153);
     let mut img = GrayImage::from_fn(width, height, |_, _| 128.0);
     for p in img.as_mut_slice() {
         // Sum of uniforms ≈ normal; three terms is plenty for a texture.

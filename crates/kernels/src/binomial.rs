@@ -9,10 +9,9 @@
 //! parameter computation and the large all-zero out-of-the-money regions
 //! of the lattice are where this kernel's value locality comes from.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_rng::Pcg32;
 use tm_fpu::{compute, FpOp, Operands};
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 const LOG2_E: f32 = std::f32::consts::LOG2_E;
 
@@ -37,7 +36,7 @@ impl OptionSpec {
     /// [`crate::black_scholes::OptionBatch::generate`]).
     #[must_use]
     pub fn generate(n: usize, seed: u64) -> Vec<Self> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10);
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0xB10);
         (0..n)
             .map(|_| {
                 let u = rng.gen_range(0..=32767) as f32 / 32767.0;
@@ -82,7 +81,8 @@ impl<'a> BinomialKernel<'a> {
         }
     }
 
-    /// Prices the batch; one wavefront per option.
+    /// Prices the batch; one wavefront per option. Honours the device's
+    /// configured [`tm_sim::ExecBackend`].
     pub fn run(mut self, device: &mut Device) -> Vec<f32> {
         self.wavefront_size = device.config().wavefront_size;
         assert!(
@@ -90,7 +90,7 @@ impl<'a> BinomialKernel<'a> {
             "lattice must fit one wavefront"
         );
         let n = self.options.len() * self.wavefront_size;
-        device.run(&mut self, n);
+        device.dispatch(&mut self, n);
         self.prices
     }
 }
@@ -161,6 +161,28 @@ impl Kernel for BinomialKernel<'_> {
         ctx.pop_mask();
 
         self.prices[option_idx] = v[0];
+    }
+}
+
+impl ShardKernel for BinomialKernel<'_> {
+    fn fork(&self) -> Self {
+        Self {
+            options: self.options,
+            steps: self.steps,
+            wavefront_size: self.wavefront_size,
+            prices: vec![0.0; self.prices.len()],
+        }
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        // One option per wavefront: the shard that ran lane 0 of option
+        // `gid / wavefront_size` owns that option's price.
+        for &gid in gids {
+            if gid % self.wavefront_size == 0 {
+                let option = gid / self.wavefront_size;
+                self.prices[option] = shard.prices[option];
+            }
+        }
     }
 }
 

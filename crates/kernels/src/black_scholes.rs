@@ -12,10 +12,9 @@
 //! device run reproduces it bit for bit; an independent `f64`
 //! implementation ([`black_scholes_f64`]) validates both to ~1e-4.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_rng::Pcg32;
 use tm_fpu::{compute, FpOp, Operands};
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 const A1: f32 = 0.319_381_53;
 const A2: f32 = -0.356_563_78;
@@ -60,7 +59,7 @@ impl OptionBatch {
     /// `u_i ∈ {0, 1/32767, …, 1}` (C `rand()` has 15-bit resolution).
     #[must_use]
     pub fn generate(n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xB5C0);
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0xB5C0);
         let mut batch = Self {
             spot: Vec::with_capacity(n),
             strike: Vec::with_capacity(n),
@@ -100,10 +99,11 @@ impl<'a> BlackScholesKernel<'a> {
         }
     }
 
-    /// Prices the batch; returns `(call, put)` price vectors.
+    /// Prices the batch; returns `(call, put)` price vectors. Honours the
+    /// device's configured [`tm_sim::ExecBackend`].
     pub fn run(mut self, device: &mut Device) -> (Vec<f32>, Vec<f32>) {
         let n = self.batch.len();
-        device.run(&mut self, n);
+        device.dispatch(&mut self, n);
         (self.call, self.put)
     }
 
@@ -192,6 +192,19 @@ impl Kernel for BlackScholesKernel<'_> {
         for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
             self.call[gid] = call[l];
             self.put[gid] = put[l];
+        }
+    }
+}
+
+impl ShardKernel for BlackScholesKernel<'_> {
+    fn fork(&self) -> Self {
+        Self::new(self.batch)
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        for &gid in gids {
+            self.call[gid] = shard.call[gid];
+            self.put[gid] = shard.put[gid];
         }
     }
 }

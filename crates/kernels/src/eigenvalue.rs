@@ -8,10 +8,9 @@
 //! matching (`threshold = 0.0`) and reports it activating the most FPU
 //! types of all the error-intolerant kernels.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_rng::Pcg32;
 use tm_fpu::{compute, FpOp, Operands};
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 /// Guard floor for the Sturm recurrence denominator.
 const STURM_EPS: f32 = 1e-20;
@@ -42,7 +41,7 @@ impl Tridiagonal {
     #[must_use]
     pub fn generate(n: usize, seed: u64) -> Self {
         assert!(n >= 2, "matrix order must be at least 2");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xE16);
+        let mut rng = Pcg32::seed_from_u64(seed ^ 0xE16);
         Self {
             diag: (0..n).map(|_| rng.gen_range(0..10) as f32).collect(),
             off: (0..n - 1).map(|_| rng.gen_range(1..4) as f32).collect(),
@@ -94,10 +93,11 @@ impl<'a> EigenValueKernel<'a> {
         }
     }
 
-    /// Runs the bisection and returns the sorted eigenvalues.
+    /// Runs the bisection and returns the sorted eigenvalues. Honours the
+    /// device's configured [`tm_sim::ExecBackend`].
     pub fn run(mut self, device: &mut Device) -> Vec<f32> {
         let n = self.matrix.n();
-        device.run(&mut self, n);
+        device.dispatch(&mut self, n);
         self.eigenvalues
     }
 
@@ -155,6 +155,18 @@ impl Kernel for EigenValueKernel<'_> {
         let eig = ctx.mul(&sum, &half);
         for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
             self.eigenvalues[gid] = eig[l];
+        }
+    }
+}
+
+impl ShardKernel for EigenValueKernel<'_> {
+    fn fork(&self) -> Self {
+        Self::new(self.matrix, self.iterations)
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        for &gid in gids {
+            self.eigenvalues[gid] = shard.eigenvalues[gid];
         }
     }
 }

@@ -5,7 +5,7 @@
 //! work-item per butterfly pair per stage; the paper pins this kernel to
 //! exact matching (`threshold = 0.0`, Table 1).
 
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 /// One butterfly stage as a device kernel.
 #[derive(Debug)]
@@ -43,6 +43,25 @@ impl Kernel for FwtStage {
     }
 }
 
+impl ShardKernel for FwtStage {
+    fn fork(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            span: self.span,
+        }
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        // Work-item `gid` owns the disjoint butterfly pair
+        // (pair_index(gid), pair_index(gid) + span).
+        for &gid in gids {
+            let i = self.pair_index(gid);
+            self.data[i] = shard.data[i];
+            self.data[i + self.span] = shard.data[i + self.span];
+        }
+    }
+}
+
 /// Runs the full fast Walsh transform of `signal` on `device`.
 ///
 /// # Panics
@@ -71,7 +90,7 @@ pub fn run_fwt(device: &mut Device, signal: &[f32]) -> Vec<f32> {
     let mut span = 1usize;
     while span < n {
         let mut stage = FwtStage { data, span };
-        device.run(&mut stage, n / 2);
+        device.dispatch(&mut stage, n / 2);
         data = stage.data;
         span *= 2;
     }

@@ -6,7 +6,7 @@
 //! [`tm_image::gaussian3x3_reference`] bit for bit under exact matching.
 
 use tm_image::GrayImage;
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 /// The Gaussian-blur device kernel.
 ///
@@ -39,9 +39,10 @@ impl<'a> GaussianKernel<'a> {
     }
 
     /// Dispatches one work-item per pixel and returns the blurred image.
+    /// Honours the device's configured [`tm_sim::ExecBackend`].
     pub fn run(mut self, device: &mut Device) -> GrayImage {
         let (w, h) = (self.input.width(), self.input.height());
-        device.run(&mut self, w * h);
+        device.dispatch(&mut self, w * h);
         GrayImage::from_vec(w, h, self.output)
     }
 
@@ -84,6 +85,18 @@ impl Kernel for GaussianKernel<'_> {
         let out = ctx.fp2int(&acc);
         for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
             self.output[gid] = out[l];
+        }
+    }
+}
+
+impl ShardKernel for GaussianKernel<'_> {
+    fn fork(&self) -> Self {
+        Self::new(self.input)
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        for &gid in gids {
+            self.output[gid] = shard.output[gid];
         }
     }
 }

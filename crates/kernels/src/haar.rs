@@ -5,7 +5,7 @@
 //! `(s[2i] − s[2i+1])·(1/√2)`. The output array is the standard layout
 //! `[approx | detail_level_k | … | detail_level_1]`.
 
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 /// `1/√2` in single precision — the analysis filter coefficient.
 pub const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
@@ -34,6 +34,23 @@ impl Kernel for HaarLevel {
         for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
             self.approx[gid] = a[l];
             self.detail[gid] = d[l];
+        }
+    }
+}
+
+impl ShardKernel for HaarLevel {
+    fn fork(&self) -> Self {
+        Self {
+            input: self.input.clone(),
+            approx: vec![0.0; self.approx.len()],
+            detail: vec![0.0; self.detail.len()],
+        }
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        for &gid in gids {
+            self.approx[gid] = shard.approx[gid];
+            self.detail[gid] = shard.detail[gid];
         }
     }
 }
@@ -71,7 +88,7 @@ pub fn run_haar(device: &mut Device, signal: &[f32]) -> Vec<f32> {
             approx: vec![0.0; half],
             detail: vec![0.0; half],
         };
-        device.run(&mut level, half);
+        device.dispatch(&mut level, half);
         out[half..2 * half].copy_from_slice(&level.detail);
         current = level.approx;
     }

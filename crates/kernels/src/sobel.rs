@@ -8,7 +8,7 @@
 //! under exact matching.
 
 use tm_image::GrayImage;
-use tm_sim::{Device, Kernel, VReg, WaveCtx};
+use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 /// The Sobel device kernel.
 ///
@@ -41,9 +41,10 @@ impl<'a> SobelKernel<'a> {
     }
 
     /// Dispatches one work-item per pixel and returns the filtered image.
+    /// Honours the device's configured [`tm_sim::ExecBackend`].
     pub fn run(mut self, device: &mut Device) -> GrayImage {
         let (w, h) = (self.input.width(), self.input.height());
-        device.run(&mut self, w * h);
+        device.dispatch(&mut self, w * h);
         GrayImage::from_vec(w, h, self.output)
     }
 
@@ -93,6 +94,18 @@ impl Kernel for SobelKernel<'_> {
         let out = ctx.fp2int(&clamped);
         for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
             self.output[gid] = out[l];
+        }
+    }
+}
+
+impl ShardKernel for SobelKernel<'_> {
+    fn fork(&self) -> Self {
+        Self::new(self.input)
+    }
+
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        for &gid in gids {
+            self.output[gid] = shard.output[gid];
         }
     }
 }

@@ -9,8 +9,7 @@ use crate::gaussian::GaussianKernel;
 use crate::haar::{haar_reference, run_haar};
 use crate::sobel::SobelKernel;
 use crate::table1::KernelId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_rng::Pcg32;
 use tm_image::{gaussian3x3_reference, psnr, sobel_reference, synth, GrayImage};
 use tm_sim::Device;
 
@@ -97,7 +96,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
             // The SDK host fills the signal with `(float)(rand() % 10)` —
             // ten distinct values. This small-integer quantization is the
             // source of the kernel's value locality.
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x44A2);
+            let mut rng = Pcg32::seed_from_u64(seed ^ 0x44A2);
             let signal = (0..n).map(|_| rng.gen_range(0..10) as f32).collect();
             Box::new(HaarWorkload { signal })
         }
@@ -109,7 +108,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
                 Scale::Paper => 1 << 20,
             };
             // SDK-style `rand() % k` small-integer inputs (see DESIGN.md).
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xF3A7);
+            let mut rng = Pcg32::seed_from_u64(seed ^ 0xF3A7);
             let signal = (0..n).map(|_| rng.gen_range(0..8) as f32).collect();
             Box::new(FwtWorkload { signal })
         }

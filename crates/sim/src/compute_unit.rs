@@ -1,48 +1,35 @@
 //! A compute unit: 16 stream cores plus error/recovery/energy machinery.
 
 use crate::config::{ArchMode, DeviceConfig};
+use crate::sink::{LaneEvent, LaneEventKind, LocalitySink, SinkPipeline, VectorEvent};
 use crate::stream_core::StreamCore;
-use crate::trace::{TraceBuffer, TraceEvent};
+use crate::trace::TraceBuffer;
 use std::collections::BTreeMap;
 use tm_core::MemoStats;
 use tm_energy::EnergyLedger;
 use tm_fpu::{FpOp, Operands};
 use tm_timing::{Ecu, ErrorInjector};
 
-/// Per-opcode execution tallies of one compute unit.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct OpTally {
-    /// Lane-level (scalar) instructions issued.
-    pub lane_instructions: u64,
-    /// Wavefront-level (vector) instructions issued.
-    pub vector_instructions: u64,
-    /// Lane instructions satisfied by *spatial* (intra-slot) reuse when
-    /// the device runs in [`ArchMode::Spatial`].
-    pub spatial_hits: u64,
-    /// Timing errors masked by spatial reuse.
-    pub spatial_masked_errors: u64,
-    /// Energy attributed to this opcode's instructions, pJ.
-    pub energy_pj: f64,
-}
+pub use crate::sink::OpTally;
 
 /// One compute unit of the device.
 ///
 /// Owns the stream cores (and through them every FPU + memoization module),
-/// the per-CU timing-error injector, the error control unit and the energy
-/// ledger. The [`ComputeUnit::issue_vector`] method is the execute stage:
-/// it walks the wavefront's lanes in sub-wavefront order, routes each lane
-/// to its stream core, draws the EDS verdict, consults the memoization
-/// module, and charges cycles and energy per the Table-2 action.
+/// the per-CU timing-error injector, the error control unit and the
+/// accounting [`SinkPipeline`]. The [`ComputeUnit::issue_vector`] method is
+/// the execute stage: it walks the wavefront's lanes in sub-wavefront
+/// order, routes each lane to its stream core, draws the EDS verdict,
+/// consults the memoization module, charges cycles, and describes each
+/// lane to the sinks as a [`LaneEvent`] — the sinks (stats, energy, trace,
+/// locality) fold the stream into their statistics per the Table-2 action.
 #[derive(Debug, Clone)]
 pub struct ComputeUnit {
     config: DeviceConfig,
     stream_cores: Vec<StreamCore>,
     injector: ErrorInjector,
     ecu: Ecu,
-    ledger: EnergyLedger,
     cycles: u64,
-    tallies: BTreeMap<FpOp, OpTally>,
-    trace: TraceBuffer,
+    sinks: SinkPipeline,
 }
 
 impl ComputeUnit {
@@ -61,18 +48,34 @@ impl ComputeUnit {
                 .collect(),
             injector: ErrorInjector::new(rate, seed),
             ecu: Ecu::new(config.recovery),
-            ledger: EnergyLedger::new(),
             cycles: 0,
-            tallies: BTreeMap::new(),
-            trace: TraceBuffer::new(config.trace_depth),
+            sinks: SinkPipeline::standard(config),
         }
     }
 
     /// The instruction-trace buffer (empty unless
     /// [`DeviceConfig::trace_depth`] is non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace sink was removed from the pipeline (the
+    /// standard pipeline always installs one).
     #[must_use]
-    pub const fn trace(&self) -> &TraceBuffer {
-        &self.trace
+    pub fn trace(&self) -> &TraceBuffer {
+        self.sinks.trace().expect("standard pipeline has a trace sink")
+    }
+
+    /// The accounting sink pipeline.
+    #[must_use]
+    pub const fn sinks(&self) -> &SinkPipeline {
+        &self.sinks
+    }
+
+    /// The online locality profiler, when
+    /// [`DeviceConfig::locality_tracking`] enabled one.
+    #[must_use]
+    pub fn locality(&self) -> Option<&LocalitySink> {
+        self.sinks.locality()
     }
 
     /// Resets every statistic — memoization counters, energy ledger, ECU
@@ -84,10 +87,8 @@ impl ComputeUnit {
             sc.reset_stats();
         }
         self.ecu.reset();
-        self.ledger.reset();
         self.cycles = 0;
-        self.tallies.clear();
-        self.trace.clear();
+        self.sinks.reset();
     }
 
     /// The device configuration this CU was built with.
@@ -103,9 +104,16 @@ impl ComputeUnit {
     }
 
     /// The energy ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the energy sink was removed from the pipeline (the
+    /// standard pipeline always installs one).
     #[must_use]
-    pub const fn ledger(&self) -> &EnergyLedger {
-        &self.ledger
+    pub fn ledger(&self) -> &EnergyLedger {
+        self.sinks
+            .ledger()
+            .expect("standard pipeline has an energy sink")
     }
 
     /// The error control unit.
@@ -127,8 +135,19 @@ impl ComputeUnit {
     }
 
     /// Per-opcode instruction tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats sink was removed from the pipeline (the
+    /// standard pipeline always installs one).
     pub fn tallies(&self) -> impl Iterator<Item = (&FpOp, &OpTally)> {
-        self.tallies.iter()
+        self.tally_map().iter()
+    }
+
+    fn tally_map(&self) -> &BTreeMap<FpOp, OpTally> {
+        self.sinks
+            .tallies()
+            .expect("standard pipeline has a stats sink")
     }
 
     /// Aggregated memoization statistics for `op` across this CU's cores.
@@ -162,15 +181,12 @@ impl ComputeUnit {
             assert_eq!(s.len(), lanes, "operand vector length mismatch");
         }
 
-        let scale = self.config.dynamic_scale();
-        let model = self.config.energy_model;
-        let policy = self.config.recovery;
         let stages = op.latency();
         let num_scs = self.config.stream_cores_per_cu;
 
         let mut out = vec![0.0f32; lanes];
         let mut recovery_stall: u64 = 0;
-        let energy_before = self.ledger.total_pj();
+        let energy_before = self.sinks.total_energy_pj();
         let spatial = self.config.arch == ArchMode::Spatial;
         let commutative = op.is_commutative();
         // Spatial reuse table: the distinct operand sets executed so far
@@ -208,21 +224,19 @@ impl ComputeUnit {
                     out[lane] = result;
                     let sc = &mut self.stream_cores[lane % num_scs];
                     sc.unit_mut(op, &self.config).squash_for_reuse(now);
-                    self.ledger
-                        .charge_hit(model.spatial_reuse_energy(op, scale));
                     spatial_hits += 1;
                     if error {
                         spatial_masked += 1;
                     }
-                    self.trace.record(TraceEvent {
+                    self.sinks.emit_lane(&LaneEvent {
                         op,
                         operands,
                         result,
-                        hit: true,
                         error,
                         stream_core: lane % num_scs,
                         lane,
                         cycle: now,
+                        kind: LaneEventKind::SpatialReuse,
                     });
                     continue;
                 }
@@ -231,40 +245,28 @@ impl ComputeUnit {
             let sc = &mut self.stream_cores[lane % num_scs];
             let outcome = sc.unit_mut(op, &self.config).issue(operands, error, now);
             out[lane] = outcome.result;
-            self.trace.record(TraceEvent {
+            self.sinks.emit_lane(&LaneEvent {
                 op,
                 operands,
                 result: outcome.result,
-                hit: outcome.hit,
                 error,
                 stream_core: lane % num_scs,
                 lane,
                 cycle: now,
+                kind: LaneEventKind::Issue {
+                    hit: outcome.hit,
+                    bypassed: outcome.bypassed,
+                    updated: outcome.updated,
+                    recovered: outcome.recovered,
+                },
             });
             if spatial {
                 // The (possibly replayed, therefore correct) result is
-                // broadcast for the rest of the slot; the cross-lane
-                // comparators cost about a LUT search.
+                // broadcast for the rest of the slot.
                 slot_table.push((operands, outcome.result));
-                self.ledger.charge_lut_lookup(model.lut_lookup_energy());
             }
-
-            // Energy per the Table-2 action (see tm-energy docs).
-            if outcome.hit {
-                self.ledger.charge_hit(model.hit_energy(op, scale));
-            } else {
-                self.ledger.charge_exec(model.exec_energy(op, scale));
-                if !outcome.bypassed {
-                    self.ledger.charge_lut_lookup(model.lut_lookup_energy());
-                }
-                if outcome.updated {
-                    self.ledger.charge_lut_update(model.lut_update_energy());
-                }
-                if outcome.recovered {
-                    self.ledger
-                        .charge_recovery(model.recovery_energy(op, policy, scale));
-                    recovery_stall += u64::from(self.ecu.recover(stages));
-                }
+            if outcome.recovered && !outcome.hit {
+                recovery_stall += u64::from(self.ecu.recover(stages));
             }
         }
 
@@ -272,12 +274,13 @@ impl ComputeUnit {
         // stalls the wavefront for the accumulated penalty.
         self.cycles += self.config.subwavefront_slots() as u64 + recovery_stall;
 
-        let tally = self.tallies.entry(op).or_default();
-        tally.vector_instructions += 1;
-        tally.lane_instructions += active.iter().filter(|&&a| a).count() as u64;
-        tally.spatial_hits += spatial_hits;
-        tally.spatial_masked_errors += spatial_masked;
-        tally.energy_pj += self.ledger.total_pj() - energy_before;
+        self.sinks.emit_vector(&VectorEvent {
+            op,
+            active_lanes: active.iter().filter(|&&a| a).count() as u64,
+            spatial_hits,
+            spatial_masked_errors: spatial_masked,
+            energy_pj: self.sinks.total_energy_pj() - energy_before,
+        });
 
         out
     }
@@ -414,5 +417,22 @@ mod tests {
         let mut cu = cu(&config);
         let a = vec![1.0f32; 64];
         let _ = cu.issue_vector(FpOp::Add, &[&a], &[true; 64]);
+    }
+
+    #[test]
+    fn locality_sink_tracks_streams_online() {
+        let config = DeviceConfig::default().with_locality_tracking();
+        let mut cu = cu(&config);
+        let a = vec![3.0f32; 64];
+        let active = vec![true; 64];
+        cu.issue_vector(FpOp::Sqrt, &[&a], &active);
+        cu.issue_vector(FpOp::Sqrt, &[&a], &active);
+        let rows = cu.locality().expect("locality enabled").summaries();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].events, 128);
+        // A constant stream: zero entropy, perfect depth-2 reuse after
+        // each FIFO's cold miss.
+        assert_eq!(rows[0].entropy_bits, 0.0);
+        assert!(rows[0].predicted_hit_rates[0] > 0.85);
     }
 }

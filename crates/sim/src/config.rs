@@ -24,6 +24,25 @@ pub enum ArchMode {
     Spatial,
 }
 
+/// Which execution engine drives the compute units.
+///
+/// Both backends produce **bit-identical** [`crate::DeviceReport`]s:
+/// wavefront → CU assignment, each CU's wavefront order, and the
+/// index-order merge of per-CU statistics are the same; the parallel
+/// engine only overlaps the (already independent) per-CU work on OS
+/// threads. See `DESIGN.md` § "Execution engine".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// One thread walks the wavefronts in dispatch order — the reference
+    /// engine.
+    #[default]
+    Sequential,
+    /// One `std::thread` worker per compute unit (scoped threads, no
+    /// extra dependencies); results merge deterministically in CU index
+    /// order.
+    Parallel,
+}
+
 /// Where per-instruction timing-error events come from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ErrorMode {
@@ -103,6 +122,13 @@ pub struct DeviceConfig {
     /// Optional adaptive power gating of every memoization module (the
     /// automated form of the paper's software-controlled power gating).
     pub adaptive_gate: Option<GatePolicy>,
+    /// Which execution engine drives the compute units.
+    pub backend: ExecBackend,
+    /// Enables online value-locality profiling (a
+    /// [`crate::sink::LocalitySink`] per compute unit) — the streaming
+    /// alternative to recording a bounded trace and post-processing it
+    /// with [`crate::locality`].
+    pub locality_tracking: bool,
 }
 
 impl Default for DeviceConfig {
@@ -123,6 +149,8 @@ impl Default for DeviceConfig {
             seed: 0xC0FFEE,
             trace_depth: 0,
             adaptive_gate: None,
+            backend: ExecBackend::default(),
+            locality_tracking: false,
         }
     }
 }
@@ -211,6 +239,27 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_adaptive_gate(mut self, policy: GatePolicy) -> Self {
         self.adaptive_gate = Some(policy);
+        self
+    }
+
+    /// Selects the execution engine.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`DeviceConfig::with_backend`] with
+    /// [`ExecBackend::Parallel`] — one worker thread per compute unit.
+    #[must_use]
+    pub fn with_parallel(self) -> Self {
+        self.with_backend(ExecBackend::Parallel)
+    }
+
+    /// Enables online value-locality profiling.
+    #[must_use]
+    pub fn with_locality_tracking(mut self) -> Self {
+        self.locality_tracking = true;
         self
     }
 
@@ -320,5 +369,15 @@ mod tests {
             .with_arch(ArchMode::Baseline);
         assert_eq!(c.fifo_depth, 8);
         assert_eq!(c.arch, ArchMode::Baseline);
+    }
+
+    #[test]
+    fn backend_defaults_to_sequential() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.backend, ExecBackend::Sequential);
+        assert!(!c.locality_tracking);
+        let c = c.with_parallel().with_locality_tracking();
+        assert_eq!(c.backend, ExecBackend::Parallel);
+        assert!(c.locality_tracking);
     }
 }

@@ -1,11 +1,12 @@
 //! The top-level device: dispatch and reporting.
 
 use crate::compute_unit::ComputeUnit;
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, ExecBackend};
+use crate::engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
 use crate::kernel::Kernel;
-use crate::program::{Bindings, Src, VInst, VProgram, WavefrontContext};
+use crate::locality::LocalitySummary;
+use crate::program::{Bindings, VProgram};
 use crate::report::{DeviceReport, OpReport};
-use crate::wave::WaveCtx;
 use tm_core::MemoStats;
 use tm_fpu::ALL_OPS;
 
@@ -58,32 +59,54 @@ impl Device {
         self.wavefronts_dispatched
     }
 
-    /// Runs `kernel` over an ND-range of `global_size` work-items.
+    /// The schedule the device's geometry induces for `global_size`
+    /// work-items — the scheduling layer both engines share.
+    fn schedule(&self, global_size: usize) -> Schedule {
+        Schedule::new(
+            global_size,
+            self.config.wavefront_size,
+            self.compute_units.len(),
+        )
+    }
+
+    /// Runs `kernel` over an ND-range of `global_size` work-items on the
+    /// **sequential reference engine** (any kernel, sized or not).
     ///
     /// The range is split into wavefronts of `wavefront_size` work-items
     /// (the trailing wavefront may be partial); wavefront *w* executes on
     /// compute unit *(w mod CUs)*, mirroring the ultra-threaded
-    /// dispatcher's round-robin.
+    /// dispatcher's round-robin. Kernels that also implement
+    /// [`ShardKernel`] can go through [`Device::dispatch`] instead, which
+    /// honours the configured [`ExecBackend`].
     ///
     /// # Panics
     ///
     /// Panics if `global_size` is zero.
     pub fn run<K: Kernel + ?Sized>(&mut self, kernel: &mut K, global_size: usize) {
-        assert!(global_size > 0, "cannot dispatch an empty ND-range");
-        let wf_size = self.config.wavefront_size;
-        let num_cus = self.compute_units.len();
-        let mut start = 0usize;
-        let mut w = 0usize;
-        while start < global_size {
-            let end = (start + wf_size).min(global_size);
-            let lane_ids: Vec<usize> = (start..end).collect();
-            let cu = &mut self.compute_units[w % num_cus];
-            let mut ctx = WaveCtx::new(cu, lane_ids);
-            kernel.execute(&mut ctx);
-            self.wavefronts_dispatched += 1;
-            start = end;
-            w += 1;
-        }
+        let schedule = self.schedule(global_size);
+        self.wavefronts_dispatched +=
+            SequentialEngine::run_any_kernel(&mut self.compute_units, kernel, &schedule);
+    }
+
+    /// Runs a [`ShardKernel`] over an ND-range through the configured
+    /// [`ExecBackend`] — the sequential reference engine by default, or
+    /// one worker thread per compute unit under
+    /// [`ExecBackend::Parallel`]. Both produce bit-identical reports;
+    /// see [`crate::engine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_size` is zero.
+    pub fn dispatch<K: ShardKernel>(&mut self, kernel: &mut K, global_size: usize) {
+        let schedule = self.schedule(global_size);
+        self.wavefronts_dispatched += match self.config.backend {
+            ExecBackend::Sequential => {
+                SequentialEngine.run_kernel(&mut self.compute_units, kernel, &schedule)
+            }
+            ExecBackend::Parallel => {
+                ParallelEngine.run_kernel(&mut self.compute_units, kernel, &schedule)
+            }
+        };
     }
 
     /// Runs a [`VProgram`] over an ND-range with `in_flight` wavefronts
@@ -96,6 +119,11 @@ impl Device {
     /// on an FPU come from *different* wavefronts — the stress case for
     /// the 2-entry FIFO's temporal locality.
     ///
+    /// Both engines honour the wavefront→CU schedule and per-CU order, so
+    /// the backend choice never changes results or statistics; programs
+    /// with a gather-after-scatter hazard silently fall back to the
+    /// sequential engine (see [`crate::engine`]).
+    ///
     /// # Panics
     ///
     /// Panics if `global_size` or `in_flight` is zero, or a
@@ -107,91 +135,23 @@ impl Device {
         global_size: usize,
         in_flight: usize,
     ) {
-        assert!(global_size > 0, "cannot dispatch an empty ND-range");
-        assert!(in_flight > 0, "need at least one wavefront in flight");
-        let wf_size = self.config.wavefront_size;
-        let num_cus = self.compute_units.len();
-
-        // Build each CU's wavefront queue (round-robin assignment, as in
-        // `run`).
-        let mut queues: Vec<Vec<WavefrontContext>> = vec![Vec::new(); num_cus];
-        let mut start = 0usize;
-        let mut w = 0usize;
-        while start < global_size {
-            let end = (start + wf_size).min(global_size);
-            queues[w % num_cus].push(WavefrontContext::new(
-                (start..end).collect(),
-                program.registers(),
-            ));
-            self.wavefronts_dispatched += 1;
-            start = end;
-            w += 1;
-        }
-
-        for (cu_idx, queue) in queues.into_iter().enumerate() {
-            let cu = &mut self.compute_units[cu_idx];
-            let mut pending = queue.into_iter();
-            let mut active: Vec<WavefrontContext> = pending.by_ref().take(in_flight).collect();
-            while !active.is_empty() {
-                let mut i = 0;
-                while i < active.len() {
-                    Self::step_program(cu, program, &mut active[i], bindings);
-                    if active[i].done(program) {
-                        match pending.next() {
-                            Some(fresh) => active[i] = fresh,
-                            None => {
-                                active.remove(i);
-                                continue;
-                            }
-                        }
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
-
-    /// Executes one instruction of one wavefront context.
-    fn step_program(
-        cu: &mut ComputeUnit,
-        program: &VProgram,
-        ctx: &mut WavefrontContext,
-        bindings: &mut Bindings,
-    ) {
-        let lanes = ctx.lane_ids.len();
-        let inst = &program.instructions()[ctx.pc];
-        match inst {
-            VInst::LaneId { dst } => {
-                for l in 0..lanes {
-                    ctx.regs[*dst as usize][l] = ctx.lane_ids[l] as f32;
-                }
-            }
-            VInst::Gather { dst, data, indices } => {
-                for l in 0..lanes {
-                    ctx.regs[*dst as usize][l] = bindings.gather(*data, *indices, ctx.lane_ids[l]);
-                }
-            }
-            VInst::Scatter { src, data, indices } => {
-                for l in 0..lanes {
-                    let v = ctx.regs[*src as usize][l];
-                    bindings.scatter(*data, *indices, ctx.lane_ids[l], v);
-                }
-            }
-            VInst::Alu { op, dst, srcs } => {
-                // Materialize immediate operands as splat vectors.
-                let materialized: Vec<Vec<f32>> = srcs
-                    .iter()
-                    .map(|s| match s {
-                        Src::Reg(r) => ctx.regs[*r as usize].clone(),
-                        Src::Imm(v) => vec![*v; lanes],
-                    })
-                    .collect();
-                let slices: Vec<&[f32]> = materialized.iter().map(Vec::as_slice).collect();
-                let active = vec![true; lanes];
-                ctx.regs[*dst as usize] = cu.issue_vector(*op, &slices, &active);
-            }
-        }
-        ctx.pc += 1;
+        let schedule = self.schedule(global_size);
+        self.wavefronts_dispatched += match self.config.backend {
+            ExecBackend::Sequential => SequentialEngine.run_program(
+                &mut self.compute_units,
+                program,
+                bindings,
+                &schedule,
+                in_flight,
+            ),
+            ExecBackend::Parallel => ParallelEngine.run_program(
+                &mut self.compute_units,
+                program,
+                bindings,
+                &schedule,
+                in_flight,
+            ),
+        };
     }
 
     /// Aggregated memoization statistics for `op` across the device.
@@ -204,6 +164,17 @@ impl Device {
     /// configuration enabled tracing via `trace_depth`).
     pub fn trace_events(&self) -> impl Iterator<Item = &crate::TraceEvent> {
         self.compute_units.iter().flat_map(|cu| cu.trace().events())
+    }
+
+    /// Per-CU locality summaries from the online profiler — one row set
+    /// per compute unit, empty unless
+    /// [`DeviceConfig::locality_tracking`] is enabled.
+    #[must_use]
+    pub fn locality_summaries(&self) -> Vec<Vec<LocalitySummary>> {
+        self.compute_units
+            .iter()
+            .filter_map(|cu| cu.locality().map(super::sink::LocalitySink::summaries))
+            .collect()
     }
 
     /// Resets every statistic on the device (see
@@ -280,7 +251,7 @@ impl Device {
 mod tests {
     use super::*;
     use crate::config::{ArchMode, ErrorMode};
-    use crate::wave::VReg;
+    use crate::wave::{VReg, WaveCtx};
     use tm_fpu::FpOp;
 
     struct AddOne {

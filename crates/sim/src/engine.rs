@@ -1,0 +1,625 @@
+//! Pluggable execution engines: scheduling separated from execution.
+//!
+//! The [`Schedule`] is the *scheduling* layer: it maps an ND-range onto
+//! wavefronts and wavefronts onto compute units (the ultra-threaded
+//! dispatcher's round-robin, `wavefront w → CU (w mod CUs)`), and is
+//! shared by every backend so the per-CU operand streams — the property
+//! temporal memoization lives on — are engine-invariant.
+//!
+//! The [`ExecEngine`] implementations are the *execution* layer:
+//!
+//! - [`SequentialEngine`] walks wavefronts in dispatch order on the
+//!   calling thread — the reference semantics.
+//! - [`ParallelEngine`] runs one `std::thread` scoped worker per compute
+//!   unit. Because every mutable per-run state (FIFOs, injector, ECU,
+//!   energy ledger, sinks) is owned by its [`ComputeUnit`], and each CU
+//!   processes exactly the wavefronts the schedule assigns it *in the
+//!   same order* as the sequential engine, the per-CU end states are
+//!   identical — and [`crate::Device::report`] merges them in CU index
+//!   order, so the [`crate::DeviceReport`] is **bit-identical** across
+//!   backends (floating-point sums included).
+//!
+//! Kernel-side state is forked/joined through [`ShardKernel`]; program
+//! ([`VProgram`]) runs journal their scatters and replay them in CU
+//! index order, falling back to the sequential engine when a program
+//! gathers from a scattered buffer (a cross-wavefront data hazard).
+
+use crate::compute_unit::ComputeUnit;
+use crate::kernel::Kernel;
+use crate::program::{Bindings, BufferId, Src, VInst, VProgram, WavefrontContext};
+use crate::wave::WaveCtx;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// One wavefront's assignment: which CU runs which global-id range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveAssignment {
+    /// Dispatch-order wavefront index.
+    pub wavefront: usize,
+    /// The compute unit the wavefront executes on.
+    pub cu: usize,
+    /// Global work-item ids of the wavefront's lanes.
+    pub lane_range: Range<usize>,
+}
+
+/// The scheduling layer: an ND-range split into wavefronts, each mapped
+/// to a compute unit.
+///
+/// # Examples
+///
+/// ```
+/// use tm_sim::Schedule;
+///
+/// // 100 work-items, 64-lane wavefronts, 2 CUs: a full wavefront on
+/// // CU 0 and a partial one on CU 1.
+/// let s = Schedule::new(100, 64, 2);
+/// assert_eq!(s.wavefronts(), 2);
+/// assert_eq!(s.assignments()[1].cu, 1);
+/// assert_eq!(s.assignments()[1].lane_range, 64..100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<WaveAssignment>,
+    num_cus: usize,
+}
+
+impl Schedule {
+    /// Splits `global_size` work-items into wavefronts of
+    /// `wavefront_size` (the trailing wavefront may be partial) and
+    /// assigns wavefront *w* to CU *(w mod num_cus)*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_size`, `wavefront_size` or `num_cus` is zero.
+    #[must_use]
+    pub fn new(global_size: usize, wavefront_size: usize, num_cus: usize) -> Self {
+        assert!(global_size > 0, "cannot dispatch an empty ND-range");
+        assert!(wavefront_size > 0, "wavefront size must be positive");
+        assert!(num_cus > 0, "need at least one compute unit");
+        let mut assignments = Vec::new();
+        let mut start = 0usize;
+        let mut w = 0usize;
+        while start < global_size {
+            let end = (start + wavefront_size).min(global_size);
+            assignments.push(WaveAssignment {
+                wavefront: w,
+                cu: w % num_cus,
+                lane_range: start..end,
+            });
+            start = end;
+            w += 1;
+        }
+        Self {
+            assignments,
+            num_cus,
+        }
+    }
+
+    /// Number of wavefronts.
+    #[must_use]
+    pub fn wavefronts(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of compute units scheduled over.
+    #[must_use]
+    pub const fn num_cus(&self) -> usize {
+        self.num_cus
+    }
+
+    /// The per-wavefront assignments, in dispatch order.
+    #[must_use]
+    pub fn assignments(&self) -> &[WaveAssignment] {
+        &self.assignments
+    }
+
+    /// Each CU's wavefront queue (lane ranges in dispatch order) — the
+    /// unit of work a parallel worker owns.
+    #[must_use]
+    pub fn queues(&self) -> Vec<Vec<Range<usize>>> {
+        let mut queues: Vec<Vec<Range<usize>>> = vec![Vec::new(); self.num_cus];
+        for a in &self.assignments {
+            queues[a.cu].push(a.lane_range.clone());
+        }
+        queues
+    }
+
+    /// The global work-item ids assigned to one CU, in execution order.
+    #[must_use]
+    pub fn cu_lane_ids(&self, cu: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .filter(|a| a.cu == cu)
+            .flat_map(|a| a.lane_range.clone())
+            .collect()
+    }
+}
+
+/// A kernel whose per-run state can be sharded across compute units.
+///
+/// The parallel engine gives each CU worker a [`ShardKernel::fork`] of
+/// the kernel; after the workers finish, shards are folded back with
+/// [`ShardKernel::join`] in CU index order, which keeps output buffers
+/// identical to a sequential run (each work-item's result is written by
+/// exactly one shard — the one that executed its wavefront).
+pub trait ShardKernel: Kernel + Send {
+    /// A fresh shard able to execute any subset of the run's wavefronts.
+    /// Shards share the kernel's *inputs* (cloned or recomputed) but must
+    /// not alias its mutable outputs.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Folds `shard`'s results back into `self`. `gids` are the global
+    /// work-item ids the shard executed — the only outputs it owns.
+    fn join(&mut self, shard: Self, gids: &[usize])
+    where
+        Self: Sized;
+}
+
+/// The execution layer: how a schedule's assignments are carried out.
+pub trait ExecEngine {
+    /// Runs `kernel` over `schedule`, returning wavefronts dispatched.
+    fn run_kernel<K: ShardKernel>(
+        &self,
+        cus: &mut [ComputeUnit],
+        kernel: &mut K,
+        schedule: &Schedule,
+    ) -> u64;
+
+    /// Runs `program` over `schedule` with `in_flight` wavefronts
+    /// interleaved per CU, returning wavefronts dispatched.
+    fn run_program(
+        &self,
+        cus: &mut [ComputeUnit],
+        program: &VProgram,
+        bindings: &mut Bindings,
+        schedule: &Schedule,
+        in_flight: usize,
+    ) -> u64;
+}
+
+/// The reference engine: one thread, wavefronts in dispatch order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialEngine;
+
+impl SequentialEngine {
+    /// Runs any [`Kernel`] (including unsized/`dyn` kernels, which
+    /// cannot be sharded) over the schedule on the calling thread.
+    pub fn run_any_kernel<K: Kernel + ?Sized>(
+        cus: &mut [ComputeUnit],
+        kernel: &mut K,
+        schedule: &Schedule,
+    ) -> u64 {
+        for a in schedule.assignments() {
+            let cu = &mut cus[a.cu];
+            let mut ctx = WaveCtx::new(cu, a.lane_range.clone().collect());
+            kernel.execute(&mut ctx);
+        }
+        schedule.wavefronts() as u64
+    }
+}
+
+impl ExecEngine for SequentialEngine {
+    fn run_kernel<K: ShardKernel>(
+        &self,
+        cus: &mut [ComputeUnit],
+        kernel: &mut K,
+        schedule: &Schedule,
+    ) -> u64 {
+        Self::run_any_kernel(cus, kernel, schedule)
+    }
+
+    fn run_program(
+        &self,
+        cus: &mut [ComputeUnit],
+        program: &VProgram,
+        bindings: &mut Bindings,
+        schedule: &Schedule,
+        in_flight: usize,
+    ) -> u64 {
+        assert!(in_flight > 0, "need at least one wavefront in flight");
+        for (cu_idx, queue) in schedule.queues().into_iter().enumerate() {
+            run_cu_program_queue(&mut cus[cu_idx], program, queue, bindings, in_flight, None);
+        }
+        schedule.wavefronts() as u64
+    }
+}
+
+/// One journaled scatter write: `bindings[data][index] = value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScatterWrite {
+    data: BufferId,
+    index: usize,
+    value: f32,
+}
+
+/// The multi-threaded engine: one scoped worker per compute unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelEngine;
+
+impl ExecEngine for ParallelEngine {
+    fn run_kernel<K: ShardKernel>(
+        &self,
+        cus: &mut [ComputeUnit],
+        kernel: &mut K,
+        schedule: &Schedule,
+    ) -> u64 {
+        let queues = schedule.queues();
+        let shards: Vec<K> = queues.iter().map(|_| kernel.fork()).collect();
+        let finished: Vec<K> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cus
+                .iter_mut()
+                .zip(&queues)
+                .zip(shards)
+                .map(|((cu, queue), mut shard)| {
+                    scope.spawn(move || {
+                        for range in queue {
+                            let mut ctx = WaveCtx::new(cu, range.clone().collect());
+                            shard.execute(&mut ctx);
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("execution worker panicked"))
+                .collect()
+        });
+        // Join in CU index order — the deterministic merge.
+        for (cu_idx, shard) in finished.into_iter().enumerate() {
+            kernel.join(shard, &schedule.cu_lane_ids(cu_idx));
+        }
+        schedule.wavefronts() as u64
+    }
+
+    fn run_program(
+        &self,
+        cus: &mut [ComputeUnit],
+        program: &VProgram,
+        bindings: &mut Bindings,
+        schedule: &Schedule,
+        in_flight: usize,
+    ) -> u64 {
+        assert!(in_flight > 0, "need at least one wavefront in flight");
+        if has_cross_wavefront_hazard(program) {
+            // A gather (or scatter addressing) may observe another CU's
+            // scatter; only the sequential order is well-defined.
+            return SequentialEngine.run_program(cus, program, bindings, schedule, in_flight);
+        }
+        let queues = schedule.queues();
+        let journals: Vec<Vec<ScatterWrite>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cus
+                .iter_mut()
+                .zip(queues)
+                .map(|(cu, queue)| {
+                    // Hazard-free programs never read scattered data, so a
+                    // snapshot of the bindings is a faithful input set.
+                    let mut local = bindings.clone();
+                    scope.spawn(move || {
+                        let mut journal = Vec::new();
+                        run_cu_program_queue(
+                            cu,
+                            program,
+                            queue,
+                            &mut local,
+                            in_flight,
+                            Some(&mut journal),
+                        );
+                        journal
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("execution worker panicked"))
+                .collect()
+        });
+        // Replay scatters in CU index order: identical to the sequential
+        // engine, which drains CU 0's queue before CU 1's.
+        for journal in journals {
+            for w in journal {
+                bindings.apply_write(w.data, w.index, w.value);
+            }
+        }
+        schedule.wavefronts() as u64
+    }
+}
+
+/// Whether a buffer written by a scatter is also read (by a gather or as
+/// a scatter index buffer) — the pattern whose cross-CU ordering the
+/// parallel engine cannot reproduce with snapshot bindings.
+fn has_cross_wavefront_hazard(program: &VProgram) -> bool {
+    let scattered: BTreeSet<BufferId> = program
+        .instructions()
+        .iter()
+        .filter_map(|inst| match inst {
+            VInst::Scatter { data, .. } => Some(*data),
+            _ => None,
+        })
+        .collect();
+    program.instructions().iter().any(|inst| match inst {
+        VInst::Gather { data, indices, .. } => {
+            scattered.contains(data) || scattered.contains(indices)
+        }
+        VInst::Scatter { indices, .. } => scattered.contains(indices),
+        VInst::Alu { .. } | VInst::LaneId { .. } => false,
+    })
+}
+
+/// Drains one CU's wavefront queue with `in_flight`-way interleaving.
+/// With a journal, scatters are applied to the (local) bindings *and*
+/// recorded for later replay onto the shared bindings.
+fn run_cu_program_queue(
+    cu: &mut ComputeUnit,
+    program: &VProgram,
+    queue: Vec<Range<usize>>,
+    bindings: &mut Bindings,
+    in_flight: usize,
+    mut journal: Option<&mut Vec<ScatterWrite>>,
+) {
+    let mut pending = queue
+        .into_iter()
+        .map(|range| WavefrontContext::new(range.collect(), program.registers()));
+    let mut active: Vec<WavefrontContext> = pending.by_ref().take(in_flight).collect();
+    while !active.is_empty() {
+        let mut i = 0;
+        while i < active.len() {
+            step_program(cu, program, &mut active[i], bindings, journal.as_deref_mut());
+            if active[i].done(program) {
+                match pending.next() {
+                    Some(fresh) => active[i] = fresh,
+                    None => {
+                        active.remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Executes one instruction of one wavefront context.
+fn step_program(
+    cu: &mut ComputeUnit,
+    program: &VProgram,
+    ctx: &mut WavefrontContext,
+    bindings: &mut Bindings,
+    journal: Option<&mut Vec<ScatterWrite>>,
+) {
+    let lanes = ctx.lane_ids.len();
+    let inst = &program.instructions()[ctx.pc];
+    match inst {
+        VInst::LaneId { dst } => {
+            for l in 0..lanes {
+                ctx.regs[*dst as usize][l] = ctx.lane_ids[l] as f32;
+            }
+        }
+        VInst::Gather { dst, data, indices } => {
+            for l in 0..lanes {
+                ctx.regs[*dst as usize][l] = bindings.gather(*data, *indices, ctx.lane_ids[l]);
+            }
+        }
+        VInst::Scatter { src, data, indices } => {
+            let mut journal = journal;
+            for l in 0..lanes {
+                let v = ctx.regs[*src as usize][l];
+                if let Some(j) = journal.as_deref_mut() {
+                    let index = bindings.scatter_index(*indices, ctx.lane_ids[l]);
+                    bindings.apply_write(*data, index, v);
+                    j.push(ScatterWrite {
+                        data: *data,
+                        index,
+                        value: v,
+                    });
+                } else {
+                    bindings.scatter(*data, *indices, ctx.lane_ids[l], v);
+                }
+            }
+        }
+        VInst::Alu { op, dst, srcs } => {
+            // Materialize immediate operands as splat vectors.
+            let materialized: Vec<Vec<f32>> = srcs
+                .iter()
+                .map(|s| match s {
+                    Src::Reg(r) => ctx.regs[*r as usize].clone(),
+                    Src::Imm(v) => vec![*v; lanes],
+                })
+                .collect();
+            let slices: Vec<&[f32]> = materialized.iter().map(Vec::as_slice).collect();
+            let active = vec![true; lanes];
+            ctx.regs[*dst as usize] = cu.issue_vector(*op, &slices, &active);
+        }
+    }
+    ctx.pc += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use tm_fpu::FpOp;
+
+    #[test]
+    fn schedule_round_robins_and_covers_the_range() {
+        let s = Schedule::new(300, 64, 3);
+        assert_eq!(s.wavefronts(), 5); // 4 full + 1 partial (44 lanes)
+        assert_eq!(s.num_cus(), 3);
+        let cus: Vec<usize> = s.assignments().iter().map(|a| a.cu).collect();
+        assert_eq!(cus, vec![0, 1, 2, 0, 1]);
+        let covered: usize = s.assignments().iter().map(|a| a.lane_range.len()).sum();
+        assert_eq!(covered, 300);
+        assert_eq!(s.assignments()[4].lane_range, 256..300);
+    }
+
+    #[test]
+    fn queues_preserve_dispatch_order_per_cu() {
+        let s = Schedule::new(64 * 6, 64, 2);
+        let queues = s.queues();
+        assert_eq!(queues[0], vec![0..64, 128..192, 256..320]);
+        assert_eq!(queues[1], vec![64..128, 192..256, 320..384]);
+        assert_eq!(s.cu_lane_ids(1)[0], 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ND-range")]
+    fn empty_schedule_panics() {
+        let _ = Schedule::new(0, 64, 1);
+    }
+
+    #[test]
+    fn hazard_detector_flags_gather_after_scatter() {
+        // out[i] then in-place: data buffer 0 both gathered and scattered.
+        let hazardous = VProgram::new(
+            1,
+            vec![
+                VInst::Gather {
+                    dst: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Scatter {
+                    src: 0,
+                    data: 0,
+                    indices: 1,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(has_cross_wavefront_hazard(&hazardous));
+
+        // Distinct input and output buffers: safe to parallelize.
+        let safe = VProgram::new(
+            1,
+            vec![
+                VInst::Gather {
+                    dst: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Alu {
+                    op: FpOp::Sqrt,
+                    dst: 0,
+                    srcs: vec![Src::Reg(0)],
+                },
+                VInst::Scatter {
+                    src: 0,
+                    data: 2,
+                    indices: 1,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(!has_cross_wavefront_hazard(&safe));
+    }
+
+    /// A shardable kernel: out[gid] = gid + 1.
+    struct AddOneShard {
+        out: Vec<f32>,
+    }
+
+    impl Kernel for AddOneShard {
+        fn name(&self) -> &'static str {
+            "add_one_shard"
+        }
+        fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+            let x = ctx.iota();
+            let one = ctx.splat(1.0);
+            let y = ctx.add(&x, &one);
+            for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+                self.out[gid] = y[l];
+            }
+        }
+    }
+
+    impl ShardKernel for AddOneShard {
+        fn fork(&self) -> Self {
+            Self {
+                out: vec![0.0; self.out.len()],
+            }
+        }
+        fn join(&mut self, shard: Self, gids: &[usize]) {
+            for &gid in gids {
+                self.out[gid] = shard.out[gid];
+            }
+        }
+    }
+
+    fn fresh_cus(config: &DeviceConfig, n: usize) -> Vec<ComputeUnit> {
+        (0..n).map(|i| ComputeUnit::new(config, i)).collect()
+    }
+
+    #[test]
+    fn parallel_kernel_matches_sequential_output() {
+        let config = DeviceConfig::default();
+        let n = 1000;
+        let schedule = Schedule::new(n, config.wavefront_size, 4);
+
+        let mut seq_cus = fresh_cus(&config, 4);
+        let mut seq = AddOneShard { out: vec![0.0; n] };
+        let w_seq = SequentialEngine.run_kernel(&mut seq_cus, &mut seq, &schedule);
+
+        let mut par_cus = fresh_cus(&config, 4);
+        let mut par = AddOneShard { out: vec![0.0; n] };
+        let w_par = ParallelEngine.run_kernel(&mut par_cus, &mut par, &schedule);
+
+        assert_eq!(w_seq, w_par);
+        assert_eq!(seq.out, par.out);
+        for (a, b) in seq_cus.iter().zip(&par_cus) {
+            assert_eq!(a.cycles(), b.cycles());
+            assert_eq!(a.ledger().total_pj(), b.ledger().total_pj());
+        }
+    }
+
+    #[test]
+    fn parallel_program_replays_scatters_deterministically() {
+        // out[i] = sqrt(in[i]): gather buf 0, scatter buf 2 — hazard-free.
+        let program = VProgram::new(
+            1,
+            vec![
+                VInst::Gather {
+                    dst: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Alu {
+                    op: FpOp::Sqrt,
+                    dst: 0,
+                    srcs: vec![Src::Reg(0)],
+                },
+                VInst::Scatter {
+                    src: 0,
+                    data: 2,
+                    indices: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let n = 256;
+        let make_bindings = || {
+            Bindings::new(vec![
+                (0..n).map(|i| (i % 7) as f32).collect(),
+                (0..n).map(|i| i as f32).collect(),
+                vec![0.0; n],
+            ])
+        };
+        let config = DeviceConfig::default();
+        let schedule = Schedule::new(n, config.wavefront_size, 2);
+
+        let mut seq_cus = fresh_cus(&config, 2);
+        let mut seq_b = make_bindings();
+        SequentialEngine.run_program(&mut seq_cus, &program, &mut seq_b, &schedule, 2);
+
+        let mut par_cus = fresh_cus(&config, 2);
+        let mut par_b = make_bindings();
+        ParallelEngine.run_program(&mut par_cus, &program, &mut par_b, &schedule, 2);
+
+        assert_eq!(seq_b, par_b);
+        for (a, b) in seq_cus.iter().zip(&par_cus) {
+            assert_eq!(a.cycles(), b.cycles());
+            assert_eq!(a.ledger().total_pj(), b.ledger().total_pj());
+        }
+    }
+}

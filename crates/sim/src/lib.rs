@@ -77,19 +77,23 @@
 mod compute_unit;
 mod config;
 mod device;
+pub mod engine;
 mod kernel;
 pub mod locality;
 pub mod program;
 mod report;
+pub mod sink;
 mod stream_core;
 mod trace;
 mod wave;
 
-pub use compute_unit::ComputeUnit;
-pub use config::{ArchMode, DeviceConfig, ErrorMode};
+pub use compute_unit::{ComputeUnit, OpTally};
+pub use config::{ArchMode, DeviceConfig, ErrorMode, ExecBackend};
 pub use device::Device;
+pub use engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
 pub use kernel::Kernel;
 pub use report::{DeviceReport, OpReport};
+pub use sink::{EventSink, LaneEvent, LaneEventKind, SinkKind, SinkPipeline, VectorEvent};
 pub use stream_core::{LaneUnit, StreamCore};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use wave::{VReg, WaveCtx};

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use tm_fpu::FpOp;
 
 /// Bit-exact key of an operand set: raw bit patterns plus arity.
-type OperandKey = ([u32; tm_fpu::MAX_ARITY], usize);
+pub(crate) type OperandKey = ([u32; tm_fpu::MAX_ARITY], usize);
 
 /// Shannon entropy (bits) of the operand-set distribution of `events`.
 ///

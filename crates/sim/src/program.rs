@@ -294,8 +294,19 @@ impl Bindings {
     }
 
     pub(crate) fn scatter(&mut self, data: BufferId, indices: BufferId, gid: usize, value: f32) {
-        let idx = self.buffers[indices][gid] as usize;
+        let idx = self.scatter_index(indices, gid);
         self.buffers[data][idx] = value;
+    }
+
+    /// Resolves the element a scatter for `gid` targets — used by the
+    /// parallel engine to journal writes for deterministic replay.
+    pub(crate) fn scatter_index(&self, indices: BufferId, gid: usize) -> usize {
+        self.buffers[indices][gid] as usize
+    }
+
+    /// Applies a raw journaled write.
+    pub(crate) fn apply_write(&mut self, data: BufferId, index: usize, value: f32) {
+        self.buffers[data][index] = value;
     }
 }
 

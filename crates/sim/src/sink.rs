@@ -1,0 +1,638 @@
+//! The unified event/statistics pipeline of the execute stage.
+//!
+//! Historically every accounting concern — per-op tallies, the energy
+//! ledger, the instruction trace, locality profiling — was hand-inlined
+//! into [`crate::ComputeUnit::issue_vector`]. This module factors them
+//! into composable [`EventSink`]s behind one [`SinkPipeline`]: the
+//! execute stage *describes* what happened to each lane as a
+//! [`LaneEvent`] (plus one [`VectorEvent`] per vector instruction), and
+//! each installed sink folds the stream into its own statistic.
+//!
+//! Sinks are deliberately enum-dispatched ([`SinkKind`]) rather than
+//! boxed trait objects so a [`crate::ComputeUnit`] stays `Clone` (the
+//! crate forbids `unsafe` and devices are cloned by experiments).
+//!
+//! The accounting is bit-identical to the pre-refactor inline code: the
+//! [`EnergySink`] applies the exact same per-category charge sequence
+//! the Table-2 action used to apply directly, and per-op energy is
+//! attributed as a ledger-total delta around each vector instruction.
+
+use crate::config::{ArchMode, DeviceConfig};
+use crate::locality::{LocalitySummary, OperandKey, StackDistanceProfile};
+use crate::trace::{TraceBuffer, TraceEvent};
+use std::collections::{BTreeMap, HashMap};
+use tm_energy::{EnergyLedger, EnergyModel};
+use tm_fpu::{FpOp, Operands};
+use tm_timing::RecoveryPolicy;
+
+/// Per-opcode execution tallies of one compute unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpTally {
+    /// Lane-level (scalar) instructions issued.
+    pub lane_instructions: u64,
+    /// Wavefront-level (vector) instructions issued.
+    pub vector_instructions: u64,
+    /// Lane instructions satisfied by *spatial* (intra-slot) reuse when
+    /// the device runs in [`ArchMode::Spatial`].
+    pub spatial_hits: u64,
+    /// Timing errors masked by spatial reuse.
+    pub spatial_masked_errors: u64,
+    /// Energy attributed to this opcode's instructions, pJ.
+    pub energy_pj: f64,
+}
+
+/// How one lane's instruction was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaneEventKind {
+    /// The lane went through its stream core's FPU + memoization module
+    /// (the Table-2 state machine); the fields are the module's verdict.
+    Issue {
+        /// The memoization LUT hit (FPU clock-gated).
+        hit: bool,
+        /// The lookup was skipped entirely (gated module).
+        bypassed: bool,
+        /// The miss committed a new LUT entry.
+        updated: bool,
+        /// A timing error forced an ECU recovery.
+        recovered: bool,
+    },
+    /// The lane reused a concurrent lane's result via the spatial
+    /// (intra-slot) comparators — only under [`ArchMode::Spatial`].
+    SpatialReuse,
+}
+
+/// One lane-level instruction, as reported by the execute stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneEvent {
+    /// The opcode.
+    pub op: FpOp,
+    /// The input operands.
+    pub operands: Operands,
+    /// The architecturally visible result.
+    pub result: f32,
+    /// Whether the EDS sensors flagged a timing violation.
+    pub error: bool,
+    /// Stream core index within the compute unit.
+    pub stream_core: usize,
+    /// Lane index within the wavefront.
+    pub lane: usize,
+    /// Issue cycle.
+    pub cycle: u64,
+    /// How the lane was satisfied.
+    pub kind: LaneEventKind,
+}
+
+impl LaneEvent {
+    /// Whether the lane's result came from reuse (LUT hit or spatial
+    /// broadcast) rather than an FPU execution.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        match self.kind {
+            LaneEventKind::Issue { hit, .. } => hit,
+            LaneEventKind::SpatialReuse => true,
+        }
+    }
+}
+
+/// One vector (wavefront-wide) instruction, emitted after its lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorEvent {
+    /// The opcode.
+    pub op: FpOp,
+    /// Number of active lanes.
+    pub active_lanes: u64,
+    /// Lanes satisfied by spatial reuse.
+    pub spatial_hits: u64,
+    /// Timing errors masked by spatial reuse.
+    pub spatial_masked_errors: u64,
+    /// Energy charged over the course of this instruction, pJ.
+    pub energy_pj: f64,
+}
+
+/// A consumer of execute-stage events.
+pub trait EventSink {
+    /// Folds one lane-level instruction into the sink.
+    fn on_lane(&mut self, event: &LaneEvent);
+    /// Folds one vector-level instruction into the sink.
+    fn on_vector(&mut self, event: &VectorEvent) {
+        let _ = event;
+    }
+    /// Clears accumulated statistics (the per-kernel measurement
+    /// boundary — sinks must not retain cross-kernel state).
+    fn reset(&mut self);
+}
+
+/// Per-opcode instruction tallies.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSink {
+    tallies: BTreeMap<FpOp, OpTally>,
+}
+
+impl StatsSink {
+    /// An empty tally sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated per-opcode tallies.
+    #[must_use]
+    pub fn tallies(&self) -> &BTreeMap<FpOp, OpTally> {
+        &self.tallies
+    }
+}
+
+impl EventSink for StatsSink {
+    fn on_lane(&mut self, _event: &LaneEvent) {}
+
+    fn on_vector(&mut self, event: &VectorEvent) {
+        let tally = self.tallies.entry(event.op).or_default();
+        tally.vector_instructions += 1;
+        tally.lane_instructions += event.active_lanes;
+        tally.spatial_hits += event.spatial_hits;
+        tally.spatial_masked_errors += event.spatial_masked_errors;
+        tally.energy_pj += event.energy_pj;
+    }
+
+    fn reset(&mut self) {
+        self.tallies.clear();
+    }
+}
+
+/// The energy accountant: charges the ledger per the Table-2 action.
+#[derive(Debug, Clone)]
+pub struct EnergySink {
+    ledger: EnergyLedger,
+    model: EnergyModel,
+    policy: RecoveryPolicy,
+    scale: f64,
+    spatial: bool,
+}
+
+impl EnergySink {
+    /// A sink charging energy per `config`'s model, recovery policy and
+    /// supply voltage.
+    #[must_use]
+    pub fn new(config: &DeviceConfig) -> Self {
+        Self {
+            ledger: EnergyLedger::new(),
+            model: config.energy_model,
+            policy: config.recovery,
+            scale: config.dynamic_scale(),
+            spatial: config.arch == ArchMode::Spatial,
+        }
+    }
+
+    /// The accumulated ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+}
+
+impl EventSink for EnergySink {
+    fn on_lane(&mut self, event: &LaneEvent) {
+        let (op, scale) = (event.op, self.scale);
+        match event.kind {
+            LaneEventKind::SpatialReuse => {
+                self.ledger
+                    .charge_hit(self.model.spatial_reuse_energy(op, scale));
+            }
+            LaneEventKind::Issue {
+                hit,
+                bypassed,
+                updated,
+                recovered,
+            } => {
+                if self.spatial {
+                    // The executed result is broadcast for the rest of
+                    // the slot; the cross-lane comparators cost about a
+                    // LUT search.
+                    self.ledger.charge_lut_lookup(self.model.lut_lookup_energy());
+                }
+                if hit {
+                    self.ledger.charge_hit(self.model.hit_energy(op, scale));
+                } else {
+                    self.ledger.charge_exec(self.model.exec_energy(op, scale));
+                    if !bypassed {
+                        self.ledger.charge_lut_lookup(self.model.lut_lookup_energy());
+                    }
+                    if updated {
+                        self.ledger.charge_lut_update(self.model.lut_update_energy());
+                    }
+                    if recovered {
+                        self.ledger
+                            .charge_recovery(self.model.recovery_energy(op, self.policy, scale));
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ledger.reset();
+    }
+}
+
+/// The instruction-trace recorder.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    buffer: TraceBuffer,
+}
+
+impl TraceSink {
+    /// A sink recording up to `capacity` events (`0` disables tracing).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buffer: TraceBuffer::new(capacity),
+        }
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn buffer(&self) -> &TraceBuffer {
+        &self.buffer
+    }
+}
+
+impl EventSink for TraceSink {
+    fn on_lane(&mut self, event: &LaneEvent) {
+        self.buffer.record(TraceEvent {
+            op: event.op,
+            operands: event.operands,
+            result: event.result,
+            hit: event.is_hit(),
+            error: event.error,
+            stream_core: event.stream_core,
+            lane: event.lane,
+            cycle: event.cycle,
+        });
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+/// Online value-locality profiling — the streaming twin of
+/// [`crate::locality::summarize`], which needs no trace buffer (and so
+/// no capacity bound): entropy counts and per-(stream core, opcode) LRU
+/// stack distances are folded in as events arrive.
+#[derive(Debug, Clone, Default)]
+pub struct LocalitySink {
+    counts: HashMap<(FpOp, OperandKey), u64>,
+    stacks: HashMap<(usize, FpOp), Vec<OperandKey>>,
+    profiles: HashMap<FpOp, StackDistanceProfile>,
+}
+
+impl LocalitySink {
+    /// An empty locality profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stack-distance profile accumulated for `op`, if any lane
+    /// instruction of that opcode was observed.
+    #[must_use]
+    pub fn profile(&self, op: FpOp) -> Option<&StackDistanceProfile> {
+        self.profiles.get(&op)
+    }
+
+    /// Per-opcode locality summaries — the same rows
+    /// [`crate::locality::summarize`] derives from a recorded trace.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<LocalitySummary> {
+        let mut ops: Vec<FpOp> = self.profiles.keys().copied().collect();
+        ops.sort_unstable();
+        ops.into_iter()
+            .map(|op| {
+                let profile = &self.profiles[&op];
+                let n = profile.total;
+                let mut entropy = 0.0f64;
+                let mut distinct = 0usize;
+                for (&(o, _), &c) in &self.counts {
+                    if o == op {
+                        distinct += 1;
+                        let p = c as f64 / n as f64;
+                        entropy -= p * p.log2();
+                    }
+                }
+                LocalitySummary {
+                    op,
+                    events: n,
+                    entropy_bits: entropy,
+                    max_entropy_bits: (distinct as f64).log2().max(0.0),
+                    predicted_hit_rates: [
+                        profile.hit_rate_at_depth(2),
+                        profile.hit_rate_at_depth(4),
+                        profile.hit_rate_at_depth(16),
+                        profile.hit_rate_at_depth(64),
+                    ],
+                }
+            })
+            .collect()
+    }
+}
+
+impl EventSink for LocalitySink {
+    fn on_lane(&mut self, event: &LaneEvent) {
+        let key = (event.operands.bits(), event.operands.arity());
+        *self.counts.entry((event.op, key)).or_default() += 1;
+        let stack = self.stacks.entry((event.stream_core, event.op)).or_default();
+        let profile = self.profiles.entry(event.op).or_default();
+        profile.total += 1;
+        match stack.iter().position(|k| *k == key) {
+            Some(pos) => {
+                let distance = stack.len() - 1 - pos;
+                if profile.histogram.len() <= distance {
+                    profile.histogram.resize(distance + 1, 0);
+                }
+                profile.histogram[distance] += 1;
+                let k = stack.remove(pos);
+                stack.push(k);
+            }
+            None => {
+                profile.cold += 1;
+                stack.push(key);
+                // Same 1024-entry bound as the offline profiler: deeper
+                // distances are indistinguishable from cold misses.
+                if stack.len() > 1024 {
+                    stack.remove(0);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.stacks.clear();
+        self.profiles.clear();
+    }
+}
+
+/// One installed sink (enum dispatch keeps the pipeline `Clone`).
+#[derive(Debug, Clone)]
+pub enum SinkKind {
+    /// Per-opcode tallies.
+    Stats(StatsSink),
+    /// Energy ledger.
+    Energy(EnergySink),
+    /// Instruction trace.
+    Trace(TraceSink),
+    /// Online locality profiling.
+    Locality(LocalitySink),
+}
+
+impl SinkKind {
+    fn as_sink_mut(&mut self) -> &mut dyn EventSink {
+        match self {
+            SinkKind::Stats(s) => s,
+            SinkKind::Energy(s) => s,
+            SinkKind::Trace(s) => s,
+            SinkKind::Locality(s) => s,
+        }
+    }
+}
+
+/// An ordered set of sinks fed by the execute stage.
+#[derive(Debug, Clone, Default)]
+pub struct SinkPipeline {
+    sinks: Vec<SinkKind>,
+}
+
+impl SinkPipeline {
+    /// An empty pipeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard pipeline a [`crate::ComputeUnit`] installs: stats,
+    /// energy and trace always; locality when the config asks for it.
+    #[must_use]
+    pub fn standard(config: &DeviceConfig) -> Self {
+        let mut pipeline = Self::new();
+        pipeline.push(SinkKind::Stats(StatsSink::new()));
+        pipeline.push(SinkKind::Energy(EnergySink::new(config)));
+        pipeline.push(SinkKind::Trace(TraceSink::new(config.trace_depth)));
+        if config.locality_tracking {
+            pipeline.push(SinkKind::Locality(LocalitySink::new()));
+        }
+        pipeline
+    }
+
+    /// Appends a sink; events flow to sinks in insertion order.
+    pub fn push(&mut self, sink: SinkKind) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of installed sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sink is installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Feeds one lane event to every sink.
+    pub fn emit_lane(&mut self, event: &LaneEvent) {
+        for sink in &mut self.sinks {
+            sink.as_sink_mut().on_lane(event);
+        }
+    }
+
+    /// Feeds one vector event to every sink.
+    pub fn emit_vector(&mut self, event: &VectorEvent) {
+        for sink in &mut self.sinks {
+            sink.as_sink_mut().on_vector(event);
+        }
+    }
+
+    /// Resets every sink.
+    pub fn reset(&mut self) {
+        for sink in &mut self.sinks {
+            sink.as_sink_mut().reset();
+        }
+    }
+
+    /// The first energy sink's ledger, if one is installed.
+    #[must_use]
+    pub fn ledger(&self) -> Option<&EnergyLedger> {
+        self.sinks.iter().find_map(|s| match s {
+            SinkKind::Energy(e) => Some(e.ledger()),
+            _ => None,
+        })
+    }
+
+    /// Total energy across the pipeline's ledger (0 with no energy sink).
+    #[must_use]
+    pub fn total_energy_pj(&self) -> f64 {
+        self.ledger().map_or(0.0, EnergyLedger::total_pj)
+    }
+
+    /// The first trace sink's buffer, if one is installed.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.sinks.iter().find_map(|s| match s {
+            SinkKind::Trace(t) => Some(t.buffer()),
+            _ => None,
+        })
+    }
+
+    /// The first stats sink's tallies, if one is installed.
+    #[must_use]
+    pub fn tallies(&self) -> Option<&BTreeMap<FpOp, OpTally>> {
+        self.sinks.iter().find_map(|s| match s {
+            SinkKind::Stats(t) => Some(t.tallies()),
+            _ => None,
+        })
+    }
+
+    /// The first locality sink, if one is installed.
+    #[must_use]
+    pub fn locality(&self) -> Option<&LocalitySink> {
+        self.sinks.iter().find_map(|s| match s {
+            SinkKind::Locality(l) => Some(l),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue_event(op: FpOp, v: f32, sc: usize, hit: bool) -> LaneEvent {
+        LaneEvent {
+            op,
+            operands: Operands::unary(v),
+            result: v,
+            error: false,
+            stream_core: sc,
+            lane: sc,
+            cycle: 0,
+            kind: LaneEventKind::Issue {
+                hit,
+                bypassed: false,
+                updated: !hit,
+                recovered: false,
+            },
+        }
+    }
+
+    #[test]
+    fn stats_sink_accumulates_vector_events() {
+        let mut sink = StatsSink::new();
+        sink.on_vector(&VectorEvent {
+            op: FpOp::Add,
+            active_lanes: 64,
+            spatial_hits: 3,
+            spatial_masked_errors: 1,
+            energy_pj: 10.0,
+        });
+        sink.on_vector(&VectorEvent {
+            op: FpOp::Add,
+            active_lanes: 32,
+            spatial_hits: 0,
+            spatial_masked_errors: 0,
+            energy_pj: 5.0,
+        });
+        let t = sink.tallies()[&FpOp::Add];
+        assert_eq!(t.vector_instructions, 2);
+        assert_eq!(t.lane_instructions, 96);
+        assert_eq!(t.spatial_hits, 3);
+        assert!((t.energy_pj - 15.0).abs() < 1e-12);
+        sink.reset();
+        assert!(sink.tallies().is_empty());
+    }
+
+    #[test]
+    fn energy_sink_charges_hit_vs_miss_differently() {
+        let config = DeviceConfig::default();
+        let mut sink = EnergySink::new(&config);
+        sink.on_lane(&issue_event(FpOp::Sqrt, 2.0, 0, false));
+        let miss = sink.ledger().total_pj();
+        sink.reset();
+        sink.on_lane(&issue_event(FpOp::Sqrt, 2.0, 0, true));
+        let hit = sink.ledger().total_pj();
+        assert!(hit < miss, "a hit must be cheaper than a miss");
+    }
+
+    #[test]
+    fn trace_sink_records_hits_from_both_kinds() {
+        let mut sink = TraceSink::new(8);
+        sink.on_lane(&issue_event(FpOp::Add, 1.0, 0, true));
+        let mut spatial = issue_event(FpOp::Add, 1.0, 1, false);
+        spatial.kind = LaneEventKind::SpatialReuse;
+        sink.on_lane(&spatial);
+        let hits: Vec<bool> = sink.buffer().events().map(|e| e.hit).collect();
+        assert_eq!(hits, vec![true, true]);
+    }
+
+    #[test]
+    fn locality_sink_matches_offline_profile() {
+        // A B A B … on one stream core: the online profile must equal
+        // the offline one computed from an equivalent trace.
+        let mut sink = LocalitySink::new();
+        let mut trace = Vec::new();
+        for i in 0..20 {
+            let v = if i % 2 == 0 { 1.0 } else { 2.0 };
+            let e = issue_event(FpOp::Mul, v, 0, false);
+            sink.on_lane(&e);
+            trace.push(TraceEvent {
+                op: e.op,
+                operands: e.operands,
+                result: e.result,
+                hit: false,
+                error: false,
+                stream_core: 0,
+                lane: 0,
+                cycle: 0,
+            });
+        }
+        let offline = StackDistanceProfile::from_events(trace.iter());
+        assert_eq!(sink.profile(FpOp::Mul), Some(&offline));
+        let rows = sink.summaries();
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].entropy_bits - 1.0).abs() < 1e-9);
+        assert_eq!(rows[0].events, 20);
+    }
+
+    #[test]
+    fn pipeline_composes_and_routes_by_kind() {
+        let config = DeviceConfig::default().with_trace_depth(16);
+        let mut pipeline = SinkPipeline::standard(&config);
+        assert_eq!(pipeline.len(), 3);
+        pipeline.push(SinkKind::Locality(LocalitySink::new()));
+        pipeline.emit_lane(&issue_event(FpOp::Add, 3.0, 2, false));
+        pipeline.emit_vector(&VectorEvent {
+            op: FpOp::Add,
+            active_lanes: 1,
+            spatial_hits: 0,
+            spatial_masked_errors: 0,
+            energy_pj: pipeline.total_energy_pj(),
+        });
+        assert!(pipeline.total_energy_pj() > 0.0);
+        assert_eq!(pipeline.trace().unwrap().len(), 1);
+        assert_eq!(pipeline.tallies().unwrap()[&FpOp::Add].lane_instructions, 1);
+        assert_eq!(pipeline.locality().unwrap().summaries().len(), 1);
+        pipeline.reset();
+        assert_eq!(pipeline.total_energy_pj(), 0.0);
+        assert!(pipeline.trace().unwrap().is_empty());
+        assert!(pipeline.tallies().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pipeline_without_sinks_reports_defaults() {
+        let p = SinkPipeline::new();
+        assert!(p.is_empty());
+        assert_eq!(p.total_energy_pj(), 0.0);
+        assert!(p.ledger().is_none() && p.trace().is_none() && p.tallies().is_none());
+    }
+}

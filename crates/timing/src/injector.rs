@@ -1,7 +1,6 @@
 //! Seeded Bernoulli injection of per-instruction timing violations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_rng::Pcg32;
 
 /// A deterministic source of timing-error events.
 ///
@@ -24,7 +23,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct ErrorInjector {
     rate: f64,
-    rng: StdRng,
+    rng: Pcg32,
     drawn: u64,
     errors: u64,
 }
@@ -43,7 +42,7 @@ impl ErrorInjector {
         );
         Self {
             rate,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Pcg32::seed_from_u64(seed),
             drawn: 0,
             errors: 0,
         }

@@ -35,7 +35,10 @@ proptest! {
         let instr = chain.instruction_error_rate(p);
         prop_assert!((0.0..=1.0).contains(&instr));
         let back = chain.stage_error_rate(instr);
-        prop_assert!((back - p).abs() < 1e-9, "{back} vs {p}");
+        // Tolerance 1e-7, not 1e-9: at stages = 31, p = 0.5 the survival
+        // product (1-p)^stages ≈ 5e-10 is formed next to 1.0, so the
+        // rounding of `instr` alone perturbs the inversion by ~1e-8.
+        prop_assert!((back - p).abs() < 1e-7, "{back} vs {p}");
     }
 
     /// Recovery cycle counts are strictly positive and ECU accounting is

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline (the workspace is hermetic: no
+# external crates in the default build), plus lint gates.
+#
+#   scripts/verify.sh          # build + test + clippy
+#   scripts/verify.sh --quick  # skip clippy
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== cargo test (offline, workspace) =="
+cargo test --workspace -q --offline
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "== cargo clippy -D warnings (offline, workspace) =="
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
+
+echo "verify: OK"

@@ -81,6 +81,9 @@ pub mod prelude {
     pub use tm_core::{MatchPolicy, MemoModule, MemoStats};
     pub use tm_energy::{EnergyLedger, EnergyModel};
     pub use tm_fpu::{FpOp, Operands};
-    pub use tm_sim::{ArchMode, Device, DeviceConfig, ErrorMode, Kernel, VReg, WaveCtx};
+    pub use tm_sim::{
+        ArchMode, Device, DeviceConfig, ErrorMode, ExecBackend, Kernel, ShardKernel, VReg,
+        WaveCtx,
+    };
     pub use tm_timing::{ErrorInjector, RecoveryPolicy, VoltageModel};
 }

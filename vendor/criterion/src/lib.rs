@@ -1,0 +1,248 @@
+//! Offline shim of the `criterion` API subset used by this workspace.
+//!
+//! The build container has no network access, so the real `criterion`
+//! crate (and its dependency tree) cannot be downloaded. This vendored
+//! stand-in keeps `cargo bench --features benches` working offline: it
+//! implements the same builder surface (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`, `black_box`) with a simple
+//! wall-clock measurement loop and plain-text reporting — no statistics
+//! engine, no plots, no CLI. Numbers it prints are mean ns/iter over a
+//! bounded measurement window; treat them as smoke-level indicators,
+//! not criterion-grade estimates.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Prevents the optimizer from deleting a computation whose result is
+/// otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, first for warm-up, then measured.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: run until the measurement window elapses.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API compatibility; the
+    /// shim's single measurement window ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.criterion.report(&self.name, &id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Total benchmarks executed so far.
+    #[must_use]
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+
+    fn report(&mut self, group: &str, id: &BenchmarkId, bencher: &Bencher) {
+        self.benchmarks_run += 1;
+        let per_iter = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        println!(
+            "{group}/{id}: {per_iter:.1} ns/iter ({iters} iterations in {total:.3} s)",
+            id = id.id,
+            iters = bencher.iters,
+            total = bencher.elapsed.as_secs_f64(),
+        );
+    }
+}
+
+/// Bundles benchmark functions into one callable group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    criterion_group!(smoke, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("noop");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.bench_function("nothing", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_expands_to_runner() {
+        smoke();
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline shim of the `proptest` API subset used by this workspace.
+//!
+//! The container this repo builds in has no network access and an empty
+//! cargo registry, so the real `proptest` crate cannot be downloaded.
+//! This vendored stand-in keeps every property test compiling and
+//! running by re-implementing exactly the surface the tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range strategies over the primitive numeric types,
+//! * `prop::num::f32::{NORMAL, ZERO, SUBNORMAL}` and their `|` unions,
+//! * `any::<bool | u32 | u64>()`,
+//! * `prop::collection::vec(strategy, size)` (including tuple element
+//!   strategies) and `prop::sample::select(options)`.
+//!
+//! Semantics: each test runs `PROPTEST_CASES` (default 256) randomized
+//! cases drawn from a PRNG seeded deterministically from the test name,
+//! so failures reproduce run-to-run. Unlike real proptest there is **no
+//! shrinking** — a failing case panics with the assertion message
+//! directly. That trade keeps the shim tiny while preserving the tests'
+//! power to falsify the invariants they state.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` — the full-range strategy for a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `T`: `any::<u32>()` etc.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod num {
+    //! Numeric class strategies (`prop::num::f32::NORMAL | ZERO | ...`).
+
+    pub mod f32 {
+        //! Strategies over IEEE-754 binary32 value classes.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::BitOr;
+
+        /// A union of f32 value classes; `|` composes further classes.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct FloatClass {
+            bits: u8,
+        }
+
+        const NORMAL_BIT: u8 = 1;
+        const ZERO_BIT: u8 = 2;
+        const SUBNORMAL_BIT: u8 = 4;
+
+        /// Normal (full exponent range) finite floats of either sign.
+        pub const NORMAL: FloatClass = FloatClass { bits: NORMAL_BIT };
+        /// Positive and negative zero.
+        pub const ZERO: FloatClass = FloatClass { bits: ZERO_BIT };
+        /// Subnormal floats of either sign.
+        pub const SUBNORMAL: FloatClass = FloatClass {
+            bits: SUBNORMAL_BIT,
+        };
+
+        impl BitOr for FloatClass {
+            type Output = FloatClass;
+            fn bitor(self, rhs: FloatClass) -> FloatClass {
+                FloatClass {
+                    bits: self.bits | rhs.bits,
+                }
+            }
+        }
+
+        impl Strategy for FloatClass {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                let classes: Vec<u8> = [NORMAL_BIT, ZERO_BIT, SUBNORMAL_BIT]
+                    .into_iter()
+                    .filter(|b| self.bits & b != 0)
+                    .collect();
+                assert!(!classes.is_empty(), "empty float class union");
+                let pick = classes[rng.gen_range(0..classes.len())];
+                // Like real proptest: without explicit POSITIVE/NEGATIVE
+                // flags, class strategies generate positive values only
+                // (so e.g. min/max bit-commutativity over ZERO never
+                // sees the +0.0 / -0.0 asymmetry).
+                let bits = match pick {
+                    NORMAL_BIT => {
+                        // Exponent 1..=254, any mantissa: every finite
+                        // normal magnitude.
+                        let exp = rng.gen_range(1u32..=254) << 23;
+                        let mantissa = rng.next_u32() & 0x007F_FFFF;
+                        exp | mantissa
+                    }
+                    ZERO_BIT => 0,
+                    _ => {
+                        // Exponent 0, non-zero mantissa.
+                        (rng.next_u32() & 0x007F_FFFF).max(1)
+                    }
+                };
+                f32::from_bits(bits)
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec` — vectors of strategy-drawn elements.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements come from `element` and whose length is
+    /// drawn from `size` (a `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::select` — uniform choice from a fixed list.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Uniformly selects one of `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace as re-exported by proptest's prelude.
+
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Everything a property test file needs, glob-importable.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) body`
+/// becomes a `#[test]` that samples its arguments `PROPTEST_CASES`
+/// times from a deterministic per-test PRNG and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::for_test(stringify!($name));
+                for _ in 0..$crate::test_runner::cases() {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn float_classes_sample_their_class() {
+        let mut rng = crate::test_runner::for_test("classes");
+        for _ in 0..1000 {
+            let n = prop::num::f32::NORMAL.sample(&mut rng);
+            assert!(n.is_normal(), "{n} should be normal");
+            let z = prop::num::f32::ZERO.sample(&mut rng);
+            assert_eq!(z, 0.0);
+            let s = prop::num::f32::SUBNORMAL.sample(&mut rng);
+            assert!(s > 0.0 && s < f32::MIN_POSITIVE);
+        }
+    }
+
+    #[test]
+    fn unions_cover_all_members() {
+        let mut rng = crate::test_runner::for_test("unions");
+        let strat = prop::num::f32::NORMAL | prop::num::f32::ZERO;
+        let (mut zeros, mut normals) = (0, 0);
+        for _ in 0..1000 {
+            let v = strat.sample(&mut rng);
+            if v == 0.0 {
+                zeros += 1;
+            } else if v.is_normal() {
+                normals += 1;
+            } else {
+                panic!("{v} outside the union");
+            }
+        }
+        assert!(zeros > 100 && normals > 100);
+    }
+
+    proptest! {
+        /// The macro itself: ranges respect bounds, vec sizes too.
+        #[test]
+        fn macro_smoke(x in 2u32..9, v in prop::collection::vec(0u8..4, 3..6), b in any::<bool>()) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 4));
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+
+        /// Tuple strategies and map/flat_map compose.
+        #[test]
+        fn combinators(pair in (1usize..4, 1usize..4).prop_flat_map(|(w, h)| {
+            prop::collection::vec(0.0f32..1.0, w * h).prop_map(move |v| (w, h, v))
+        })) {
+            let (w, h, v) = pair;
+            prop_assert_eq!(v.len(), w * h);
+        }
+    }
+}
