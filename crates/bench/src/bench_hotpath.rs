@@ -1,0 +1,184 @@
+//! Hot-path throughput benchmark (`repro --experiment bench`).
+//!
+//! Measures simulator throughput — lane instructions per wall-clock
+//! second — for every kernel workload and for the IR program path, per
+//! execution backend. The `repro` binary serializes the rows to
+//! `BENCH_hotpath.json`, preserving the first-ever run as a frozen
+//! baseline so the perf trajectory is tracked across PRs.
+
+use crate::runner::{kernel_policy, ExperimentConfig};
+use std::time::Instant;
+use tm_image::synth;
+use tm_kernels::ir::{fwt_stage_program, sobel_program};
+use tm_kernels::{workload, ALL_KERNELS};
+use tm_sim::{Device, DeviceConfig, ExecBackend};
+
+/// One (case, backend) throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Workload name (kernel id, or `sobel-ir` / `fwt-ir` for the
+    /// program path).
+    pub case: String,
+    /// Execution backend the device ran on.
+    pub backend: ExecBackend,
+    /// Lane instructions retired in one run.
+    pub instructions: u64,
+    /// Best-of-repeats wall-clock time for one run, milliseconds.
+    pub wall_ms: f64,
+    /// Throughput: `instructions / wall seconds`.
+    pub instr_per_sec: f64,
+}
+
+/// Backends the bench sweeps.
+pub const BENCH_BACKENDS: [ExecBackend; 3] =
+    [ExecBackend::Sequential, ExecBackend::Parallel, ExecBackend::IntraCu];
+
+/// Short stable name for a backend (used as the JSON key).
+#[must_use]
+pub fn backend_label(backend: ExecBackend) -> &'static str {
+    match backend {
+        ExecBackend::Sequential => "sequential",
+        ExecBackend::Parallel => "parallel",
+        ExecBackend::IntraCu => "intra-cu",
+    }
+}
+
+fn time_best_of<F: FnMut() -> u64>(repeats: usize, mut run: F) -> (u64, f64) {
+    let mut instructions = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        instructions = run();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    (instructions, best)
+}
+
+fn row(case: &str, backend: ExecBackend, (instructions, wall_ms): (u64, f64)) -> BenchRow {
+    BenchRow {
+        case: case.to_owned(),
+        backend,
+        instructions,
+        wall_ms,
+        instr_per_sec: instructions as f64 / (wall_ms / 1e3),
+    }
+}
+
+/// Sweeps every kernel workload plus the Sobel and FWT program paths on
+/// a **single-CU** device (the configuration where hot-path cost is
+/// undiluted by CU-level parallelism) across all backends.
+#[must_use]
+pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    for &backend in &BENCH_BACKENDS {
+        for id in ALL_KERNELS {
+            let device_config = DeviceConfig::default()
+                .with_compute_units(1)
+                .with_policy(kernel_policy(id))
+                .with_seed(cfg.seed)
+                .with_backend(backend);
+            let timing = time_best_of(repeats, || {
+                let mut wl = workload::build(id, cfg.scale, cfg.seed);
+                let mut device = Device::new(device_config.clone());
+                let _ = wl.run(&mut device);
+                device.report().total_instructions()
+            });
+            rows.push(row(id.name(), backend, timing));
+        }
+        rows.push(row(
+            "sobel-ir",
+            backend,
+            time_best_of(repeats, || {
+                let image = synth::face(96, 96, cfg.seed);
+                let mut ip = sobel_program(&image);
+                let mut device = Device::new(
+                    DeviceConfig::default()
+                        .with_compute_units(1)
+                        .with_seed(cfg.seed)
+                        .with_backend(backend),
+                );
+                device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
+                device.report().total_instructions()
+            }),
+        ));
+        rows.push(row(
+            "fwt-ir",
+            backend,
+            time_best_of(repeats, || {
+                let n = 4096usize;
+                let mut data: Vec<f32> =
+                    (0..n).map(|i| ((i * 37 + 11) % 97) as f32 - 48.0).collect();
+                let mut device = Device::new(
+                    DeviceConfig::default()
+                        .with_compute_units(1)
+                        .with_seed(cfg.seed)
+                        .with_backend(backend),
+                );
+                let mut span = 1usize;
+                while span < n {
+                    let mut ip = fwt_stage_program(&data, span);
+                    device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
+                    data = ip.bindings.buffer(ip.output).to_vec();
+                    span *= 2;
+                }
+                device.report().total_instructions()
+            }),
+        ));
+    }
+    rows
+}
+
+/// Renders rows (plus host metadata) as a JSON object. Hand-rolled —
+/// the workspace is hermetic, no serde.
+#[must_use]
+pub fn rows_to_json(rows: &[BenchRow]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"case\": \"{}\", \"backend\": \"{}\", \"instructions\": {}, \"wall_ms\": {:.3}, \"instr_per_sec\": {:.0}}}{sep}\n",
+            r.case,
+            backend_label(r.backend),
+            r.instructions,
+            r.wall_ms,
+            r.instr_per_sec,
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_kernels::Scale;
+
+    #[test]
+    fn bench_produces_rows_for_every_case_and_backend() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        };
+        let rows = hotpath_bench(&cfg, 1);
+        assert_eq!(rows.len(), (ALL_KERNELS.len() + 2) * BENCH_BACKENDS.len());
+        for r in &rows {
+            assert!(r.instructions > 0, "{}: no instructions", r.case);
+            assert!(r.instr_per_sec > 0.0, "{}: no throughput", r.case);
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_sane() {
+        let rows = vec![super::row("x", ExecBackend::Sequential, (10, 2.0))];
+        let json = rows_to_json(&rows);
+        assert!(json.contains("\"case\": \"x\""));
+        assert!(json.contains("\"instr_per_sec\": 5000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -31,9 +31,10 @@ use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
 
-const EXPERIMENTS: [&str; 24] = [
+const EXPERIMENTS: [&str; 25] = [
     "scorecard",
     "speedup",
+    "bench",
     "locality",
     "frequency",
     "gating-ablation",
@@ -181,6 +182,7 @@ fn run(experiment: &str, cfg: &ExperimentConfig, csv_dir: Option<&Path>) {
         "frequency" => print_frequency(cfg),
         "scorecard" => print_scorecard(cfg),
         "speedup" => print_speedup(cfg),
+        "bench" => print_bench(cfg),
         _ => unreachable!("validated in main"),
     }
 }
@@ -469,11 +471,18 @@ fn print_scorecard(cfg: &ExperimentConfig) {
 }
 
 fn print_speedup(cfg: &ExperimentConfig) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
-        "backend speedup on the Fig. 8 workload set ({} CUs, {} host cores)",
+        "backend speedup on the Fig. 8 workload set ({} CUs, {cores} host cores)",
         tm_bench::SPEEDUP_CUS,
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
+    if cores < 4 {
+        println!(
+            "WARNING: only {cores} host core(s) available — the parallel backends \
+             cannot overlap work, so ~1x wall-clock is expected here. Run on a \
+             >=4-core host to observe real speedup."
+        );
+    }
     println!(
         "{:<16} {:>12} {:>12} {:>9} {:>10}",
         "kernel", "seq(ms)", "parallel(ms)", "speedup", "identical"
@@ -493,6 +502,60 @@ fn print_speedup(cfg: &ExperimentConfig) {
     let par: f64 = rows.iter().map(|r| r.parallel_ms).sum();
     println!("{:<16} {:>12.1} {:>12.1} {:>8.2}x", "TOTAL", seq, par, seq / par);
     println!("(speedup approaches min(CUs, cores); reports stay bit-identical either way)");
+}
+
+/// Extracts the brace-balanced object following `"baseline":` in our own
+/// bench JSON (no string values contain braces, so counting is exact).
+fn extract_baseline(json: &str) -> Option<&str> {
+    let at = json.find("\"baseline\":")?;
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn print_bench(cfg: &ExperimentConfig) {
+    let repeats = match cfg.scale {
+        Scale::Test => 3,
+        _ => 2,
+    };
+    let rows = tm_bench::hotpath_bench(cfg, repeats);
+    println!(
+        "{:<14} {:<12} {:>14} {:>10} {:>16}",
+        "case", "backend", "instructions", "wall(ms)", "instr/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<12} {:>14} {:>10.3} {:>16.0}",
+            r.case,
+            tm_bench::backend_label(r.backend),
+            r.instructions,
+            r.wall_ms,
+            r.instr_per_sec
+        );
+    }
+    let current = tm_bench::rows_to_json(&rows);
+    let path = Path::new("BENCH_hotpath.json");
+    let baseline = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| extract_baseline(&old).map(str::to_owned))
+        .unwrap_or_else(|| current.clone());
+    let combined = format!("{{\n\"baseline\": {baseline},\n\"current\": {current}\n}}\n");
+    match std::fs::write(path, combined) {
+        Ok(()) => println!("(bench written to {})", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
 }
 
 fn print_frequency(cfg: &ExperimentConfig) {

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod ablation;
+mod bench_hotpath;
 pub mod chart;
 pub mod csv;
 mod energy;
@@ -42,6 +43,9 @@ pub use ablation::{
     gating_ablation, matching_ablation, recovery_ablation, replacement_ablation,
     spatial_ablation, GatingAblationRow, MatchingAblationRow, RecoveryAblationRow,
     ReplacementAblationRow, SpatialAblationRow,
+};
+pub use bench_hotpath::{
+    backend_label, hotpath_bench, rows_to_json, BenchRow, BENCH_BACKENDS,
 };
 pub use energy::{
     energy_comparison, fig10, fig10_average_savings, fig11, fig11_average_savings,

@@ -84,9 +84,18 @@ impl Fpu {
     /// Panics if the operand arity does not match the opcode.
     pub fn execute(&mut self, operands: Operands, now: u64) -> (f32, Completion) {
         let result = compute(self.op, operands);
+        let completion = self.commit_executed(now);
+        (result, completion)
+    }
+
+    /// Accounts for an execution whose result was already produced by this
+    /// unit's functional model (the memoization miss path computes `Q_S`
+    /// through the FPU while probing the LUT): advances pipeline occupancy
+    /// and counters without recomputing the operation.
+    pub fn commit_executed(&mut self, now: u64) -> Completion {
         let completion = self.pipeline.issue(now);
         self.counters.executed += 1;
-        (result, completion)
+        completion
     }
 
     /// Records a memoization hit: stage 1 ran in parallel with the LUT, the

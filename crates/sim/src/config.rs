@@ -26,11 +26,11 @@ pub enum ArchMode {
 
 /// Which execution engine drives the compute units.
 ///
-/// Both backends produce **bit-identical** [`crate::DeviceReport`]s:
+/// Every backend produces **bit-identical** [`crate::DeviceReport`]s:
 /// wavefront → CU assignment, each CU's wavefront order, and the
 /// index-order merge of per-CU statistics are the same; the parallel
-/// engine only overlaps the (already independent) per-CU work on OS
-/// threads. See `DESIGN.md` § "Execution engine".
+/// backends only overlap the (already independent) per-SC/per-CU work on
+/// OS threads. See `DESIGN.md` § "Execution engine".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum ExecBackend {
     /// One thread walks the wavefronts in dispatch order — the reference
@@ -41,6 +41,13 @@ pub enum ExecBackend {
     /// extra dependencies); results merge deterministically in CU index
     /// order.
     Parallel,
+    /// Stream-core-level sharding *within* each compute unit on a shared
+    /// work-stealing pool — the only backend that speeds up single-CU
+    /// configurations. Shard journals are merged in lane order and
+    /// replayed through each CU's real accounting, keeping reports
+    /// bit-identical for any shard count; spatial mode falls back to
+    /// [`ExecBackend::Parallel`]. See [`crate::IntraCuEngine`].
+    IntraCu,
 }
 
 /// Where per-instruction timing-error events come from.
@@ -124,6 +131,11 @@ pub struct DeviceConfig {
     pub adaptive_gate: Option<GatePolicy>,
     /// Which execution engine drives the compute units.
     pub backend: ExecBackend,
+    /// Fixed shard count per compute unit for [`ExecBackend::IntraCu`]
+    /// (`None` picks it from the host's available parallelism). Results
+    /// are shard-count-invariant; pinning exists for tests and
+    /// benchmarks.
+    pub intra_cu_shards: Option<usize>,
     /// Enables online value-locality profiling (a
     /// [`crate::sink::LocalitySink`] per compute unit) — the streaming
     /// alternative to recording a bounded trace and post-processing it
@@ -150,6 +162,7 @@ impl Default for DeviceConfig {
             trace_depth: 0,
             adaptive_gate: None,
             backend: ExecBackend::default(),
+            intra_cu_shards: None,
             locality_tracking: false,
         }
     }
@@ -254,6 +267,22 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_parallel(self) -> Self {
         self.with_backend(ExecBackend::Parallel)
+    }
+
+    /// Shorthand for [`DeviceConfig::with_backend`] with
+    /// [`ExecBackend::IntraCu`] — stream-core-level sharding within each
+    /// compute unit.
+    #[must_use]
+    pub fn with_intra_cu(self) -> Self {
+        self.with_backend(ExecBackend::IntraCu)
+    }
+
+    /// Selects the intra-CU backend with a pinned shard count per
+    /// compute unit (clamped to `1..=stream_cores_per_cu` at run time).
+    #[must_use]
+    pub fn with_intra_cu_shards(mut self, shards: usize) -> Self {
+        self.intra_cu_shards = Some(shards);
+        self.with_backend(ExecBackend::IntraCu)
     }
 
     /// Enables online value-locality profiling.

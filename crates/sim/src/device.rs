@@ -3,6 +3,7 @@
 use crate::compute_unit::ComputeUnit;
 use crate::config::{DeviceConfig, ExecBackend};
 use crate::engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
+use crate::intra_cu::IntraCuEngine;
 use crate::kernel::Kernel;
 use crate::locality::LocalitySummary;
 use crate::program::{Bindings, VProgram};
@@ -59,6 +60,15 @@ impl Device {
         self.wavefronts_dispatched
     }
 
+    /// The intra-CU engine the configuration asks for: auto-sized from
+    /// host parallelism unless a shard count is pinned.
+    fn intra_cu_engine(&self) -> IntraCuEngine {
+        match self.config.intra_cu_shards {
+            Some(n) => IntraCuEngine::with_shards(n),
+            None => IntraCuEngine::new(),
+        }
+    }
+
     /// The schedule the device's geometry induces for `global_size`
     /// work-items — the scheduling layer both engines share.
     fn schedule(&self, global_size: usize) -> Schedule {
@@ -106,6 +116,10 @@ impl Device {
             ExecBackend::Parallel => {
                 ParallelEngine.run_kernel(&mut self.compute_units, kernel, &schedule)
             }
+            ExecBackend::IntraCu => {
+                self.intra_cu_engine()
+                    .run_kernel(&mut self.compute_units, kernel, &schedule)
+            }
         };
     }
 
@@ -145,6 +159,13 @@ impl Device {
                 in_flight,
             ),
             ExecBackend::Parallel => ParallelEngine.run_program(
+                &mut self.compute_units,
+                program,
+                bindings,
+                &schedule,
+                in_flight,
+            ),
+            ExecBackend::IntraCu => self.intra_cu_engine().run_program(
                 &mut self.compute_units,
                 program,
                 bindings,

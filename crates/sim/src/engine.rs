@@ -124,6 +124,12 @@ impl Schedule {
         queues
     }
 
+    /// The dispatched ND-range size (one past the last work-item id).
+    #[must_use]
+    pub fn global_size(&self) -> usize {
+        self.assignments.last().map_or(0, |a| a.lane_range.end)
+    }
+
     /// The global work-item ids assigned to one CU, in execution order.
     #[must_use]
     pub fn cu_lane_ids(&self, cu: usize) -> Vec<usize> {
@@ -283,7 +289,7 @@ impl ExecEngine for ParallelEngine {
         in_flight: usize,
     ) -> u64 {
         assert!(in_flight > 0, "need at least one wavefront in flight");
-        if has_cross_wavefront_hazard(program) {
+        if program_needs_sequential_fallback(program, bindings, schedule) {
             // A gather (or scatter addressing) may observe another CU's
             // scatter; only the sequential order is well-defined.
             return SequentialEngine.run_program(cus, program, bindings, schedule, in_flight);
@@ -327,6 +333,21 @@ impl ExecEngine for ParallelEngine {
     }
 }
 
+/// Whether a program must fall back to the sequential engine: it has a
+/// buffer-level read-after-scatter hazard **and** the dependence-aware
+/// splitter ([`crate::program::hazards_are_lane_private`]) cannot prove
+/// the hazard lane-private. In-place stage programs with disjoint
+/// per-lane index pairs (the FWT butterfly) pass the refined check and
+/// stay parallel.
+pub(crate) fn program_needs_sequential_fallback(
+    program: &VProgram,
+    bindings: &Bindings,
+    schedule: &Schedule,
+) -> bool {
+    has_cross_wavefront_hazard(program)
+        && !crate::program::hazards_are_lane_private(program, bindings, schedule.global_size())
+}
+
 /// Whether a buffer written by a scatter is also read (by a gather or as
 /// a scatter index buffer) — the pattern whose cross-CU ordering the
 /// parallel engine cannot reproduce with snapshot bindings.
@@ -359,6 +380,7 @@ fn run_cu_program_queue(
     in_flight: usize,
     mut journal: Option<&mut Vec<ScatterWrite>>,
 ) {
+    let mut scratch = ProgramScratch::default();
     let mut pending = queue
         .into_iter()
         .map(|range| WavefrontContext::new(range.collect(), program.registers()));
@@ -366,7 +388,14 @@ fn run_cu_program_queue(
     while !active.is_empty() {
         let mut i = 0;
         while i < active.len() {
-            step_program(cu, program, &mut active[i], bindings, journal.as_deref_mut());
+            step_program(
+                cu,
+                program,
+                &mut active[i],
+                bindings,
+                journal.as_deref_mut(),
+                &mut scratch,
+            );
             if active[i].done(program) {
                 match pending.next() {
                     Some(fresh) => active[i] = fresh,
@@ -381,6 +410,16 @@ fn run_cu_program_queue(
     }
 }
 
+/// Reusable buffers for the program-path issue loop: immediate splats,
+/// the all-active mask, and the ALU result vector. One per CU queue
+/// drain — the steady-state per-instruction path allocates nothing.
+#[derive(Debug, Default)]
+struct ProgramScratch {
+    imm: [Vec<f32>; tm_fpu::MAX_ARITY],
+    active: Vec<bool>,
+    result: Vec<f32>,
+}
+
 /// Executes one instruction of one wavefront context.
 fn step_program(
     cu: &mut ComputeUnit,
@@ -388,6 +427,7 @@ fn step_program(
     ctx: &mut WavefrontContext,
     bindings: &mut Bindings,
     journal: Option<&mut Vec<ScatterWrite>>,
+    scratch: &mut ProgramScratch,
 ) {
     let lanes = ctx.lane_ids.len();
     let inst = &program.instructions()[ctx.pc];
@@ -420,17 +460,30 @@ fn step_program(
             }
         }
         VInst::Alu { op, dst, srcs } => {
-            // Materialize immediate operands as splat vectors.
-            let materialized: Vec<Vec<f32>> = srcs
-                .iter()
-                .map(|s| match s {
-                    Src::Reg(r) => ctx.regs[*r as usize].clone(),
-                    Src::Imm(v) => vec![*v; lanes],
-                })
-                .collect();
-            let slices: Vec<&[f32]> = materialized.iter().map(Vec::as_slice).collect();
-            let active = vec![true; lanes];
-            ctx.regs[*dst as usize] = cu.issue_vector(*op, &slices, &active);
+            // Splat immediates into reusable scratch; register operands
+            // are borrowed in place (no clone — results land in scratch
+            // first, so `dst` aliasing a source is safe).
+            for (slot, s) in scratch.imm.iter_mut().zip(srcs.iter()) {
+                if let Src::Imm(v) = s {
+                    slot.clear();
+                    slot.resize(lanes, *v);
+                }
+            }
+            let mut slices = [[].as_slice(); tm_fpu::MAX_ARITY];
+            for (k, s) in srcs.iter().enumerate() {
+                slices[k] = match s {
+                    Src::Reg(r) => ctx.regs[*r as usize].as_slice(),
+                    Src::Imm(_) => scratch.imm[k].as_slice(),
+                };
+            }
+            scratch.active.clear();
+            scratch.active.resize(lanes, true);
+            let mut result = std::mem::take(&mut scratch.result);
+            cu.issue_vector_into(*op, &slices[..srcs.len()], &scratch.active, &mut result);
+            std::mem::swap(&mut ctx.regs[*dst as usize], &mut result);
+            // The displaced destination register becomes the next
+            // instruction's result buffer.
+            scratch.result = result;
         }
     }
     ctx.pc += 1;

@@ -1,0 +1,585 @@
+//! The intra-CU execution engine: stream-core-level sharding.
+//!
+//! [`crate::ParallelEngine`] parallelizes at compute-unit granularity,
+//! which caps the speedup at the CU count — useless for the paper's
+//! single-CU experiments. This engine shards *within* each compute unit:
+//! the 16 stream cores are split into contiguous ranges, and each
+//! `(CU, shard)` pair becomes one task on a shared worker pool (workers
+//! repeatedly steal the next task from a common queue, so a slow shard
+//! never idles the other workers).
+//!
+//! Sharding at stream-core granularity is only sound because every piece
+//! of mutable per-lane state is stream-core-private:
+//!
+//! - each SC owns its memoization FIFOs and FPU (`lane → SC (lane mod
+//!   16)` never crosses shards),
+//! - each SC owns its error-injection stream (see
+//!   [`crate::ComputeUnit::new`]): a lane's EDS verdict depends only on
+//!   (CU seed, its SC, that SC's issue count), never on which other SCs
+//!   ran in between.
+//!
+//! What is *not* private — the ECU, the cycle counter, and the sink
+//! pipeline, whose f64 energy sums are addition-order-sensitive — is not
+//! touched during shard execution at all. Shards journal their lane
+//! events per instruction; after the pool drains, the real CU adopts the
+//! shards' stream-core state and the journals are merged
+//! instruction-aligned, in lane order, and replayed through the real
+//! ECU/cycles/sinks. The replayed stream is exactly what a sequential
+//! walk would have flushed, so the [`crate::DeviceReport`] is
+//! **bit-identical** across the sequential, parallel and intra-CU
+//! backends — for any shard count.
+//!
+//! Spatial mode ([`crate::ArchMode::Spatial`]) reuses results *across*
+//! stream cores within a sub-wavefront slot, so it cannot be sharded;
+//! this engine then falls back to the parallel (CU-level) engine. The
+//! kernel path also falls back under approximate matching: kernel host
+//! code may read any lane of a `VReg`, shards reconstruct non-owned
+//! lanes with the pure functional result, and approximate hits are the
+//! one case where a committed value can differ from it. (The program
+//! path has no such restriction — its lanewise IR never reads a
+//! non-owned lane.) Programs whose scatter/gather hazards are not
+//! lane-private (see [`crate::program::hazards_are_lane_private`]) fall
+//! back to the sequential engine, exactly like the parallel engine
+//! does.
+
+use crate::compute_unit::{ComputeUnit, ShardJournal};
+use crate::config::ArchMode;
+use crate::engine::{
+    program_needs_sequential_fallback, ExecEngine, ParallelEngine, Schedule, SequentialEngine,
+    ShardKernel,
+};
+use crate::program::{Bindings, BufferId, Src, VInst, VProgram, WavefrontContext};
+use crate::sink::LaneEvent;
+use crate::wave::WaveCtx;
+use std::ops::Range;
+use std::sync::Mutex;
+use tm_core::MatchPolicy;
+
+/// The stream-core-sharding engine. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntraCuEngine {
+    shards_per_cu: Option<usize>,
+}
+
+impl IntraCuEngine {
+    /// An engine that picks the shard count from the host's available
+    /// parallelism (clamped to the stream-core count; at one shard per
+    /// CU it simply delegates to the parallel engine).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with a fixed shard count per CU (clamped to
+    /// `1..=stream_cores_per_cu`). Results are shard-count-invariant;
+    /// this exists for tests and benchmarks.
+    #[must_use]
+    pub fn with_shards(shards_per_cu: usize) -> Self {
+        Self {
+            shards_per_cu: Some(shards_per_cu.max(1)),
+        }
+    }
+
+    fn resolve_shards(self, num_scs: usize, num_cus: usize) -> usize {
+        match self.shards_per_cu {
+            Some(n) => n.clamp(1, num_scs),
+            None => (worker_count() / num_cus.max(1)).clamp(1, num_scs),
+        }
+    }
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Splits `num_scs` stream cores into `shards` contiguous ranges, as
+/// evenly as possible.
+fn shard_ranges(num_scs: usize, shards: usize) -> Vec<Range<usize>> {
+    let base = num_scs / shards;
+    let extra = num_scs % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// The global work-item ids of `queue`'s wavefronts whose lane position
+/// maps to a stream core in `sc_range` — the outputs one shard owns.
+fn owned_gids(queue: &[Range<usize>], sc_range: &Range<usize>, num_scs: usize) -> Vec<usize> {
+    let mut gids = Vec::new();
+    for w in queue {
+        for (pos, gid) in w.clone().enumerate() {
+            if sc_range.contains(&(pos % num_scs)) {
+                gids.push(gid);
+            }
+        }
+    }
+    gids
+}
+
+/// Merges the per-shard journals of one CU instruction-aligned and
+/// replays each instruction's lane-ordered event stream through the real
+/// CU's ECU, cycle counter and sinks.
+///
+/// # Panics
+///
+/// Panics if the shards' instruction streams diverged (a kernel whose
+/// issue sequence depends on non-owned lane values cannot be sharded).
+fn replay_journals(cu: &mut ComputeUnit, journals: &[ShardJournal]) {
+    let n_instr = journals.first().map_or(0, |j| j.instructions.len());
+    for j in journals {
+        assert_eq!(
+            j.instructions.len(),
+            n_instr,
+            "intra-CU shards diverged: unequal instruction streams"
+        );
+    }
+    let mut cursors = vec![0usize; journals.len()];
+    let mut merged: Vec<LaneEvent> = Vec::new();
+    for k in 0..n_instr {
+        let op = journals[0].instructions[k].op;
+        for j in journals {
+            assert_eq!(
+                j.instructions[k].op, op,
+                "intra-CU shards diverged at instruction {k}"
+            );
+        }
+        merged.clear();
+        // K-way merge by lane (each shard's per-instruction run is
+        // already lane-ascending; shard counts are small).
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_lane = usize::MAX;
+            for (s, j) in journals.iter().enumerate() {
+                if cursors[s] < j.instructions[k].events_end {
+                    let lane = j.events[cursors[s]].lane;
+                    if lane < best_lane {
+                        best_lane = lane;
+                        best = Some(s);
+                    }
+                }
+            }
+            let Some(s) = best else { break };
+            merged.push(journals[s].events[cursors[s]]);
+            cursors[s] += 1;
+        }
+        cu.replay_instruction(op, &mut merged);
+    }
+}
+
+impl ExecEngine for IntraCuEngine {
+    fn run_kernel<K: ShardKernel>(
+        &self,
+        cus: &mut [ComputeUnit],
+        kernel: &mut K,
+        schedule: &Schedule,
+    ) -> u64 {
+        let num_scs = cus[0].config().stream_cores_per_cu;
+        let arch = cus[0].config().arch;
+        let shards = self.resolve_shards(num_scs, cus.len());
+        // Kernel host code may read any lane of a `VReg`, so every shard
+        // must see every lane's committed value. Shards reconstruct
+        // non-owned lanes with the pure functional result, which is only
+        // faithful when hits cannot return approximate values — under
+        // approximate matching, shard at CU granularity instead.
+        let values_functional = arch == ArchMode::Baseline
+            || (arch == ArchMode::Memoized
+                && matches!(cus[0].config().policy, MatchPolicy::Exact));
+        if arch == ArchMode::Spatial || shards <= 1 || !values_functional {
+            return ParallelEngine.run_kernel(cus, kernel, schedule);
+        }
+        let ranges = shard_ranges(num_scs, shards);
+        let queues = schedule.queues();
+
+        struct Task<K> {
+            id: usize,
+            cu_idx: usize,
+            cu: ComputeUnit,
+            shard: K,
+            sc_range: Range<usize>,
+        }
+        let mut tasks: Vec<Task<K>> = Vec::new();
+        for (cu_idx, cu) in cus.iter().enumerate() {
+            for r in &ranges {
+                tasks.push(Task {
+                    id: tasks.len(),
+                    cu_idx,
+                    cu: cu.clone(),
+                    shard: kernel.fork(),
+                    sc_range: r.clone(),
+                });
+            }
+        }
+        let n_tasks = tasks.len();
+        let task_queue = Mutex::new(tasks);
+        type DoneSlot<K> = Mutex<Option<(Task<K>, ShardJournal)>>;
+        let done: Vec<DoneSlot<K>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+        let workers = worker_count().min(n_tasks);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some(mut task) = task_queue.lock().expect("task queue poisoned").pop()
+                    else {
+                        break;
+                    };
+                    let id = task.id;
+                    let mut journal = ShardJournal::default();
+                    for wrange in &queues[task.cu_idx] {
+                        let mut ctx = WaveCtx::new_sharded(
+                            &mut task.cu,
+                            wrange.clone().collect(),
+                            task.sc_range.clone(),
+                            &mut journal,
+                        );
+                        task.shard.execute(&mut ctx);
+                    }
+                    *done[id].lock().expect("result slot poisoned") = Some((task, journal));
+                });
+            }
+        });
+
+        // Deterministic merge, in (CU, shard) index order: adopt each
+        // shard's stream-core state, join its kernel outputs, then replay
+        // the CU's merged instruction stream through the real accounting.
+        let mut results = done
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("execution worker dropped a task")
+            })
+            .collect::<Vec<_>>()
+            .into_iter();
+        for (cu_idx, cu) in cus.iter_mut().enumerate() {
+            let mut journals = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (mut task, journal) = results.next().expect("missing shard result");
+                debug_assert_eq!(task.cu_idx, cu_idx);
+                cu.adopt_shard(&mut task.cu, task.sc_range.clone());
+                kernel.join(
+                    task.shard,
+                    &owned_gids(&queues[cu_idx], &task.sc_range, num_scs),
+                );
+                journals.push(journal);
+            }
+            replay_journals(cu, &journals);
+        }
+        schedule.wavefronts() as u64
+    }
+
+    fn run_program(
+        &self,
+        cus: &mut [ComputeUnit],
+        program: &VProgram,
+        bindings: &mut Bindings,
+        schedule: &Schedule,
+        in_flight: usize,
+    ) -> u64 {
+        assert!(in_flight > 0, "need at least one wavefront in flight");
+        let num_scs = cus[0].config().stream_cores_per_cu;
+        let arch = cus[0].config().arch;
+        let shards = self.resolve_shards(num_scs, cus.len());
+        if arch == ArchMode::Spatial || shards <= 1 {
+            return ParallelEngine.run_program(cus, program, bindings, schedule, in_flight);
+        }
+        if program_needs_sequential_fallback(program, bindings, schedule) {
+            return SequentialEngine.run_program(cus, program, bindings, schedule, in_flight);
+        }
+        let ranges = shard_ranges(num_scs, shards);
+        let queues = schedule.queues();
+
+        struct Task {
+            id: usize,
+            cu_idx: usize,
+            cu: ComputeUnit,
+            bindings: Bindings,
+            sc_range: Range<usize>,
+        }
+        let mut tasks: Vec<Task> = Vec::new();
+        for (cu_idx, cu) in cus.iter().enumerate() {
+            for r in &ranges {
+                tasks.push(Task {
+                    id: tasks.len(),
+                    cu_idx,
+                    cu: cu.clone(),
+                    // Lane-private hazards: a snapshot plus the shard's
+                    // own writes is a faithful view for its lanes.
+                    bindings: bindings.clone(),
+                    sc_range: r.clone(),
+                });
+            }
+        }
+        let n_tasks = tasks.len();
+        let task_queue = Mutex::new(tasks);
+        type ProgramResult = (Task, ShardJournal, Vec<ScatterRec>);
+        let done: Vec<Mutex<Option<ProgramResult>>> =
+            (0..n_tasks).map(|_| Mutex::new(None)).collect();
+        let workers = worker_count().min(n_tasks);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some(mut task) = task_queue.lock().expect("task queue poisoned").pop()
+                    else {
+                        break;
+                    };
+                    let id = task.id;
+                    let mut journal = ShardJournal::default();
+                    let mut scatters = Vec::new();
+                    run_cu_program_queue_sharded(
+                        &mut task.cu,
+                        program,
+                        &queues[task.cu_idx],
+                        &mut task.bindings,
+                        in_flight,
+                        &task.sc_range,
+                        num_scs,
+                        &mut journal,
+                        &mut scatters,
+                    );
+                    *done[id].lock().expect("result slot poisoned") =
+                        Some((task, journal, scatters));
+                });
+            }
+        });
+
+        let mut results = done
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("execution worker dropped a task")
+            })
+            .collect::<Vec<_>>()
+            .into_iter();
+        for (cu_idx, cu) in cus.iter_mut().enumerate() {
+            let mut journals = Vec::with_capacity(shards);
+            let mut scatter_logs = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (mut task, journal, scatters) = results.next().expect("missing shard result");
+                debug_assert_eq!(task.cu_idx, cu_idx);
+                cu.adopt_shard(&mut task.cu, task.sc_range.clone());
+                journals.push(journal);
+                scatter_logs.push(scatters);
+            }
+            replay_journals(cu, &journals);
+            replay_scatters(bindings, &scatter_logs);
+        }
+        schedule.wavefronts() as u64
+    }
+}
+
+/// One journaled scatter write with its merge key: the step ordinal (the
+/// position of the issuing `step_program` call in the CU queue's
+/// deterministic interleaving, identical across shards) and the lane
+/// position within the wavefront (the order the sequential walk applies
+/// writes within one scatter instruction).
+#[derive(Debug, Clone, Copy)]
+struct ScatterRec {
+    ordinal: u32,
+    lane: u32,
+    data: BufferId,
+    index: usize,
+    value: f32,
+}
+
+/// K-way merges the shards' scatter logs by `(ordinal, lane)` — each log
+/// is already sorted by that key — and applies them in order, which is
+/// exactly the sequential engine's write order for this CU's queue.
+fn replay_scatters(bindings: &mut Bindings, logs: &[Vec<ScatterRec>]) {
+    let mut cursors = vec![0usize; logs.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        let mut best_key = (u32::MAX, u32::MAX);
+        for (s, log) in logs.iter().enumerate() {
+            if let Some(r) = log.get(cursors[s]) {
+                let key = (r.ordinal, r.lane);
+                if key < best_key {
+                    best_key = key;
+                    best = Some(s);
+                }
+            }
+        }
+        let Some(s) = best else { break };
+        let r = logs[s][cursors[s]];
+        bindings.apply_write(r.data, r.index, r.value);
+        cursors[s] += 1;
+    }
+}
+
+/// The shard-restricted twin of the engine's CU queue drain: identical
+/// `in_flight` interleaving (so step ordinals align across shards), but
+/// each step executes only the shard's owned lanes.
+#[allow(clippy::too_many_arguments)]
+fn run_cu_program_queue_sharded(
+    cu: &mut ComputeUnit,
+    program: &VProgram,
+    queue: &[Range<usize>],
+    bindings: &mut Bindings,
+    in_flight: usize,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    journal: &mut ShardJournal,
+    scatters: &mut Vec<ScatterRec>,
+) {
+    let mut scratch = ShardProgramScratch::default();
+    let mut ordinal: u32 = 0;
+    let mut pending = queue
+        .iter()
+        .map(|range| WavefrontContext::new(range.clone().collect(), program.registers()));
+    let mut active: Vec<WavefrontContext> = pending.by_ref().take(in_flight).collect();
+    while !active.is_empty() {
+        let mut i = 0;
+        while i < active.len() {
+            step_program_sharded(
+                cu,
+                program,
+                &mut active[i],
+                bindings,
+                sc_range,
+                num_scs,
+                journal,
+                scatters,
+                ordinal,
+                &mut scratch,
+            );
+            ordinal += 1;
+            if active[i].done(program) {
+                match pending.next() {
+                    Some(fresh) => active[i] = fresh,
+                    None => {
+                        active.remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Reusable buffers for the sharded program stepper (mirrors the
+/// engine's `ProgramScratch`).
+#[derive(Debug, Default)]
+struct ShardProgramScratch {
+    imm: [Vec<f32>; tm_fpu::MAX_ARITY],
+    active: Vec<bool>,
+    result: Vec<f32>,
+}
+
+/// Executes one instruction of one wavefront context for the shard's
+/// owned lanes only.
+#[allow(clippy::too_many_arguments)]
+fn step_program_sharded(
+    cu: &mut ComputeUnit,
+    program: &VProgram,
+    ctx: &mut WavefrontContext,
+    bindings: &mut Bindings,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    journal: &mut ShardJournal,
+    scatters: &mut Vec<ScatterRec>,
+    ordinal: u32,
+    scratch: &mut ShardProgramScratch,
+) {
+    let lanes = ctx.lane_ids.len();
+    let owned = |l: usize| sc_range.contains(&(l % num_scs));
+    let inst = &program.instructions()[ctx.pc];
+    match inst {
+        VInst::LaneId { dst } => {
+            // Lane ids are known to every shard; filling all lanes keeps
+            // the register file identical to the full walk for free.
+            for l in 0..lanes {
+                ctx.regs[*dst as usize][l] = ctx.lane_ids[l] as f32;
+            }
+        }
+        VInst::Gather { dst, data, indices } => {
+            // Non-owned lanes keep 0.0: their registers feed nothing the
+            // shard executes, and their index values may be garbage.
+            for l in (0..lanes).filter(|&l| owned(l)) {
+                ctx.regs[*dst as usize][l] = bindings.gather(*data, *indices, ctx.lane_ids[l]);
+            }
+        }
+        VInst::Scatter { src, data, indices } => {
+            for l in (0..lanes).filter(|&l| owned(l)) {
+                let value = ctx.regs[*src as usize][l];
+                let index = bindings.scatter_index(*indices, ctx.lane_ids[l]);
+                bindings.apply_write(*data, index, value);
+                scatters.push(ScatterRec {
+                    ordinal,
+                    lane: l as u32,
+                    data: *data,
+                    index,
+                    value,
+                });
+            }
+        }
+        VInst::Alu { op, dst, srcs } => {
+            for (slot, s) in scratch.imm.iter_mut().zip(srcs.iter()) {
+                if let Src::Imm(v) = s {
+                    slot.clear();
+                    slot.resize(lanes, *v);
+                }
+            }
+            let mut slices = [[].as_slice(); tm_fpu::MAX_ARITY];
+            for (k, s) in srcs.iter().enumerate() {
+                slices[k] = match s {
+                    Src::Reg(r) => ctx.regs[*r as usize].as_slice(),
+                    Src::Imm(_) => scratch.imm[k].as_slice(),
+                };
+            }
+            scratch.active.clear();
+            scratch.active.resize(lanes, true);
+            let mut result = std::mem::take(&mut scratch.result);
+            cu.issue_vector_sharded(
+                *op,
+                &slices[..srcs.len()],
+                &scratch.active,
+                sc_range.clone(),
+                false,
+                &mut result,
+                journal,
+            );
+            // Non-owned destination lanes become 0.0; nothing the shard
+            // executes ever consumes them.
+            std::mem::swap(&mut ctx.regs[*dst as usize], &mut result);
+            scratch.result = result;
+        }
+    }
+    ctx.pc += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_contiguously() {
+        let r = shard_ranges(16, 5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0], 0..4);
+        assert_eq!(r.last().unwrap().end, 16);
+        let total: usize = r.iter().map(Range::len).sum();
+        assert_eq!(total, 16);
+        for w in r.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn owned_gids_partition_the_queue() {
+        let queue = vec![0..64, 128..150];
+        let a = owned_gids(&queue, &(0..8), 16);
+        let b = owned_gids(&queue, &(8..16), 16);
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..64).chain(128..150).collect();
+        assert_eq!(all, expect);
+        // Lane 0 of each wavefront maps to SC 0.
+        assert!(a.contains(&0) && a.contains(&128));
+        assert!(!b.contains(&0));
+    }
+}

@@ -78,6 +78,7 @@ mod compute_unit;
 mod config;
 mod device;
 pub mod engine;
+pub mod intra_cu;
 mod kernel;
 pub mod locality;
 pub mod program;
@@ -91,6 +92,7 @@ pub use compute_unit::{ComputeUnit, OpTally};
 pub use config::{ArchMode, DeviceConfig, ErrorMode, ExecBackend};
 pub use device::Device;
 pub use engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
+pub use intra_cu::IntraCuEngine;
 pub use kernel::Kernel;
 pub use report::{DeviceReport, OpReport};
 pub use sink::{EventSink, LaneEvent, LaneEventKind, SinkKind, SinkPipeline, VectorEvent};

@@ -310,6 +310,111 @@ impl Bindings {
     }
 }
 
+/// Dependence-aware refinement of the engines' buffer-level hazard
+/// check: whether every scatter→read dependence in `program` is
+/// **lane-private**, i.e. each location a work-item reads back (through
+/// a gather) is written only by that same work-item's scatters.
+///
+/// The buffer-level check (`scattered buffer is also gathered`) is
+/// conservative: an in-place stage program — like the FWT butterfly,
+/// whose work-items own disjoint `(lo, hi)` element pairs — trips it
+/// even though no lane ever observes another lane's write, forcing a
+/// sequential fallback. This content-level analysis inspects the actual
+/// index buffers instead:
+///
+/// - a scattered buffer used as an *index* buffer anywhere is unsafe
+///   (its contents, and therefore the addressing, change mid-run, so the
+///   initial contents prove nothing);
+/// - otherwise the per-location writer sets are computed from the index
+///   buffers, and every gathered location's writers must be a subset of
+///   the gathering work-item itself.
+///
+/// When this holds, snapshot-bindings execution with journaled scatter
+/// replay is bit-identical to the sequential interleaving: each lane
+/// sees exactly its own writes (per-lane program order is preserved by
+/// every engine), locations nobody scatters keep their snapshot value,
+/// and write/write conflicts between lanes are resolved by the
+/// deterministic dispatch-order replay.
+///
+/// `global_size` is the dispatched ND-range; index buffers shorter than
+/// it are reported unsafe (the run would panic anyway).
+#[must_use]
+pub fn hazards_are_lane_private(
+    program: &VProgram,
+    bindings: &Bindings,
+    global_size: usize,
+) -> bool {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let scattered: BTreeSet<BufferId> = program
+        .instructions()
+        .iter()
+        .filter_map(|inst| match inst {
+            VInst::Scatter { data, .. } => Some(*data),
+            _ => None,
+        })
+        .collect();
+    if scattered.is_empty() {
+        return true;
+    }
+    // Addressing must be static for the writer-set analysis to be sound.
+    for inst in program.instructions() {
+        let indices = match inst {
+            VInst::Gather { indices, .. } | VInst::Scatter { indices, .. } => indices,
+            VInst::Alu { .. } | VInst::LaneId { .. } => continue,
+        };
+        if scattered.contains(indices) {
+            return false;
+        }
+    }
+
+    /// The set of work-items writing one location, collapsed to what the
+    /// subset test needs.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Writers {
+        One(usize),
+        Many,
+    }
+    let mut writer_sets: BTreeMap<BufferId, BTreeMap<usize, Writers>> = BTreeMap::new();
+    for inst in program.instructions() {
+        if let VInst::Scatter { data, indices, .. } = inst {
+            let idx = bindings.buffer(*indices);
+            if idx.len() < global_size {
+                return false;
+            }
+            let map = writer_sets.entry(*data).or_default();
+            for (gid, loc) in idx.iter().take(global_size).enumerate() {
+                map.entry(*loc as usize)
+                    .and_modify(|w| {
+                        if *w != Writers::One(gid) {
+                            *w = Writers::Many;
+                        }
+                    })
+                    .or_insert(Writers::One(gid));
+            }
+        }
+    }
+    for inst in program.instructions() {
+        if let VInst::Gather { data, indices, .. } = inst {
+            let Some(map) = writer_sets.get(data) else {
+                continue;
+            };
+            let idx = bindings.buffer(*indices);
+            if idx.len() < global_size {
+                return false;
+            }
+            for (gid, loc) in idx.iter().take(global_size).enumerate() {
+                match map.get(&(*loc as usize)) {
+                    None => {}
+                    Some(Writers::One(w)) if *w == gid => {}
+                    Some(_) => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
 /// The execution state of one in-flight wavefront: program counter plus a
 /// register file of per-lane values.
 #[derive(Debug, Clone)]
@@ -436,5 +541,159 @@ mod tests {
         assert!(!ctx.done(&p));
         ctx.pc = 1;
         assert!(ctx.done(&p));
+    }
+
+    /// An in-place stage program: gather `buf0[buf1[gid]]`, transform,
+    /// scatter back through `buf2[gid]` — the FWT butterfly shape.
+    fn in_place_stage() -> VProgram {
+        VProgram::new(
+            1,
+            vec![
+                VInst::Gather {
+                    dst: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Alu {
+                    op: FpOp::Neg,
+                    dst: 0,
+                    srcs: vec![Src::Reg(0)],
+                },
+                VInst::Scatter {
+                    src: 0,
+                    data: 0,
+                    indices: 2,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lane_private_hazard_accepted_for_disjoint_index_pairs() {
+        // Work-item g reads location g and writes location g: every
+        // gathered location's sole writer is the gatherer itself.
+        let n = 8;
+        let idx: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b = Bindings::new(vec![vec![1.0; n], idx.clone(), idx]);
+        assert!(hazards_are_lane_private(&in_place_stage(), &b, n));
+    }
+
+    #[test]
+    fn cross_lane_read_after_write_rejected() {
+        // Work-item g reads location g but writes location g+1 (mod n):
+        // lane g gathers a location lane g−1 scatters.
+        let n = 8;
+        let read_idx: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let write_idx: Vec<f32> = (0..n).map(|i| ((i + 1) % n) as f32).collect();
+        let b = Bindings::new(vec![vec![1.0; n], read_idx, write_idx]);
+        assert!(!hazards_are_lane_private(&in_place_stage(), &b, n));
+    }
+
+    #[test]
+    fn write_write_conflicts_alone_stay_lane_private() {
+        // Every work-item writes location 0 but nobody reads it back:
+        // the conflict is resolved by deterministic dispatch-order
+        // replay, so the program stays parallelizable.
+        let n = 4;
+        let p = VProgram::new(
+            1,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Scatter {
+                    src: 0,
+                    data: 0,
+                    indices: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let b = Bindings::new(vec![vec![0.0; n], vec![0.0; n]]);
+        assert!(hazards_are_lane_private(&p, &b, n));
+    }
+
+    #[test]
+    fn scattered_index_buffer_rejected() {
+        // buf1 both addresses the gather and receives a scatter: the
+        // addressing mutates mid-run, so the initial contents prove
+        // nothing and the analysis must bail.
+        let n = 4;
+        let p = VProgram::new(
+            1,
+            vec![
+                VInst::Gather {
+                    dst: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Scatter {
+                    src: 0,
+                    data: 1,
+                    indices: 2,
+                },
+            ],
+        )
+        .unwrap();
+        let idx: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b = Bindings::new(vec![vec![1.0; n], idx.clone(), idx]);
+        assert!(!hazards_are_lane_private(&p, &b, n));
+    }
+
+    #[test]
+    fn short_index_buffer_rejected() {
+        // An index buffer shorter than the ND-range cannot prove lane
+        // privacy (the run would panic on the out-of-range gid anyway).
+        let n = 8;
+        let idx: Vec<f32> = (0..n - 1).map(|i| i as f32).collect();
+        let b = Bindings::new(vec![vec![1.0; n], idx.clone(), idx]);
+        assert!(!hazards_are_lane_private(&in_place_stage(), &b, n));
+    }
+
+    #[test]
+    fn fwt_butterfly_indices_are_lane_private() {
+        // The real shape that motivated the refinement: work-item g of a
+        // span-s stage owns the disjoint pair (lo, lo+s) with
+        // lo = 2s·(g div s) + (g mod s) — it gathers and scatters
+        // exactly its own two locations.
+        let n = 16usize;
+        let span = 4usize;
+        let pairs = n / 2;
+        let lo: Vec<f32> = (0..pairs)
+            .map(|g| (2 * span * (g / span) + g % span) as f32)
+            .collect();
+        let hi: Vec<f32> = lo.iter().map(|l| l + span as f32).collect();
+        let p = VProgram::new(
+            2,
+            vec![
+                VInst::Gather {
+                    dst: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Gather {
+                    dst: 1,
+                    data: 0,
+                    indices: 2,
+                },
+                VInst::Alu {
+                    op: FpOp::Add,
+                    dst: 0,
+                    srcs: vec![Src::Reg(0), Src::Reg(1)],
+                },
+                VInst::Scatter {
+                    src: 0,
+                    data: 0,
+                    indices: 1,
+                },
+                VInst::Scatter {
+                    src: 1,
+                    data: 0,
+                    indices: 2,
+                },
+            ],
+        )
+        .unwrap();
+        let b = Bindings::new(vec![vec![1.0; n], lo, hi]);
+        assert!(hazards_are_lane_private(&p, &b, pairs));
     }
 }

@@ -188,6 +188,53 @@ impl EnergySink {
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
     }
+
+    /// Batched fold of one vector instruction's lane events (all sharing
+    /// `op`). Charges exactly what per-event [`EventSink::on_lane`] calls
+    /// would, in the same order, but computes each per-op energy quantum
+    /// once per instruction instead of once per lane.
+    pub fn fold_lanes(&mut self, op: FpOp, events: &[LaneEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let scale = self.scale;
+        let spatial_reuse_e = self.model.spatial_reuse_energy(op, scale);
+        let hit_e = self.model.hit_energy(op, scale);
+        let exec_e = self.model.exec_energy(op, scale);
+        let lut_lookup_e = self.model.lut_lookup_energy();
+        let lut_update_e = self.model.lut_update_energy();
+        let recovery_e = self.model.recovery_energy(op, self.policy, scale);
+        for event in events {
+            debug_assert_eq!(event.op, op, "mixed-op lane batch");
+            match event.kind {
+                LaneEventKind::SpatialReuse => self.ledger.charge_hit(spatial_reuse_e),
+                LaneEventKind::Issue {
+                    hit,
+                    bypassed,
+                    updated,
+                    recovered,
+                } => {
+                    if self.spatial {
+                        self.ledger.charge_lut_lookup(lut_lookup_e);
+                    }
+                    if hit {
+                        self.ledger.charge_hit(hit_e);
+                    } else {
+                        self.ledger.charge_exec(exec_e);
+                        if !bypassed {
+                            self.ledger.charge_lut_lookup(lut_lookup_e);
+                        }
+                        if updated {
+                            self.ledger.charge_lut_update(lut_update_e);
+                        }
+                        if recovered {
+                            self.ledger.charge_recovery(recovery_e);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl EventSink for EnergySink {
@@ -452,6 +499,50 @@ impl SinkPipeline {
         for sink in &mut self.sinks {
             sink.as_sink_mut().on_vector(event);
         }
+    }
+
+    /// Folds one vector instruction's worth of lane events — already in
+    /// lane order — into every sink, then emits the vector-level event
+    /// carrying the exact energy delta of this instruction.
+    ///
+    /// Equivalent to one [`SinkPipeline::emit_lane`] per event followed
+    /// by [`SinkPipeline::emit_vector`], but the sink kind is matched
+    /// once per instruction instead of once per lane event (no per-event
+    /// virtual dispatch) and the energy sink hoists its per-op quanta
+    /// out of the lane loop. This is the execute stage's batched flush.
+    pub fn flush_instruction(
+        &mut self,
+        op: FpOp,
+        events: &[LaneEvent],
+        active_lanes: u64,
+        spatial_hits: u64,
+        spatial_masked_errors: u64,
+    ) {
+        let energy_before = self.total_energy_pj();
+        for sink in &mut self.sinks {
+            match sink {
+                // Stats folds vector events only; its `on_lane` is a no-op.
+                SinkKind::Stats(_) => {}
+                SinkKind::Energy(s) => s.fold_lanes(op, events),
+                SinkKind::Trace(s) => {
+                    for event in events {
+                        s.on_lane(event);
+                    }
+                }
+                SinkKind::Locality(s) => {
+                    for event in events {
+                        s.on_lane(event);
+                    }
+                }
+            }
+        }
+        self.emit_vector(&VectorEvent {
+            op,
+            active_lanes,
+            spatial_hits,
+            spatial_masked_errors,
+            energy_pj: self.total_energy_pj() - energy_before,
+        });
     }
 
     /// Resets every sink.

@@ -92,8 +92,13 @@ impl LaneUnit {
         if outcome.hit {
             self.fpu.squash(now);
         } else {
-            let (result, _) = self.fpu.execute(operands, now);
-            debug_assert_eq!(result.to_bits(), outcome.result.to_bits());
+            // The miss path already ran the functional model once (inside
+            // the memo probe closure); only account for the execution.
+            self.fpu.commit_executed(now);
+            debug_assert_eq!(
+                tm_fpu::compute(op, operands).to_bits(),
+                outcome.result.to_bits()
+            );
             if outcome.recovered {
                 self.fpu.flush();
             }

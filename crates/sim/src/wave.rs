@@ -1,7 +1,7 @@
 //! The wavefront SIMT execution context and vector registers.
 
-use crate::compute_unit::ComputeUnit;
-use std::ops::Index;
+use crate::compute_unit::{ComputeUnit, ShardJournal};
+use std::ops::{Index, Range};
 use tm_fpu::FpOp;
 
 /// A wavefront-wide vector register: one `f32` per lane.
@@ -117,6 +117,15 @@ pub struct WaveCtx<'a> {
     lane_ids: Vec<usize>,
     mask_stack: Vec<Vec<bool>>,
     active: Vec<bool>,
+    shard: Option<ShardScope<'a>>,
+}
+
+/// Restricts a [`WaveCtx`] to the lanes owned by one intra-CU shard: ALU
+/// issues execute only the stream cores in `sc_range` and journal their
+/// events instead of reaching the compute unit's sinks.
+pub(crate) struct ShardScope<'a> {
+    pub(crate) sc_range: Range<usize>,
+    pub(crate) journal: &'a mut ShardJournal,
 }
 
 impl<'a> WaveCtx<'a> {
@@ -135,7 +144,27 @@ impl<'a> WaveCtx<'a> {
             lane_ids,
             mask_stack: Vec::new(),
             active: vec![true; lanes],
+            shard: None,
         }
+    }
+
+    /// A context that executes only the lanes mapped to the stream cores
+    /// in `sc_range`, journaling their events for the intra-CU engine's
+    /// ordered merge. Results of non-owned lanes read `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_ids` is empty.
+    #[must_use]
+    pub(crate) fn new_sharded(
+        cu: &'a mut ComputeUnit,
+        lane_ids: Vec<usize>,
+        sc_range: Range<usize>,
+        journal: &'a mut ShardJournal,
+    ) -> Self {
+        let mut ctx = Self::new(cu, lane_ids);
+        ctx.shard = Some(ShardScope { sc_range, journal });
+        ctx
     }
 
     /// Number of lanes in this wavefront.
@@ -207,11 +236,33 @@ impl<'a> WaveCtx<'a> {
     /// Panics if `srcs.len()` differs from the opcode's arity or any
     /// register's lane count differs from the wavefront's.
     pub fn alu(&mut self, op: FpOp, srcs: &[&VReg]) -> VReg {
+        assert!(srcs.len() <= tm_fpu::MAX_ARITY, "{op}: too many operands");
         for s in srcs {
             assert_eq!(s.len(), self.lanes(), "{op}: vector register length mismatch");
         }
-        let slices: Vec<&[f32]> = srcs.iter().map(|s| s.as_slice()).collect();
-        VReg::from_vec(self.cu.issue_vector(op, &slices, &self.active))
+        // Operand slices live in a fixed-size stack array — no per-call
+        // heap allocation on the issue path.
+        let mut slices = [[].as_slice(); tm_fpu::MAX_ARITY];
+        for (slot, s) in slices.iter_mut().zip(srcs.iter()) {
+            *slot = s.as_slice();
+        }
+        let result = match self.shard.as_mut() {
+            Some(scope) => {
+                let mut out = Vec::new();
+                self.cu.issue_vector_sharded(
+                    op,
+                    &slices[..srcs.len()],
+                    &self.active,
+                    scope.sc_range.clone(),
+                    true,
+                    &mut out,
+                    scope.journal,
+                );
+                out
+            }
+            None => self.cu.issue_vector(op, &slices[..srcs.len()], &self.active),
+        };
+        VReg::from_vec(result)
     }
 
     binary_op!(

@@ -1,0 +1,83 @@
+//! Proof that the steady-state issue loop performs **zero heap
+//! allocations**: a counting global allocator brackets a burst of
+//! vector instructions after a warm-up that grows every scratch buffer
+//! (per-CU event/cursor/order vectors, per-op units, sink tallies,
+//! memo FIFOs).
+//!
+//! The count is kept per-thread — the libtest harness runs its own
+//! bookkeeping threads against the same global allocator, and their
+//! allocations must not be charged to the issue loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use tm_fpu::FpOp;
+use tm_sim::{ComputeUnit, DeviceConfig};
+
+thread_local! {
+    /// Allocations made by the current thread. Const-initialized so the
+    /// thread-local itself never allocates from inside the allocator.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
+/// Counts every allocation (the default `realloc`/`alloc_zeroed` both
+/// route through `alloc`, so one counter covers them all).
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with`: thread-local storage may already be gone during
+        // thread teardown.
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_issue_loop_does_not_allocate() {
+    let config = DeviceConfig::default();
+    let mut cu = ComputeUnit::new(&config, 0);
+    let mut a: Vec<f32> = (0..64).map(|i| (i % 9) as f32 + 0.5).collect();
+    let b: Vec<f32> = (0..64).map(|i| (i % 7) as f32 - 3.0).collect();
+    let active = vec![true; 64];
+    let mut out = Vec::with_capacity(64);
+
+    // Warm-up: instantiates the per-op units and sink tallies, fills
+    // the FIFOs, and grows the CU-internal scratch to capacity. The
+    // rotating lane-0 value keeps the miss/update path live.
+    for i in 0..8 {
+        a[0] = i as f32;
+        cu.issue_vector_into(FpOp::Add, &[&a, &b], &active, &mut out);
+        cu.issue_vector_into(FpOp::Mul, &[&a, &b], &active, &mut out);
+        cu.issue_vector_into(FpOp::Sqrt, &[&a], &active, &mut out);
+    }
+
+    let before = thread_allocations();
+    for i in 0..200 {
+        a[0] = (i % 11) as f32 * 1.25;
+        cu.issue_vector_into(FpOp::Add, &[&a, &b], &active, &mut out);
+        cu.issue_vector_into(FpOp::Mul, &[&a, &b], &active, &mut out);
+        cu.issue_vector_into(FpOp::Sqrt, &[&a], &active, &mut out);
+    }
+    let after = thread_allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state issue loop must not touch the heap"
+    );
+    // The loop really ran: 24 warm-up + 600 measured instructions.
+    assert!(cu.cycles() > 0);
+    let lane_instructions: u64 = cu.tallies().map(|(_, t)| t.lane_instructions).sum();
+    assert_eq!(lane_instructions, 64 * 3 * 208);
+}

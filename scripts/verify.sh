@@ -13,9 +13,12 @@ cargo build --release --offline
 echo "== cargo test (offline, workspace) =="
 cargo test --workspace -q --offline
 
+echo "== backend determinism suite (sequential / parallel / intra-cu) =="
+cargo test -q --offline -p tm-kernels --test determinism
+
 if [[ "${1:-}" != "--quick" ]]; then
-    echo "== cargo clippy -D warnings (offline, workspace) =="
-    cargo clippy --workspace --all-targets --offline -- -D warnings
+    echo "== cargo clippy -D warnings -D clippy::perf (offline, workspace) =="
+    cargo clippy --workspace --all-targets --offline -- -D warnings -D clippy::perf
 fi
 
 echo "verify: OK"
