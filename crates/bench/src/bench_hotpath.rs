@@ -36,11 +36,7 @@ pub const BENCH_BACKENDS: [ExecBackend; 3] =
 /// Short stable name for a backend (used as the JSON key).
 #[must_use]
 pub fn backend_label(backend: ExecBackend) -> &'static str {
-    match backend {
-        ExecBackend::Sequential => "sequential",
-        ExecBackend::Parallel => "parallel",
-        ExecBackend::IntraCu => "intra-cu",
-    }
+    backend.name()
 }
 
 fn time_best_of<F: FnMut() -> u64>(repeats: usize, mut run: F) -> (u64, f64) {
@@ -133,6 +129,11 @@ pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
 
 /// Renders rows (plus host metadata) as a JSON object. Hand-rolled —
 /// the workspace is hermetic, no serde.
+///
+/// The host core count appears both at the top level and in every row:
+/// `BENCH_hotpath.json` keeps the first-ever run as a frozen baseline, so
+/// each entry must carry the parallelism it was measured under even after
+/// baseline and current were produced on different hosts.
 #[must_use]
 pub fn rows_to_json(rows: &[BenchRow]) -> String {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -142,7 +143,7 @@ pub fn rows_to_json(rows: &[BenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"case\": \"{}\", \"backend\": \"{}\", \"instructions\": {}, \"wall_ms\": {:.3}, \"instr_per_sec\": {:.0}}}{sep}\n",
+            "    {{\"case\": \"{}\", \"backend\": \"{}\", \"host_cores\": {cores}, \"instructions\": {}, \"wall_ms\": {:.3}, \"instr_per_sec\": {:.0}}}{sep}\n",
             r.case,
             backend_label(r.backend),
             r.instructions,
@@ -178,7 +179,16 @@ mod tests {
         let rows = vec![super::row("x", ExecBackend::Sequential, (10, 2.0))];
         let json = rows_to_json(&rows);
         assert!(json.contains("\"case\": \"x\""));
+        assert!(json.contains("\"backend\": \"sequential\""));
         assert!(json.contains("\"instr_per_sec\": 5000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Host metadata rides along in every row, not just the header.
+        assert_eq!(json.matches("\"host_cores\":").count(), 1 + rows.len());
+        let parsed = tm_obs::JsonValue::parse(&json).expect("bench JSON parses");
+        let row = &parsed.get("rows").and_then(tm_obs::JsonValue::as_arr).unwrap()[0];
+        assert_eq!(
+            row.get("host_cores").and_then(tm_obs::JsonValue::as_u64),
+            parsed.get("host_cores").and_then(tm_obs::JsonValue::as_u64)
+        );
     }
 }

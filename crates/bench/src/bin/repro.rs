@@ -10,10 +10,12 @@
 //! `fig2`–`fig8`, `fifo-sweep`, `fig10`, `fig11`, `locality`,
 //! `frequency`, `matching-ablation`, `recovery-ablation`,
 //! `replacement-ablation`, `spatial-ablation`, `gating-ablation`,
-//! `lut-exploration`, `interleaving`, `sensitivity`. Pass `--csv DIR` to
-//! also write the figure data as CSV; pass `--parallel` to execute every
-//! workload on one worker thread per compute unit (bit-identical
-//! results).
+//! `lut-exploration`, `interleaving`, `sensitivity`, `obs-demo`. Pass
+//! `--csv DIR` to also write the figure data as CSV; pass `--parallel`
+//! to execute every workload on one worker thread per compute unit
+//! (bit-identical results). `obs-demo` runs the observability showcase;
+//! pass `--trace-out FILE` / `--metrics-out FILE` to write its Perfetto
+//! trace and JSONL metrics dump.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -31,10 +33,11 @@ use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
 
-const EXPERIMENTS: [&str; 25] = [
+const EXPERIMENTS: [&str; 26] = [
     "scorecard",
     "speedup",
     "bench",
+    "obs-demo",
     "locality",
     "frequency",
     "gating-ablation",
@@ -64,6 +67,8 @@ fn main() -> ExitCode {
     let mut experiment = None;
     let mut cfg = ExperimentConfig::default();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,6 +111,26 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--trace-out needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => metrics_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--metrics-out needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{e}");
@@ -114,10 +139,13 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR]"
+                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE]"
                 );
                 println!(
                     "--parallel runs one worker thread per compute unit; results are bit-identical"
+                );
+                println!(
+                    "--trace-out/--metrics-out write obs-demo's Perfetto trace and JSONL metrics"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(", "));
                 return ExitCode::SUCCESS;
@@ -141,13 +169,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let obs_out = ObsOut {
+        trace: trace_out.as_deref(),
+        metrics: metrics_out.as_deref(),
+    };
     if experiment == "all" {
         for e in EXPERIMENTS {
-            run(e, &cfg, csv_dir.as_deref());
+            run(e, &cfg, csv_dir.as_deref(), &obs_out);
             println!();
         }
     } else if EXPERIMENTS.contains(&experiment.as_str()) {
-        run(&experiment, &cfg, csv_dir.as_deref());
+        run(&experiment, &cfg, csv_dir.as_deref(), &obs_out);
     } else {
         eprintln!("unknown experiment {experiment} (try --list)");
         return ExitCode::FAILURE;
@@ -155,7 +187,13 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run(experiment: &str, cfg: &ExperimentConfig, csv_dir: Option<&Path>) {
+/// Output paths for the obs-demo artifacts.
+struct ObsOut<'a> {
+    trace: Option<&'a Path>,
+    metrics: Option<&'a Path>,
+}
+
+fn run(experiment: &str, cfg: &ExperimentConfig, csv_dir: Option<&Path>, obs_out: &ObsOut<'_>) {
     println!("=== {experiment} (scale {:?}, seed {:#x}) ===", cfg.scale, cfg.seed);
     match experiment {
         "table1" => print_table1(),
@@ -183,6 +221,7 @@ fn run(experiment: &str, cfg: &ExperimentConfig, csv_dir: Option<&Path>) {
         "scorecard" => print_scorecard(cfg),
         "speedup" => print_speedup(cfg),
         "bench" => print_bench(cfg),
+        "obs-demo" => print_obs_demo(cfg, obs_out),
         _ => unreachable!("validated in main"),
     }
 }
@@ -555,6 +594,53 @@ fn print_bench(cfg: &ExperimentConfig) {
     match std::fs::write(path, combined) {
         Ok(()) => println!("(bench written to {})", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn print_obs_demo(cfg: &ExperimentConfig, obs_out: &ObsOut<'_>) {
+    println!(
+        "observability demo: Sobel per backend, traced + windowed metrics ({}-cycle windows)",
+        tm_bench::OBS_METRICS_WINDOW
+    );
+    let out = tm_bench::obs_demo(cfg);
+    assert!(
+        out.identical,
+        "tracing or metrics perturbed a report/output — must be bit-identical"
+    );
+    let stats = tm_obs::validate_chrome_trace(&out.trace_json)
+        .expect("obs-demo trace failed Chrome trace validation");
+    for backend in ["sequential", "parallel", "intra-cu"] {
+        assert!(
+            out.trace_json.contains(&format!("\"backend\":\"{backend}\"")),
+            "trace is missing launch spans from the {backend} backend"
+        );
+    }
+    let lines = tm_obs::parse_jsonl(&out.metrics_jsonl)
+        .expect("obs-demo metrics failed JSONL parsing");
+    assert!(
+        lines.iter().any(|l| l.get("hit_rate").is_some()),
+        "metrics dump has no per-window hit-rate line"
+    );
+    println!(
+        "trace validated: {} events, {} spans, {} tracks ({} dropped)",
+        stats.events, stats.spans, stats.tracks, out.dropped
+    );
+    println!(
+        "metrics validated: {} JSONL lines (reports bit-identical with/without sinks: {})",
+        lines.len(),
+        out.identical
+    );
+    if let Some(path) = obs_out.trace {
+        match std::fs::write(path, &out.trace_json) {
+            Ok(()) => println!("(trace written to {} — load it at ui.perfetto.dev)", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = obs_out.metrics {
+        match std::fs::write(path, &out.metrics_jsonl) {
+            Ok(()) => println!("(metrics written to {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 }
 

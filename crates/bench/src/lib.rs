@@ -33,6 +33,7 @@ mod frequency;
 mod hit_rate;
 mod interleave;
 mod lut_explore;
+mod obs_demo;
 mod psnr;
 mod runner;
 mod scorecard;
@@ -59,6 +60,7 @@ pub use interleave::{interleaving_sweep, InterleavingRow, IN_FLIGHT_DEPTHS};
 pub use lut_explore::{
     lut_exploration, replay_hit_rate, LutExplorationRow, LutShape, LUT_SHAPES,
 };
+pub use obs_demo::{obs_demo, ObsDemoOutcome, OBS_METRICS_WINDOW};
 pub use psnr::{psnr_sweep, PsnrRow, PSNR_THRESHOLDS};
 pub use runner::{kernel_policy, run_workload, ExperimentConfig, RunOutcome};
 pub use scorecard::{scorecard, Grade, ScorecardRow};

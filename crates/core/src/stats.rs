@@ -59,6 +59,22 @@ impl MemoStats {
         }
     }
 
+    /// Field names and values in declaration order — the stable schema
+    /// telemetry exporters emit (e.g. the `obs-demo` JSONL dump), so
+    /// adding a counter here automatically reaches every exporter.
+    #[must_use]
+    pub fn named_fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("lookups", self.lookups),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("updates", self.updates),
+            ("masked_errors", self.masked_errors),
+            ("recoveries", self.recoveries),
+            ("errors_seen", self.errors_seen),
+        ]
+    }
+
     /// Internal-consistency check, used by tests and debug assertions.
     #[must_use]
     pub fn is_consistent(&self) -> bool {

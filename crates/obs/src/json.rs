@@ -1,0 +1,491 @@
+//! Minimal JSON parsing and writing.
+//!
+//! The workspace is hermetic (no serde), but the exporters still need to
+//! prove their output parses. This module provides a small recursive-descent
+//! parser producing [`JsonValue`] trees, a [`parse_jsonl`] helper for
+//! line-delimited metric dumps, and an [`ObjWriter`] builder used by the
+//! exporters so escaping lives in exactly one place.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Numbers are kept as `f64`, which is lossless for every value the
+/// exporters emit (counters stay below 2^53 in any realistic run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order is normalised (sorted) by the `BTreeMap`.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` if this value is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this value is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the key/value map if this value is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.eat_keyword("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.eat_keyword("null").map(|()| JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our exporters;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape sequence")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. Input came from a &str so the
+                    // byte sequence is valid; find the char boundary.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses a JSONL document: one JSON value per line, blank lines ignored.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JsonValue>, JsonError> {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for line in text.lines() {
+        if !line.trim().is_empty() {
+            let v = JsonValue::parse(line).map_err(|mut e| {
+                e.offset += offset;
+                e
+            })?;
+            out.push(v);
+        }
+        offset += line.len() + 1;
+    }
+    Ok(out)
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes not included).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends a finite `f64` to `out` as a JSON number.
+///
+/// Rust's `Display` for `f64` is shortest-round-trip, so the value parses
+/// back bit-identically. Non-finite values (not representable in JSON)
+/// become `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `Display` may omit the fraction for integral values; that is still
+        // valid JSON, keep it as-is.
+        if s == "-0" {
+            s = "0".to_string();
+        }
+        out.push_str(&s);
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental single-object JSON writer preserving field insertion order.
+///
+/// ```
+/// use tm_obs::ObjWriter;
+/// let mut w = ObjWriter::new();
+/// w.str_field("name", "sobel");
+/// w.u64_field("cycle", 128);
+/// assert_eq!(w.finish(), r#"{"name":"sobel","cycle":128}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjWriter {
+    buf: String,
+    any: bool,
+}
+
+impl ObjWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a field whose value is pre-rendered JSON (e.g. an array).
+    pub fn raw_field(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.buf.push_str(raw);
+    }
+
+    /// Appends a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+    }
+
+    /// Appends a floating-point field (`null` if non-finite).
+    pub fn f64_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+    }
+
+    /// Appends a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders a slice of `u64` as a JSON array (helper for `raw_field`).
+pub fn u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a slice of `f64` as a JSON array (helper for `raw_field`).
+pub fn f64_array(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_f64(&mut out, *v);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = JsonValue::parse(
+            r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "s": "x\n\"y\""}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"y\""));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(JsonValue::parse("{} extra").is_err());
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn obj_writer_round_trips_through_parser() {
+        let mut w = ObjWriter::new();
+        w.str_field("name", "weird \"quoted\"\nname\t");
+        w.u64_field("n", u64::from(u32::MAX) + 7);
+        w.f64_field("x", 0.1 + 0.2);
+        w.bool_field("ok", true);
+        w.raw_field("arr", &f64_array(&[1.0, 0.5, -2.25]));
+        let text = w.finish();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("weird \"quoted\"\nname\t"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(u64::from(u32::MAX) + 7));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(0.1 + 0.2));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("arr").unwrap().as_arr().unwrap()[2].as_f64(), Some(-2.25));
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_reports_line_offsets() {
+        let lines = parse_jsonl("{\"a\":1}\n\n{\"b\":2}\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        let err = parse_jsonl("{\"a\":1}\n{bad}\n").unwrap_err();
+        assert!(err.offset >= 8, "offset {} should point into line 2", err.offset);
+    }
+}

@@ -1,0 +1,35 @@
+//! `tm-obs` — zero-dependency observability for the temporal-memoization
+//! stack.
+//!
+//! The crate provides four small layers that compose into the pipeline
+//! `event -> sink -> registry/series -> exporter`:
+//!
+//! * [`metrics`] — a registry of plain-struct counters, gauges and
+//!   fixed-bucket histograms (no trait objects, so holders stay `Clone`).
+//! * [`series`] — [`WindowedSeries`], a bounded, allocation-free (in steady
+//!   state) time-windowed accumulator used by the simulator's `MetricsSink`
+//!   to resolve hit rate / masked errors / energy over cycle windows.
+//! * [`span`] — [`Recorder`]/[`SharedRecorder`] collecting cycle-stamped and
+//!   wall-clock [`Span`]s plus named overhead counters (steals, fallbacks).
+//! * [`chrome`] + [`json`] — exporters: Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`) and JSONL metric dumps, with a built-in
+//!   parser so round-trips can be validated without external crates.
+//!
+//! Everything here is dependency-free on purpose: the workspace builds
+//! offline against an empty registry, and the observability layer must be
+//! cheap enough to live next to the simulator hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod series;
+pub mod span;
+
+pub use chrome::{validate_chrome_trace, TraceStats};
+pub use json::{parse_jsonl, JsonError, JsonValue, ObjWriter};
+pub use metrics::{Histogram, Metric, MetricsRegistry};
+pub use series::WindowedSeries;
+pub use span::{ArgValue, Recorder, SharedRecorder, Span};

@@ -1,0 +1,182 @@
+//! Bounded time-windowed accumulators.
+//!
+//! [`WindowedSeries`] resolves a stream of `(cycle, sample)` observations
+//! into fixed-width cycle windows. Memory is bounded: when the run outlives
+//! `max_windows` windows, adjacent windows are coalesced in place and the
+//! window width doubles. After construction (which reserves capacity up
+//! front) the fold path never allocates, which keeps the simulator's
+//! metrics hot path allocation-free in steady state.
+
+/// A time-windowed series of `C` parallel accumulator channels.
+///
+/// Each window sums the samples whose cycle falls inside it. `C` is the
+/// number of channels folded together per observation (e.g. lanes / hits /
+/// errors / energy), so one series tracks a whole metric family with a
+/// single cycle→window resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSeries<const C: usize> {
+    initial_width: u64,
+    width: u64,
+    max_windows: usize,
+    windows: Vec<[f64; C]>,
+}
+
+impl<const C: usize> WindowedSeries<C> {
+    /// Creates a series with `width`-cycle windows, coalescing (doubling the
+    /// width) whenever more than `max_windows` windows would be needed.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or `max_windows < 2`.
+    pub fn new(width: u64, max_windows: usize) -> Self {
+        assert!(width > 0, "window width must be non-zero");
+        assert!(max_windows >= 2, "need at least two windows to coalesce");
+        Self {
+            initial_width: width,
+            width,
+            max_windows,
+            windows: Vec::with_capacity(max_windows),
+        }
+    }
+
+    /// The current window width in cycles (grows on coalesce).
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// The configured initial window width in cycles.
+    pub fn initial_width(&self) -> u64 {
+        self.initial_width
+    }
+
+    /// The populated windows, oldest first. Index `i` covers cycles
+    /// `[i * width, (i + 1) * width)`.
+    pub fn windows(&self) -> &[[f64; C]] {
+        &self.windows
+    }
+
+    /// Iterates `(window_start_cycle, channels)` over populated windows.
+    pub fn iter_windows(&self) -> impl Iterator<Item = (u64, &[f64; C])> + '_ {
+        let width = self.width;
+        self.windows
+            .iter()
+            .enumerate()
+            .map(move |(i, w)| (i as u64 * width, w))
+    }
+
+    /// Folds one observation into the window containing `cycle`.
+    ///
+    /// Does not allocate in steady state: the window vector was reserved at
+    /// construction and coalescing shrinks it in place.
+    pub fn fold(&mut self, cycle: u64, sample: &[f64; C]) {
+        let mut idx = (cycle / self.width) as usize;
+        while idx >= self.max_windows {
+            self.coalesce();
+            idx = (cycle / self.width) as usize;
+        }
+        if idx >= self.windows.len() {
+            // Within the reserved capacity: resize never reallocates.
+            self.windows.resize(idx + 1, [0.0; C]);
+        }
+        let w = &mut self.windows[idx];
+        for (acc, s) in w.iter_mut().zip(sample.iter()) {
+            *acc += *s;
+        }
+    }
+
+    /// Merges adjacent window pairs in place and doubles the width.
+    fn coalesce(&mut self) {
+        let n = self.windows.len();
+        let half = n.div_ceil(2);
+        for i in 0..half {
+            let mut merged = self.windows[2 * i];
+            if 2 * i + 1 < n {
+                let right = self.windows[2 * i + 1];
+                for (a, b) in merged.iter_mut().zip(right.iter()) {
+                    *a += *b;
+                }
+            }
+            self.windows[i] = merged;
+        }
+        self.windows.truncate(half);
+        self.width *= 2;
+    }
+
+    /// Clears all windows and restores the initial width.
+    ///
+    /// Keeps the reserved capacity so a reused series stays allocation-free.
+    pub fn reset(&mut self) {
+        self.windows.clear();
+        self.width = self.initial_width;
+    }
+
+    /// True if no observation has been folded since construction/reset.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Sums one channel across all windows.
+    pub fn channel_total(&self, channel: usize) -> f64 {
+        self.windows.iter().map(|w| w[channel]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_into_fixed_windows() {
+        let mut s: WindowedSeries<2> = WindowedSeries::new(10, 8);
+        s.fold(0, &[1.0, 2.0]);
+        s.fold(9, &[1.0, 0.0]);
+        s.fold(10, &[5.0, 5.0]);
+        assert_eq!(s.windows(), &[[2.0, 2.0], [5.0, 5.0]]);
+        assert_eq!(s.channel_total(0), 7.0);
+        let starts: Vec<u64> = s.iter_windows().map(|(c, _)| c).collect();
+        assert_eq!(starts, vec![0, 10]);
+    }
+
+    #[test]
+    fn coalesces_in_place_and_doubles_width() {
+        let mut s: WindowedSeries<1> = WindowedSeries::new(1, 4);
+        for c in 0..4 {
+            s.fold(c, &[1.0]);
+        }
+        assert_eq!(s.windows().len(), 4);
+        // Cycle 4 needs window index 4 >= max 4 -> coalesce to width 2.
+        s.fold(4, &[1.0]);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.windows(), &[[2.0], [2.0], [1.0]]);
+        // Mass is conserved across arbitrary growth.
+        for c in 5..1000 {
+            s.fold(c, &[1.0]);
+        }
+        assert_eq!(s.channel_total(0), 1000.0);
+        assert!(s.windows().len() <= 4);
+    }
+
+    #[test]
+    fn fold_never_reallocates() {
+        let mut s: WindowedSeries<1> = WindowedSeries::new(1, 16);
+        let cap = s.windows.capacity();
+        for c in 0..10_000 {
+            s.fold(c, &[1.0]);
+        }
+        assert_eq!(s.windows.capacity(), cap);
+        s.reset();
+        assert_eq!(s.windows.capacity(), cap);
+        assert_eq!(s.width(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn coalesce_handles_odd_window_counts() {
+        let mut s: WindowedSeries<1> = WindowedSeries::new(1, 4);
+        s.fold(0, &[1.0]);
+        s.fold(2, &[3.0]);
+        // 3 populated windows ([1,0,3]) then cycle 5 forces coalesce.
+        s.fold(5, &[7.0]);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.windows(), &[[1.0], [3.0], [7.0]]);
+    }
+}

@@ -133,6 +133,25 @@ impl ComputeUnit {
         self.sinks.locality()
     }
 
+    /// The windowed metrics sink, when [`DeviceConfig::metrics_window`]
+    /// installed one.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&crate::sink::MetricsSink> {
+        self.sinks.metrics()
+    }
+
+    /// Replaces the CU's sink pipeline wholesale.
+    ///
+    /// This exists for overhead measurement (e.g. timing an empty
+    /// pipeline against a metrics-only one). The standard accessors
+    /// ([`ComputeUnit::trace`], [`ComputeUnit::tallies`], reporting)
+    /// assume the sinks [`SinkPipeline::standard`] installs, so a device
+    /// whose CUs run a custom pipeline can execute kernels but may panic
+    /// on reporting paths.
+    pub fn install_sinks(&mut self, sinks: SinkPipeline) {
+        self.sinks = sinks;
+    }
+
     /// Resets every statistic — memoization counters, energy ledger, ECU
     /// tallies, cycles, per-op tallies, trace — while **keeping the FIFO
     /// contents and gate state**: the measurement boundary the paper's

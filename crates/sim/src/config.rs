@@ -50,6 +50,19 @@ pub enum ExecBackend {
     IntraCu,
 }
 
+impl ExecBackend {
+    /// A stable lowercase label for traces, benchmark records and CLI
+    /// output (`"sequential"`, `"parallel"`, `"intra-cu"`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Sequential => "sequential",
+            Self::Parallel => "parallel",
+            Self::IntraCu => "intra-cu",
+        }
+    }
+}
+
 /// Where per-instruction timing-error events come from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ErrorMode {
@@ -141,6 +154,12 @@ pub struct DeviceConfig {
     /// alternative to recording a bounded trace and post-processing it
     /// with [`crate::locality`].
     pub locality_tracking: bool,
+    /// Initial cycle-window width for time-resolved metrics (`None`
+    /// disables the [`crate::sink::MetricsSink`]). When set, every
+    /// compute unit folds its event stream into per-window series — hit
+    /// rate, masked errors, recoveries, energy — per opcode and in total;
+    /// see [`crate::ComputeUnit::metrics`].
+    pub metrics_window: Option<u64>,
 }
 
 impl Default for DeviceConfig {
@@ -164,6 +183,7 @@ impl Default for DeviceConfig {
             backend: ExecBackend::default(),
             intra_cu_shards: None,
             locality_tracking: false,
+            metrics_window: None,
         }
     }
 }
@@ -292,6 +312,14 @@ impl DeviceConfig {
         self
     }
 
+    /// Enables time-windowed metrics with the given initial window width
+    /// in cycles (see [`crate::sink::MetricsSink`]).
+    #[must_use]
+    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
+        self.metrics_window = Some(cycles);
+        self
+    }
+
     /// The per-instruction error rate this configuration induces for a
     /// standard 4-stage unit.
     #[must_use]
@@ -338,6 +366,10 @@ impl DeviceConfig {
         let r = self.effective_error_rate();
         assert!((0.0..=1.0).contains(&r), "error rate {r} out of range");
         assert!(self.vdd > 0.0, "vdd must be positive");
+        assert!(
+            self.metrics_window != Some(0),
+            "metrics window width must be non-zero"
+        );
     }
 
     /// Sub-wavefront slots per vector instruction

@@ -6,10 +6,12 @@ use crate::engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, Shar
 use crate::intra_cu::IntraCuEngine;
 use crate::kernel::Kernel;
 use crate::locality::LocalitySummary;
+use crate::obs::DeviceObs;
 use crate::program::{Bindings, VProgram};
 use crate::report::{DeviceReport, OpReport};
 use tm_core::MemoStats;
 use tm_fpu::ALL_OPS;
+use tm_obs::{ArgValue, SharedRecorder};
 
 /// A simulated Evergreen-style GPGPU.
 ///
@@ -20,6 +22,14 @@ pub struct Device {
     config: DeviceConfig,
     compute_units: Vec<ComputeUnit>,
     wavefronts_dispatched: u64,
+    obs: Option<DeviceObs>,
+}
+
+/// Wall-clock and per-CU cycle snapshots taken just before a launch
+/// (only when a recorder is attached).
+struct LaunchMark {
+    start_us: u64,
+    cu_cycles: Vec<u64>,
 }
 
 impl Device {
@@ -39,7 +49,80 @@ impl Device {
             config,
             compute_units,
             wavefronts_dispatched: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches a span recorder: every subsequent launch records a
+    /// wall-clock `launch:<name>` span, per-CU cycle-stamped launch and
+    /// wavefront spans, and engine overhead counters into `rec` (see
+    /// [`crate::obs`]). Several devices may share one recorder; each
+    /// attach allocates fresh track groups.
+    ///
+    /// Cycle-track timestamps are the CU cycle counters, so calling
+    /// [`Device::reset_stats`] while a recorder is attached restarts the
+    /// cycle timebase and can produce overlapping cycle spans — detach
+    /// first (or use a fresh device) when a well-formed trace matters.
+    pub fn attach_recorder(&mut self, rec: &SharedRecorder) {
+        self.obs = Some(DeviceObs::attach(rec));
+    }
+
+    /// Detaches the span recorder, if any; later launches record nothing.
+    pub fn detach_recorder(&mut self) {
+        self.obs = None;
+    }
+
+    /// The attached tracing handle, if any.
+    #[must_use]
+    pub const fn obs(&self) -> Option<&DeviceObs> {
+        self.obs.as_ref()
+    }
+
+    /// Snapshots clocks before a launch (no-op without a recorder).
+    fn mark_launch(&self) -> Option<LaunchMark> {
+        self.obs.as_ref().map(|obs| LaunchMark {
+            start_us: obs.now_us(),
+            cu_cycles: self.compute_units.iter().map(ComputeUnit::cycles).collect(),
+        })
+    }
+
+    /// Closes a launch: one wall span for the whole dispatch (wall track
+    /// 0) and one cycle span per CU that advanced (cycle track = CU
+    /// index).
+    fn record_launch(&self, mark: Option<LaunchMark>, name: &str, backend: &str, schedule: &Schedule) {
+        let (Some(obs), Some(mark)) = (&self.obs, mark) else {
+            return;
+        };
+        for (cu_idx, (cu, before)) in self.compute_units.iter().zip(&mark.cu_cycles).enumerate() {
+            let after = cu.cycles();
+            if after > *before {
+                obs.cycle_span(
+                    format!("launch:{name}"),
+                    "kernel",
+                    cu_idx as u64,
+                    *before,
+                    after,
+                    Vec::new(),
+                );
+            }
+        }
+        obs.wall_span(
+            format!("launch:{name}"),
+            "kernel",
+            0,
+            mark.start_us,
+            vec![
+                ("backend".to_string(), ArgValue::Str(backend.to_string())),
+                (
+                    "global_size".to_string(),
+                    ArgValue::U64(schedule.global_size() as u64),
+                ),
+                (
+                    "wavefronts".to_string(),
+                    ArgValue::U64(schedule.wavefronts() as u64),
+                ),
+            ],
+        );
     }
 
     /// The device configuration.
@@ -63,10 +146,11 @@ impl Device {
     /// The intra-CU engine the configuration asks for: auto-sized from
     /// host parallelism unless a shard count is pinned.
     fn intra_cu_engine(&self) -> IntraCuEngine {
-        match self.config.intra_cu_shards {
+        let engine = match self.config.intra_cu_shards {
             Some(n) => IntraCuEngine::with_shards(n),
             None => IntraCuEngine::new(),
-        }
+        };
+        engine.with_obs(self.obs.clone())
     }
 
     /// The schedule the device's geometry induces for `global_size`
@@ -94,8 +178,11 @@ impl Device {
     /// Panics if `global_size` is zero.
     pub fn run<K: Kernel + ?Sized>(&mut self, kernel: &mut K, global_size: usize) {
         let schedule = self.schedule(global_size);
-        self.wavefronts_dispatched +=
-            SequentialEngine::run_any_kernel(&mut self.compute_units, kernel, &schedule);
+        let name = kernel.name();
+        let mark = self.mark_launch();
+        self.wavefronts_dispatched += SequentialEngine::with_obs(self.obs.clone())
+            .run_any_kernel(&mut self.compute_units, kernel, &schedule);
+        self.record_launch(mark, name, ExecBackend::Sequential.name(), &schedule);
     }
 
     /// Runs a [`ShardKernel`] over an ND-range through the configured
@@ -109,18 +196,25 @@ impl Device {
     /// Panics if `global_size` is zero.
     pub fn dispatch<K: ShardKernel>(&mut self, kernel: &mut K, global_size: usize) {
         let schedule = self.schedule(global_size);
+        let name = kernel.name();
+        let mark = self.mark_launch();
         self.wavefronts_dispatched += match self.config.backend {
-            ExecBackend::Sequential => {
-                SequentialEngine.run_kernel(&mut self.compute_units, kernel, &schedule)
-            }
-            ExecBackend::Parallel => {
-                ParallelEngine.run_kernel(&mut self.compute_units, kernel, &schedule)
-            }
+            ExecBackend::Sequential => SequentialEngine::with_obs(self.obs.clone()).run_kernel(
+                &mut self.compute_units,
+                kernel,
+                &schedule,
+            ),
+            ExecBackend::Parallel => ParallelEngine::with_obs(self.obs.clone()).run_kernel(
+                &mut self.compute_units,
+                kernel,
+                &schedule,
+            ),
             ExecBackend::IntraCu => {
                 self.intra_cu_engine()
                     .run_kernel(&mut self.compute_units, kernel, &schedule)
             }
         };
+        self.record_launch(mark, name, self.config.backend.name(), &schedule);
     }
 
     /// Runs a [`VProgram`] over an ND-range with `in_flight` wavefronts
@@ -150,15 +244,16 @@ impl Device {
         in_flight: usize,
     ) {
         let schedule = self.schedule(global_size);
+        let mark = self.mark_launch();
         self.wavefronts_dispatched += match self.config.backend {
-            ExecBackend::Sequential => SequentialEngine.run_program(
+            ExecBackend::Sequential => SequentialEngine::with_obs(self.obs.clone()).run_program(
                 &mut self.compute_units,
                 program,
                 bindings,
                 &schedule,
                 in_flight,
             ),
-            ExecBackend::Parallel => ParallelEngine.run_program(
+            ExecBackend::Parallel => ParallelEngine::with_obs(self.obs.clone()).run_program(
                 &mut self.compute_units,
                 program,
                 bindings,
@@ -173,6 +268,7 @@ impl Device {
                 in_flight,
             ),
         };
+        self.record_launch(mark, "program", self.config.backend.name(), &schedule);
     }
 
     /// Aggregated memoization statistics for `op` across the device.

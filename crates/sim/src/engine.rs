@@ -26,10 +26,12 @@
 
 use crate::compute_unit::ComputeUnit;
 use crate::kernel::Kernel;
+use crate::obs::DeviceObs;
 use crate::program::{Bindings, BufferId, Src, VInst, VProgram, WavefrontContext};
 use crate::wave::WaveCtx;
 use std::collections::BTreeSet;
 use std::ops::Range;
+use tm_obs::ArgValue;
 
 /// One wavefront's assignment: which CU runs which global-id range.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,24 +188,57 @@ pub trait ExecEngine {
 }
 
 /// The reference engine: one thread, wavefronts in dispatch order.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SequentialEngine;
+#[derive(Debug, Clone, Default)]
+pub struct SequentialEngine {
+    obs: Option<DeviceObs>,
+}
 
 impl SequentialEngine {
+    /// An engine without a tracing handle.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { obs: None }
+    }
+
+    /// An engine recording per-wavefront cycle spans through `obs` (a
+    /// `None` makes this identical to [`SequentialEngine::new`]).
+    #[must_use]
+    pub const fn with_obs(obs: Option<DeviceObs>) -> Self {
+        Self { obs }
+    }
+
     /// Runs any [`Kernel`] (including unsized/`dyn` kernels, which
     /// cannot be sharded) over the schedule on the calling thread.
     pub fn run_any_kernel<K: Kernel + ?Sized>(
+        &self,
         cus: &mut [ComputeUnit],
         kernel: &mut K,
         schedule: &Schedule,
     ) -> u64 {
         for a in schedule.assignments() {
             let cu = &mut cus[a.cu];
+            let start_cycle = cu.cycles();
             let mut ctx = WaveCtx::new(cu, a.lane_range.clone().collect());
             kernel.execute(&mut ctx);
+            if let Some(obs) = &self.obs {
+                obs.cycle_span(
+                    wavefront_span_name(&a.lane_range),
+                    "wavefront",
+                    a.cu as u64,
+                    start_cycle,
+                    cus[a.cu].cycles(),
+                    Vec::new(),
+                );
+            }
         }
         schedule.wavefronts() as u64
     }
+}
+
+/// The cycle-span name for one wavefront's lane range — shared by every
+/// backend so traces are comparable across engines.
+fn wavefront_span_name(range: &Range<usize>) -> String {
+    format!("wf:{}..{}", range.start, range.end)
 }
 
 impl ExecEngine for SequentialEngine {
@@ -213,7 +248,7 @@ impl ExecEngine for SequentialEngine {
         kernel: &mut K,
         schedule: &Schedule,
     ) -> u64 {
-        Self::run_any_kernel(cus, kernel, schedule)
+        self.run_any_kernel(cus, kernel, schedule)
     }
 
     fn run_program(
@@ -241,8 +276,25 @@ struct ScatterWrite {
 }
 
 /// The multi-threaded engine: one scoped worker per compute unit.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ParallelEngine;
+#[derive(Debug, Clone, Default)]
+pub struct ParallelEngine {
+    obs: Option<DeviceObs>,
+}
+
+impl ParallelEngine {
+    /// An engine without a tracing handle.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { obs: None }
+    }
+
+    /// An engine recording per-CU worker wall spans, per-wavefront cycle
+    /// spans and fallback counters through `obs`.
+    #[must_use]
+    pub const fn with_obs(obs: Option<DeviceObs>) -> Self {
+        Self { obs }
+    }
+}
 
 impl ExecEngine for ParallelEngine {
     fn run_kernel<K: ShardKernel>(
@@ -256,13 +308,36 @@ impl ExecEngine for ParallelEngine {
         let finished: Vec<K> = std::thread::scope(|scope| {
             let handles: Vec<_> = cus
                 .iter_mut()
+                .enumerate()
                 .zip(&queues)
                 .zip(shards)
-                .map(|((cu, queue), mut shard)| {
+                .map(|(((cu_idx, cu), queue), mut shard)| {
+                    let obs = self.obs.clone();
                     scope.spawn(move || {
+                        let worker_start = obs.as_ref().map(DeviceObs::now_us);
                         for range in queue {
+                            let start_cycle = cu.cycles();
                             let mut ctx = WaveCtx::new(cu, range.clone().collect());
                             shard.execute(&mut ctx);
+                            if let Some(obs) = &obs {
+                                obs.cycle_span(
+                                    wavefront_span_name(range),
+                                    "wavefront",
+                                    cu_idx as u64,
+                                    start_cycle,
+                                    cu.cycles(),
+                                    Vec::new(),
+                                );
+                            }
+                        }
+                        if let (Some(obs), Some(start)) = (&obs, worker_start) {
+                            obs.wall_span(
+                                format!("cu{cu_idx}:worker"),
+                                "parallel",
+                                cu_idx as u64,
+                                start,
+                                vec![("wavefronts".to_string(), ArgValue::U64(queue.len() as u64))],
+                            );
                         }
                         shard
                     })
@@ -292,18 +367,27 @@ impl ExecEngine for ParallelEngine {
         if program_needs_sequential_fallback(program, bindings, schedule) {
             // A gather (or scatter addressing) may observe another CU's
             // scatter; only the sequential order is well-defined.
-            return SequentialEngine.run_program(cus, program, bindings, schedule, in_flight);
+            if let Some(obs) = &self.obs {
+                obs.inc("engine.fallback_to_sequential", 1);
+            }
+            return SequentialEngine::with_obs(self.obs.clone()).run_program(
+                cus, program, bindings, schedule, in_flight,
+            );
         }
         let queues = schedule.queues();
         let journals: Vec<Vec<ScatterWrite>> = std::thread::scope(|scope| {
             let handles: Vec<_> = cus
                 .iter_mut()
+                .enumerate()
                 .zip(queues)
-                .map(|(cu, queue)| {
+                .map(|((cu_idx, cu), queue)| {
                     // Hazard-free programs never read scattered data, so a
                     // snapshot of the bindings is a faithful input set.
                     let mut local = bindings.clone();
+                    let obs = self.obs.clone();
                     scope.spawn(move || {
+                        let worker_start = obs.as_ref().map(DeviceObs::now_us);
+                        let wavefronts = queue.len() as u64;
                         let mut journal = Vec::new();
                         run_cu_program_queue(
                             cu,
@@ -313,6 +397,15 @@ impl ExecEngine for ParallelEngine {
                             in_flight,
                             Some(&mut journal),
                         );
+                        if let (Some(obs), Some(start)) = (&obs, worker_start) {
+                            obs.wall_span(
+                                format!("cu{cu_idx}:worker"),
+                                "parallel",
+                                cu_idx as u64,
+                                start,
+                                vec![("wavefronts".to_string(), ArgValue::U64(wavefronts))],
+                            );
+                        }
                         journal
                     })
                 })
@@ -612,11 +705,11 @@ mod tests {
 
         let mut seq_cus = fresh_cus(&config, 4);
         let mut seq = AddOneShard { out: vec![0.0; n] };
-        let w_seq = SequentialEngine.run_kernel(&mut seq_cus, &mut seq, &schedule);
+        let w_seq = SequentialEngine::new().run_kernel(&mut seq_cus, &mut seq, &schedule);
 
         let mut par_cus = fresh_cus(&config, 4);
         let mut par = AddOneShard { out: vec![0.0; n] };
-        let w_par = ParallelEngine.run_kernel(&mut par_cus, &mut par, &schedule);
+        let w_par = ParallelEngine::new().run_kernel(&mut par_cus, &mut par, &schedule);
 
         assert_eq!(w_seq, w_par);
         assert_eq!(seq.out, par.out);
@@ -663,11 +756,11 @@ mod tests {
 
         let mut seq_cus = fresh_cus(&config, 2);
         let mut seq_b = make_bindings();
-        SequentialEngine.run_program(&mut seq_cus, &program, &mut seq_b, &schedule, 2);
+        SequentialEngine::new().run_program(&mut seq_cus, &program, &mut seq_b, &schedule, 2);
 
         let mut par_cus = fresh_cus(&config, 2);
         let mut par_b = make_bindings();
-        ParallelEngine.run_program(&mut par_cus, &program, &mut par_b, &schedule, 2);
+        ParallelEngine::new().run_program(&mut par_cus, &program, &mut par_b, &schedule, 2);
 
         assert_eq!(seq_b, par_b);
         for (a, b) in seq_cus.iter().zip(&par_cus) {

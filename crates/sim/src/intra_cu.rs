@@ -48,6 +48,7 @@ use crate::engine::{
     program_needs_sequential_fallback, ExecEngine, ParallelEngine, Schedule, SequentialEngine,
     ShardKernel,
 };
+use crate::obs::DeviceObs;
 use crate::program::{Bindings, BufferId, Src, VInst, VProgram, WavefrontContext};
 use crate::sink::LaneEvent;
 use crate::wave::WaveCtx;
@@ -56,9 +57,10 @@ use std::sync::Mutex;
 use tm_core::MatchPolicy;
 
 /// The stream-core-sharding engine. See the module docs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IntraCuEngine {
     shards_per_cu: Option<usize>,
+    obs: Option<DeviceObs>,
 }
 
 impl IntraCuEngine {
@@ -77,10 +79,20 @@ impl IntraCuEngine {
     pub fn with_shards(shards_per_cu: usize) -> Self {
         Self {
             shards_per_cu: Some(shards_per_cu.max(1)),
+            obs: None,
         }
     }
 
-    fn resolve_shards(self, num_scs: usize, num_cus: usize) -> usize {
+    /// The same engine recording per-task and per-merge wall spans plus
+    /// `intra_cu.steals` / `intra_cu.fallback_to_*` counters through
+    /// `obs`.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Option<DeviceObs>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    fn resolve_shards(&self, num_scs: usize, num_cus: usize) -> usize {
         match self.shards_per_cu {
             Some(n) => n.clamp(1, num_scs),
             None => (worker_count() / num_cus.max(1)).clamp(1, num_scs),
@@ -190,7 +202,10 @@ impl ExecEngine for IntraCuEngine {
             || (arch == ArchMode::Memoized
                 && matches!(cus[0].config().policy, MatchPolicy::Exact));
         if arch == ArchMode::Spatial || shards <= 1 || !values_functional {
-            return ParallelEngine.run_kernel(cus, kernel, schedule);
+            if let Some(obs) = &self.obs {
+                obs.inc("intra_cu.fallback_to_parallel", 1);
+            }
+            return ParallelEngine::with_obs(self.obs.clone()).run_kernel(cus, kernel, schedule);
         }
         let ranges = shard_ranges(num_scs, shards);
         let queues = schedule.queues();
@@ -220,24 +235,47 @@ impl ExecEngine for IntraCuEngine {
         let done: Vec<DoneSlot<K>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
         let workers = worker_count().min(n_tasks);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let Some(mut task) = task_queue.lock().expect("task queue poisoned").pop()
-                    else {
-                        break;
-                    };
-                    let id = task.id;
-                    let mut journal = ShardJournal::default();
-                    for wrange in &queues[task.cu_idx] {
-                        let mut ctx = WaveCtx::new_sharded(
-                            &mut task.cu,
-                            wrange.clone().collect(),
-                            task.sc_range.clone(),
-                            &mut journal,
-                        );
-                        task.shard.execute(&mut ctx);
+            let task_queue = &task_queue;
+            let done = &done;
+            let queues = &queues;
+            for w in 0..workers {
+                let obs = self.obs.clone();
+                scope.spawn(move || {
+                    let mut executed = 0u64;
+                    loop {
+                        let Some(mut task) = task_queue.lock().expect("task queue poisoned").pop()
+                        else {
+                            break;
+                        };
+                        executed += 1;
+                        let task_start = obs.as_ref().map(DeviceObs::now_us);
+                        let id = task.id;
+                        let mut journal = ShardJournal::default();
+                        for wrange in &queues[task.cu_idx] {
+                            let mut ctx = WaveCtx::new_sharded(
+                                &mut task.cu,
+                                wrange.clone().collect(),
+                                task.sc_range.clone(),
+                                &mut journal,
+                            );
+                            task.shard.execute(&mut ctx);
+                        }
+                        if let (Some(obs), Some(start)) = (&obs, task_start) {
+                            obs.wall_span(
+                                task_span_name(task.cu_idx, &task.sc_range),
+                                "intra-cu",
+                                w as u64,
+                                start,
+                                Vec::new(),
+                            );
+                        }
+                        *done[id].lock().expect("result slot poisoned") = Some((task, journal));
                     }
-                    *done[id].lock().expect("result slot poisoned") = Some((task, journal));
+                    if executed > 0 {
+                        if let Some(obs) = &obs {
+                            obs.inc("intra_cu.steals", executed);
+                        }
+                    }
                 });
             }
         });
@@ -255,6 +293,7 @@ impl ExecEngine for IntraCuEngine {
             .collect::<Vec<_>>()
             .into_iter();
         for (cu_idx, cu) in cus.iter_mut().enumerate() {
+            let merge_start = self.obs.as_ref().map(DeviceObs::now_us);
             let mut journals = Vec::with_capacity(shards);
             for _ in 0..shards {
                 let (mut task, journal) = results.next().expect("missing shard result");
@@ -267,6 +306,9 @@ impl ExecEngine for IntraCuEngine {
                 journals.push(journal);
             }
             replay_journals(cu, &journals);
+            if let (Some(obs), Some(start)) = (&self.obs, merge_start) {
+                obs.wall_span(format!("cu{cu_idx}:merge"), "intra-cu", cu_idx as u64, start, Vec::new());
+            }
         }
         schedule.wavefronts() as u64
     }
@@ -284,10 +326,18 @@ impl ExecEngine for IntraCuEngine {
         let arch = cus[0].config().arch;
         let shards = self.resolve_shards(num_scs, cus.len());
         if arch == ArchMode::Spatial || shards <= 1 {
-            return ParallelEngine.run_program(cus, program, bindings, schedule, in_flight);
+            if let Some(obs) = &self.obs {
+                obs.inc("intra_cu.fallback_to_parallel", 1);
+            }
+            return ParallelEngine::with_obs(self.obs.clone())
+                .run_program(cus, program, bindings, schedule, in_flight);
         }
         if program_needs_sequential_fallback(program, bindings, schedule) {
-            return SequentialEngine.run_program(cus, program, bindings, schedule, in_flight);
+            if let Some(obs) = &self.obs {
+                obs.inc("intra_cu.fallback_to_sequential", 1);
+            }
+            return SequentialEngine::with_obs(self.obs.clone())
+                .run_program(cus, program, bindings, schedule, in_flight);
         }
         let ranges = shard_ranges(num_scs, shards);
         let queues = schedule.queues();
@@ -320,28 +370,51 @@ impl ExecEngine for IntraCuEngine {
             (0..n_tasks).map(|_| Mutex::new(None)).collect();
         let workers = worker_count().min(n_tasks);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let Some(mut task) = task_queue.lock().expect("task queue poisoned").pop()
-                    else {
-                        break;
-                    };
-                    let id = task.id;
-                    let mut journal = ShardJournal::default();
-                    let mut scatters = Vec::new();
-                    run_cu_program_queue_sharded(
-                        &mut task.cu,
-                        program,
-                        &queues[task.cu_idx],
-                        &mut task.bindings,
-                        in_flight,
-                        &task.sc_range,
-                        num_scs,
-                        &mut journal,
-                        &mut scatters,
-                    );
-                    *done[id].lock().expect("result slot poisoned") =
-                        Some((task, journal, scatters));
+            let task_queue = &task_queue;
+            let done = &done;
+            let queues = &queues;
+            for w in 0..workers {
+                let obs = self.obs.clone();
+                scope.spawn(move || {
+                    let mut executed = 0u64;
+                    loop {
+                        let Some(mut task) = task_queue.lock().expect("task queue poisoned").pop()
+                        else {
+                            break;
+                        };
+                        executed += 1;
+                        let task_start = obs.as_ref().map(DeviceObs::now_us);
+                        let id = task.id;
+                        let mut journal = ShardJournal::default();
+                        let mut scatters = Vec::new();
+                        run_cu_program_queue_sharded(
+                            &mut task.cu,
+                            program,
+                            &queues[task.cu_idx],
+                            &mut task.bindings,
+                            in_flight,
+                            &task.sc_range,
+                            num_scs,
+                            &mut journal,
+                            &mut scatters,
+                        );
+                        if let (Some(obs), Some(start)) = (&obs, task_start) {
+                            obs.wall_span(
+                                task_span_name(task.cu_idx, &task.sc_range),
+                                "intra-cu",
+                                w as u64,
+                                start,
+                                Vec::new(),
+                            );
+                        }
+                        *done[id].lock().expect("result slot poisoned") =
+                            Some((task, journal, scatters));
+                    }
+                    if executed > 0 {
+                        if let Some(obs) = &obs {
+                            obs.inc("intra_cu.steals", executed);
+                        }
+                    }
                 });
             }
         });
@@ -356,6 +429,7 @@ impl ExecEngine for IntraCuEngine {
             .collect::<Vec<_>>()
             .into_iter();
         for (cu_idx, cu) in cus.iter_mut().enumerate() {
+            let merge_start = self.obs.as_ref().map(DeviceObs::now_us);
             let mut journals = Vec::with_capacity(shards);
             let mut scatter_logs = Vec::with_capacity(shards);
             for _ in 0..shards {
@@ -367,9 +441,17 @@ impl ExecEngine for IntraCuEngine {
             }
             replay_journals(cu, &journals);
             replay_scatters(bindings, &scatter_logs);
+            if let (Some(obs), Some(start)) = (&self.obs, merge_start) {
+                obs.wall_span(format!("cu{cu_idx}:merge"), "intra-cu", cu_idx as u64, start, Vec::new());
+            }
         }
         schedule.wavefronts() as u64
     }
+}
+
+/// The wall-span name for one `(CU, stream-core shard)` task.
+fn task_span_name(cu_idx: usize, sc_range: &Range<usize>) -> String {
+    format!("cu{cu_idx}:sc{}-{}", sc_range.start, sc_range.end)
 }
 
 /// One journaled scatter write with its merge key: the step ordinal (the

@@ -81,6 +81,7 @@ pub mod engine;
 pub mod intra_cu;
 mod kernel;
 pub mod locality;
+pub mod obs;
 pub mod program;
 mod report;
 pub mod sink;
@@ -94,8 +95,12 @@ pub use device::Device;
 pub use engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
 pub use intra_cu::IntraCuEngine;
 pub use kernel::Kernel;
+pub use obs::DeviceObs;
 pub use report::{DeviceReport, OpReport};
-pub use sink::{EventSink, LaneEvent, LaneEventKind, SinkKind, SinkPipeline, VectorEvent};
+pub use sink::{
+    EventSink, LaneEvent, LaneEventKind, MetricsSink, SinkKind, SinkPipeline, VectorEvent,
+    METRICS_CHANNELS,
+};
 pub use stream_core::{LaneUnit, StreamCore};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use wave::{VReg, WaveCtx};

@@ -1,0 +1,161 @@
+//! Device-level observability: the span-recording handle the engines
+//! thread through kernel dispatch.
+//!
+//! A [`DeviceObs`] is an optional, cheaply cloneable handle to a
+//! [`SharedRecorder`]. Attaching one to a [`crate::Device`] (via
+//! [`crate::Device::attach_recorder`]) makes the device and whichever
+//! [`crate::engine`] backend it dispatches through record:
+//!
+//! - **cycle-stamped spans** on the device's *cycle* track group: kernel
+//!   launches and per-wavefront execution, timestamped in simulated
+//!   cycles (tid = compute-unit index);
+//! - **wall-clock spans** on the device's *wall* track group: host-side
+//!   self-profiling of the engines (per-CU worker threads, intra-CU
+//!   shard tasks, journal merges), timestamped in microseconds;
+//! - **overhead counters**: work-steal counts and
+//!   fallback-to-parallel/sequential events.
+//!
+//! Recording never changes simulation results: the handle only *reads*
+//! cycle counters and wall clocks around the existing execution paths,
+//! so [`crate::DeviceReport`]s stay bit-identical with and without a
+//! recorder attached (asserted in `tests/obs.rs`).
+
+use tm_obs::{ArgValue, SharedRecorder, Span};
+
+/// The tracing handle one device (and its engines) records through.
+///
+/// Each handle owns two track groups (`pid`s) allocated from the shared
+/// recorder — one for wall-clock spans, one for cycle-stamped spans — so
+/// several devices (e.g. one per backend in an A/B run) can share a
+/// recorder without their span nesting colliding.
+#[derive(Debug, Clone)]
+pub struct DeviceObs {
+    rec: SharedRecorder,
+    wall_pid: u64,
+    cycle_pid: u64,
+}
+
+impl DeviceObs {
+    /// Creates a handle recording into `rec`, allocating the device's
+    /// wall-clock and cycle track groups.
+    #[must_use]
+    pub fn attach(rec: &SharedRecorder) -> Self {
+        Self {
+            rec: rec.clone(),
+            wall_pid: rec.alloc_pid(),
+            cycle_pid: rec.alloc_pid(),
+        }
+    }
+
+    /// The underlying shared recorder.
+    #[must_use]
+    pub const fn recorder(&self) -> &SharedRecorder {
+        &self.rec
+    }
+
+    /// The track group carrying wall-clock (host-side) spans.
+    #[must_use]
+    pub const fn wall_pid(&self) -> u64 {
+        self.wall_pid
+    }
+
+    /// The track group carrying cycle-stamped (simulated-time) spans.
+    #[must_use]
+    pub const fn cycle_pid(&self) -> u64 {
+        self.cycle_pid
+    }
+
+    /// Microseconds since the recorder's origin — the start timestamp
+    /// for a wall-clock span.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.rec.now_us()
+    }
+
+    /// Records a completed wall-clock span that started at `start_us`
+    /// (from [`DeviceObs::now_us`]) on wall track `tid`.
+    pub fn wall_span(
+        &self,
+        name: impl Into<String>,
+        cat: &str,
+        tid: u64,
+        start_us: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        let now = self.rec.now_us();
+        self.rec.record(Span {
+            name: name.into(),
+            cat: cat.to_string(),
+            pid: self.wall_pid,
+            tid,
+            ts: start_us,
+            dur: now.saturating_sub(start_us),
+            args,
+        });
+    }
+
+    /// Records a completed cycle-stamped span covering
+    /// `start_cycle..end_cycle` on cycle track `tid` (one track per
+    /// compute unit by convention).
+    pub fn cycle_span(
+        &self,
+        name: impl Into<String>,
+        cat: &str,
+        tid: u64,
+        start_cycle: u64,
+        end_cycle: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.rec.record(Span {
+            name: name.into(),
+            cat: cat.to_string(),
+            pid: self.cycle_pid,
+            tid,
+            ts: start_cycle,
+            dur: end_cycle.saturating_sub(start_cycle),
+            args,
+        });
+    }
+
+    /// Adds `by` to a named overhead counter on the shared recorder.
+    pub fn inc(&self, name: &str, by: u64) {
+        self.rec.inc(name, by);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_allocates_distinct_track_groups() {
+        let rec = SharedRecorder::new();
+        let a = DeviceObs::attach(&rec);
+        let b = DeviceObs::attach(&rec);
+        let pids = [a.wall_pid(), a.cycle_pid(), b.wall_pid(), b.cycle_pid()];
+        for (i, p) in pids.iter().enumerate() {
+            for q in &pids[i + 1..] {
+                assert_ne!(p, q, "track groups must not collide");
+            }
+        }
+    }
+
+    #[test]
+    fn spans_land_on_the_right_tracks() {
+        let rec = SharedRecorder::new();
+        let obs = DeviceObs::attach(&rec);
+        let t0 = obs.now_us();
+        obs.wall_span("host", "test", 0, t0, Vec::new());
+        obs.cycle_span("sim", "test", 3, 100, 164, Vec::new());
+        obs.inc("steals", 2);
+        rec.with(|r| {
+            assert_eq!(r.spans().len(), 2);
+            assert_eq!(r.spans()[0].pid, obs.wall_pid());
+            assert_eq!(r.spans()[1].pid, obs.cycle_pid());
+            assert_eq!(r.spans()[1].ts, 100);
+            assert_eq!(r.spans()[1].dur, 64);
+            assert_eq!(r.spans()[1].tid, 3);
+        });
+        assert_eq!(rec.counter_snapshot(), vec![("steals".to_string(), 2)]);
+    }
+}

@@ -22,6 +22,7 @@ use crate::locality::{LocalitySummary, OperandKey, StackDistanceProfile};
 use crate::trace::{TraceBuffer, TraceEvent};
 use std::collections::{BTreeMap, HashMap};
 use tm_energy::{EnergyLedger, EnergyModel};
+use tm_obs::WindowedSeries;
 use tm_fpu::{FpOp, Operands};
 use tm_timing::RecoveryPolicy;
 
@@ -107,6 +108,10 @@ pub struct VectorEvent {
     pub spatial_masked_errors: u64,
     /// Energy charged over the course of this instruction, pJ.
     pub energy_pj: f64,
+    /// Issue cycle of the instruction's first lane (`0` when the
+    /// instruction had no active lanes) — what time-windowed sinks
+    /// resolve the instruction against.
+    pub cycle: u64,
 }
 
 /// A consumer of execute-stage events.
@@ -419,6 +424,150 @@ impl EventSink for LocalitySink {
     }
 }
 
+/// Time-windowed metrics: the per-CU half of the observability layer.
+///
+/// Folds the execute stage's event stream into [`WindowedSeries`] — one
+/// totals series plus one per opcode — resolving lanes, hits, errors,
+/// masked errors, recoveries and energy against the issue cycle. Window
+/// memory is bounded ([`MetricsSink::MAX_WINDOWS`]): long runs coalesce
+/// adjacent windows and double the width, so the steady-state fold path
+/// never allocates (proven by `tests/alloc_free.rs`).
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    window: u64,
+    total: WindowedSeries<METRICS_CHANNELS>,
+    per_op: BTreeMap<FpOp, WindowedSeries<METRICS_CHANNELS>>,
+}
+
+/// Number of channels in each [`MetricsSink`] series (see the channel
+/// index constants on [`MetricsSink`]).
+pub const METRICS_CHANNELS: usize = 6;
+
+impl MetricsSink {
+    /// Channel index: active lanes folded into the window.
+    pub const LANES: usize = 0;
+    /// Channel index: lanes satisfied by reuse (LUT hit or spatial).
+    pub const HITS: usize = 1;
+    /// Channel index: timing errors seen.
+    pub const ERRORS: usize = 2;
+    /// Channel index: errors masked by reuse (hit or spatial broadcast).
+    pub const MASKED: usize = 3;
+    /// Channel index: ECU recoveries.
+    pub const RECOVERIES: usize = 4;
+    /// Channel index: energy charged, pJ (folded from vector events).
+    pub const ENERGY_PJ: usize = 5;
+    /// Number of channels per series ([`METRICS_CHANNELS`]).
+    pub const CHANNELS: usize = METRICS_CHANNELS;
+    /// Maximum retained windows per series before coalescing.
+    pub const MAX_WINDOWS: usize = 256;
+
+    /// A sink with the given initial window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        Self {
+            window,
+            total: WindowedSeries::new(window, Self::MAX_WINDOWS),
+            per_op: BTreeMap::new(),
+        }
+    }
+
+    /// The configured initial window width in cycles.
+    #[must_use]
+    pub const fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The all-opcode series.
+    #[must_use]
+    pub const fn total(&self) -> &WindowedSeries<METRICS_CHANNELS> {
+        &self.total
+    }
+
+    /// The series for one opcode, if any instruction of it was observed.
+    #[must_use]
+    pub fn series(&self, op: FpOp) -> Option<&WindowedSeries<METRICS_CHANNELS>> {
+        self.per_op.get(&op)
+    }
+
+    /// Opcodes with a populated series, in opcode order.
+    pub fn ops(&self) -> impl Iterator<Item = FpOp> + '_ {
+        self.per_op.keys().copied()
+    }
+
+    /// Per-window hit rate of the totals series:
+    /// `(window_start_cycle, window_cycles, hits / lanes)` for every
+    /// window with at least one lane.
+    #[must_use]
+    pub fn hit_rate_windows(&self) -> Vec<(u64, u64, f64)> {
+        let width = self.total.width();
+        self.total
+            .iter_windows()
+            .filter(|(_, w)| w[Self::LANES] > 0.0)
+            .map(|(start, w)| (start, width, w[Self::HITS] / w[Self::LANES]))
+            .collect()
+    }
+
+    /// Batched fold of one vector instruction's lane events (all sharing
+    /// `op`) — the [`SinkPipeline::flush_instruction`] fast path. The
+    /// whole instruction lands in the window containing its first lane's
+    /// issue cycle; energy arrives separately via
+    /// [`EventSink::on_vector`].
+    pub fn fold_lanes(&mut self, op: FpOp, events: &[LaneEvent]) {
+        let Some(first) = events.first() else {
+            return;
+        };
+        let mut sample = [0.0f64; METRICS_CHANNELS];
+        sample[Self::LANES] = events.len() as f64;
+        for e in events {
+            let hit = e.is_hit();
+            sample[Self::HITS] += f64::from(hit);
+            sample[Self::ERRORS] += f64::from(e.error);
+            sample[Self::MASKED] += f64::from(e.error && hit);
+            if let LaneEventKind::Issue {
+                hit: false,
+                recovered: true,
+                ..
+            } = e.kind
+            {
+                sample[Self::RECOVERIES] += 1.0;
+            }
+        }
+        let cycle = first.cycle;
+        self.total.fold(cycle, &sample);
+        self.per_op
+            .entry(op)
+            .or_insert_with(|| WindowedSeries::new(self.window, Self::MAX_WINDOWS))
+            .fold(cycle, &sample);
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn on_lane(&mut self, event: &LaneEvent) {
+        self.fold_lanes(event.op, std::slice::from_ref(event));
+    }
+
+    fn on_vector(&mut self, event: &VectorEvent) {
+        let mut sample = [0.0f64; METRICS_CHANNELS];
+        sample[Self::ENERGY_PJ] = event.energy_pj;
+        self.total.fold(event.cycle, &sample);
+        self.per_op
+            .entry(event.op)
+            .or_insert_with(|| WindowedSeries::new(self.window, Self::MAX_WINDOWS))
+            .fold(event.cycle, &sample);
+    }
+
+    fn reset(&mut self) {
+        self.total.reset();
+        for series in self.per_op.values_mut() {
+            series.reset();
+        }
+    }
+}
+
 /// One installed sink (enum dispatch keeps the pipeline `Clone`).
 #[derive(Debug, Clone)]
 pub enum SinkKind {
@@ -430,6 +579,8 @@ pub enum SinkKind {
     Trace(TraceSink),
     /// Online locality profiling.
     Locality(LocalitySink),
+    /// Time-windowed metrics series.
+    Metrics(MetricsSink),
 }
 
 impl SinkKind {
@@ -439,6 +590,7 @@ impl SinkKind {
             SinkKind::Energy(s) => s,
             SinkKind::Trace(s) => s,
             SinkKind::Locality(s) => s,
+            SinkKind::Metrics(s) => s,
         }
     }
 }
@@ -466,6 +618,9 @@ impl SinkPipeline {
         pipeline.push(SinkKind::Trace(TraceSink::new(config.trace_depth)));
         if config.locality_tracking {
             pipeline.push(SinkKind::Locality(LocalitySink::new()));
+        }
+        if let Some(window) = config.metrics_window {
+            pipeline.push(SinkKind::Metrics(MetricsSink::new(window)));
         }
         pipeline
     }
@@ -534,6 +689,7 @@ impl SinkPipeline {
                         s.on_lane(event);
                     }
                 }
+                SinkKind::Metrics(s) => s.fold_lanes(op, events),
             }
         }
         self.emit_vector(&VectorEvent {
@@ -542,6 +698,7 @@ impl SinkPipeline {
             spatial_hits,
             spatial_masked_errors,
             energy_pj: self.total_energy_pj() - energy_before,
+            cycle: events.first().map_or(0, |e| e.cycle),
         });
     }
 
@@ -593,6 +750,15 @@ impl SinkPipeline {
             _ => None,
         })
     }
+
+    /// The first metrics sink, if one is installed.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsSink> {
+        self.sinks.iter().find_map(|s| match s {
+            SinkKind::Metrics(m) => Some(m),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -626,6 +792,7 @@ mod tests {
             spatial_hits: 3,
             spatial_masked_errors: 1,
             energy_pj: 10.0,
+            cycle: 0,
         });
         sink.on_vector(&VectorEvent {
             op: FpOp::Add,
@@ -633,6 +800,7 @@ mod tests {
             spatial_hits: 0,
             spatial_masked_errors: 0,
             energy_pj: 5.0,
+            cycle: 4,
         });
         let t = sink.tallies()[&FpOp::Add];
         assert_eq!(t.vector_instructions, 2);
@@ -708,6 +876,7 @@ mod tests {
             spatial_hits: 0,
             spatial_masked_errors: 0,
             energy_pj: pipeline.total_energy_pj(),
+            cycle: 0,
         });
         assert!(pipeline.total_energy_pj() > 0.0);
         assert_eq!(pipeline.trace().unwrap().len(), 1);
@@ -717,6 +886,68 @@ mod tests {
         assert_eq!(pipeline.total_energy_pj(), 0.0);
         assert!(pipeline.trace().unwrap().is_empty());
         assert!(pipeline.tallies().unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_sink_windows_lanes_hits_and_energy() {
+        let mut sink = MetricsSink::new(8);
+        // Window 0: two hits, one miss-with-recovery; window 2: one miss.
+        let mut miss = issue_event(FpOp::Add, 1.0, 0, false);
+        miss.error = true;
+        miss.kind = LaneEventKind::Issue {
+            hit: false,
+            bypassed: false,
+            updated: false,
+            recovered: true,
+        };
+        let batch = [
+            issue_event(FpOp::Add, 1.0, 0, true),
+            issue_event(FpOp::Add, 2.0, 1, true),
+            miss,
+        ];
+        sink.fold_lanes(FpOp::Add, &batch);
+        let mut later = issue_event(FpOp::Add, 3.0, 0, false);
+        later.cycle = 16;
+        sink.fold_lanes(FpOp::Add, std::slice::from_ref(&later));
+        sink.on_vector(&VectorEvent {
+            op: FpOp::Add,
+            active_lanes: 3,
+            spatial_hits: 0,
+            spatial_masked_errors: 0,
+            energy_pj: 2.5,
+            cycle: 0,
+        });
+
+        let total = sink.total();
+        assert_eq!(total.windows().len(), 3);
+        let w0 = total.windows()[0];
+        assert_eq!(w0[MetricsSink::LANES], 3.0);
+        assert_eq!(w0[MetricsSink::HITS], 2.0);
+        assert_eq!(w0[MetricsSink::ERRORS], 1.0);
+        assert_eq!(w0[MetricsSink::MASKED], 0.0);
+        assert_eq!(w0[MetricsSink::RECOVERIES], 1.0);
+        assert_eq!(w0[MetricsSink::ENERGY_PJ], 2.5);
+        assert_eq!(total.windows()[2][MetricsSink::LANES], 1.0);
+
+        let rates = sink.hit_rate_windows();
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0].2 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rates[1], (16, 8, 0.0));
+        assert_eq!(sink.ops().collect::<Vec<_>>(), vec![FpOp::Add]);
+        assert_eq!(sink.series(FpOp::Add).unwrap().windows(), total.windows());
+
+        sink.reset();
+        assert!(sink.total().is_empty());
+        assert!(sink.series(FpOp::Add).unwrap().is_empty(), "entries survive reset empty");
+    }
+
+    #[test]
+    fn standard_pipeline_installs_metrics_only_when_configured() {
+        let without = SinkPipeline::standard(&DeviceConfig::default());
+        assert!(without.metrics().is_none());
+        let with = SinkPipeline::standard(&DeviceConfig::default().with_metrics_window(64));
+        let sink = with.metrics().expect("metrics sink installed");
+        assert_eq!(sink.window(), 64);
     }
 
     #[test]

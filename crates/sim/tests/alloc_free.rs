@@ -43,10 +43,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_issue_loop_does_not_allocate() {
-    let config = DeviceConfig::default();
-    let mut cu = ComputeUnit::new(&config, 0);
+fn assert_steady_state_alloc_free(config: &DeviceConfig) -> ComputeUnit {
+    let mut cu = ComputeUnit::new(config, 0);
     let mut a: Vec<f32> = (0..64).map(|i| (i % 9) as f32 + 0.5).collect();
     let b: Vec<f32> = (0..64).map(|i| (i % 7) as f32 - 3.0).collect();
     let active = vec![true; 64];
@@ -80,4 +78,31 @@ fn steady_state_issue_loop_does_not_allocate() {
     assert!(cu.cycles() > 0);
     let lane_instructions: u64 = cu.tallies().map(|(_, t)| t.lane_instructions).sum();
     assert_eq!(lane_instructions, 64 * 3 * 208);
+    cu
+}
+
+#[test]
+fn steady_state_issue_loop_does_not_allocate() {
+    assert_steady_state_alloc_free(&DeviceConfig::default());
+}
+
+/// Same proof with the windowed metrics sink installed: the warm-up
+/// creates the per-op series (the only allocating step) and the reserved
+/// window vectors absorb the measured burst — including in-place window
+/// coalescing — without touching the heap.
+#[test]
+fn steady_state_metrics_fold_does_not_allocate() {
+    // A small window forces several coalesce steps during the measured
+    // burst, proving coalescing itself is allocation-free too.
+    let config = DeviceConfig::default().with_metrics_window(4);
+    let cu = assert_steady_state_alloc_free(&config);
+    let metrics = cu.metrics().expect("metrics sink configured");
+    assert!(
+        !metrics.total().is_empty(),
+        "the sink really folded the burst"
+    );
+    assert!(
+        metrics.total().width() > 4,
+        "the burst must have outgrown the initial window width"
+    );
 }

@@ -1,0 +1,185 @@
+//! Observability integration tests: attaching a span recorder and a
+//! windowed metrics sink must never perturb simulation results, the
+//! emitted trace must be schema-valid Chrome trace JSON covering every
+//! execution backend, and `Device::reset_stats` must clear windowed
+//! series so a reused device never leaks metrics across measurement
+//! boundaries.
+
+use tm_obs::{validate_chrome_trace, SharedRecorder};
+use tm_sim::{
+    Device, DeviceConfig, ErrorMode, ExecBackend, Kernel, MetricsSink, ShardKernel, VReg,
+    WaveCtx,
+};
+
+const WINDOW: u64 = 64;
+
+/// A shardable kernel with per-stream-core value locality and a mix of
+/// opcodes — enough structure to populate hit/miss, error and energy
+/// channels of the metrics sink.
+struct MixedShard {
+    out: Vec<f32>,
+}
+
+impl MixedShard {
+    fn new(n: usize) -> Self {
+        Self { out: vec![0.0; n] }
+    }
+}
+
+impl Kernel for MixedShard {
+    fn name(&self) -> &'static str {
+        "mixed_shard"
+    }
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+        let x = VReg::from_fn(ctx.lanes(), |l| (l % 16) as f32 + 1.5);
+        let s = ctx.sqrt(&x);
+        let y = ctx.add(&s, &x);
+        for (l, &gid) in ctx.lane_ids().to_vec().iter().enumerate() {
+            self.out[gid] = y[l];
+        }
+    }
+}
+
+impl ShardKernel for MixedShard {
+    fn fork(&self) -> Self {
+        Self::new(self.out.len())
+    }
+    fn join(&mut self, shard: Self, gids: &[usize]) {
+        for &gid in gids {
+            self.out[gid] = shard.out[gid];
+        }
+    }
+}
+
+const ALL_BACKENDS: [ExecBackend; 3] =
+    [ExecBackend::Sequential, ExecBackend::Parallel, ExecBackend::IntraCu];
+
+fn config(backend: ExecBackend) -> DeviceConfig {
+    DeviceConfig::default()
+        .with_compute_units(2)
+        .with_error_mode(ErrorMode::FixedRate(0.05))
+        .with_seed(11)
+        .with_backend(backend)
+}
+
+#[test]
+fn observability_never_perturbs_results_and_traces_every_backend() {
+    let rec = SharedRecorder::new();
+    for backend in ALL_BACKENDS {
+        let mut traced = Device::new(config(backend).with_metrics_window(WINDOW));
+        traced.attach_recorder(&rec);
+        let mut traced_k = MixedShard::new(400);
+        traced.dispatch(&mut traced_k, 400);
+
+        let mut plain = Device::new(config(backend));
+        let mut plain_k = MixedShard::new(400);
+        plain.dispatch(&mut plain_k, 400);
+
+        assert_eq!(
+            traced.report(),
+            plain.report(),
+            "{backend:?}: tracing must not change the report"
+        );
+        assert_eq!(
+            traced_k.out, plain_k.out,
+            "{backend:?}: tracing must not change kernel output"
+        );
+
+        // The metrics sink accounts for every lane the report counted.
+        for (cu_idx, cu) in traced.compute_units().iter().enumerate() {
+            let m = cu.metrics().expect("metrics sink configured");
+            let lanes = m.total().channel_total(MetricsSink::LANES);
+            let expected: u64 = cu.tallies().map(|(_, t)| t.lane_instructions).sum();
+            assert_eq!(
+                lanes as u64, expected,
+                "{backend:?} cu{cu_idx}: windowed lanes must match tallies"
+            );
+            let hits = m.total().channel_total(MetricsSink::HITS);
+            assert!(hits <= lanes, "{backend:?} cu{cu_idx}: hits cannot exceed lanes");
+            assert!(
+                m.series(tm_fpu::FpOp::Sqrt).is_some()
+                    && m.series(tm_fpu::FpOp::Add).is_some(),
+                "{backend:?} cu{cu_idx}: both opcodes must have a series"
+            );
+        }
+    }
+
+    // One recorder served all three backends: the merged trace validates
+    // and carries each backend's launch span.
+    let json = rec.chrome_trace_json();
+    let stats = validate_chrome_trace(&json).expect("trace must be schema-valid");
+    assert_eq!(stats.spans * 2, stats.events, "every span opens and closes");
+    assert_eq!(rec.dropped(), 0);
+    for backend in ALL_BACKENDS {
+        assert!(
+            json.contains(&format!("\"backend\":\"{}\"", backend.name())),
+            "trace must carry a launch span from {backend:?}"
+        );
+    }
+    assert!(json.contains("launch:mixed_shard"), "launch spans named after kernel");
+    assert!(json.contains("\"wf:"), "per-wavefront cycle spans present");
+}
+
+#[test]
+fn detached_device_records_nothing() {
+    let rec = SharedRecorder::new();
+    let mut device = Device::new(config(ExecBackend::Sequential));
+    device.attach_recorder(&rec);
+    device.detach_recorder();
+    let mut k = MixedShard::new(128);
+    device.dispatch(&mut k, 128);
+    assert_eq!(rec.span_count(), 0, "detached device must not record spans");
+}
+
+/// Satellite: a reused device must not leak windowed series across
+/// `reset_stats` — the second measurement starts from empty windows and
+/// reproduces the first run's lane accounting instead of stacking on it.
+#[test]
+fn reset_stats_clears_metrics_windows_without_leaking() {
+    // No recorder attached: reset_stats restarts the cycle timebase,
+    // which is fine for windowed metrics but would fold new spans under
+    // old timestamps (see `Device::attach_recorder`).
+    let mut device = Device::new(
+        DeviceConfig::default()
+            .with_compute_units(1)
+            .with_metrics_window(WINDOW),
+    );
+    let run = |device: &mut Device| {
+        let mut k = MixedShard::new(512);
+        device.dispatch(&mut k, 512);
+    };
+    run(&mut device);
+    let first = device.compute_units()[0]
+        .metrics()
+        .expect("metrics sink configured")
+        .clone();
+    assert!(!first.total().is_empty(), "first run must populate windows");
+
+    device.reset_stats();
+    let cleared = device.compute_units()[0].metrics().unwrap();
+    assert!(cleared.total().is_empty(), "reset must clear the totals series");
+    for op in cleared.ops().collect::<Vec<_>>() {
+        assert!(
+            cleared.series(op).unwrap().is_empty(),
+            "reset must clear the {op} series"
+        );
+    }
+    assert!(cleared.hit_rate_windows().is_empty());
+
+    // Cycle counters restarted too, so an identical launch folds into the
+    // same windows — lanes match the first run exactly rather than
+    // doubling (the leak this test guards against).
+    run(&mut device);
+    let second = device.compute_units()[0].metrics().unwrap();
+    assert_eq!(
+        second.total().windows().len(),
+        first.total().windows().len(),
+        "window count must restart, not extend"
+    );
+    assert_eq!(
+        second.total().channel_total(MetricsSink::LANES),
+        first.total().channel_total(MetricsSink::LANES),
+        "lane accounting must restart from zero"
+    );
+    assert_eq!(second.total().width(), first.total().width());
+}

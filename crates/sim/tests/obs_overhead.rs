@@ -1,0 +1,76 @@
+//! Overhead guard: the windowed metrics sink must cost at most 5% of
+//! hot-path throughput.
+//!
+//! Two compute units — identical except that one carries a
+//! [`tm_sim::MetricsSink`] — issue the same instruction mix. Timing is
+//! interleaved (plain, metered, plain, metered, ...) and best-of-N per
+//! variant so scheduler noise and frequency ramps hit both variants
+//! alike; the minima are what a profiler would call the true cost.
+
+use std::hint::black_box;
+use std::time::Instant;
+use tm_fpu::FpOp;
+use tm_sim::{ComputeUnit, DeviceConfig};
+
+const LANES: usize = 64;
+const ITERS: usize = 400;
+const TRIALS: usize = 30;
+
+fn issue_burst(cu: &mut ComputeUnit, a: &mut [f32], b: &[f32], active: &[bool]) {
+    let mut out = Vec::with_capacity(LANES);
+    for i in 0..ITERS {
+        // Rotate lane 0 so the miss/update path (the expensive one) stays
+        // live instead of degenerating into all-hits.
+        a[0] = (i % 13) as f32 * 0.75;
+        cu.issue_vector_into(FpOp::Add, &[&*a, b], active, &mut out);
+        cu.issue_vector_into(FpOp::Mul, &[&*a, b], active, &mut out);
+        cu.issue_vector_into(FpOp::Sqrt, &[&*a], active, &mut out);
+        black_box(&out);
+    }
+}
+
+fn best_of(cu: &mut ComputeUnit, trials: usize) -> f64 {
+    let mut a: Vec<f32> = (0..LANES).map(|i| (i % 9) as f32 + 0.5).collect();
+    let b: Vec<f32> = (0..LANES).map(|i| (i % 7) as f32 - 3.0).collect();
+    let active = vec![true; LANES];
+    // Warm-up instantiates per-op units, sink tallies and window vectors.
+    issue_burst(cu, &mut a, &b, &active);
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        issue_burst(cu, &mut a, &b, &active);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn metrics_sink_costs_at_most_five_percent() {
+    let plain_cfg = DeviceConfig::default().with_compute_units(1);
+    let metered_cfg = plain_cfg.clone().with_metrics_window(1024);
+    let mut plain = ComputeUnit::new(&plain_cfg, 0);
+    let mut metered = ComputeUnit::new(&metered_cfg, 0);
+    assert!(plain.metrics().is_none());
+    assert!(metered.metrics().is_some());
+
+    // Interleave the trials: alternate single-trial measurements so any
+    // transient slowdown (another test thread, a frequency step) is as
+    // likely to land on either variant.
+    let mut best_plain = f64::INFINITY;
+    let mut best_metered = f64::INFINITY;
+    for _ in 0..TRIALS {
+        best_plain = best_plain.min(best_of(&mut plain, 1));
+        best_metered = best_metered.min(best_of(&mut metered, 1));
+    }
+
+    // 5% relative budget plus a small absolute epsilon so a sub-µs timer
+    // quantum cannot fail the test on very fast hosts.
+    let budget = best_plain * 1.05 + 50e-6;
+    assert!(
+        best_metered <= budget,
+        "metrics sink overhead too high: metered {:.1}µs vs plain {:.1}µs (budget {:.1}µs)",
+        best_metered * 1e6,
+        best_plain * 1e6,
+        budget * 1e6,
+    );
+}

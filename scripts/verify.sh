@@ -16,6 +16,20 @@ cargo test --workspace -q --offline
 echo "== backend determinism suite (sequential / parallel / intra-cu) =="
 cargo test -q --offline -p tm-kernels --test determinism
 
+echo "== observability demo (trace + metrics exporters) =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+obs_out="$(cargo run --release --offline -p tm-bench --bin repro -- \
+    --experiment obs-demo --scale test \
+    --trace-out "$obs_dir/obs.trace.json" --metrics-out "$obs_dir/obs.jsonl")"
+echo "$obs_out"
+grep -q "trace validated:" <<<"$obs_out"
+grep -q "metrics validated:" <<<"$obs_out"
+test -s "$obs_dir/obs.trace.json"
+test -s "$obs_dir/obs.jsonl"
+grep -q '"traceEvents"' "$obs_dir/obs.trace.json"
+grep -q '"hit_rate"' "$obs_dir/obs.jsonl"
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== cargo clippy -D warnings -D clippy::perf (offline, workspace) =="
     cargo clippy --workspace --all-targets --offline -- -D warnings -D clippy::perf
