@@ -22,9 +22,9 @@ fn bench_kernels(c: &mut Criterion) {
                 &arch,
                 |b, &arch| {
                     b.iter(|| {
-                        let device_config = DeviceConfig::default()
+                        let device_config = DeviceConfig::builder()
                             .with_arch(arch)
-                            .with_policy(kernel_policy(kernel));
+                            .with_policy(kernel_policy(kernel)).build().unwrap();
                         let mut wl = workload::build(kernel, cfg.scale, cfg.seed);
                         let mut device = Device::new(device_config);
                         wl.run(&mut device)

@@ -5,7 +5,7 @@ use crate::runner::{kernel_policy, run_workload, ExperimentConfig};
 use tm_core::{GatePolicy, MatchPolicy, Replacement};
 use tm_energy::saving;
 use tm_kernels::{workload, KernelId, ALL_KERNELS};
-use tm_sim::{ArchMode, Device, DeviceConfig, ErrorMode};
+use tm_sim::prelude::*;
 use tm_timing::RecoveryPolicy;
 
 /// One row of the exact-vs-approximate matching ablation.
@@ -31,12 +31,12 @@ pub fn matching_ablation(cfg: &ExperimentConfig) -> Vec<MatchingAblationRow> {
             let exact = run_workload(
                 kernel,
                 cfg,
-                DeviceConfig::default().with_policy(MatchPolicy::Exact),
+                DeviceConfig::builder().with_policy(MatchPolicy::Exact).build().unwrap(),
             );
             let approx = run_workload(
                 kernel,
                 cfg,
-                DeviceConfig::default().with_policy(kernel_policy(kernel)),
+                DeviceConfig::builder().with_policy(kernel_policy(kernel)).build().unwrap(),
             );
             MatchingAblationRow {
                 kernel,
@@ -77,15 +77,24 @@ pub fn recovery_ablation(cfg: &ExperimentConfig) -> Vec<RecoveryAblationRow> {
     policies
         .iter()
         .map(|&policy| {
-            let device = DeviceConfig::default()
+            let device = DeviceConfig::builder()
                 .with_error_mode(ErrorMode::FixedRate(0.04))
-                .with_recovery(policy);
+                .with_recovery(policy).build().unwrap();
             let memo = run_workload(
                 KernelId::Sobel,
                 cfg,
-                device.clone().with_policy(kernel_policy(KernelId::Sobel)),
+                device
+                    .clone()
+                    .rebuild()
+                    .with_policy(kernel_policy(KernelId::Sobel))
+                    .build()
+                    .unwrap(),
             );
-            let base = run_workload(KernelId::Sobel, cfg, device.with_arch(ArchMode::Baseline));
+            let base = run_workload(
+                KernelId::Sobel,
+                cfg,
+                device.rebuild().with_arch(ArchMode::Baseline).build().unwrap(),
+            );
             RecoveryAblationRow {
                 policy,
                 baseline_pj: base.report.total_energy_pj(),
@@ -121,13 +130,17 @@ pub fn gating_ablation(cfg: &ExperimentConfig) -> Vec<GatingAblationRow> {
     ALL_KERNELS
         .iter()
         .map(|&kernel| {
-            let device = DeviceConfig::default().with_policy(kernel_policy(kernel));
-            let baseline = run_workload(kernel, cfg, device.clone().with_arch(ArchMode::Baseline));
+            let device = DeviceConfig::builder().with_policy(kernel_policy(kernel)).build().unwrap();
+            let baseline = run_workload(
+                kernel,
+                cfg,
+                device.clone().rebuild().with_arch(ArchMode::Baseline).build().unwrap(),
+            );
             let plain = run_workload(kernel, cfg, device.clone());
             let gated = run_workload(
                 kernel,
                 cfg,
-                device.with_adaptive_gate(GatePolicy::break_even()),
+                device.rebuild().with_adaptive_gate(GatePolicy::break_even()).build().unwrap(),
             );
             let base_pj = baseline.report.scoped_energy_pj();
             GatingAblationRow {
@@ -166,12 +179,20 @@ pub fn spatial_ablation(cfg: &ExperimentConfig) -> Vec<SpatialAblationRow> {
     ALL_KERNELS
         .iter()
         .map(|&kernel| {
-            let device = DeviceConfig::default()
+            let device = DeviceConfig::builder()
                 .with_error_mode(ErrorMode::FixedRate(0.02))
-                .with_policy(kernel_policy(kernel));
+                .with_policy(kernel_policy(kernel)).build().unwrap();
             let temporal = run_workload(kernel, cfg, device.clone());
-            let spatial = run_workload(kernel, cfg, device.clone().with_arch(ArchMode::Spatial));
-            let baseline = run_workload(kernel, cfg, device.with_arch(ArchMode::Baseline));
+            let spatial = run_workload(
+                kernel,
+                cfg,
+                device.clone().rebuild().with_arch(ArchMode::Spatial).build().unwrap(),
+            );
+            let baseline = run_workload(
+                kernel,
+                cfg,
+                device.rebuild().with_arch(ArchMode::Baseline).build().unwrap(),
+            );
             SpatialAblationRow {
                 kernel,
                 temporal_hit_rate: temporal.report.weighted_hit_rate(),
@@ -203,9 +224,9 @@ pub fn replacement_ablation(cfg: &ExperimentConfig) -> Vec<ReplacementAblationRo
         .map(|&kernel| {
             let rate_with = |replacement: Replacement| {
                 let mut wl = workload::build(kernel, cfg.scale, cfg.seed);
-                let device_config = DeviceConfig::default()
+                let device_config = DeviceConfig::builder()
                     .with_policy(kernel_policy(kernel))
-                    .with_replacement(replacement);
+                    .with_replacement(replacement).build().unwrap();
                 let mut device = Device::new(device_config);
                 let _ = wl.run(&mut device);
                 device.report().weighted_hit_rate()

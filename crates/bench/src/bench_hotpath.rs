@@ -11,7 +11,7 @@ use std::time::Instant;
 use tm_image::synth;
 use tm_kernels::ir::{fwt_stage_program, sobel_program};
 use tm_kernels::{workload, ALL_KERNELS};
-use tm_sim::{Device, DeviceConfig, ExecBackend};
+use tm_sim::prelude::*;
 
 /// One (case, backend) throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,11 +71,11 @@ pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
     let mut rows = Vec::new();
     for &backend in &BENCH_BACKENDS {
         for id in ALL_KERNELS {
-            let device_config = DeviceConfig::default()
+            let device_config = DeviceConfig::builder()
                 .with_compute_units(1)
                 .with_policy(kernel_policy(id))
                 .with_seed(cfg.seed)
-                .with_backend(backend);
+                .with_backend(backend).build().unwrap();
             let timing = time_best_of(repeats, || {
                 let mut wl = workload::build(id, cfg.scale, cfg.seed);
                 let mut device = Device::new(device_config.clone());
@@ -91,10 +91,10 @@ pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
                 let image = synth::face(96, 96, cfg.seed);
                 let mut ip = sobel_program(&image);
                 let mut device = Device::new(
-                    DeviceConfig::default()
+                    DeviceConfig::builder()
                         .with_compute_units(1)
                         .with_seed(cfg.seed)
-                        .with_backend(backend),
+                        .with_backend(backend).build().unwrap(),
                 );
                 device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
                 device.report().total_instructions()
@@ -108,10 +108,10 @@ pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
                 let mut data: Vec<f32> =
                     (0..n).map(|i| ((i * 37 + 11) % 97) as f32 - 48.0).collect();
                 let mut device = Device::new(
-                    DeviceConfig::default()
+                    DeviceConfig::builder()
                         .with_compute_units(1)
                         .with_seed(cfg.seed)
-                        .with_backend(backend),
+                        .with_backend(backend).build().unwrap(),
                 );
                 let mut span = 1usize;
                 while span < n {

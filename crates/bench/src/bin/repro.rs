@@ -6,16 +6,15 @@
 //! repro --list
 //! ```
 //!
-//! Experiment ids: `scorecard`, `speedup`, `table1`, `table2`,
-//! `fig2`–`fig8`, `fifo-sweep`, `fig10`, `fig11`, `locality`,
-//! `frequency`, `matching-ablation`, `recovery-ablation`,
-//! `replacement-ablation`, `spatial-ablation`, `gating-ablation`,
-//! `lut-exploration`, `interleaving`, `sensitivity`, `obs-demo`. Pass
-//! `--csv DIR` to also write the figure data as CSV; pass `--parallel`
-//! to execute every workload on one worker thread per compute unit
+//! Every experiment registers itself in [`REGISTRY`]; `repro --list`
+//! prints the registry with one-line help for each entry. Pass `--csv
+//! DIR` to also write the figure data as CSV; pass `--parallel` to
+//! execute every workload on one worker thread per compute unit
 //! (bit-identical results). `obs-demo` runs the observability showcase;
 //! pass `--trace-out FILE` / `--metrics-out FILE` to write its Perfetto
-//! trace and JSONL metrics dump.
+//! trace and JSONL metrics dump. `campaign` runs the Monte Carlo
+//! fault-injection campaign; `--trials N` sets trials per sweep point
+//! and `--campaign-out FILE` writes the per-trial JSONL.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -25,41 +24,172 @@ use tm_bench::{
     fifo_sweep, fig10, fig10_average_savings, fig11, fig11_average_savings,
     fig6_7, fig8, frequency_sweep, gating_ablation, interleaving_sweep, locality_analysis,
     lut_exploration,
-    matching_ablation, psnr_sweep, recovery_ablation, replacement_ablation, scorecard,
-    sensitivity_sweep, spatial_ablation, ExperimentConfig, FIG10_ERROR_RATES, FIG11_VOLTAGES,
-    LUT_SHAPES,
+    matching_ablation, psnr_sweep, recovery_ablation, replacement_ablation, run_campaign,
+    scorecard,
+    sensitivity_sweep, spatial_ablation, CampaignSpec, ExperimentConfig, FIG10_ERROR_RATES,
+    FIG11_VOLTAGES, LUT_SHAPES,
 };
 use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
 
-const EXPERIMENTS: [&str; 26] = [
-    "scorecard",
-    "speedup",
-    "bench",
-    "obs-demo",
-    "locality",
-    "frequency",
-    "gating-ablation",
-    "lut-exploration",
-    "interleaving",
-    "sensitivity",
-    "table1",
-    "table2",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fifo-sweep",
-    "fig10",
-    "fig11",
-    "matching-ablation",
-    "recovery-ablation",
-    "replacement-ablation",
-    "spatial-ablation",
+/// Everything an experiment may need, bundled so registry entries share
+/// one `fn(&RunCtx)` shape.
+struct RunCtx<'a> {
+    cfg: &'a ExperimentConfig,
+    csv_dir: Option<&'a Path>,
+    obs_out: &'a ObsOut<'a>,
+    /// Monte Carlo trials per campaign sweep point (`--trials`).
+    trials: u32,
+    /// Where to write the campaign's per-trial JSONL (`--campaign-out`).
+    campaign_out: Option<&'a Path>,
+}
+
+/// One registered experiment: a stable id, one-line help for `--list`,
+/// and its entry point.
+struct Experiment {
+    name: &'static str,
+    help: &'static str,
+    run: fn(&RunCtx),
+}
+
+/// Every experiment `repro` knows, in `--experiment all` order.
+const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "scorecard",
+        help: "paper-vs-measured scorecard over the headline claims",
+        run: |ctx| print_scorecard(ctx.cfg),
+    },
+    Experiment {
+        name: "speedup",
+        help: "sequential vs parallel backend wall-clock on the Fig. 8 set",
+        run: |ctx| print_speedup(ctx.cfg),
+    },
+    Experiment {
+        name: "bench",
+        help: "hot-path throughput bench with tracked JSON baseline",
+        run: |ctx| print_bench(ctx.cfg),
+    },
+    Experiment {
+        name: "obs-demo",
+        help: "observability showcase: Perfetto trace + windowed metrics",
+        run: |ctx| print_obs_demo(ctx.cfg, ctx.obs_out),
+    },
+    Experiment {
+        name: "campaign",
+        help: "Monte Carlo fault-injection campaign with adaptive quality control",
+        run: print_campaign,
+    },
+    Experiment {
+        name: "locality",
+        help: "value-locality analysis: operand entropy + LRU prediction",
+        run: |ctx| print_locality(ctx.cfg),
+    },
+    Experiment {
+        name: "frequency",
+        help: "hit rate vs input spatial-frequency content (§4.1)",
+        run: |ctx| print_frequency(ctx.cfg),
+    },
+    Experiment {
+        name: "gating-ablation",
+        help: "adaptive power gating vs plain memoization savings",
+        run: |ctx| print_gating_ablation(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "lut-exploration",
+        help: "trace-driven LUT organization exploration",
+        run: |ctx| print_lut_exploration(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "interleaving",
+        help: "hit rate vs wavefronts in flight (IR Sobel, 1 CU)",
+        run: |ctx| print_interleaving(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "sensitivity",
+        help: "energy-model sensitivity under miscalibration",
+        run: |ctx| print_sensitivity(ctx.cfg),
+    },
+    Experiment {
+        name: "table1",
+        help: "Table 1: kernels, inputs and calibrated thresholds",
+        run: |_| print_table1(),
+    },
+    Experiment {
+        name: "table2",
+        help: "Table 2: hit x error -> action truth table",
+        run: |_| print_table2(),
+    },
+    Experiment {
+        name: "fig2",
+        help: "PSNR vs threshold: Sobel on the face input",
+        run: |ctx| print_psnr(KernelId::Sobel, InputImage::Face, ctx.cfg, ctx.csv_dir, "fig2"),
+    },
+    Experiment {
+        name: "fig3",
+        help: "PSNR vs threshold: Gaussian on the face input",
+        run: |ctx| print_psnr(KernelId::Gaussian, InputImage::Face, ctx.cfg, ctx.csv_dir, "fig3"),
+    },
+    Experiment {
+        name: "fig4",
+        help: "PSNR vs threshold: Sobel on the book input",
+        run: |ctx| print_psnr(KernelId::Sobel, InputImage::Book, ctx.cfg, ctx.csv_dir, "fig4"),
+    },
+    Experiment {
+        name: "fig5",
+        help: "PSNR vs threshold: Gaussian on the book input",
+        run: |ctx| print_psnr(KernelId::Gaussian, InputImage::Book, ctx.cfg, ctx.csv_dir, "fig5"),
+    },
+    Experiment {
+        name: "fig6",
+        help: "hit rate per FPU vs threshold: Sobel",
+        run: |ctx| print_fig6(KernelId::Sobel, ctx.cfg, ctx.csv_dir, "fig6"),
+    },
+    Experiment {
+        name: "fig7",
+        help: "hit rate per FPU vs threshold: Gaussian",
+        run: |ctx| print_fig6(KernelId::Gaussian, ctx.cfg, ctx.csv_dir, "fig7"),
+    },
+    Experiment {
+        name: "fig8",
+        help: "FIFO hit rates at the Table-1 design points",
+        run: |ctx| print_fig8(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "fifo-sweep",
+        help: "average hit rate vs FIFO depth",
+        run: |ctx| print_fifo_sweep(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "fig10",
+        help: "energy saving vs timing-error rate (six-unit scope)",
+        run: |ctx| print_fig10(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "fig11",
+        help: "total energy under voltage overscaling",
+        run: |ctx| print_fig11(ctx.cfg, ctx.csv_dir),
+    },
+    Experiment {
+        name: "matching-ablation",
+        help: "exact vs calibrated approximate matching",
+        run: |ctx| print_matching_ablation(ctx.cfg),
+    },
+    Experiment {
+        name: "recovery-ablation",
+        help: "recovery-policy energy comparison at 4% errors",
+        run: |ctx| print_recovery_ablation(ctx.cfg),
+    },
+    Experiment {
+        name: "replacement-ablation",
+        help: "FIFO vs LRU replacement hit rates",
+        run: |ctx| print_replacement_ablation(ctx.cfg),
+    },
+    Experiment {
+        name: "spatial-ablation",
+        help: "temporal vs spatial memoization at 2% errors",
+        run: |ctx| print_spatial_ablation(ctx.cfg, ctx.csv_dir),
+    },
 ];
 
 fn main() -> ExitCode {
@@ -69,6 +199,8 @@ fn main() -> ExitCode {
     let mut csv_dir: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut trials: u32 = 8;
+    let mut campaign_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -131,15 +263,35 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--trials" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => trials = n,
+                    _ => {
+                        eprintln!("--trials needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--campaign-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => campaign_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--campaign-out needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
-                for e in EXPERIMENTS {
-                    println!("{e}");
+                for e in REGISTRY {
+                    println!("{:<22} {}", e.name, e.help);
                 }
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE]"
+                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE]"
                 );
                 println!(
                     "--parallel runs one worker thread per compute unit; results are bit-identical"
@@ -147,7 +299,13 @@ fn main() -> ExitCode {
                 println!(
                     "--trace-out/--metrics-out write obs-demo's Perfetto trace and JSONL metrics"
                 );
-                println!("experiments: {}", EXPERIMENTS.join(", "));
+                println!(
+                    "--trials/--campaign-out set the campaign's trials per point and JSONL path"
+                );
+                println!("experiments (see --list for help):");
+                for e in REGISTRY {
+                    println!("  {:<22} {}", e.name, e.help);
+                }
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -173,13 +331,20 @@ fn main() -> ExitCode {
         trace: trace_out.as_deref(),
         metrics: metrics_out.as_deref(),
     };
+    let ctx = RunCtx {
+        cfg: &cfg,
+        csv_dir: csv_dir.as_deref(),
+        obs_out: &obs_out,
+        trials,
+        campaign_out: campaign_out.as_deref(),
+    };
     if experiment == "all" {
-        for e in EXPERIMENTS {
-            run(e, &cfg, csv_dir.as_deref(), &obs_out);
+        for e in REGISTRY {
+            run(e, &ctx);
             println!();
         }
-    } else if EXPERIMENTS.contains(&experiment.as_str()) {
-        run(&experiment, &cfg, csv_dir.as_deref(), &obs_out);
+    } else if let Some(e) = REGISTRY.iter().find(|e| e.name == experiment) {
+        run(e, &ctx);
     } else {
         eprintln!("unknown experiment {experiment} (try --list)");
         return ExitCode::FAILURE;
@@ -193,36 +358,44 @@ struct ObsOut<'a> {
     metrics: Option<&'a Path>,
 }
 
-fn run(experiment: &str, cfg: &ExperimentConfig, csv_dir: Option<&Path>, obs_out: &ObsOut<'_>) {
-    println!("=== {experiment} (scale {:?}, seed {:#x}) ===", cfg.scale, cfg.seed);
-    match experiment {
-        "table1" => print_table1(),
-        "table2" => print_table2(),
-        "fig2" => print_psnr(KernelId::Sobel, InputImage::Face, cfg, csv_dir, "fig2"),
-        "fig3" => print_psnr(KernelId::Gaussian, InputImage::Face, cfg, csv_dir, "fig3"),
-        "fig4" => print_psnr(KernelId::Sobel, InputImage::Book, cfg, csv_dir, "fig4"),
-        "fig5" => print_psnr(KernelId::Gaussian, InputImage::Book, cfg, csv_dir, "fig5"),
-        "fig6" => print_fig6(KernelId::Sobel, cfg, csv_dir, "fig6"),
-        "fig7" => print_fig6(KernelId::Gaussian, cfg, csv_dir, "fig7"),
-        "fig8" => print_fig8(cfg, csv_dir),
-        "fifo-sweep" => print_fifo_sweep(cfg, csv_dir),
-        "fig10" => print_fig10(cfg, csv_dir),
-        "fig11" => print_fig11(cfg, csv_dir),
-        "matching-ablation" => print_matching_ablation(cfg),
-        "recovery-ablation" => print_recovery_ablation(cfg),
-        "replacement-ablation" => print_replacement_ablation(cfg),
-        "spatial-ablation" => print_spatial_ablation(cfg, csv_dir),
-        "locality" => print_locality(cfg),
-        "gating-ablation" => print_gating_ablation(cfg, csv_dir),
-        "lut-exploration" => print_lut_exploration(cfg, csv_dir),
-        "interleaving" => print_interleaving(cfg, csv_dir),
-        "sensitivity" => print_sensitivity(cfg),
-        "frequency" => print_frequency(cfg),
-        "scorecard" => print_scorecard(cfg),
-        "speedup" => print_speedup(cfg),
-        "bench" => print_bench(cfg),
-        "obs-demo" => print_obs_demo(cfg, obs_out),
-        _ => unreachable!("validated in main"),
+fn run(experiment: &Experiment, ctx: &RunCtx) {
+    println!(
+        "=== {} (scale {:?}, seed {:#x}) ===",
+        experiment.name, ctx.cfg.scale, ctx.cfg.seed
+    );
+    (experiment.run)(ctx);
+}
+
+fn print_campaign(ctx: &RunCtx) {
+    let spec = CampaignSpec {
+        scale: ctx.cfg.scale,
+        seed: ctx.cfg.seed,
+        trials: ctx.trials,
+        backend: ctx.cfg.backend,
+        ..CampaignSpec::default()
+    };
+    println!(
+        "Monte Carlo resilience campaign ({} trials per sweep point; adaptive 30 dB quality floor)",
+        spec.trials
+    );
+    let out = run_campaign(&spec, None);
+    print!("{}", out.summary_table());
+    let adapted: usize = out.records.iter().filter(|r| !r.adaptations.is_empty()).count();
+    println!(
+        "controller: {adapted}/{} trials adapted; every adaptation step is an `adapt` line in the JSONL",
+        out.records.len()
+    );
+    if let Some(path) = ctx.campaign_out {
+        match std::fs::write(path, out.jsonl()) {
+            Ok(()) => println!("(campaign JSONL written to {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = ctx.obs_out.metrics {
+        match std::fs::write(path, out.metrics.to_jsonl()) {
+            Ok(()) => println!("(campaign metrics written to {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 }
 

@@ -1,0 +1,623 @@
+//! Monte Carlo fault-injection campaigns with an adaptive quality
+//! controller.
+//!
+//! The paper's headline claim is statistical: memoization masks timing
+//! errors across a sweep of operating points while a PSNR ≥ 30 dB gate
+//! polices approximate matching (§5.1–§5.3). A *campaign* makes that
+//! claim measurable with spread, not just a point estimate: for every
+//! sweep point (error rate) it runs `trials` independently seeded trials
+//! of an IR image kernel, and aggregates mean/stddev/min/max of PSNR,
+//! hit rate, energy and recovery cycles.
+//!
+//! Two subsystems ride on top of the plain sweep:
+//!
+//! * **Heterogeneous error models** — each trial injects errors through
+//!   the configured [`ErrorModelSpec`] (uniform, per-stream-core process
+//!   corners, voltage-coupled, bursty; see [`tm_timing::error_model`]).
+//! * **An adaptive quality controller** — whenever a trial's PSNR falls
+//!   below the 30 dB floor, the [`QualityController`] tightens the
+//!   approximate-matching threshold toward exact and re-runs the trial,
+//!   logging each adaptation step (graceful degradation toward exact
+//!   matching, which has PSNR = ∞ by construction, so the loop always
+//!   converges).
+//!
+//! # Determinism contract
+//!
+//! Trial seeds are fanned out of the single campaign seed with
+//! [`tm_rng::SplitMix64`] in (rate-index, trial-index) order, and every
+//! backend produces bit-identical [`DeviceReport`]s, so
+//! [`CampaignOutcome::jsonl`] is **byte-identical** for the same spec
+//! across Sequential/Parallel/IntraCu — the backend is deliberately kept
+//! out of the JSONL lines. `crates/bench/tests/campaign.rs` pins both
+//! properties.
+
+use std::fmt::Write as _;
+use tm_image::{gaussian3x3_reference, psnr, sobel_reference, synth, GrayImage};
+use tm_kernels::ir::{gaussian_program, sobel_program, ImageProgram};
+use tm_kernels::{workload, KernelId, Scale, GRAY_LEVELS_PER_THRESHOLD_UNIT};
+use tm_obs::{MetricsRegistry, ObjWriter, SharedRecorder};
+use tm_rng::SplitMix64;
+use tm_sim::prelude::*;
+use tm_timing::HeterogeneousErrors;
+
+/// PSNR is ∞ when the output matches the reference exactly (threshold 0
+/// ⇒ exact matching); JSON has no ∞, so records cap it here. Any capped
+/// value is still far above every acceptability gate.
+pub const PSNR_CAP_DB: f64 = 99.0;
+
+/// The paper's user-acceptability floor (§5.1): "PSNR of greater than
+/// 30 dB is considered acceptable".
+pub const PSNR_FLOOR_DB: f64 = 30.0;
+
+/// The default error-rate sweep: the Fig. 10 axis end-points plus the
+/// error-free control.
+pub const CAMPAIGN_ERROR_RATES: [f64; 4] = [0.0, 0.01, 0.02, 0.04];
+
+/// Tightens the approximate-matching threshold toward exact whenever a
+/// trial's output quality falls below the floor.
+///
+/// Each adaptation multiplies the gray-level threshold by
+/// `tighten_factor`; once it drops below `min_threshold` it snaps to
+/// `0.0` — exact matching, whose PSNR is infinite — so convergence
+/// within a bounded number of steps is structural, not statistical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityController {
+    /// The PSNR floor to restore, dB.
+    pub floor_db: f64,
+    /// Multiplier applied to the threshold per adaptation (in `(0, 1)`).
+    pub tighten_factor: f32,
+    /// Below this gray-level threshold the controller snaps to exact.
+    pub min_threshold: f32,
+    /// Hard cap on adaptations per trial (safety net; the snap-to-exact
+    /// rule converges long before a sane cap).
+    pub max_adaptations: u32,
+}
+
+impl Default for QualityController {
+    fn default() -> Self {
+        Self {
+            floor_db: PSNR_FLOOR_DB,
+            tighten_factor: 0.5,
+            min_threshold: 0.5,
+            max_adaptations: 8,
+        }
+    }
+}
+
+impl QualityController {
+    /// The next threshold to try after observing `psnr_db` at
+    /// `threshold`, or `None` when no further adaptation is warranted
+    /// (quality is acceptable, matching is already exact, or `steps`
+    /// hit the cap).
+    #[must_use]
+    pub fn next_threshold(&self, threshold: f32, psnr_db: f64, steps: u32) -> Option<f32> {
+        if psnr_db >= self.floor_db || threshold <= 0.0 || steps >= self.max_adaptations {
+            return None;
+        }
+        let next = threshold * self.tighten_factor;
+        Some(if next < self.min_threshold { 0.0 } else { next })
+    }
+}
+
+/// What a resilience campaign runs and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The IR image kernel under fault injection (must be
+    /// [`KernelId::Sobel`] or [`KernelId::Gaussian`]).
+    pub kernel: KernelId,
+    /// Input-image scale.
+    pub scale: Scale,
+    /// Seeded trials per sweep point.
+    pub trials: u32,
+    /// The single campaign seed every trial stream is fanned out of.
+    pub seed: u64,
+    /// Execution backend for every trial device (the report — and hence
+    /// the JSONL — is backend-invariant).
+    pub backend: ExecBackend,
+    /// How injected errors are distributed across stream cores.
+    pub error_model: ErrorModelSpec,
+    /// The per-instruction error-rate sweep points.
+    pub error_rates: Vec<f64>,
+    /// Initial approximate-matching threshold in gray levels (the
+    /// paper's threshold-1.0 design point by default).
+    pub threshold: f32,
+    /// The adaptive quality controller.
+    pub controller: QualityController,
+    /// Wavefronts in flight per compute unit.
+    pub in_flight: usize,
+    /// Compute units per trial device.
+    pub compute_units: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            kernel: KernelId::Sobel,
+            scale: Scale::Test,
+            trials: 8,
+            seed: 0x00CA_3A16,
+            backend: ExecBackend::Parallel,
+            error_model: ErrorModelSpec::Heterogeneous(HeterogeneousErrors::quartile_corners()),
+            error_rates: CAMPAIGN_ERROR_RATES.to_vec(),
+            threshold: GRAY_LEVELS_PER_THRESHOLD_UNIT,
+            controller: QualityController::default(),
+            in_flight: 4,
+            compute_units: 2,
+        }
+    }
+}
+
+/// One adaptation step of the quality controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptationStep {
+    /// Threshold the low-quality attempt ran at.
+    pub from_threshold: f32,
+    /// Threshold the controller tightened to.
+    pub to_threshold: f32,
+    /// The PSNR (dB) that triggered the adaptation.
+    pub psnr_db: f64,
+}
+
+/// One trial's final (post-adaptation) measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// The sweep point's per-instruction error rate.
+    pub error_rate: f64,
+    /// Trial index within the sweep point.
+    pub trial: u32,
+    /// The trial's derived device seed.
+    pub seed: u64,
+    /// Output quality against the exact reference, dB (capped at
+    /// [`PSNR_CAP_DB`]).
+    pub psnr_db: f64,
+    /// Weighted FIFO hit rate.
+    pub hit_rate: f64,
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+    /// ECU recoveries performed.
+    pub recoveries: u64,
+    /// Cycles stalled in ECU recovery.
+    pub recovery_cycles: u64,
+    /// Timing violations injected.
+    pub errors_injected: u64,
+    /// The controller's adaptation trajectory (empty when the first
+    /// attempt already met the floor).
+    pub adaptations: Vec<AdaptationStep>,
+    /// The threshold the recorded attempt ran at.
+    pub final_threshold: f32,
+    /// Whether the final attempt met the PSNR floor.
+    pub acceptable: bool,
+}
+
+/// Mean/stddev/min/max of one metric across a sweep point's trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Aggregates a slice of samples (empty slices yield all-zero stats).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            mean,
+            stddev: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Aggregated statistics of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSummary {
+    /// The sweep point's error rate.
+    pub error_rate: f64,
+    /// Trials aggregated.
+    pub trials: u32,
+    /// PSNR spread, dB.
+    pub psnr_db: MetricStats,
+    /// Hit-rate spread.
+    pub hit_rate: MetricStats,
+    /// Energy spread, pJ.
+    pub energy_pj: MetricStats,
+    /// Recovery-stall-cycle spread.
+    pub recovery_cycles: MetricStats,
+    /// Total controller adaptations across the point's trials.
+    pub adaptations: u64,
+    /// Trials whose final attempt met the PSNR floor.
+    pub acceptable: u32,
+}
+
+/// Everything a campaign produced: raw trials, per-point summaries, and
+/// a metrics registry mirroring the run for tm-obs export.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The spec the campaign ran.
+    pub spec: CampaignSpec,
+    /// Raw per-trial records in (rate, trial) order.
+    pub records: Vec<TrialRecord>,
+    /// One summary per sweep point, in sweep order.
+    pub summaries: Vec<SweepSummary>,
+    /// Campaign counters/gauges/histograms: `campaign.trials`,
+    /// `campaign.adaptations`, the per-trial adaptation histogram and a
+    /// PSNR histogram — the adaptation trajectory in tm-obs form.
+    pub metrics: MetricsRegistry,
+}
+
+fn build_program(kernel: KernelId, image: &GrayImage) -> ImageProgram {
+    match kernel {
+        KernelId::Sobel => sobel_program(image),
+        KernelId::Gaussian => gaussian_program(image),
+        other => panic!("campaigns run IR image kernels (Sobel/Gaussian), not {other}"),
+    }
+}
+
+fn reference_output(kernel: KernelId, image: &GrayImage) -> GrayImage {
+    match kernel {
+        KernelId::Sobel => sobel_reference(image),
+        KernelId::Gaussian => gaussian3x3_reference(image),
+        other => panic!("campaigns run IR image kernels (Sobel/Gaussian), not {other}"),
+    }
+}
+
+/// Runs one attempt (one device, one program execution) and measures it.
+fn run_attempt(
+    spec: &CampaignSpec,
+    image: &GrayImage,
+    golden: &GrayImage,
+    error_rate: f64,
+    seed: u64,
+    threshold: f32,
+    rec: Option<&SharedRecorder>,
+) -> (f64, DeviceReport) {
+    let policy = if threshold <= 0.0 {
+        MatchPolicy::Exact
+    } else {
+        MatchPolicy::threshold(threshold)
+    };
+    let config = DeviceConfig::builder()
+        .with_compute_units(spec.compute_units)
+        .with_policy(policy)
+        .with_error_mode(ErrorMode::FixedRate(error_rate))
+        .with_error_model(spec.error_model.clone())
+        .with_seed(seed)
+        .with_backend(spec.backend)
+        .build()
+        .expect("campaign device config must be consistent");
+    let mut ip = build_program(spec.kernel, image);
+    let mut device = Device::new(config);
+    if let Some(rec) = rec {
+        device.attach_recorder(rec);
+    }
+    device.run_program(&ip.program, &mut ip.bindings, ip.global_size, spec.in_flight);
+    let out = GrayImage::from_vec(
+        image.width(),
+        image.height(),
+        ip.bindings.buffer(ip.output).to_vec(),
+    );
+    let q = psnr(golden, &out).min(PSNR_CAP_DB);
+    (q, device.report())
+}
+
+/// Runs one trial: attempt, adapt while below the floor, record.
+fn run_trial(
+    spec: &CampaignSpec,
+    image: &GrayImage,
+    golden: &GrayImage,
+    error_rate: f64,
+    trial: u32,
+    seed: u64,
+    rec: Option<&SharedRecorder>,
+) -> TrialRecord {
+    let mut threshold = spec.threshold;
+    let mut adaptations = Vec::new();
+    loop {
+        let (q, report) = run_attempt(spec, image, golden, error_rate, seed, threshold, rec);
+        match spec
+            .controller
+            .next_threshold(threshold, q, adaptations.len() as u32)
+        {
+            Some(next) => {
+                if let Some(rec) = rec {
+                    rec.inc("campaign.adaptations", 1);
+                }
+                adaptations.push(AdaptationStep {
+                    from_threshold: threshold,
+                    to_threshold: next,
+                    psnr_db: q,
+                });
+                threshold = next;
+            }
+            None => {
+                if let Some(rec) = rec {
+                    rec.inc("campaign.trials", 1);
+                }
+                return TrialRecord {
+                    error_rate,
+                    trial,
+                    seed,
+                    psnr_db: q,
+                    hit_rate: report.weighted_hit_rate(),
+                    energy_pj: report.total_energy_pj(),
+                    recoveries: report.recoveries,
+                    recovery_cycles: report.recovery_stall_cycles,
+                    errors_injected: report.errors_injected,
+                    adaptations,
+                    final_threshold: threshold,
+                    acceptable: q >= spec.controller.floor_db,
+                };
+            }
+        }
+    }
+}
+
+/// Runs a full Monte Carlo campaign.
+///
+/// Trial seeds derive from `spec.seed` through one [`SplitMix64`] stream
+/// in (rate, trial) order — the seed-stream hygiene that makes two
+/// campaigns with the same spec byte-identical, whatever backend runs
+/// them. When `rec` is given, every trial device records launch spans
+/// into it and the campaign bumps `campaign.trials` /
+/// `campaign.adaptations` counters as it goes.
+///
+/// # Panics
+///
+/// Panics if the spec names a kernel without an IR program + exact
+/// reference (anything but Sobel/Gaussian).
+#[must_use]
+pub fn run_campaign(spec: &CampaignSpec, rec: Option<&SharedRecorder>) -> CampaignOutcome {
+    let side = workload::image_side(spec.scale);
+    let image = synth::face(side, side, spec.seed);
+    let golden = reference_output(spec.kernel, &image);
+
+    let mut trial_seeds = SplitMix64::new(spec.seed);
+    let mut records = Vec::with_capacity(spec.error_rates.len() * spec.trials as usize);
+    for &rate in &spec.error_rates {
+        for trial in 0..spec.trials {
+            let seed = trial_seeds.next_u64();
+            records.push(run_trial(spec, &image, &golden, rate, trial, seed, rec));
+        }
+    }
+
+    let summaries: Vec<SweepSummary> = spec
+        .error_rates
+        .iter()
+        .map(|&rate| {
+            let rows: Vec<&TrialRecord> = records
+                .iter()
+                .filter(|r| r.error_rate == rate)
+                .collect();
+            let stat = |f: &dyn Fn(&TrialRecord) -> f64| {
+                MetricStats::from_samples(&rows.iter().map(|r| f(r)).collect::<Vec<f64>>())
+            };
+            SweepSummary {
+                error_rate: rate,
+                trials: rows.len() as u32,
+                psnr_db: stat(&|r| r.psnr_db),
+                hit_rate: stat(&|r| r.hit_rate),
+                energy_pj: stat(&|r| r.energy_pj),
+                recovery_cycles: stat(&|r| r.recovery_cycles as f64),
+                adaptations: rows.iter().map(|r| r.adaptations.len() as u64).sum(),
+                acceptable: rows.iter().filter(|r| r.acceptable).count() as u32,
+            }
+        })
+        .collect();
+
+    let mut metrics = MetricsRegistry::new();
+    metrics.counter_add("campaign.trials", records.len() as u64);
+    metrics.counter_add(
+        "campaign.adaptations",
+        records.iter().map(|r| r.adaptations.len() as u64).sum(),
+    );
+    for r in &records {
+        metrics.observe(
+            "campaign.adaptations_per_trial",
+            &[0.0, 1.0, 2.0, 4.0, 8.0],
+            r.adaptations.len() as f64,
+        );
+        metrics.observe(
+            "campaign.psnr_db",
+            &[20.0, 30.0, 40.0, 60.0, PSNR_CAP_DB],
+            r.psnr_db,
+        );
+    }
+    for s in &summaries {
+        metrics.gauge_set(&format!("campaign.psnr_mean_db[rate={}]", s.error_rate), s.psnr_db.mean);
+    }
+
+    CampaignOutcome {
+        spec: spec.clone(),
+        records,
+        summaries,
+        metrics,
+    }
+}
+
+impl CampaignOutcome {
+    /// The campaign as JSONL: one `trial` line per trial, preceded by
+    /// one `adapt` line per controller step, in deterministic (rate,
+    /// trial, step) order. Backend-invariant by construction (no
+    /// backend field), so the same spec yields byte-identical output on
+    /// every [`ExecBackend`].
+    #[must_use]
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            for (step, a) in r.adaptations.iter().enumerate() {
+                let mut w = ObjWriter::new();
+                w.str_field("kind", "adapt");
+                w.str_field("kernel", &self.spec.kernel.to_string());
+                w.str_field("model", self.spec.error_model.name());
+                w.f64_field("error_rate", r.error_rate);
+                w.u64_field("trial", u64::from(r.trial));
+                w.u64_field("step", step as u64 + 1);
+                w.f64_field("psnr_db", a.psnr_db);
+                w.f64_field("from_threshold", f64::from(a.from_threshold));
+                w.f64_field("to_threshold", f64::from(a.to_threshold));
+                out.push_str(&w.finish());
+                out.push('\n');
+            }
+            let mut w = ObjWriter::new();
+            w.str_field("kind", "trial");
+            w.str_field("kernel", &self.spec.kernel.to_string());
+            w.str_field("model", self.spec.error_model.name());
+            w.f64_field("error_rate", r.error_rate);
+            w.u64_field("trial", u64::from(r.trial));
+            w.u64_field("seed", r.seed);
+            w.f64_field("psnr_db", r.psnr_db);
+            w.f64_field("hit_rate", r.hit_rate);
+            w.f64_field("energy_pj", r.energy_pj);
+            w.u64_field("recoveries", r.recoveries);
+            w.u64_field("recovery_cycles", r.recovery_cycles);
+            w.u64_field("errors_injected", r.errors_injected);
+            w.u64_field("adaptations", r.adaptations.len() as u64);
+            w.f64_field("final_threshold", f64::from(r.final_threshold));
+            w.bool_field("acceptable", r.acceptable);
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A human-readable per-sweep-point table (mean ± stddev, with
+    /// min..max ranges for PSNR).
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {} on {:?} input, {} trials/point, {} model, backend {}",
+            self.spec.kernel,
+            self.spec.scale,
+            self.spec.trials,
+            self.spec.error_model.name(),
+            self.spec.backend.name(),
+        );
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>22}  {:>15}  {:>21}  {:>17}  {:>6}  {:>4}",
+            "rate", "psnr dB (mean±sd)", "range", "hit rate (mean±sd)", "rec cyc (mean±sd)", "adapt", "ok"
+        );
+        for s in &self.summaries {
+            let _ = writeln!(
+                out,
+                "{:>5.1}%  {:>14.2} ±{:>5.2}  {:>6.1}..{:<6.1}  {:>13.3} ±{:>5.3}  {:>10.1} ±{:>4.1}  {:>6}  {:>2}/{:<2}",
+                s.error_rate * 100.0,
+                s.psnr_db.mean,
+                s.psnr_db.stddev,
+                s.psnr_db.min,
+                s.psnr_db.max,
+                s.hit_rate.mean,
+                s.hit_rate.stddev,
+                s.recovery_cycles.mean,
+                s.recovery_cycles.stddev,
+                s.adaptations,
+                s.acceptable,
+                s.trials,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_spec() -> CampaignSpec {
+        CampaignSpec {
+            trials: 2,
+            error_rates: vec![0.0, 0.02],
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates() {
+        let out = run_campaign(&mini_spec(), None);
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.summaries.len(), 2);
+        let clean = &out.summaries[0];
+        assert_eq!(clean.error_rate, 0.0);
+        // Error-free + approximate matching on a smooth image: quality
+        // holds and nothing recovers.
+        assert_eq!(clean.recovery_cycles.max, 0.0);
+        assert!(clean.psnr_db.min >= PSNR_FLOOR_DB);
+        let noisy = &out.summaries[1];
+        assert!(noisy.recovery_cycles.mean > 0.0, "2% errors must stall");
+        assert_eq!(out.metrics.counter("campaign.trials"), 4);
+    }
+
+    #[test]
+    fn jsonl_is_reproducible_and_backend_free() {
+        let a = run_campaign(&mini_spec(), None).jsonl();
+        let b = run_campaign(&mini_spec(), None).jsonl();
+        assert_eq!(a, b, "same spec must reproduce byte-identical JSONL");
+        assert!(!a.contains("backend"), "JSONL must stay backend-invariant");
+        assert_eq!(a.lines().filter(|l| l.contains("\"trial\"")).count(), 4);
+    }
+
+    #[test]
+    fn seeds_differ_across_trials() {
+        let out = run_campaign(&mini_spec(), None);
+        let mut seeds: Vec<u64> = out.records.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), out.records.len());
+    }
+
+    #[test]
+    fn controller_tightens_then_snaps_to_exact() {
+        let c = QualityController::default();
+        // Below the floor: halve.
+        assert_eq!(c.next_threshold(4.0, 20.0, 0), Some(2.0));
+        // Below min_threshold: snap to exact.
+        assert_eq!(c.next_threshold(0.6, 20.0, 1), Some(0.0));
+        // Exact already: give up (PSNR of exact is ∞ anyway).
+        assert_eq!(c.next_threshold(0.0, 20.0, 2), None);
+        // Acceptable: stop.
+        assert_eq!(c.next_threshold(4.0, 35.0, 0), None);
+        // Cap exhausted: stop.
+        assert_eq!(c.next_threshold(4.0, 20.0, c.max_adaptations), None);
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let s = MetricStats::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 1.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let empty = MetricStats::from_samples(&[]);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IR image kernels")]
+    fn rejects_non_image_kernels() {
+        let spec = CampaignSpec {
+            kernel: KernelId::Fwt,
+            ..mini_spec()
+        };
+        let _ = run_campaign(&spec, None);
+    }
+}

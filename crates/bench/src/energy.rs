@@ -4,7 +4,7 @@
 use crate::runner::{kernel_policy, run_workload, ExperimentConfig};
 use tm_energy::saving;
 use tm_kernels::{KernelId, ALL_KERNELS};
-use tm_sim::{ArchMode, DeviceConfig, ErrorMode};
+use tm_sim::prelude::*;
 
 /// The Fig. 10 error-rate axis: 0–4 %.
 pub const FIG10_ERROR_RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.03, 0.04];
@@ -53,9 +53,12 @@ impl EnergyComparison {
 fn compare(kernel: KernelId, cfg: &ExperimentConfig, device: DeviceConfig) -> EnergyComparison {
     let memo_cfg = device
         .clone()
+        .rebuild()
         .with_arch(ArchMode::Memoized)
-        .with_policy(kernel_policy(kernel));
-    let base_cfg = device.with_arch(ArchMode::Baseline);
+        .with_policy(kernel_policy(kernel))
+        .build()
+        .unwrap();
+    let base_cfg = device.rebuild().with_arch(ArchMode::Baseline).build().unwrap();
     let memo = run_workload(kernel, cfg, memo_cfg);
     let base = run_workload(kernel, cfg, base_cfg);
     let stats = memo.report.total_stats();
@@ -79,9 +82,9 @@ pub fn energy_comparison(
     error_rate: f64,
     cfg: &ExperimentConfig,
 ) -> EnergyComparison {
-    let device = DeviceConfig::default()
+    let device = DeviceConfig::builder()
         .with_error_mode(ErrorMode::FixedRate(error_rate))
-        .with_seed(cfg.seed);
+        .with_seed(cfg.seed).build().unwrap();
     compare(kernel, cfg, device)
 }
 
@@ -154,10 +157,10 @@ pub fn fig11(cfg: &ExperimentConfig) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for &vdd in &FIG11_VOLTAGES {
         for &kernel in &ALL_KERNELS {
-            let device = DeviceConfig::default()
+            let device = DeviceConfig::builder()
                 .with_error_mode(ErrorMode::FromVoltage)
                 .with_vdd(vdd)
-                .with_seed(cfg.seed);
+                .with_seed(cfg.seed).build().unwrap();
             let error_rate = device.effective_error_rate();
             rows.push(Fig11Row {
                 kernel,
@@ -240,9 +243,9 @@ mod tests {
         // The memoized architecture's edge shrinks near the error-onset
         // knee (the LUT cannot scale its voltage) and explodes below it.
         let c = |vdd: f64| {
-            let device = DeviceConfig::default()
+            let device = DeviceConfig::builder()
                 .with_error_mode(ErrorMode::FromVoltage)
-                .with_vdd(vdd);
+                .with_vdd(vdd).build().unwrap();
             compare(KernelId::Sobel, &cfg(), device)
         };
         let nominal = c(0.90).saving();

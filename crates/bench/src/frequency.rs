@@ -14,7 +14,7 @@ use crate::runner::{kernel_policy, ExperimentConfig};
 use tm_image::{psnr, sobel_reference, synth, GrayImage};
 use tm_kernels::sobel::SobelKernel;
 use tm_kernels::KernelId;
-use tm_sim::{Device, DeviceConfig};
+use tm_sim::prelude::*;
 
 /// One plaid wavelength's results.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,9 +37,9 @@ pub const PLAID_PERIODS: [f32; 5] = [61.0, 29.0, 13.0, 7.0, 3.0];
 
 fn measure(image: &GrayImage, cfg_seed: u64) -> (f64, f64) {
     let golden = sobel_reference(image);
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_policy(kernel_policy(KernelId::Sobel))
-        .with_seed(cfg_seed);
+        .with_seed(cfg_seed).build().unwrap();
     let mut device = Device::new(config);
     let out = SobelKernel::new(image).run(&mut device);
     (device.report().weighted_hit_rate(), psnr(&golden, &out))

@@ -6,7 +6,7 @@ use tm_core::MatchPolicy;
 use tm_fpu::FpOp;
 use tm_kernels::workload::{self, InputImage};
 use tm_kernels::{KernelId, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
-use tm_sim::{Device, DeviceConfig};
+use tm_sim::prelude::*;
 
 /// One (FPU type, threshold) point of Fig. 6/7.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +32,7 @@ pub fn fig6_7(id: KernelId, image: InputImage, cfg: &ExperimentConfig) -> Vec<Fi
     for &t in &PSNR_THRESHOLDS {
         let policy = MatchPolicy::threshold(t * GRAY_LEVELS_PER_THRESHOLD_UNIT);
         let mut wl = workload::build_image(id, image, cfg.scale, cfg.seed);
-        let mut device = Device::new(DeviceConfig::default().with_policy(policy));
+        let mut device = Device::new(DeviceConfig::builder().with_policy(policy).build().unwrap());
         let _ = wl.run(&mut device);
         for op_report in &device.report().per_op {
             rows.push(Fig6Row {
@@ -65,7 +65,7 @@ pub fn fig8(cfg: &ExperimentConfig) -> Vec<Fig8Row> {
     ALL_KERNELS
         .iter()
         .map(|&kernel| {
-            let device_config = DeviceConfig::default().with_policy(kernel_policy(kernel));
+            let device_config = DeviceConfig::builder().with_policy(kernel_policy(kernel)).build().unwrap();
             let outcome = run_workload(kernel, cfg, device_config);
             Fig8Row {
                 kernel,
@@ -102,9 +102,9 @@ pub fn fifo_sweep(cfg: &ExperimentConfig) -> Vec<FifoSweepRow> {
     let average_for = |depth: usize| -> f64 {
         let mut total = 0.0;
         for &kernel in &ALL_KERNELS {
-            let device_config = DeviceConfig::default()
+            let device_config = DeviceConfig::builder()
                 .with_policy(kernel_policy(kernel))
-                .with_fifo_depth(depth);
+                .with_fifo_depth(depth).build().unwrap();
             let outcome = run_workload(kernel, cfg, device_config);
             total += outcome.report.weighted_hit_rate();
         }
@@ -146,9 +146,9 @@ pub fn locality_analysis(cfg: &ExperimentConfig) -> Vec<LocalityRow> {
     ALL_KERNELS
         .iter()
         .map(|&kernel| {
-            let device_config = DeviceConfig::default()
+            let device_config = DeviceConfig::builder()
                 .with_policy(kernel_policy(kernel))
-                .with_trace_depth(4_000_000);
+                .with_trace_depth(4_000_000).build().unwrap();
             let mut wl = workload::build(kernel, cfg.scale, cfg.seed);
             let mut device = Device::new(device_config);
             let _ = wl.run(&mut device);

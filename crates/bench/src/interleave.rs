@@ -18,7 +18,7 @@
 use crate::runner::ExperimentConfig;
 use tm_image::synth;
 use tm_kernels::ir::sobel_program;
-use tm_sim::{ArchMode, Device, DeviceConfig};
+use tm_sim::prelude::*;
 
 /// One interleaving depth's results.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,10 +44,10 @@ pub fn interleaving_sweep(cfg: &ExperimentConfig) -> Vec<InterleavingRow> {
     let run = |arch: ArchMode, in_flight: usize| {
         let mut ip = sobel_program(&image);
         let mut device = Device::new(
-            DeviceConfig::default()
+            DeviceConfig::builder()
                 .with_arch(arch)
                 .with_compute_units(1)
-                .with_seed(cfg.seed),
+                .with_seed(cfg.seed).build().unwrap(),
         );
         device.run_program(&ip.program, &mut ip.bindings, ip.global_size, in_flight);
         device.report()
@@ -109,10 +109,10 @@ mod tests {
         let run = |in_flight: usize| {
             let mut ip = sobel_program(&image);
             let mut device = Device::new(
-                DeviceConfig::default()
+                DeviceConfig::builder()
                     .with_arch(ArchMode::Baseline)
                     .with_compute_units(1)
-                    .with_seed(cfg.seed),
+                    .with_seed(cfg.seed).build().unwrap(),
             );
             device.run_program(&ip.program, &mut ip.bindings, ip.global_size, in_flight);
             device.report().total_energy_pj()

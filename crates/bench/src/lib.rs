@@ -26,6 +26,7 @@
 
 mod ablation;
 mod bench_hotpath;
+mod campaign;
 pub mod chart;
 pub mod csv;
 mod energy;
@@ -47,6 +48,11 @@ pub use ablation::{
 };
 pub use bench_hotpath::{
     backend_label, hotpath_bench, rows_to_json, BenchRow, BENCH_BACKENDS,
+};
+pub use campaign::{
+    run_campaign, AdaptationStep, CampaignOutcome, CampaignSpec, MetricStats,
+    QualityController, SweepSummary, TrialRecord, CAMPAIGN_ERROR_RATES, PSNR_CAP_DB,
+    PSNR_FLOOR_DB,
 };
 pub use energy::{
     energy_comparison, fig10, fig10_average_savings, fig11, fig11_average_savings,

@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use tm_core::{HashedLut, MatchPolicy, MemoFifo};
 use tm_fpu::FpOp;
 use tm_kernels::{workload, KernelId, ALL_KERNELS};
-use tm_sim::{Device, DeviceConfig, TraceEvent};
+use tm_sim::prelude::*;
+use tm_sim::TraceEvent;
 
 /// One LUT organization under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,9 +141,9 @@ pub fn lut_exploration(cfg: &ExperimentConfig) -> Vec<LutExplorationRow> {
         .iter()
         .map(|&kernel| {
             let policy = kernel_policy(kernel);
-            let device_config = DeviceConfig::default()
+            let device_config = DeviceConfig::builder()
                 .with_policy(policy)
-                .with_trace_depth(4_000_000);
+                .with_trace_depth(4_000_000).build().unwrap();
             let mut wl = workload::build(kernel, cfg.scale, cfg.seed);
             let mut device = Device::new(device_config);
             let _ = wl.run(&mut device);
@@ -196,9 +197,9 @@ mod tests {
             scale: Scale::Test,
             ..ExperimentConfig::default()
         };
-        let device_config = DeviceConfig::default()
+        let device_config = DeviceConfig::builder()
             .with_policy(kernel_policy(KernelId::Haar))
-            .with_trace_depth(4_000_000);
+            .with_trace_depth(4_000_000).build().unwrap();
         let mut wl = workload::build(KernelId::Haar, cfg.scale, cfg.seed);
         let mut device = Device::new(device_config);
         let _ = wl.run(&mut device);

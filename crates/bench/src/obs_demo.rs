@@ -20,7 +20,8 @@ use crate::runner::{kernel_policy, ExperimentConfig};
 use tm_kernels::{workload, KernelId};
 use tm_obs::{ObjWriter, SharedRecorder, WindowedSeries};
 use tm_sim::sink::MetricsSink;
-use tm_sim::{Device, DeviceConfig, ExecBackend, METRICS_CHANNELS};
+use tm_sim::prelude::*;
+use tm_sim::METRICS_CHANNELS;
 
 /// Window width (cycles) the demo's metrics sink folds at.
 pub const OBS_METRICS_WINDOW: u64 = 1024;
@@ -89,14 +90,20 @@ pub fn obs_demo(cfg: &ExperimentConfig) -> ObsDemoOutcome {
     let mut identical = true;
 
     for &backend in &BENCH_BACKENDS {
-        let base = DeviceConfig::default()
+        let base = DeviceConfig::builder()
             .with_compute_units(2)
             .with_policy(kernel_policy(KernelId::Sobel))
             .with_seed(cfg.seed)
-            .with_backend(backend);
+            .with_backend(backend).build().unwrap();
 
         let mut traced_wl = workload::build(KernelId::Sobel, cfg.scale, cfg.seed);
-        let mut traced = Device::new(base.clone().with_metrics_window(OBS_METRICS_WINDOW));
+        let mut traced = Device::new(
+            base.clone()
+                .rebuild()
+                .with_metrics_window(OBS_METRICS_WINDOW)
+                .build()
+                .unwrap(),
+        );
         traced.attach_recorder(&rec);
         let traced_out = traced_wl.run(&mut traced);
 

@@ -6,7 +6,7 @@ use tm_core::MatchPolicy;
 use tm_image::{psnr, GrayImage};
 use tm_kernels::workload::{self, InputImage};
 use tm_kernels::{KernelId, GRAY_LEVELS_PER_THRESHOLD_UNIT};
-use tm_sim::{Device, DeviceConfig};
+use tm_sim::prelude::*;
 
 /// The paper's threshold axis (its Figs. 2–5 annotate 0, 0.2, 0.4, 0.6,
 /// 0.8, 1.0); each value is scaled by
@@ -50,7 +50,7 @@ pub fn psnr_sweep(id: KernelId, image: InputImage, cfg: &ExperimentConfig) -> Ve
             let gray = t * GRAY_LEVELS_PER_THRESHOLD_UNIT;
             let policy = MatchPolicy::threshold(gray);
             let mut wl = workload::build_image(id, image, cfg.scale, cfg.seed);
-            let mut device = Device::new(DeviceConfig::default().with_policy(policy));
+            let mut device = Device::new(DeviceConfig::builder().with_policy(policy).build().unwrap());
             let output = wl.run(&mut device);
             let out_img = GrayImage::from_vec(side, side, output);
             let q = psnr(&golden, &out_img);

@@ -2,7 +2,7 @@
 
 use tm_core::MatchPolicy;
 use tm_kernels::{calibrated_threshold, workload, KernelId, Scale};
-use tm_sim::{Device, DeviceConfig, DeviceReport, ExecBackend};
+use tm_sim::prelude::*;
 
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -51,7 +51,13 @@ pub struct RunOutcome {
 #[must_use]
 pub fn run_workload(id: KernelId, cfg: &ExperimentConfig, device_config: DeviceConfig) -> RunOutcome {
     let mut wl = workload::build(id, cfg.scale, cfg.seed);
-    let mut device = Device::new(device_config.with_backend(cfg.backend));
+    let mut device = Device::new(
+        device_config
+            .rebuild()
+            .with_backend(cfg.backend)
+            .build()
+            .expect("experiment device config must be consistent"),
+    );
     let output = wl.run(&mut device);
     let passed = wl.acceptable(&output);
     RunOutcome {
@@ -92,7 +98,7 @@ mod tests {
             backend: ExecBackend::Parallel,
             ..seq_cfg
         };
-        let dc = DeviceConfig::default().with_compute_units(4);
+        let dc = DeviceConfig::builder().with_compute_units(4).build().unwrap();
         let seq = run_workload(KernelId::Sobel, &seq_cfg, dc.clone());
         let par = run_workload(KernelId::Sobel, &par_cfg, dc);
         assert_eq!(seq.report, par.report);

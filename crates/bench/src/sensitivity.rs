@@ -14,7 +14,7 @@
 use crate::runner::{kernel_policy, run_workload, ExperimentConfig};
 use tm_energy::{saving, EnergyModel};
 use tm_kernels::ALL_KERNELS;
-use tm_sim::{ArchMode, DeviceConfig, ErrorMode};
+use tm_sim::prelude::*;
 
 /// One model-variant's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,12 +37,16 @@ pub const RECOVERY_FRACS: [f64; 3] = [0.25, 0.50, 1.00];
 fn average_saving(cfg: &ExperimentConfig, model: EnergyModel, error_rate: f64) -> f64 {
     let mut total = 0.0;
     for &kernel in &ALL_KERNELS {
-        let mut device = DeviceConfig::default()
+        let mut device = DeviceConfig::builder()
             .with_policy(kernel_policy(kernel))
-            .with_error_mode(ErrorMode::FixedRate(error_rate));
+            .with_error_mode(ErrorMode::FixedRate(error_rate)).build().unwrap();
         device.energy_model = model;
         let memo = run_workload(kernel, cfg, device.clone());
-        let base = run_workload(kernel, cfg, device.with_arch(ArchMode::Baseline));
+        let base = run_workload(
+            kernel,
+            cfg,
+            device.rebuild().with_arch(ArchMode::Baseline).build().unwrap(),
+        );
         total += saving(
             memo.report.scoped_energy_pj(),
             base.report.scoped_energy_pj(),

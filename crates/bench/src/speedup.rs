@@ -11,7 +11,7 @@
 use crate::runner::{kernel_policy, run_workload, ExperimentConfig};
 use std::time::Instant;
 use tm_kernels::{KernelId, ALL_KERNELS};
-use tm_sim::{DeviceConfig, ExecBackend};
+use tm_sim::prelude::*;
 
 /// Compute units used by the speedup experiment (the acceptance point:
 /// >= 2x on >= 4 CUs when the host has >= 4 cores).
@@ -46,9 +46,9 @@ pub fn backend_speedup(cfg: &ExperimentConfig) -> Vec<SpeedupRow> {
     ALL_KERNELS
         .iter()
         .map(|&kernel| {
-            let device_config = DeviceConfig::default()
+            let device_config = DeviceConfig::builder()
                 .with_policy(kernel_policy(kernel))
-                .with_compute_units(SPEEDUP_CUS);
+                .with_compute_units(SPEEDUP_CUS).build().unwrap();
             let seq_cfg = ExperimentConfig {
                 backend: ExecBackend::Sequential,
                 ..*cfg

@@ -27,7 +27,7 @@ fn main() {
         let sobel_ref = sobel_reference(&img);
         let gauss_ref = gaussian3x3_reference(&img);
         for t in [0.0f32, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
-            let cfg = DeviceConfig::default().with_policy(policy_for(t));
+            let cfg = DeviceConfig::builder().with_policy(policy_for(t)).build().unwrap();
             let mut d1 = Device::new(cfg.clone());
             let s_out = SobelKernel::new(&img).run(&mut d1);
             let s_hit = d1.report().weighted_hit_rate();

@@ -143,7 +143,7 @@ mod tests {
         let golden = gaussian3x3_reference(&input);
         let threshold = crate::calibrated_threshold(crate::KernelId::Gaussian);
         let mut device =
-            Device::new(DeviceConfig::default().with_policy(MatchPolicy::threshold(threshold)));
+            Device::new(DeviceConfig::builder().with_policy(MatchPolicy::threshold(threshold)).build().unwrap());
         let out = GaussianKernel::new(&input).run(&mut device);
         let q = psnr(&golden, &out);
         assert!(

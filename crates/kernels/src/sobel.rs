@@ -163,7 +163,7 @@ mod tests {
 
         let threshold = crate::calibrated_threshold(crate::KernelId::Sobel);
         let mut device =
-            Device::new(DeviceConfig::default().with_policy(MatchPolicy::threshold(threshold)));
+            Device::new(DeviceConfig::builder().with_policy(MatchPolicy::threshold(threshold)).build().unwrap());
         let out = SobelKernel::new(&input).run(&mut device);
         let q = psnr(&golden, &out);
         assert!(

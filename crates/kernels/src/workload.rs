@@ -379,7 +379,7 @@ mod tests {
         for id in ALL_KERNELS {
             let mut wl = build(id, Scale::Test, 33);
             let policy = MatchPolicy::threshold(crate::calibrated_threshold(id));
-            let mut device = Device::new(DeviceConfig::default().with_policy(policy));
+            let mut device = Device::new(DeviceConfig::builder().with_policy(policy).build().unwrap());
             let out = wl.run(&mut device);
             assert!(
                 wl.acceptable(&out),

@@ -7,17 +7,20 @@
 
 use tm_kernels::ir::{fwt_stage_program, sobel_program};
 use tm_kernels::{workload, Scale, ALL_KERNELS};
-use tm_sim::{Device, DeviceConfig, ErrorMode, ExecBackend};
+use tm_sim::{Device, DeviceConfig, DeviceConfigBuilder, ErrorMode, ExecBackend};
 
 /// The backend sweep: sequential reference, CU-level parallelism, and
 /// stream-core-level sharding with a pinned shard count (pinned so the
 /// test exercises real sharding even on a single-core host, where the
 /// auto-sized engine would resolve to one shard and delegate).
 fn backend_configs(cfg_base: &DeviceConfig) -> Vec<DeviceConfig> {
+    let derive = |b: fn(DeviceConfigBuilder) -> DeviceConfigBuilder| {
+        b(cfg_base.clone().rebuild()).build().unwrap()
+    };
     vec![
-        cfg_base.clone().with_backend(ExecBackend::Sequential),
-        cfg_base.clone().with_backend(ExecBackend::Parallel),
-        cfg_base.clone().with_intra_cu_shards(4),
+        derive(|b| b.with_backend(ExecBackend::Sequential)),
+        derive(|b| b.with_backend(ExecBackend::Parallel)),
+        derive(|b| b.with_intra_cu_shards(4)),
     ]
 }
 
@@ -29,7 +32,7 @@ fn assert_backends_agree(cfg_base: DeviceConfig, cus: usize) {
         let mut reports = Vec::new();
         for config in backend_configs(&cfg_base) {
             let mut wl = workload::build(id, Scale::Test, 77);
-            let mut device = Device::new(config.with_compute_units(cus));
+            let mut device = Device::new(config.rebuild().with_compute_units(cus).build().unwrap());
             outputs.push(wl.run(&mut device));
             reports.push(device.report());
         }
@@ -76,7 +79,7 @@ fn backends_agree_under_error_injection() {
     // the ECU recovery accounting; the streams are per stream core, so a
     // lane's EDS verdict is identical whichever thread (or shard) runs
     // it.
-    let cfg = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.05));
+    let cfg = DeviceConfig::builder().with_error_mode(ErrorMode::FixedRate(0.05)).build().unwrap();
     assert_backends_agree(cfg, 4);
 }
 
@@ -85,7 +88,7 @@ fn backends_agree_with_locality_tracking() {
     // The online locality sink rides the same event pipeline; its state
     // is per-CU and the intra-CU replay feeds it the same lane-ordered
     // event stream a sequential walk would.
-    let cfg = DeviceConfig::default().with_locality_tracking();
+    let cfg = DeviceConfig::builder().with_locality_tracking().build().unwrap();
     assert_backends_agree(cfg, 2);
 }
 
@@ -94,14 +97,14 @@ fn intra_cu_results_are_shard_count_invariant() {
     // The journal merge is keyed by lane, never by shard: any shard
     // count must reproduce the sequential run exactly, including under
     // error injection.
-    let base = DeviceConfig::default()
+    let base = DeviceConfig::builder()
         .with_compute_units(2)
-        .with_error_mode(ErrorMode::FixedRate(0.03));
+        .with_error_mode(ErrorMode::FixedRate(0.03)).build().unwrap();
     for id in ALL_KERNELS {
         let mut reference = None;
         for shards in [1, 2, 4, 8, 16] {
             let mut wl = workload::build(id, Scale::Test, 31);
-            let config = base.clone().with_intra_cu_shards(shards);
+            let config = base.clone().rebuild().with_intra_cu_shards(shards).build().unwrap();
             let mut device = Device::new(config);
             let out = wl.run(&mut device);
             let report = device.report();
@@ -131,7 +134,7 @@ fn parallel_run_program_matches_sequential() {
     let mut results = Vec::new();
     for config in backend_configs(&DeviceConfig::default()) {
         let mut ip = sobel_program(&image);
-        let mut device = Device::new(config.with_compute_units(4));
+        let mut device = Device::new(config.rebuild().with_compute_units(4).build().unwrap());
         device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
         results.push((ip.bindings.buffer(ip.output).to_vec(), device.report()));
     }
@@ -151,9 +154,9 @@ fn fwt_stage_program_stays_parallel_and_matches_sequential() {
     // bit-identical across all backends, with error injection on.
     let n = 512usize;
     let seed_data: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 41) as f32 - 20.0).collect();
-    let base = DeviceConfig::default()
+    let base = DeviceConfig::builder()
         .with_compute_units(2)
-        .with_error_mode(ErrorMode::FixedRate(0.04));
+        .with_error_mode(ErrorMode::FixedRate(0.04)).build().unwrap();
     let mut results = Vec::new();
     for config in backend_configs(&base) {
         let mut device = Device::new(config);
@@ -192,12 +195,14 @@ fn parallel_backend_reports_nonzero_work() {
     // errors where configured.
     for backend in [ExecBackend::Parallel, ExecBackend::IntraCu] {
         let mut wl = workload::build(tm_kernels::KernelId::Sobel, Scale::Test, 77);
-        let mut config = DeviceConfig::default()
+        let mut config = DeviceConfig::builder()
             .with_compute_units(4)
             .with_backend(backend)
-            .with_error_mode(ErrorMode::FixedRate(0.05));
+            .with_error_mode(ErrorMode::FixedRate(0.05))
+            .build()
+            .unwrap();
         if backend == ExecBackend::IntraCu {
-            config = config.with_intra_cu_shards(4);
+            config = config.rebuild().with_intra_cu_shards(4).build().unwrap();
         }
         let mut device = Device::new(config);
         let _ = wl.run(&mut device);

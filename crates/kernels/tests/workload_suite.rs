@@ -35,7 +35,7 @@ fn outputs_are_error_rate_invariant_under_exact_matching() {
 
         let mut noisy_wl = workload::build(kernel, Scale::Test, 7);
         let mut noisy_dev = Device::new(
-            DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.1)),
+            DeviceConfig::builder().with_error_mode(ErrorMode::FixedRate(0.1)).build().unwrap(),
         );
         let noisy = noisy_wl.run(&mut noisy_dev);
         assert!(noisy_dev.report().errors_injected > 0, "{kernel}");
@@ -54,7 +54,7 @@ fn baseline_and_memoized_agree_bit_for_bit() {
         let memo = memo_wl.run(&mut memo_dev);
 
         let mut base_wl = workload::build(kernel, Scale::Test, 3);
-        let mut base_dev = Device::new(DeviceConfig::default().with_arch(ArchMode::Baseline));
+        let mut base_dev = Device::new(DeviceConfig::builder().with_arch(ArchMode::Baseline).build().unwrap());
         let base = base_wl.run(&mut base_dev);
         assert!(bit_exact(&memo, &base), "{kernel}");
     }
@@ -64,7 +64,7 @@ fn baseline_and_memoized_agree_bit_for_bit() {
 fn spatial_architecture_is_transparent_under_exact_matching() {
     for &kernel in &ALL_KERNELS {
         let mut wl = workload::build(kernel, Scale::Test, 5);
-        let mut device = Device::new(DeviceConfig::default().with_arch(ArchMode::Spatial));
+        let mut device = Device::new(DeviceConfig::builder().with_arch(ArchMode::Spatial).build().unwrap());
         let out = wl.run(&mut device);
         assert!(
             bit_exact(&wl.reference(), &out),
@@ -78,7 +78,7 @@ fn approximate_image_runs_differ_but_stay_acceptable() {
     for kernel in [KernelId::Sobel, KernelId::Gaussian] {
         let policy = MatchPolicy::threshold(calibrated_threshold(kernel));
         let mut wl = workload::build(kernel, Scale::Test, 11);
-        let mut device = Device::new(DeviceConfig::default().with_policy(policy));
+        let mut device = Device::new(DeviceConfig::builder().with_policy(policy).build().unwrap());
         let out = wl.run(&mut device);
         assert!(
             !bit_exact(&wl.reference(), &out),
@@ -97,7 +97,7 @@ fn error_intolerant_kernels_reject_coarse_approximation() {
     for (kernel, threshold) in [(KernelId::Fwt, 1.0), (KernelId::EigenValue, 0.5)] {
         let mut wl = workload::build(kernel, Scale::Test, 13);
         let mut device =
-            Device::new(DeviceConfig::default().with_policy(MatchPolicy::threshold(threshold)));
+            Device::new(DeviceConfig::builder().with_policy(MatchPolicy::threshold(threshold)).build().unwrap());
         let out = wl.run(&mut device);
         assert!(
             !wl.acceptable(&out),

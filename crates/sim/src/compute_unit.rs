@@ -9,7 +9,7 @@ use std::ops::Range;
 use tm_core::MemoStats;
 use tm_energy::EnergyLedger;
 use tm_fpu::{FpOp, Operands};
-use tm_timing::{Ecu, ErrorInjector};
+use tm_timing::{Ecu, ErrorSampler};
 
 pub use crate::sink::OpTally;
 
@@ -27,13 +27,14 @@ pub use crate::sink::OpTally;
 pub struct ComputeUnit {
     config: DeviceConfig,
     stream_cores: Vec<StreamCore>,
-    /// One decorrelated error-injection stream **per stream core**: the
-    /// EDS verdict of a lane depends only on (CU seed, its stream core,
+    /// One decorrelated error-injection stream **per stream core**,
+    /// built by the configured [`tm_timing::ErrorModel`]: the EDS
+    /// verdict of a lane depends only on (CU seed, its stream core,
     /// how many instructions that stream core has issued) — never on
     /// which other stream cores ran in between. This is what lets the
     /// intra-CU engine execute disjoint stream-core shards concurrently
     /// and still replay a bit-identical instruction stream.
-    injectors: Vec<ErrorInjector>,
+    injectors: Vec<ErrorSampler>,
     ecu: Ecu,
     cycles: u64,
     sinks: SinkPipeline,
@@ -83,23 +84,25 @@ pub(crate) struct JournalInstr {
 }
 
 impl ComputeUnit {
-    /// Builds a compute unit; `index` decorrelates the error-injection seed
-    /// across CUs (and a SplitMix64 stream decorrelates it across the
-    /// unit's stream cores).
+    /// Builds a compute unit; `index` decorrelates the error-injection
+    /// seed across CUs via [`tm_rng::child_seed`] (and a SplitMix64
+    /// stream decorrelates it across the unit's stream cores). The
+    /// per-SC samplers come from the configured
+    /// [`DeviceConfig::error_model`].
     #[must_use]
     pub fn new(config: &DeviceConfig, index: usize) -> Self {
-        let rate = config.effective_error_rate();
-        let seed = config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+        let seed = tm_rng::child_seed(config.seed, index as u64);
         let mut sc_seeds = tm_rng::SplitMix64::new(seed);
+        let model = config
+            .error_model
+            .instantiate(config.vdd, &config.voltage_model);
         Self {
             config: config.clone(),
             stream_cores: (0..config.stream_cores_per_cu)
                 .map(|_| StreamCore::new())
                 .collect(),
             injectors: (0..config.stream_cores_per_cu)
-                .map(|_| ErrorInjector::new(rate, sc_seeds.next_u64()))
+                .map(|sc| model.build_sampler(index, sc, sc_seeds.next_u64()))
                 .collect(),
             ecu: Ecu::new(config.recovery),
             cycles: 0,
@@ -200,7 +203,7 @@ impl ComputeUnit {
     /// streams).
     #[must_use]
     pub fn errors_injected(&self) -> u64 {
-        self.injectors.iter().map(ErrorInjector::errors).sum()
+        self.injectors.iter().map(ErrorSampler::errors).sum()
     }
 
     /// The stream cores.
@@ -699,9 +702,9 @@ mod tests {
 
     #[test]
     fn errors_charge_recovery_in_baseline() {
-        let config = DeviceConfig::default()
+        let config = DeviceConfig::builder()
             .with_arch(ArchMode::Baseline)
-            .with_error_mode(ErrorMode::FixedRate(1.0));
+            .with_error_mode(ErrorMode::FixedRate(1.0)).build().unwrap();
         let mut cu = cu(&config);
         let a = vec![1.0f32; 64];
         let active = vec![true; 64];
@@ -714,7 +717,7 @@ mod tests {
 
     #[test]
     fn memoized_arch_masks_hit_errors() {
-        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(1.0));
+        let config = DeviceConfig::builder().with_error_mode(ErrorMode::FixedRate(1.0)).build().unwrap();
         let mut cu = cu(&config);
         let a = vec![1.0f32; 64];
         let active = vec![true; 64];
@@ -731,7 +734,7 @@ mod tests {
     fn memoized_arch_masks_errors_after_preload_via_update_path() {
         // At a moderate error rate some misses commit, after which hits
         // mask subsequent errors.
-        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.3));
+        let config = DeviceConfig::builder().with_error_mode(ErrorMode::FixedRate(0.3)).build().unwrap();
         let mut cu = cu(&config);
         let a = vec![1.0f32; 64];
         let active = vec![true; 64];
@@ -745,7 +748,7 @@ mod tests {
 
     #[test]
     fn seeds_decorrelate_across_cus() {
-        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.5));
+        let config = DeviceConfig::builder().with_error_mode(ErrorMode::FixedRate(0.5)).build().unwrap();
         let mut a = ComputeUnit::new(&config, 0);
         let mut b = ComputeUnit::new(&config, 1);
         let x = vec![1.0f32; 64];
@@ -778,7 +781,7 @@ mod tests {
 
     #[test]
     fn locality_sink_tracks_streams_online() {
-        let config = DeviceConfig::default().with_locality_tracking();
+        let config = DeviceConfig::builder().with_locality_tracking().build().unwrap();
         let mut cu = cu(&config);
         let a = vec![3.0f32; 64];
         let active = vec![true; 64];

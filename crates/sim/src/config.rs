@@ -1,8 +1,10 @@
-//! Device configuration.
+//! Device configuration: the validated builder, error taxonomy, and the
+//! legacy `with_*` shims.
 
+use std::fmt;
 use tm_core::{GatePolicy, MatchPolicy, Replacement, DEFAULT_FIFO_DEPTH};
 use tm_energy::EnergyModel;
-use tm_timing::{RecoveryPolicy, VoltageModel, NOMINAL_VDD};
+use tm_timing::{ErrorModelSpec, RecoveryPolicy, VoltageModel, NOMINAL_VDD};
 
 /// Which architecture variant the device models.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -86,12 +88,99 @@ impl Default for ErrorMode {
     }
 }
 
+/// Why a [`DeviceConfigBuilder::build`] (or [`DeviceConfig::check`])
+/// rejected a configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `compute_units == 0`.
+    NoComputeUnits,
+    /// `stream_cores_per_cu == 0`.
+    NoStreamCores,
+    /// The wavefront size is not a positive multiple of the SC count.
+    RaggedWavefront {
+        /// Configured wavefront size.
+        wavefront: usize,
+        /// Configured stream cores per CU.
+        stream_cores: usize,
+    },
+    /// `fifo_depth == 0`.
+    ZeroFifoDepth,
+    /// The effective per-instruction error rate is not a probability.
+    ErrorRateOutOfRange {
+        /// The offending effective rate.
+        rate: f64,
+    },
+    /// `vdd <= 0`.
+    NonPositiveVdd {
+        /// The offending supply voltage.
+        vdd: f64,
+    },
+    /// `metrics_window == Some(0)`.
+    ZeroMetricsWindow,
+    /// A pinned intra-CU shard count outside `1..=stream_cores_per_cu`.
+    ShardsOutOfRange {
+        /// The pinned shard count.
+        shards: usize,
+        /// Configured stream cores per CU.
+        stream_cores: usize,
+    },
+    /// [`ExecBackend::IntraCu`] with [`ArchMode::Spatial`]: spatial
+    /// memoization couples lanes within a sub-wavefront slot, so the
+    /// engine would silently fall back to [`ExecBackend::Parallel`].
+    SpatialIntraCu,
+    /// A pinned intra-CU shard count with approximate matching: the
+    /// kernel path cannot honor the pin (approximate value reuse couples
+    /// lanes, so it falls back to [`ExecBackend::Parallel`]). Leave the
+    /// shard count unpinned (plain [`ExecBackend::IntraCu`]) instead.
+    PinnedShardsNeedExactMatching,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoComputeUnits => write!(f, "need at least one compute unit"),
+            Self::NoStreamCores => write!(f, "need at least one stream core"),
+            Self::RaggedWavefront {
+                wavefront,
+                stream_cores,
+            } => write!(
+                f,
+                "wavefront size {wavefront} must be a positive multiple of the SC count {stream_cores}"
+            ),
+            Self::ZeroFifoDepth => write!(f, "FIFO depth must be at least 1"),
+            Self::ErrorRateOutOfRange { rate } => write!(f, "error rate {rate} out of range"),
+            Self::NonPositiveVdd { vdd } => write!(f, "vdd must be positive, got {vdd}"),
+            Self::ZeroMetricsWindow => write!(f, "metrics window width must be non-zero"),
+            Self::ShardsOutOfRange {
+                shards,
+                stream_cores,
+            } => write!(
+                f,
+                "intra-CU shard count {shards} out of range 1..={stream_cores}"
+            ),
+            Self::SpatialIntraCu => write!(
+                f,
+                "the intra-CU backend cannot shard spatial memoization; use the parallel backend"
+            ),
+            Self::PinnedShardsNeedExactMatching => write!(
+                f,
+                "a pinned intra-CU shard count requires exact matching; leave the shard count unpinned with approximate policies"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of a simulated device.
 ///
 /// The defaults model a single Radeon HD 5870 compute-unit pair with the
 /// paper's design point: 2-entry FIFOs, exact matching, the 12-cycle
-/// baseline recovery, nominal 0.9 V, no injected errors. Experiments
-/// override fields with the `with_*` builders.
+/// baseline recovery, nominal 0.9 V, no injected errors, the uniform
+/// error model. Experiments override fields through the validated
+/// [`DeviceConfig::builder`]; the legacy `with_*` methods survive as
+/// deprecated shims.
 ///
 /// # Examples
 ///
@@ -99,10 +188,12 @@ impl Default for ErrorMode {
 /// use tm_sim::{ArchMode, DeviceConfig, ErrorMode};
 /// use tm_core::MatchPolicy;
 ///
-/// let config = DeviceConfig::default()
+/// let config = DeviceConfig::builder()
 ///     .with_policy(MatchPolicy::threshold(0.5))
 ///     .with_error_mode(ErrorMode::FixedRate(0.02))
-///     .with_seed(7);
+///     .with_seed(7)
+///     .build()
+///     .unwrap();
 /// assert_eq!(config.stream_cores_per_cu, 16);
 /// assert_eq!(config.arch, ArchMode::Memoized);
 /// ```
@@ -128,6 +219,10 @@ pub struct DeviceConfig {
     pub recovery: RecoveryPolicy,
     /// Timing-error source.
     pub error_mode: ErrorMode,
+    /// How the error source is distributed across stream cores (uniform,
+    /// heterogeneous corners, voltage-coupled, bursty); see
+    /// [`tm_timing::ErrorModelSpec`].
+    pub error_model: ErrorModelSpec,
     /// FPU supply voltage (the memo module always stays at nominal).
     pub vdd: f64,
     /// Voltage/error/energy scaling model.
@@ -174,6 +269,7 @@ impl Default for DeviceConfig {
             policy: MatchPolicy::Exact,
             recovery: RecoveryPolicy::default(),
             error_mode: ErrorMode::default(),
+            error_model: ErrorModelSpec::Uniform,
             vdd: NOMINAL_VDD,
             voltage_model: VoltageModel::tsmc45(),
             energy_model: EnergyModel::tsmc45(),
@@ -198,126 +294,18 @@ impl DeviceConfig {
         }
     }
 
-    /// Sets the matching policy.
-    #[must_use]
-    pub fn with_policy(mut self, policy: MatchPolicy) -> Self {
-        self.policy = policy;
-        self
+    /// Starts a validated builder from the paper's default design point.
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder {
+            config: Self::default(),
+        }
     }
 
-    /// Sets the architecture variant.
-    #[must_use]
-    pub fn with_arch(mut self, arch: ArchMode) -> Self {
-        self.arch = arch;
-        self
-    }
-
-    /// Sets the FIFO depth.
-    #[must_use]
-    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
-        self.fifo_depth = depth;
-        self
-    }
-
-    /// Sets the replacement policy.
-    #[must_use]
-    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
-        self.replacement = replacement;
-        self
-    }
-
-    /// Sets the timing-error source.
-    #[must_use]
-    pub fn with_error_mode(mut self, mode: ErrorMode) -> Self {
-        self.error_mode = mode;
-        self
-    }
-
-    /// Sets the recovery policy.
-    #[must_use]
-    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
-        self.recovery = recovery;
-        self
-    }
-
-    /// Sets the FPU supply voltage (VOS experiments).
-    #[must_use]
-    pub fn with_vdd(mut self, vdd: f64) -> Self {
-        self.vdd = vdd;
-        self
-    }
-
-    /// Sets the error-injection seed.
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the number of compute units.
-    #[must_use]
-    pub fn with_compute_units(mut self, n: usize) -> Self {
-        self.compute_units = n;
-        self
-    }
-
-    /// Enables instruction tracing with the given per-CU capacity.
-    #[must_use]
-    pub fn with_trace_depth(mut self, depth: usize) -> Self {
-        self.trace_depth = depth;
-        self
-    }
-
-    /// Enables adaptive power gating of the memoization modules.
-    #[must_use]
-    pub fn with_adaptive_gate(mut self, policy: GatePolicy) -> Self {
-        self.adaptive_gate = Some(policy);
-        self
-    }
-
-    /// Selects the execution engine.
-    #[must_use]
-    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
-        self.backend = backend;
-        self
-    }
-
-    /// Shorthand for [`DeviceConfig::with_backend`] with
-    /// [`ExecBackend::Parallel`] — one worker thread per compute unit.
-    #[must_use]
-    pub fn with_parallel(self) -> Self {
-        self.with_backend(ExecBackend::Parallel)
-    }
-
-    /// Shorthand for [`DeviceConfig::with_backend`] with
-    /// [`ExecBackend::IntraCu`] — stream-core-level sharding within each
-    /// compute unit.
-    #[must_use]
-    pub fn with_intra_cu(self) -> Self {
-        self.with_backend(ExecBackend::IntraCu)
-    }
-
-    /// Selects the intra-CU backend with a pinned shard count per
-    /// compute unit (clamped to `1..=stream_cores_per_cu` at run time).
-    #[must_use]
-    pub fn with_intra_cu_shards(mut self, shards: usize) -> Self {
-        self.intra_cu_shards = Some(shards);
-        self.with_backend(ExecBackend::IntraCu)
-    }
-
-    /// Enables online value-locality profiling.
-    #[must_use]
-    pub fn with_locality_tracking(mut self) -> Self {
-        self.locality_tracking = true;
-        self
-    }
-
-    /// Enables time-windowed metrics with the given initial window width
-    /// in cycles (see [`crate::sink::MetricsSink`]).
-    #[must_use]
-    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
-        self.metrics_window = Some(cycles);
-        self
+    /// Re-opens this configuration as a builder — the sanctioned way to
+    /// derive a variant (sweep points, backend swaps) from an existing
+    /// config and re-validate the result.
+    pub fn rebuild(self) -> DeviceConfigBuilder {
+        DeviceConfigBuilder { config: self }
     }
 
     /// The per-instruction error rate this configuration induces for a
@@ -346,30 +334,54 @@ impl DeviceConfig {
         self.voltage_model.dynamic_energy_scale(self.vdd)
     }
 
+    /// Checks internal consistency, returning the first violation.
+    ///
+    /// This is the non-panicking core shared by [`DeviceConfig::validate`]
+    /// and [`DeviceConfigBuilder::build`] (which adds stricter
+    /// cross-field rules on top).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.compute_units == 0 {
+            return Err(ConfigError::NoComputeUnits);
+        }
+        if self.stream_cores_per_cu == 0 {
+            return Err(ConfigError::NoStreamCores);
+        }
+        if self.wavefront_size == 0 || !self.wavefront_size.is_multiple_of(self.stream_cores_per_cu)
+        {
+            return Err(ConfigError::RaggedWavefront {
+                wavefront: self.wavefront_size,
+                stream_cores: self.stream_cores_per_cu,
+            });
+        }
+        if self.fifo_depth == 0 {
+            return Err(ConfigError::ZeroFifoDepth);
+        }
+        let rate = self.effective_error_rate();
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(ConfigError::ErrorRateOutOfRange { rate });
+        }
+        if self.vdd <= 0.0 {
+            return Err(ConfigError::NonPositiveVdd { vdd: self.vdd });
+        }
+        if self.metrics_window == Some(0) {
+            return Err(ConfigError::ZeroMetricsWindow);
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
     /// Panics on nonsensical geometry (zero CUs/SCs, a wavefront that is
     /// not a positive multiple of the SC count) or an out-of-range error
-    /// rate.
+    /// rate. Prefer [`DeviceConfig::builder`], whose
+    /// [`DeviceConfigBuilder::build`] reports the same problems (and
+    /// stricter cross-field ones) as a [`ConfigError`] instead.
     pub fn validate(&self) {
-        assert!(self.compute_units > 0, "need at least one compute unit");
-        assert!(self.stream_cores_per_cu > 0, "need at least one stream core");
-        assert!(
-            self.wavefront_size > 0 && self.wavefront_size.is_multiple_of(self.stream_cores_per_cu),
-            "wavefront size {} must be a positive multiple of the SC count {}",
-            self.wavefront_size,
-            self.stream_cores_per_cu
-        );
-        assert!(self.fifo_depth > 0, "FIFO depth must be at least 1");
-        let r = self.effective_error_rate();
-        assert!((0.0..=1.0).contains(&r), "error rate {r} out of range");
-        assert!(self.vdd > 0.0, "vdd must be positive");
-        assert!(
-            self.metrics_window != Some(0),
-            "metrics window width must be non-zero"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Sub-wavefront slots per vector instruction
@@ -380,9 +392,337 @@ impl DeviceConfig {
     }
 }
 
+/// Validated builder for [`DeviceConfig`].
+///
+/// Obtained from [`DeviceConfig::builder`] (paper defaults) or
+/// [`DeviceConfig::rebuild`] (derive a variant from an existing config).
+/// The `with_*` methods mirror the old [`DeviceConfig`] shims one for
+/// one; [`DeviceConfigBuilder::build`] then rejects inconsistent
+/// combinations — out-of-range shard pins, spatial memoization under the
+/// intra-CU backend, pinned shards with approximate matching — that the
+/// legacy chain silently papered over with run-time fallbacks.
+///
+/// # Examples
+///
+/// ```
+/// use tm_sim::{DeviceConfig, ConfigError, ExecBackend, ArchMode};
+///
+/// let err = DeviceConfig::builder()
+///     .with_arch(ArchMode::Spatial)
+///     .with_intra_cu()
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::SpatialIntraCu);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct DeviceConfigBuilder {
+    config: DeviceConfig,
+}
+
+impl DeviceConfigBuilder {
+    /// Sets the matching policy.
+    pub fn with_policy(mut self, policy: MatchPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the architecture variant.
+    pub fn with_arch(mut self, arch: ArchMode) -> Self {
+        self.config.arch = arch;
+        self
+    }
+
+    /// Sets the FIFO depth.
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.config.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.config.replacement = replacement;
+        self
+    }
+
+    /// Sets the timing-error source.
+    pub fn with_error_mode(mut self, mode: ErrorMode) -> Self {
+        self.config.error_mode = mode;
+        self
+    }
+
+    /// Sets how the error source is distributed across stream cores.
+    pub fn with_error_model(mut self, model: ErrorModelSpec) -> Self {
+        self.config.error_model = model;
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Sets the FPU supply voltage (VOS experiments).
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.config.vdd = vdd;
+        self
+    }
+
+    /// Sets the error-injection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of compute units.
+    pub fn with_compute_units(mut self, n: usize) -> Self {
+        self.config.compute_units = n;
+        self
+    }
+
+    /// Sets the stream-core count per compute unit.
+    pub fn with_stream_cores_per_cu(mut self, n: usize) -> Self {
+        self.config.stream_cores_per_cu = n;
+        self
+    }
+
+    /// Sets the wavefront size (must end up a positive multiple of the
+    /// stream-core count).
+    pub fn with_wavefront_size(mut self, n: usize) -> Self {
+        self.config.wavefront_size = n;
+        self
+    }
+
+    /// Enables instruction tracing with the given per-CU capacity.
+    pub fn with_trace_depth(mut self, depth: usize) -> Self {
+        self.config.trace_depth = depth;
+        self
+    }
+
+    /// Enables adaptive power gating of the memoization modules.
+    pub fn with_adaptive_gate(mut self, policy: GatePolicy) -> Self {
+        self.config.adaptive_gate = Some(policy);
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`DeviceConfigBuilder::with_backend`] with
+    /// [`ExecBackend::Parallel`] — one worker thread per compute unit.
+    pub fn with_parallel(self) -> Self {
+        self.with_backend(ExecBackend::Parallel)
+    }
+
+    /// Shorthand for [`DeviceConfigBuilder::with_backend`] with
+    /// [`ExecBackend::IntraCu`] — stream-core-level sharding within each
+    /// compute unit.
+    pub fn with_intra_cu(self) -> Self {
+        self.with_backend(ExecBackend::IntraCu)
+    }
+
+    /// Selects the intra-CU backend with a pinned shard count per
+    /// compute unit (validated against `1..=stream_cores_per_cu` at
+    /// build time).
+    pub fn with_intra_cu_shards(mut self, shards: usize) -> Self {
+        self.config.intra_cu_shards = Some(shards);
+        self.with_backend(ExecBackend::IntraCu)
+    }
+
+    /// Enables online value-locality profiling.
+    pub fn with_locality_tracking(mut self) -> Self {
+        self.config.locality_tracking = true;
+        self
+    }
+
+    /// Enables time-windowed metrics with the given initial window width
+    /// in cycles (see [`crate::sink::MetricsSink`]).
+    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
+        self.config.metrics_window = Some(cycles);
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DeviceConfig::check`] rejects, plus the cross-field
+    /// rules: a pinned shard count outside `1..=stream_cores_per_cu`
+    /// ([`ConfigError::ShardsOutOfRange`]), the intra-CU backend under
+    /// spatial memoization ([`ConfigError::SpatialIntraCu`]), and a
+    /// pinned shard count with approximate matching
+    /// ([`ConfigError::PinnedShardsNeedExactMatching`]).
+    pub fn build(self) -> Result<DeviceConfig, ConfigError> {
+        let c = self.config;
+        c.check()?;
+        if let Some(shards) = c.intra_cu_shards {
+            if shards == 0 || shards > c.stream_cores_per_cu {
+                return Err(ConfigError::ShardsOutOfRange {
+                    shards,
+                    stream_cores: c.stream_cores_per_cu,
+                });
+            }
+            if !matches!(c.policy, MatchPolicy::Exact) {
+                return Err(ConfigError::PinnedShardsNeedExactMatching);
+            }
+        }
+        if c.backend == ExecBackend::IntraCu && c.arch == ArchMode::Spatial {
+            return Err(ConfigError::SpatialIntraCu);
+        }
+        Ok(c)
+    }
+}
+
+/// Legacy chainable setters, superseded by [`DeviceConfig::builder`].
+///
+/// These mutate the config without validation; the builder performs the
+/// same edits and then cross-checks the result. They are kept as thin
+/// shims so pre-builder call sites keep compiling.
+#[allow(deprecated)]
+impl DeviceConfig {
+    /// Sets the matching policy.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_policy(mut self, policy: MatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the architecture variant.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_arch(mut self, arch: ArchMode) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the FIFO depth.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the replacement policy.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Sets the timing-error source.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_error_mode(mut self, mode: ErrorMode) -> Self {
+        self.error_mode = mode;
+        self
+    }
+
+    /// Sets the recovery policy.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the FPU supply voltage (VOS experiments).
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Sets the error-injection seed.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of compute units.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_compute_units(mut self, n: usize) -> Self {
+        self.compute_units = n;
+        self
+    }
+
+    /// Enables instruction tracing with the given per-CU capacity.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_trace_depth(mut self, depth: usize) -> Self {
+        self.trace_depth = depth;
+        self
+    }
+
+    /// Enables adaptive power gating of the memoization modules.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_adaptive_gate(mut self, policy: GatePolicy) -> Self {
+        self.adaptive_gate = Some(policy);
+        self
+    }
+
+    /// Selects the execution engine.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for the parallel backend.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_parallel(self) -> Self {
+        self.with_backend(ExecBackend::Parallel)
+    }
+
+    /// Shorthand for the intra-CU backend.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_intra_cu(self) -> Self {
+        self.with_backend(ExecBackend::IntraCu)
+    }
+
+    /// Selects the intra-CU backend with a pinned shard count.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_intra_cu_shards(mut self, shards: usize) -> Self {
+        self.intra_cu_shards = Some(shards);
+        self.with_backend(ExecBackend::IntraCu)
+    }
+
+    /// Enables online value-locality profiling.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_locality_tracking(mut self) -> Self {
+        self.locality_tracking = true;
+        self
+    }
+
+    /// Enables time-windowed metrics with the given window width.
+    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
+    #[must_use]
+    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
+        self.metrics_window = Some(cycles);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tm_timing::HeterogeneousErrors;
 
     #[test]
     fn default_matches_paper_design_point() {
@@ -391,6 +731,7 @@ mod tests {
         assert_eq!(c.fifo_depth, 2);
         assert_eq!(c.subwavefront_slots(), 4);
         assert_eq!(c.effective_error_rate(), 0.0);
+        assert_eq!(c.error_model, ErrorModelSpec::Uniform);
         assert!((c.dynamic_scale() - 1.0).abs() < 1e-12);
     }
 
@@ -404,9 +745,11 @@ mod tests {
 
     #[test]
     fn voltage_mode_derives_rate() {
-        let c = DeviceConfig::default()
+        let c = DeviceConfig::builder()
             .with_error_mode(ErrorMode::FromVoltage)
-            .with_vdd(0.80);
+            .with_vdd(0.80)
+            .build()
+            .unwrap();
         assert!(c.effective_error_rate() > 0.2);
         assert!(c.dynamic_scale() < 0.8);
     }
@@ -423,13 +766,19 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = DeviceConfig::default()
+        let c = DeviceConfig::builder()
             .with_fifo_depth(8)
             .with_seed(1)
             .with_compute_units(1)
-            .with_arch(ArchMode::Baseline);
+            .with_arch(ArchMode::Baseline)
+            .with_error_model(ErrorModelSpec::Heterogeneous(
+                HeterogeneousErrors::quartile_corners(),
+            ))
+            .build()
+            .unwrap();
         assert_eq!(c.fifo_depth, 8);
         assert_eq!(c.arch, ArchMode::Baseline);
+        assert_eq!(c.error_model.name(), "heterogeneous");
     }
 
     #[test]
@@ -437,8 +786,128 @@ mod tests {
         let c = DeviceConfig::default();
         assert_eq!(c.backend, ExecBackend::Sequential);
         assert!(!c.locality_tracking);
-        let c = c.with_parallel().with_locality_tracking();
+        let c = c.rebuild().with_parallel().with_locality_tracking().build().unwrap();
         assert_eq!(c.backend, ExecBackend::Parallel);
         assert!(c.locality_tracking);
+    }
+
+    #[test]
+    fn build_rejects_geometry_errors_as_values() {
+        assert_eq!(
+            DeviceConfig::builder().with_compute_units(0).build(),
+            Err(ConfigError::NoComputeUnits)
+        );
+        assert_eq!(
+            DeviceConfig::builder().with_stream_cores_per_cu(0).build(),
+            Err(ConfigError::NoStreamCores)
+        );
+        assert_eq!(
+            DeviceConfig::builder().with_wavefront_size(63).build(),
+            Err(ConfigError::RaggedWavefront {
+                wavefront: 63,
+                stream_cores: 16
+            })
+        );
+        assert_eq!(
+            DeviceConfig::builder().with_fifo_depth(0).build(),
+            Err(ConfigError::ZeroFifoDepth)
+        );
+        assert_eq!(
+            DeviceConfig::builder()
+                .with_error_mode(ErrorMode::FixedRate(1.5))
+                .build(),
+            Err(ConfigError::ErrorRateOutOfRange { rate: 1.5 })
+        );
+        assert_eq!(
+            DeviceConfig::builder().with_vdd(-0.1).build(),
+            Err(ConfigError::NonPositiveVdd { vdd: -0.1 })
+        );
+        assert_eq!(
+            DeviceConfig::builder().with_metrics_window(0).build(),
+            Err(ConfigError::ZeroMetricsWindow)
+        );
+    }
+
+    #[test]
+    fn build_rejects_inconsistent_shard_pins() {
+        // More shards than stream cores: the pin cannot be honored.
+        let err = DeviceConfig::builder()
+            .with_intra_cu_shards(17)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ShardsOutOfRange {
+                shards: 17,
+                stream_cores: 16
+            }
+        );
+        assert_eq!(
+            DeviceConfig::builder().with_intra_cu_shards(0).build(),
+            Err(ConfigError::ShardsOutOfRange {
+                shards: 0,
+                stream_cores: 16
+            })
+        );
+        // Pinned shards + approximate matching: the kernel path would
+        // silently fall back to the parallel backend.
+        let err = DeviceConfig::builder()
+            .with_policy(MatchPolicy::threshold(0.5))
+            .with_intra_cu_shards(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::PinnedShardsNeedExactMatching);
+        // The unpinned intra-CU backend with approximate matching is
+        // fine — IR programs shard under any policy.
+        let ok = DeviceConfig::builder()
+            .with_policy(MatchPolicy::threshold(0.5))
+            .with_intra_cu()
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn build_rejects_spatial_intra_cu() {
+        let err = DeviceConfig::builder()
+            .with_arch(ArchMode::Spatial)
+            .with_intra_cu()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::SpatialIntraCu);
+        assert!(err.to_string().contains("spatial"));
+    }
+
+    #[test]
+    fn rebuild_preserves_and_revalidates() {
+        let base = DeviceConfig::builder().with_seed(9).build().unwrap();
+        let derived = base
+            .clone()
+            .rebuild()
+            .with_backend(ExecBackend::Parallel)
+            .build()
+            .unwrap();
+        assert_eq!(derived.seed, 9);
+        assert_eq!(derived.backend, ExecBackend::Parallel);
+        // Re-opening lets strict rules catch later edits too.
+        let err = base.rebuild().with_intra_cu_shards(99).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ShardsOutOfRange { .. }));
+    }
+
+    #[test]
+    fn config_error_displays_and_is_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroFifoDepth);
+        assert_eq!(e.to_string(), "FIFO depth must be at least 1");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_compile_and_mutate() {
+        // Compatibility contract: pre-builder call sites keep working.
+        let c = DeviceConfig::default()
+            .with_fifo_depth(8)
+            .with_seed(1)
+            .with_parallel();
+        assert_eq!(c.fifo_depth, 8);
+        assert_eq!(c.backend, ExecBackend::Parallel);
     }
 }

@@ -342,6 +342,11 @@ impl Device {
                 .unwrap_or(0),
             cycles_total: self.compute_units.iter().map(ComputeUnit::cycles).sum(),
             recoveries: self.compute_units.iter().map(|cu| cu.ecu().recoveries()).sum(),
+            recovery_stall_cycles: self
+                .compute_units
+                .iter()
+                .map(|cu| cu.ecu().recovery_cycles())
+                .sum(),
             errors_injected: self
                 .compute_units
                 .iter()
@@ -403,7 +408,7 @@ mod tests {
 
     #[test]
     fn wavefronts_round_robin_across_cus() {
-        let mut device = Device::new(DeviceConfig::default().with_compute_units(2));
+        let mut device = Device::new(DeviceConfig::builder().with_compute_units(2).build().unwrap());
         let mut k = AddOne {
             out: vec![0.0; 256],
         };
@@ -439,7 +444,7 @@ mod tests {
     #[test]
     fn memoized_beats_baseline_on_redundant_work() {
         let run = |arch: ArchMode| {
-            let mut device = Device::new(DeviceConfig::default().with_arch(arch));
+            let mut device = Device::new(DeviceConfig::builder().with_arch(arch).build().unwrap());
             device.run(&mut ConstSqrt, 4096);
             device.report().energy.total_pj()
         };
@@ -453,7 +458,7 @@ mod tests {
 
     #[test]
     fn error_injection_shows_up_in_report() {
-        let config = DeviceConfig::default().with_error_mode(ErrorMode::FixedRate(0.5));
+        let config = DeviceConfig::builder().with_error_mode(ErrorMode::FixedRate(0.5)).build().unwrap();
         let mut device = Device::new(config);
         device.run(&mut ConstSqrt, 1024);
         let report = device.report();
@@ -479,9 +484,9 @@ mod tests {
 
     #[test]
     fn tracing_records_events_and_locality_predicts_hits() {
-        let config = DeviceConfig::default()
+        let config = DeviceConfig::builder()
             .with_compute_units(1)
-            .with_trace_depth(100_000);
+            .with_trace_depth(100_000).build().unwrap();
         let mut device = Device::new(config);
         device.run(&mut ConstSqrt, 1024);
         let events: Vec<_> = device.trace_events().copied().collect();
@@ -541,10 +546,10 @@ mod tests {
         }
         // Memoized mode records per-op error statistics; iota operands
         // are unique per work-item, so every access is a (recorded) miss.
-        let config = DeviceConfig::default()
+        let config = DeviceConfig::builder()
             .with_error_mode(ErrorMode::PerStageRate(0.01))
             .with_compute_units(1)
-            .with_seed(4);
+            .with_seed(4).build().unwrap();
         let mut device = Device::new(config);
         device.run(&mut RecipAndAdd, 16384);
         let report = device.report();
@@ -563,7 +568,7 @@ mod tests {
     fn spatial_mode_reuses_within_slots() {
         // Constant operands: in every 16-lane slot, one lane executes and
         // 15 reuse — spatial hit rate of exactly 15/16.
-        let mut device = Device::new(DeviceConfig::default().with_arch(ArchMode::Spatial));
+        let mut device = Device::new(DeviceConfig::builder().with_arch(ArchMode::Spatial).build().unwrap());
         device.run(&mut ConstSqrt, 1024);
         let report = device.report();
         assert_eq!(report.spatial_hits, 1024 / 16 * 15);
@@ -574,9 +579,9 @@ mod tests {
 
     #[test]
     fn spatial_mode_masks_errors_on_reused_lanes() {
-        let config = DeviceConfig::default()
+        let config = DeviceConfig::builder()
             .with_arch(ArchMode::Spatial)
-            .with_error_mode(ErrorMode::FixedRate(0.5));
+            .with_error_mode(ErrorMode::FixedRate(0.5)).build().unwrap();
         let mut device = Device::new(config);
         device.run(&mut ConstSqrt, 1024);
         let report = device.report();
@@ -591,7 +596,7 @@ mod tests {
     #[test]
     fn spatial_mode_is_correct_on_varied_inputs() {
         let mut memo_dev = Device::new(DeviceConfig::default());
-        let mut spatial_dev = Device::new(DeviceConfig::default().with_arch(ArchMode::Spatial));
+        let mut spatial_dev = Device::new(DeviceConfig::builder().with_arch(ArchMode::Spatial).build().unwrap());
         let mut a = AddOne { out: vec![0.0; 200] };
         let mut b = AddOne { out: vec![0.0; 200] };
         memo_dev.run(&mut a, 200);
@@ -618,9 +623,9 @@ mod tests {
         }
         let run = |arch: ArchMode| {
             let mut device = Device::new(
-                DeviceConfig::default()
+                DeviceConfig::builder()
                     .with_arch(arch)
-                    .with_compute_units(1),
+                    .with_compute_units(1).build().unwrap(),
             );
             device.run(&mut TimeLocal, 4096);
             device.report()

@@ -90,7 +90,9 @@ mod trace;
 mod wave;
 
 pub use compute_unit::{ComputeUnit, OpTally};
-pub use config::{ArchMode, DeviceConfig, ErrorMode, ExecBackend};
+pub use config::{
+    ArchMode, ConfigError, DeviceConfig, DeviceConfigBuilder, ErrorMode, ExecBackend,
+};
 pub use device::Device;
 pub use engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
 pub use intra_cu::IntraCuEngine;
@@ -104,3 +106,36 @@ pub use sink::{
 pub use stream_core::{LaneUnit, StreamCore};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use wave::{VReg, WaveCtx};
+
+pub mod prelude {
+    //! One-stop imports for kernels, benchmarks and examples.
+    //!
+    //! Re-exports the dozen types almost every driver needs — the
+    //! device and its validated configuration, the execution backends,
+    //! the report, and the matching/error knobs — so call sites write
+    //! `use tm_sim::prelude::*;` instead of four deep-path `use` lines.
+    //!
+    //! # Examples
+    //!
+    //! ```
+    //! use tm_sim::prelude::*;
+    //!
+    //! let config = DeviceConfig::builder()
+    //!     .with_policy(MatchPolicy::Exact)
+    //!     .with_backend(ExecBackend::Parallel)
+    //!     .build()
+    //!     .unwrap();
+    //! let device = Device::new(config);
+    //! assert_eq!(device.report().wavefronts, 0);
+    //! ```
+    pub use crate::config::{
+        ArchMode, ConfigError, DeviceConfig, DeviceConfigBuilder, ErrorMode, ExecBackend,
+    };
+    pub use crate::device::Device;
+    pub use crate::engine::ShardKernel;
+    pub use crate::kernel::Kernel;
+    pub use crate::report::{DeviceReport, OpReport};
+    pub use crate::wave::{VReg, WaveCtx};
+    pub use tm_core::MatchPolicy;
+    pub use tm_timing::{ErrorModelSpec, RecoveryPolicy};
+}

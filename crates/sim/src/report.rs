@@ -41,6 +41,9 @@ pub struct DeviceReport {
     pub cycles_total: u64,
     /// ECU baseline recoveries performed.
     pub recoveries: u64,
+    /// Cycles stalled in ECU recovery, summed across compute units —
+    /// the campaign runner's "recovery cycles" metric.
+    pub recovery_stall_cycles: u64,
     /// Timing violations injected.
     pub errors_injected: u64,
     /// Wavefronts dispatched.
@@ -184,6 +187,7 @@ mod tests {
             cycles_max: 10,
             cycles_total: 20,
             recoveries: 0,
+            recovery_stall_cycles: 0,
             errors_injected: 0,
             wavefronts: 2,
             spatial_hits: 0,
@@ -219,6 +223,7 @@ mod tests {
             cycles_max: 0,
             cycles_total: 0,
             recoveries: 0,
+            recovery_stall_cycles: 0,
             errors_injected: 0,
             wavefronts: 0,
             spatial_hits: 0,

@@ -865,7 +865,7 @@ mod tests {
 
     #[test]
     fn pipeline_composes_and_routes_by_kind() {
-        let config = DeviceConfig::default().with_trace_depth(16);
+        let config = DeviceConfig::builder().with_trace_depth(16).build().unwrap();
         let mut pipeline = SinkPipeline::standard(&config);
         assert_eq!(pipeline.len(), 3);
         pipeline.push(SinkKind::Locality(LocalitySink::new()));
@@ -945,7 +945,7 @@ mod tests {
     fn standard_pipeline_installs_metrics_only_when_configured() {
         let without = SinkPipeline::standard(&DeviceConfig::default());
         assert!(without.metrics().is_none());
-        let with = SinkPipeline::standard(&DeviceConfig::default().with_metrics_window(64));
+        let with = SinkPipeline::standard(&DeviceConfig::builder().with_metrics_window(64).build().unwrap());
         let sink = with.metrics().expect("metrics sink installed");
         assert_eq!(sink.window(), 64);
     }

@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn baseline_arch_power_gates_the_module() {
-        let cfg = config().with_arch(ArchMode::Baseline);
+        let cfg = config().rebuild().with_arch(ArchMode::Baseline).build().unwrap();
         let mut unit = LaneUnit::new(FpOp::Mul, &cfg);
         let ops = Operands::binary(2.0, 2.0);
         let a = unit.issue(ops, false, 0);
@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn approximate_policy_flows_from_config() {
-        let cfg = config().with_policy(MatchPolicy::threshold(0.5));
+        let cfg = config()
+            .rebuild()
+            .with_policy(MatchPolicy::threshold(0.5))
+            .build()
+            .unwrap();
         let mut unit = LaneUnit::new(FpOp::Sqrt, &cfg);
         unit.issue(Operands::unary(4.0), false, 0);
         let out = unit.issue(Operands::unary(4.4), false, 1);
@@ -204,12 +208,16 @@ mod tests {
     #[test]
     fn adaptive_gate_trips_on_zero_locality_and_probes_back() {
         use tm_core::GatePolicy;
-        let cfg = config().with_adaptive_gate(GatePolicy {
-            window: 4,
-            min_hit_rate: 0.5,
-            gate_period: 6,
-            consecutive_windows: 1,
-        });
+        let cfg = config()
+            .rebuild()
+            .with_adaptive_gate(GatePolicy {
+                window: 4,
+                min_hit_rate: 0.5,
+                gate_period: 6,
+                consecutive_windows: 1,
+            })
+            .build()
+            .unwrap();
         let mut unit = LaneUnit::new(FpOp::Add, &cfg);
         // Distinct operands forever: every probe window re-trips the gate.
         // Cadence: 4 probing accesses, then 6 bypassed, repeating.
@@ -238,12 +246,16 @@ mod tests {
     #[test]
     fn adaptive_gate_stays_open_on_high_locality() {
         use tm_core::GatePolicy;
-        let cfg = config().with_adaptive_gate(GatePolicy {
-            window: 4,
-            min_hit_rate: 0.5,
-            gate_period: 6,
-            consecutive_windows: 1,
-        });
+        let cfg = config()
+            .rebuild()
+            .with_adaptive_gate(GatePolicy {
+                window: 4,
+                min_hit_rate: 0.5,
+                gate_period: 6,
+                consecutive_windows: 1,
+            })
+            .build()
+            .unwrap();
         let mut unit = LaneUnit::new(FpOp::Add, &cfg);
         let ops = Operands::binary(1.0, 2.0);
         for i in 0..64 {

@@ -94,7 +94,7 @@ fn steady_state_issue_loop_does_not_allocate() {
 fn steady_state_metrics_fold_does_not_allocate() {
     // A small window forces several coalesce steps during the measured
     // burst, proving coalescing itself is allocation-free too.
-    let config = DeviceConfig::default().with_metrics_window(4);
+    let config = DeviceConfig::builder().with_metrics_window(4).build().unwrap();
     let cu = assert_steady_state_alloc_free(&config);
     let metrics = cu.metrics().expect("metrics sink configured");
     assert!(

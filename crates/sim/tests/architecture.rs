@@ -31,7 +31,7 @@ impl<F: Fn(usize) -> f32> Kernel for LaneValued<F> {
 }
 
 fn one_cu() -> DeviceConfig {
-    DeviceConfig::default().with_compute_units(1)
+    DeviceConfig::builder().with_compute_units(1).build().unwrap()
 }
 
 #[test]
@@ -69,7 +69,7 @@ fn slot_constant_values_favor_spatial_reuse() {
     // The mirror image: within a slot all 16 lanes share one value —
     // invisible to per-SC FIFOs, ideal for cross-lane (spatial) reuse.
     let make = |arch| {
-        let mut device = Device::new(one_cu().with_arch(arch));
+        let mut device = Device::new(one_cu().rebuild().with_arch(arch).build().unwrap());
         let mut kernel = LaneValued {
             value: |gid| (gid / 16) as f32 * 1.0001 + 1.0,
             op: FpOp::Sqrt,
@@ -139,9 +139,12 @@ fn errors_do_not_leak_between_architectures_with_same_seed() {
     // in the paper (and our figs) are paired, not just sampled.
     let run = |arch| {
         let config = one_cu()
+            .rebuild()
             .with_arch(arch)
             .with_error_mode(ErrorMode::FixedRate(0.1))
-            .with_seed(77);
+            .with_seed(77)
+            .build()
+            .unwrap();
         let mut device = Device::new(config);
         let mut kernel = LaneValued {
             value: |gid| (gid % 4) as f32,
@@ -155,7 +158,11 @@ fn errors_do_not_leak_between_architectures_with_same_seed() {
 
 #[test]
 fn approximate_policy_device_wide() {
-    let config = one_cu().with_policy(MatchPolicy::threshold(0.25));
+    let config = one_cu()
+        .rebuild()
+        .with_policy(MatchPolicy::threshold(0.25))
+        .build()
+        .unwrap();
     let mut device = Device::new(config);
     // Values jitter within the threshold around a per-SC base.
     let mut kernel = LaneValued {

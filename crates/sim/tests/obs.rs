@@ -55,18 +55,18 @@ const ALL_BACKENDS: [ExecBackend; 3] =
     [ExecBackend::Sequential, ExecBackend::Parallel, ExecBackend::IntraCu];
 
 fn config(backend: ExecBackend) -> DeviceConfig {
-    DeviceConfig::default()
+    DeviceConfig::builder()
         .with_compute_units(2)
         .with_error_mode(ErrorMode::FixedRate(0.05))
         .with_seed(11)
-        .with_backend(backend)
+        .with_backend(backend).build().unwrap()
 }
 
 #[test]
 fn observability_never_perturbs_results_and_traces_every_backend() {
     let rec = SharedRecorder::new();
     for backend in ALL_BACKENDS {
-        let mut traced = Device::new(config(backend).with_metrics_window(WINDOW));
+        let mut traced = Device::new(config(backend).rebuild().with_metrics_window(WINDOW).build().unwrap());
         traced.attach_recorder(&rec);
         let mut traced_k = MixedShard::new(400);
         traced.dispatch(&mut traced_k, 400);
@@ -140,9 +140,9 @@ fn reset_stats_clears_metrics_windows_without_leaking() {
     // which is fine for windowed metrics but would fold new spans under
     // old timestamps (see `Device::attach_recorder`).
     let mut device = Device::new(
-        DeviceConfig::default()
+        DeviceConfig::builder()
             .with_compute_units(1)
-            .with_metrics_window(WINDOW),
+            .with_metrics_window(WINDOW).build().unwrap(),
     );
     let run = |device: &mut Device| {
         let mut k = MixedShard::new(512);

@@ -46,8 +46,13 @@ fn best_of(cu: &mut ComputeUnit, trials: usize) -> f64 {
 
 #[test]
 fn metrics_sink_costs_at_most_five_percent() {
-    let plain_cfg = DeviceConfig::default().with_compute_units(1);
-    let metered_cfg = plain_cfg.clone().with_metrics_window(1024);
+    let plain_cfg = DeviceConfig::builder().with_compute_units(1).build().unwrap();
+    let metered_cfg = plain_cfg
+        .clone()
+        .rebuild()
+        .with_metrics_window(1024)
+        .build()
+        .unwrap();
     let mut plain = ComputeUnit::new(&plain_cfg, 0);
     let mut metered = ComputeUnit::new(&metered_cfg, 0);
     assert!(plain.metrics().is_none());

@@ -101,7 +101,7 @@ fn interleaving_degrades_temporal_locality() {
     let n = 64 * 32; // 32 wavefronts on one CU
     let run = |in_flight: usize| {
         let mut bindings = sample_bindings(n, |i| ((i / 64) * 100 + i % 16) as f32);
-        let mut device = Device::new(DeviceConfig::default().with_compute_units(1));
+        let mut device = Device::new(DeviceConfig::builder().with_compute_units(1).build().unwrap());
         device.run_program(&two_sqrts, &mut bindings, n, in_flight);
         device.report().weighted_hit_rate()
     };
@@ -195,9 +195,9 @@ fn errors_are_transparent_through_the_program_path() {
     use tm_sim::ErrorMode;
     let n = 512;
     let mut bindings = sample_bindings(n, |i| (i % 5) as f32);
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_error_mode(ErrorMode::FixedRate(0.2))
-        .with_seed(5);
+        .with_seed(5).build().unwrap();
     let mut device = Device::new(config);
     device.run_program(&sample_program(), &mut bindings, n, 4);
     assert!(device.report().errors_injected > 0);

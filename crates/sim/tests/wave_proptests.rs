@@ -23,7 +23,7 @@ proptest! {
         c0 in finite(),
     ) {
         let lanes = a.len();
-        let config = DeviceConfig::default().with_compute_units(1);
+        let config = DeviceConfig::builder().with_compute_units(1).build().unwrap();
         let mut cu = ComputeUnit::new(&config, 0);
         let mut ctx = WaveCtx::new(&mut cu, (0..lanes).collect());
         let ra = VReg::from_vec(a.clone());
@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn masked_lanes_stay_silent(mask in prop::collection::vec(any::<bool>(), 1..64)) {
         let lanes = mask.len();
-        let config = DeviceConfig::default().with_compute_units(1);
+        let config = DeviceConfig::builder().with_compute_units(1).build().unwrap();
         let mut cu = ComputeUnit::new(&config, 0);
         let mut ctx = WaveCtx::new(&mut cu, (0..lanes).collect());
         ctx.push_mask(&mask);

@@ -44,10 +44,15 @@
 
 mod ecu;
 mod eds;
+pub mod error_model;
 mod injector;
 mod voltage;
 
 pub use ecu::{Ecu, RecoveryPolicy};
 pub use eds::EdsChain;
+pub use error_model::{
+    BurstErrors, Corner, ErrorModel, ErrorModelSpec, ErrorSampler, HeterogeneousErrors,
+    UniformErrors, VoltageCoupledErrors,
+};
 pub use injector::ErrorInjector;
 pub use voltage::{VoltageModel, MEMO_MODULE_SLACK, NOMINAL_VDD};

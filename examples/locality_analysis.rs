@@ -14,9 +14,9 @@ use temporal_memo::{image::synth, sim::TraceEvent};
 
 fn main() {
     let input = synth::face(128, 128, 7);
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_compute_units(1)
-        .with_trace_depth(2_000_000);
+        .with_trace_depth(2_000_000).build().unwrap();
     let mut device = Device::new(config);
     let _ = SobelKernel::new(&input).run(&mut device);
 

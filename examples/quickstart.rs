@@ -29,17 +29,17 @@ impl Kernel for InvSqrtKernel {
     }
 }
 
-fn run(arch: ArchMode, error_rate: f64, n: usize) -> (Vec<f32>, tm_sim::DeviceReport) {
+fn run(arch: ArchMode, error_rate: f64, n: usize) -> (Vec<f32>, DeviceReport) {
     // Low-entropy input: sensor-style readings quantized to 16 levels —
     // the kind of data-parallel value locality the paper exploits.
     let mut kernel = InvSqrtKernel {
         input: (0..n).map(|i| ((i * 7) % 16) as f32).collect(),
         output: vec![0.0; n],
     };
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_arch(arch)
         .with_error_mode(ErrorMode::FixedRate(error_rate))
-        .with_seed(42);
+        .with_seed(42).build().unwrap();
     let mut device = Device::new(config);
     device.run(&mut kernel, n);
     (kernel.output, device.report())

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     for paper_t in [0.0f32, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let gray = paper_t * GRAY_LEVELS_PER_THRESHOLD_UNIT;
-        let config = DeviceConfig::default().with_policy(MatchPolicy::threshold(gray));
+        let config = DeviceConfig::builder().with_policy(MatchPolicy::threshold(gray)).build().unwrap();
         let mut device = Device::new(config);
         let out = SobelKernel::new(&input).run(&mut device);
         let report = device.report();

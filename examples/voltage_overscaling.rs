@@ -11,11 +11,11 @@ use temporal_memo::kernels::haar::run_haar;
 use temporal_memo::prelude::*;
 
 fn total_energy(arch: ArchMode, vdd: f64, signal: &[f32]) -> (f64, u64, u64) {
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_arch(arch)
         .with_error_mode(ErrorMode::FromVoltage)
         .with_vdd(vdd)
-        .with_seed(2014);
+        .with_seed(2014).build().unwrap();
     let mut device = Device::new(config);
     let _ = run_haar(&mut device, signal);
     let report = device.report();

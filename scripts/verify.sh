@@ -30,6 +30,17 @@ test -s "$obs_dir/obs.jsonl"
 grep -q '"traceEvents"' "$obs_dir/obs.trace.json"
 grep -q '"hit_rate"' "$obs_dir/obs.jsonl"
 
+echo "== resilience mini-campaign (3 trials/point, heterogeneous errors) =="
+camp_out="$(cargo run --release --offline -p tm-bench --bin repro -- \
+    --experiment campaign --scale test --trials 3 \
+    --campaign-out "$obs_dir/campaign.jsonl")"
+echo "$camp_out"
+grep -q "psnr dB (mean±sd)" <<<"$camp_out"
+grep -q "controller:" <<<"$camp_out"
+test -s "$obs_dir/campaign.jsonl"
+grep -q '"kind":"trial"' "$obs_dir/campaign.jsonl"
+grep -q '"acceptable":true' "$obs_dir/campaign.jsonl"
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== cargo clippy -D warnings -D clippy::perf (offline, workspace) =="
     cargo clippy --workspace --all-targets --offline -- -D warnings -D clippy::perf

@@ -77,13 +77,16 @@ pub use tm_sim as sim;
 pub use tm_timing as timing;
 
 /// The most common imports, bundled.
+///
+/// Built on [`tm_sim::prelude`], so the validated
+/// [`DeviceConfig::builder`](tm_sim::DeviceConfig::builder) API, the
+/// [`ConfigError`](tm_sim::ConfigError) type, the
+/// [`DeviceReport`](tm_sim::DeviceReport) and the pluggable
+/// [`ErrorModelSpec`](tm_timing::ErrorModelSpec) all come along.
 pub mod prelude {
-    pub use tm_core::{MatchPolicy, MemoModule, MemoStats};
+    pub use tm_core::{MemoModule, MemoStats};
     pub use tm_energy::{EnergyLedger, EnergyModel};
     pub use tm_fpu::{FpOp, Operands};
-    pub use tm_sim::{
-        ArchMode, Device, DeviceConfig, ErrorMode, ExecBackend, Kernel, ShardKernel, VReg,
-        WaveCtx,
-    };
-    pub use tm_timing::{ErrorInjector, RecoveryPolicy, VoltageModel};
+    pub use tm_sim::prelude::*;
+    pub use tm_timing::{ErrorInjector, VoltageModel};
 }

@@ -47,7 +47,7 @@ fn run_saxpy(config: DeviceConfig, n: usize) -> (Vec<f32>, tm_sim::DeviceReport)
 #[test]
 fn memoized_architecture_is_bit_transparent_under_exact_matching() {
     let n = 2000; // includes a partial wavefront
-    let (base, _) = run_saxpy(DeviceConfig::default().with_arch(ArchMode::Baseline), n);
+    let (base, _) = run_saxpy(DeviceConfig::builder().with_arch(ArchMode::Baseline).build().unwrap(), n);
     let (memo, report) = run_saxpy(DeviceConfig::default(), n);
     assert_eq!(base, memo);
     assert!(report.weighted_hit_rate() > 0.0);
@@ -60,9 +60,9 @@ fn memoized_architecture_is_bit_transparent_under_exact_matching() {
 #[test]
 fn outputs_stay_correct_under_heavy_timing_errors() {
     let n = 1024;
-    let errorful = DeviceConfig::default()
+    let errorful = DeviceConfig::builder()
         .with_error_mode(ErrorMode::FixedRate(0.25))
-        .with_seed(99);
+        .with_seed(99).build().unwrap();
     let (out, report) = run_saxpy(errorful, n);
     assert!(report.errors_injected > 100);
     for (i, x) in saxpy_input(n).iter().enumerate() {
@@ -76,9 +76,9 @@ fn outputs_stay_correct_under_heavy_timing_errors() {
 
 #[test]
 fn identical_seeds_reproduce_identical_reports() {
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_error_mode(ErrorMode::FixedRate(0.05))
-        .with_seed(7);
+        .with_seed(7).build().unwrap();
     let (out_a, rep_a) = run_saxpy(config.clone(), 512);
     let (out_b, rep_b) = run_saxpy(config, 512);
     assert_eq!(out_a, out_b);
@@ -88,7 +88,7 @@ fn identical_seeds_reproduce_identical_reports() {
 #[test]
 fn memoization_saves_energy_on_low_entropy_input() {
     let n = 8192;
-    let (_, base) = run_saxpy(DeviceConfig::default().with_arch(ArchMode::Baseline), n);
+    let (_, base) = run_saxpy(DeviceConfig::builder().with_arch(ArchMode::Baseline).build().unwrap(), n);
     let (_, memo) = run_saxpy(DeviceConfig::default(), n);
     assert!(
         memo.total_energy_pj() < base.total_energy_pj(),
@@ -103,10 +103,10 @@ fn power_gated_module_behaves_like_baseline_with_lut_idle() {
     // Baseline arch == memo modules power-gated: same output, same
     // recovery behaviour, no lookups.
     let n = 512;
-    let config = DeviceConfig::default()
+    let config = DeviceConfig::builder()
         .with_arch(ArchMode::Baseline)
         .with_error_mode(ErrorMode::FixedRate(0.1))
-        .with_seed(3);
+        .with_seed(3).build().unwrap();
     let (out, report) = run_saxpy(config, n);
     assert_eq!(report.total_stats().lookups, 0);
     assert_eq!(report.recoveries, report.errors_injected);

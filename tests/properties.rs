@@ -95,9 +95,9 @@ proptest! {
         }
         let x: Vec<f32> = input.iter().map(|&v| f32::from(v)).collect();
         let n = x.len();
-        let config = DeviceConfig::default()
+        let config = DeviceConfig::builder()
             .with_error_mode(ErrorMode::FixedRate(f64::from(error_pct) / 100.0))
-            .with_seed(seed);
+            .with_seed(seed).build().unwrap();
         let mut kernel = Square { x: x.clone(), y: vec![0.0; n] };
         let mut device = Device::new(config);
         device.run(&mut kernel, n);
