@@ -1,23 +1,22 @@
 //! Hot-path throughput benchmark (`repro --experiment bench`).
 //!
 //! Measures simulator throughput — lane instructions per wall-clock
-//! second — for every kernel workload and for the IR program path, per
-//! execution backend. The `repro` binary serializes the rows to
-//! `BENCH_hotpath.json`, preserving the first-ever run as a frozen
-//! baseline so the perf trajectory is tracked across PRs.
+//! second — for every kernel workload in both its closure form and its
+//! compiled-IR form (`{kernel}-ir`), per execution backend. The `repro`
+//! binary serializes the rows to `BENCH_hotpath.json`, preserving the
+//! first-ever run as a frozen baseline so the perf trajectory is tracked
+//! across PRs (and gated by `--gate`; see [`crate::bench_gate`]).
 
 use crate::runner::{kernel_policy, ExperimentConfig};
 use std::time::Instant;
-use tm_image::synth;
-use tm_kernels::ir::{fwt_stage_program, sobel_program};
 use tm_kernels::{workload, ALL_KERNELS};
 use tm_sim::prelude::*;
 
 /// One (case, backend) throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
-    /// Workload name (kernel id, or `sobel-ir` / `fwt-ir` for the
-    /// program path).
+    /// Workload name: the kernel id, or `{kernel}-ir` for its
+    /// compiled-IR twin.
     pub case: String,
     /// Execution backend the device ran on.
     pub backend: ExecBackend,
@@ -63,9 +62,13 @@ fn row(case: &str, backend: ExecBackend, (instructions, wall_ms): (u64, f64)) ->
     }
 }
 
-/// Sweeps every kernel workload plus the Sobel and FWT program paths on
-/// a **single-CU** device (the configuration where hot-path cost is
+/// Sweeps every kernel workload — closure form and compiled-IR twin —
+/// on a **single-CU** device (the configuration where hot-path cost is
 /// undiluted by CU-level parallelism) across all backends.
+///
+/// Both forms run the same scale, seed and Table-1 matching policy, so
+/// each `{kernel}-ir` row is directly comparable against its closure
+/// twin: identical instruction stream, different execution machinery.
 #[must_use]
 pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
     let mut rows = Vec::new();
@@ -76,53 +79,25 @@ pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
                 .with_policy(kernel_policy(id))
                 .with_seed(cfg.seed)
                 .with_backend(backend).build().unwrap();
-            let timing = time_best_of(repeats, || {
-                let mut wl = workload::build(id, cfg.scale, cfg.seed);
-                let mut device = Device::new(device_config.clone());
-                let _ = wl.run(&mut device);
-                device.report().total_instructions()
-            });
-            rows.push(row(id.name(), backend, timing));
+            for ir in [false, true] {
+                let timing = time_best_of(repeats, || {
+                    let mut wl = if ir {
+                        workload::build_ir(id, cfg.scale, cfg.seed)
+                    } else {
+                        workload::build(id, cfg.scale, cfg.seed)
+                    };
+                    let mut device = Device::new(device_config.clone());
+                    let _ = wl.run(&mut device);
+                    device.report().total_instructions()
+                });
+                let case = if ir {
+                    format!("{}-ir", id.name())
+                } else {
+                    id.name().to_owned()
+                };
+                rows.push(row(&case, backend, timing));
+            }
         }
-        rows.push(row(
-            "sobel-ir",
-            backend,
-            time_best_of(repeats, || {
-                let image = synth::face(96, 96, cfg.seed);
-                let mut ip = sobel_program(&image);
-                let mut device = Device::new(
-                    DeviceConfig::builder()
-                        .with_compute_units(1)
-                        .with_seed(cfg.seed)
-                        .with_backend(backend).build().unwrap(),
-                );
-                device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
-                device.report().total_instructions()
-            }),
-        ));
-        rows.push(row(
-            "fwt-ir",
-            backend,
-            time_best_of(repeats, || {
-                let n = 4096usize;
-                let mut data: Vec<f32> =
-                    (0..n).map(|i| ((i * 37 + 11) % 97) as f32 - 48.0).collect();
-                let mut device = Device::new(
-                    DeviceConfig::builder()
-                        .with_compute_units(1)
-                        .with_seed(cfg.seed)
-                        .with_backend(backend).build().unwrap(),
-                );
-                let mut span = 1usize;
-                while span < n {
-                    let mut ip = fwt_stage_program(&data, span);
-                    device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
-                    data = ip.bindings.buffer(ip.output).to_vec();
-                    span *= 2;
-                }
-                device.report().total_instructions()
-            }),
-        ));
     }
     rows
 }
@@ -167,10 +142,26 @@ mod tests {
             ..ExperimentConfig::default()
         };
         let rows = hotpath_bench(&cfg, 1);
-        assert_eq!(rows.len(), (ALL_KERNELS.len() + 2) * BENCH_BACKENDS.len());
+        assert_eq!(rows.len(), ALL_KERNELS.len() * 2 * BENCH_BACKENDS.len());
         for r in &rows {
             assert!(r.instructions > 0, "{}: no instructions", r.case);
             assert!(r.instr_per_sec > 0.0, "{}: no throughput", r.case);
+        }
+        // The IR twin replays the closure kernel's exact issue stream, so
+        // the measured instruction counts must match pairwise.
+        for id in ALL_KERNELS {
+            for &backend in &BENCH_BACKENDS {
+                let find = |case: &str| {
+                    rows.iter()
+                        .find(|r| r.case == case && r.backend == backend)
+                        .unwrap_or_else(|| panic!("missing row {case}"))
+                };
+                assert_eq!(
+                    find(id.name()).instructions,
+                    find(&format!("{}-ir", id.name())).instructions,
+                    "{id} on {backend:?}: IR twin retired a different instruction count"
+                );
+            }
         }
     }
 

@@ -43,6 +43,9 @@ struct RunCtx<'a> {
     trials: u32,
     /// Where to write the campaign's per-trial JSONL (`--campaign-out`).
     campaign_out: Option<&'a Path>,
+    /// Whether `bench` gates current throughput against the frozen
+    /// baseline (`--gate`); a failed gate exits non-zero.
+    gate: bool,
 }
 
 /// One registered experiment: a stable id, one-line help for `--list`,
@@ -68,7 +71,7 @@ const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "bench",
         help: "hot-path throughput bench with tracked JSON baseline",
-        run: |ctx| print_bench(ctx.cfg),
+        run: |ctx| print_bench(ctx.cfg, ctx.gate),
     },
     Experiment {
         name: "obs-demo",
@@ -201,6 +204,7 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut trials: u32 = 8;
     let mut campaign_out: Option<PathBuf> = None;
+    let mut gate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -283,6 +287,9 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--gate" => {
+                gate = true;
+            }
             "--list" => {
                 for e in REGISTRY {
                     println!("{:<22} {}", e.name, e.help);
@@ -291,7 +298,11 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE]"
+                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE] [--gate]"
+                );
+                println!(
+                    "--gate makes `bench` fail (exit 1) on a >{:.0}% per-case instr/s drop vs the frozen baseline",
+                    (1.0 - tm_bench::GATE_FLOOR) * 100.0
                 );
                 println!(
                     "--parallel runs one worker thread per compute unit; results are bit-identical"
@@ -337,6 +348,7 @@ fn main() -> ExitCode {
         obs_out: &obs_out,
         trials,
         campaign_out: campaign_out.as_deref(),
+        gate,
     };
     if experiment == "all" {
         for e in REGISTRY {
@@ -737,19 +749,19 @@ fn extract_baseline(json: &str) -> Option<&str> {
     None
 }
 
-fn print_bench(cfg: &ExperimentConfig) {
+fn print_bench(cfg: &ExperimentConfig, gate: bool) {
     let repeats = match cfg.scale {
-        Scale::Test => 3,
-        _ => 2,
+        Scale::Test | Scale::Default => 3,
+        Scale::Paper => 2,
     };
     let rows = tm_bench::hotpath_bench(cfg, repeats);
     println!(
-        "{:<14} {:<12} {:>14} {:>10} {:>16}",
+        "{:<16} {:<12} {:>14} {:>10} {:>16}",
         "case", "backend", "instructions", "wall(ms)", "instr/sec"
     );
     for r in &rows {
         println!(
-            "{:<14} {:<12} {:>14} {:>10.3} {:>16.0}",
+            "{:<16} {:<12} {:>14} {:>10.3} {:>16.0}",
             r.case,
             tm_bench::backend_label(r.backend),
             r.instructions,
@@ -761,12 +773,63 @@ fn print_bench(cfg: &ExperimentConfig) {
     let path = Path::new("BENCH_hotpath.json");
     let baseline = std::fs::read_to_string(path)
         .ok()
-        .and_then(|old| extract_baseline(&old).map(str::to_owned))
-        .unwrap_or_else(|| current.clone());
+        .and_then(|old| extract_baseline(&old).map(str::to_owned));
+    let gate_failed = if gate {
+        match &baseline {
+            None => {
+                println!("gate: no baseline yet — this run seeds it, nothing to compare");
+                false
+            }
+            Some(baseline) => run_bench_gate(baseline, &rows),
+        }
+    } else {
+        false
+    };
+    // `current` always updates, gate or no gate, pass or fail — the JSON
+    // must reflect the run that was actually measured.
+    let baseline = baseline.unwrap_or_else(|| current.clone());
     let combined = format!("{{\n\"baseline\": {baseline},\n\"current\": {current}\n}}\n");
     match std::fs::write(path, combined) {
         Ok(()) => println!("(bench written to {})", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}
+
+/// Runs the regression gate and prints its verdict; returns `true` when
+/// the gate failed.
+fn run_bench_gate(baseline: &str, rows: &[tm_bench::BenchRow]) -> bool {
+    match tm_bench::bench_gate(baseline, rows, tm_bench::GATE_FLOOR) {
+        Ok(report) => {
+            println!(
+                "gate: {} cases vs frozen baseline, median speed ratio {:.2}x, floor {:.0}% of normalized baseline",
+                report.entries.len(),
+                report.median_ratio,
+                report.floor * 100.0
+            );
+            for e in report.failures() {
+                eprintln!(
+                    "gate FAIL: {} [{}] {:.0} -> {:.0} instr/s ({:.0}% of baseline after host-drift correction)",
+                    e.case,
+                    e.backend,
+                    e.baseline_ips,
+                    e.current_ips,
+                    e.normalized * 100.0
+                );
+            }
+            if report.passed() {
+                println!("gate: PASS");
+                false
+            } else {
+                true
+            }
+        }
+        Err(e) => {
+            eprintln!("gate FAIL: {e}");
+            true
+        }
     }
 }
 

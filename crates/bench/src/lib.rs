@@ -31,6 +31,7 @@ pub mod chart;
 pub mod csv;
 mod energy;
 mod frequency;
+mod gate;
 mod hit_rate;
 mod interleave;
 mod lut_explore;
@@ -59,6 +60,7 @@ pub use energy::{
     EnergyComparison, Fig10Row, Fig11Row, FIG10_ERROR_RATES, FIG11_VOLTAGES,
 };
 pub use frequency::{frequency_sweep, FrequencyRow, PLAID_PERIODS};
+pub use gate::{bench_gate, GateEntry, GateReport, GATE_FLOOR};
 pub use hit_rate::{
     fifo_sweep, fig6_7, fig8, locality_analysis, Fig6Row, Fig8Row, FifoSweepRow, LocalityRow,
 };

@@ -16,13 +16,13 @@ use tm_rng::Pcg32;
 use tm_fpu::{compute, FpOp, Operands};
 use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
-const A1: f32 = 0.319_381_53;
-const A2: f32 = -0.356_563_78;
-const A3: f32 = 1.781_477_9;
-const A4: f32 = -1.821_255_9;
-const A5: f32 = 1.330_274_4;
-const GAMMA: f32 = 0.231_641_9;
-const INV_SQRT_2PI: f32 = 0.398_942_3;
+pub(crate) const A1: f32 = 0.319_381_53;
+pub(crate) const A2: f32 = -0.356_563_78;
+pub(crate) const A3: f32 = 1.781_477_9;
+pub(crate) const A4: f32 = -1.821_255_9;
+pub(crate) const A5: f32 = 1.330_274_4;
+pub(crate) const GAMMA: f32 = 0.231_641_9;
+pub(crate) const INV_SQRT_2PI: f32 = 0.398_942_3;
 const LOG2_E: f32 = std::f32::consts::LOG2_E;
 const LN_2: f32 = std::f32::consts::LN_2;
 

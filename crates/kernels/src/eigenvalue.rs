@@ -13,7 +13,7 @@ use tm_fpu::{compute, FpOp, Operands};
 use tm_sim::{Device, Kernel, ShardKernel, VReg, WaveCtx};
 
 /// Guard floor for the Sturm recurrence denominator.
-const STURM_EPS: f32 = 1e-20;
+pub(crate) const STURM_EPS: f32 = 1e-20;
 
 /// A symmetric tridiagonal matrix (diagonal + off-diagonal).
 #[derive(Debug, Clone, PartialEq)]

@@ -1,35 +1,51 @@
-//! The image kernels expressed as [`VProgram`]s.
+//! All seven workloads expressed as [`VProgram`]s.
 //!
-//! The closure kernels ([`crate::sobel`], [`crate::gaussian`]) execute one
-//! wavefront at a time; these IR builds compute the *same arithmetic* as
-//! straight-line vector programs, so they can run under
+//! The closure kernels ([`crate::sobel`], [`crate::gaussian`],
+//! [`crate::haar`], [`crate::fwt`], [`crate::black_scholes`],
+//! [`crate::binomial`], [`crate::eigenvalue`]) execute one wavefront at a
+//! time through host closures; these IR builds compute the *same
+//! arithmetic* as straight-line vector programs, so they can be lowered
+//! once into a [`tm_sim::CompiledProgram`] and run under
 //! [`tm_sim::Device::run_program`]'s wavefront-interleaving scheduler.
-//! Under exact matching they reproduce the golden filters bit for bit at
-//! any interleaving depth (reuse is transparent, and instruction order
-//! only shapes the FIFO streams, never the values).
+//! Under exact matching, at `in_flight = 1` every builder reproduces its
+//! closure twin's FPU operand streams — and therefore its output and its
+//! [`tm_sim::DeviceReport`] — bit for bit; the image kernels stay
+//! bit-identical at any interleaving depth (reuse is transparent, and
+//! instruction order only shapes the FIFO streams, never the values).
+//!
+//! Every builder declares its buffer interface through a
+//! [`KernelSignature`] and validates the program against it at build
+//! time.
 
+use crate::binomial::OptionSpec;
+use crate::black_scholes::OptionBatch;
+use crate::eigenvalue::Tridiagonal;
+use crate::signature::{BufferBinding, BufferRole, KernelSignature};
 use tm_fpu::FpOp;
 use tm_image::GrayImage;
 use tm_sim::program::{Bindings, Src, VInst, VProgram};
+use tm_sim::{CompileOptions, CompiledProgram, Device};
 
-/// Buffer layout shared by both image programs.
+const LOG2_E: f32 = std::f32::consts::LOG2_E;
+const LN_2: f32 = std::f32::consts::LN_2;
+
+/// One ready-to-run IR kernel build: the program, its buffers, and the
+/// typed interface descriptor tying the two together.
 ///
-/// | id | contents |
-/// |----|----------|
-/// | 0  | input pixels (row-major) |
-/// | 1  | identity indices (scatter target) |
-/// | 2… | one clamped-neighbour index buffer per tap |
-/// | last | output pixels |
+/// (Named for the image kernels that first used it; the signal and
+/// finance builders below share the same bundle shape.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct ImageProgram {
     /// The vector program.
     pub program: VProgram,
     /// Its buffer bindings (input, indices, output).
     pub bindings: Bindings,
-    /// The output buffer id.
+    /// The primary output buffer id (`signature.outputs[0]`).
     pub output: usize,
-    /// Work-items to dispatch (one per pixel).
+    /// Work-items to dispatch (one per pixel / pair / option / lane).
     pub global_size: usize,
+    /// The declared buffer interface, already validated.
+    pub signature: KernelSignature,
 }
 
 fn neighbour_indices(image: &GrayImage, dx: isize, dy: isize) -> Vec<f32> {
@@ -51,6 +67,49 @@ fn alu(op: FpOp, dst: u8, srcs: Vec<Src>) -> VInst {
 
 fn r(reg: u8) -> Src {
     Src::Reg(reg)
+}
+
+fn im(v: f32) -> Src {
+    Src::Imm(v)
+}
+
+/// Assembles a validated bundle; panics if the builder drifted from its
+/// declared signature (a builder bug, never an input error).
+fn bundle(
+    program: VProgram,
+    bindings: Bindings,
+    global_size: usize,
+    signature: KernelSignature,
+) -> ImageProgram {
+    signature
+        .validate(&program, &bindings)
+        .expect("IR builder must satisfy its declared signature");
+    ImageProgram {
+        program,
+        bindings,
+        output: signature.outputs[0],
+        global_size,
+        signature,
+    }
+}
+
+/// The shared image-filter interface: input pixels, identity scatter
+/// indices, one clamped-neighbour index buffer per tap, output pixels.
+fn image_signature(name: &'static str, taps: usize, registers: usize) -> KernelSignature {
+    let mut bindings = vec![
+        BufferBinding::new(0, BufferRole::Input, "pixels"),
+        BufferBinding::new(1, BufferRole::Indices, "identity"),
+    ];
+    for t in 0..taps {
+        bindings.push(BufferBinding::new(2 + t, BufferRole::Indices, "tap"));
+    }
+    bindings.push(BufferBinding::new(2 + taps, BufferRole::Output, "filtered"));
+    KernelSignature {
+        name,
+        bindings,
+        register_budget: registers,
+        outputs: vec![2 + taps],
+    }
 }
 
 /// Builds the Sobel filter as a vector program over `image`.
@@ -129,12 +188,12 @@ pub fn sobel_program(image: &GrayImage) -> ImageProgram {
             indices: 1,
         },
     ]);
-    ImageProgram {
-        program: VProgram::new(16, instructions).expect("sobel IR is well-formed"),
-        bindings: Bindings::new(buffers),
-        output,
-        global_size: n,
-    }
+    bundle(
+        VProgram::new(16, instructions).expect("sobel IR is well-formed"),
+        Bindings::new(buffers),
+        n,
+        image_signature("sobel", taps.len(), 16),
+    )
 }
 
 /// Builds the 3×3 Gaussian blur as a vector program over `image`.
@@ -192,12 +251,12 @@ pub fn gaussian_program(image: &GrayImage) -> ImageProgram {
             indices: 1,
         },
     ]);
-    ImageProgram {
-        program: VProgram::new(12, instructions).expect("gaussian IR is well-formed"),
-        bindings: Bindings::new(buffers),
-        output,
-        global_size: n,
-    }
+    bundle(
+        VProgram::new(12, instructions).expect("gaussian IR is well-formed"),
+        Bindings::new(buffers),
+        n,
+        image_signature("gaussian", taps.len(), 12),
+    )
 }
 
 /// Builds one Haar decomposition level (over `input` of even length) as a
@@ -239,12 +298,24 @@ pub fn haar_level_program(input: &[f32]) -> ImageProgram {
         VInst::Scatter { src: 2, data: 5, indices: 3 },
         VInst::Scatter { src: 3, data: 5, indices: 4 },
     ];
-    ImageProgram {
-        program: VProgram::new(4, instructions).expect("haar IR is well-formed"),
-        bindings: Bindings::new(buffers),
-        output: 5,
-        global_size: half,
-    }
+    bundle(
+        VProgram::new(4, instructions).expect("haar IR is well-formed"),
+        Bindings::new(buffers),
+        half,
+        KernelSignature {
+            name: "haar_level",
+            bindings: vec![
+                BufferBinding::new(0, BufferRole::Input, "signal"),
+                BufferBinding::new(1, BufferRole::Indices, "even"),
+                BufferBinding::new(2, BufferRole::Indices, "odd"),
+                BufferBinding::new(3, BufferRole::Indices, "approx"),
+                BufferBinding::new(4, BufferRole::Indices, "detail"),
+                BufferBinding::new(5, BufferRole::Output, "coeffs"),
+            ],
+            register_budget: 4,
+            outputs: vec![5],
+        },
+    )
 }
 
 /// Builds one fast-Walsh-transform butterfly stage over `data` with the
@@ -283,12 +354,406 @@ pub fn fwt_stage_program(data: &[f32], span: usize) -> ImageProgram {
         VInst::Scatter { src: 2, data: 0, indices: 1 },
         VInst::Scatter { src: 3, data: 0, indices: 2 },
     ];
-    ImageProgram {
-        program: VProgram::new(4, instructions).expect("fwt IR is well-formed"),
-        bindings: Bindings::new(buffers),
-        output: 0,
-        global_size: pairs,
+    bundle(
+        VProgram::new(4, instructions).expect("fwt IR is well-formed"),
+        Bindings::new(buffers),
+        pairs,
+        KernelSignature {
+            name: "fwt_stage",
+            bindings: vec![
+                BufferBinding::new(0, BufferRole::InOut, "data"),
+                BufferBinding::new(1, BufferRole::Indices, "low"),
+                BufferBinding::new(2, BufferRole::Indices, "high"),
+            ],
+            register_budget: 4,
+            outputs: vec![0],
+        },
+    )
+}
+
+/// Runs the full Haar decomposition through IR dispatches — the IR twin
+/// of [`crate::haar::run_haar`], driving the same level-by-level loop
+/// with one [`haar_level_program`] launch per level.
+///
+/// # Panics
+///
+/// Panics unless the signal length is a power of two of at least 2.
+#[must_use]
+pub fn run_haar_ir(device: &mut Device, signal: &[f32], in_flight: usize) -> Vec<f32> {
+    let n = signal.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "signal length {n} must be a power of two >= 2"
+    );
+    let mut out = vec![0.0f32; n];
+    // Every level runs the same instruction stream over shrinking prefixes
+    // of the same buffers, so lower the bytecode once and reuse the
+    // bindings: each level only refreshes the signal prefix and the
+    // detail-index buffer (the one index stream that depends on `half`).
+    let mut ip = haar_level_program(signal);
+    let compiled = CompiledProgram::compile(&ip.program, &CompileOptions::default());
+    let mut half = n / 2;
+    loop {
+        device.run_compiled(&compiled, &mut ip.bindings, half, in_flight);
+        let level_out = ip.bindings.buffer(ip.output);
+        out[half..2 * half].copy_from_slice(&level_out[half..2 * half]);
+        if half == 1 {
+            out[0] = level_out[0];
+            break;
+        }
+        let approx: Vec<f32> = level_out[..half].to_vec();
+        ip.bindings.buffer_mut(0)[..half].copy_from_slice(&approx);
+        half /= 2;
+        for (i, d) in ip.bindings.buffer_mut(4)[..half].iter_mut().enumerate() {
+            *d = (half + i) as f32;
+        }
     }
+    out
+}
+
+/// Runs the full fast Walsh transform through IR dispatches — the IR
+/// twin of [`crate::fwt::run_fwt`], one [`fwt_stage_program`] launch per
+/// butterfly stage.
+///
+/// # Panics
+///
+/// Panics unless the signal length is a power of two of at least 2.
+#[must_use]
+pub fn run_fwt_ir(device: &mut Device, signal: &[f32], in_flight: usize) -> Vec<f32> {
+    let n = signal.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "signal length {n} must be a power of two >= 2"
+    );
+    // Stages share one instruction stream (the span lives in the index
+    // buffers) and butterfly in place, so lower the bytecode once and
+    // keep the data resident in buffer 0 across stages — only the two
+    // index buffers are rewritten per span.
+    let mut ip = fwt_stage_program(signal, 1);
+    let compiled = CompiledProgram::compile(&ip.program, &CompileOptions::default());
+    let pairs = ip.global_size;
+    let mut span = 1usize;
+    while span < n {
+        if span > 1 {
+            let lo: Vec<f32> = (0..pairs)
+                .map(|g| ((g / span) * 2 * span + g % span) as f32)
+                .collect();
+            for (g, slot) in ip.bindings.buffer_mut(1).iter_mut().enumerate() {
+                *slot = lo[g];
+            }
+            for (g, slot) in ip.bindings.buffer_mut(2).iter_mut().enumerate() {
+                *slot = lo[g] + span as f32;
+            }
+        }
+        device.run_compiled(&compiled, &mut ip.bindings, pairs, in_flight);
+        span *= 2;
+    }
+    ip.bindings.buffer(ip.output).to_vec()
+}
+
+/// Emits the A&S cumulative-normal polynomial over register `x` into
+/// `out`, mirroring `BlackScholesKernel::cnd` instruction for
+/// instruction. `scratch` must be four registers distinct from `x` and
+/// `out`.
+fn cnd_ir(insts: &mut Vec<VInst>, x: u8, out: u8, scratch: [u8; 4]) {
+    use crate::black_scholes::{A1, A2, A3, A4, A5, GAMMA, INV_SQRT_2PI};
+    let [t, poly, e, neg] = scratch;
+    insts.extend([
+        alu(FpOp::Abs, t, vec![r(x)]),
+        alu(FpOp::MulAdd, t, vec![im(GAMMA), r(t), im(1.0)]),
+        alu(FpOp::Recip, t, vec![r(t)]),
+        alu(FpOp::MulAdd, poly, vec![im(A5), r(t), im(A4)]),
+        alu(FpOp::MulAdd, poly, vec![r(poly), r(t), im(A3)]),
+        alu(FpOp::MulAdd, poly, vec![r(poly), r(t), im(A2)]),
+        alu(FpOp::MulAdd, poly, vec![r(poly), r(t), im(A1)]),
+        alu(FpOp::Mul, poly, vec![r(poly), r(t)]),
+        alu(FpOp::Mul, e, vec![r(x), r(x)]),
+        alu(FpOp::Mul, e, vec![r(e), im(-0.5 * LOG2_E)]),
+        alu(FpOp::Exp2, e, vec![r(e)]),
+        alu(FpOp::Mul, e, vec![r(e), im(INV_SQRT_2PI)]),
+        alu(FpOp::Mul, e, vec![r(e), r(poly)]), // tail = pdf · poly
+        alu(FpOp::Sub, poly, vec![im(1.0), r(e)]), // nd = 1 − tail
+        alu(FpOp::SetGe, neg, vec![r(x), im(0.0)]),
+        alu(FpOp::CndEq, out, vec![r(neg), r(e), r(poly)]),
+    ]);
+}
+
+/// Builds Black–Scholes pricing as a vector program over `batch` — the
+/// IR twin of [`crate::black_scholes::BlackScholesKernel`], issuing the
+/// identical FPU instruction sequence per option.
+///
+/// Buffer layout: 0–4 = spot/strike/maturity/rate/volatility, 5 =
+/// identity indices, 6 = call prices, 7 = put prices
+/// (`signature.outputs == [6, 7]`).
+#[must_use]
+pub fn black_scholes_program(batch: &OptionBatch) -> ImageProgram {
+    let n = batch.len();
+    let buffers = vec![
+        batch.spot.clone(),
+        batch.strike.clone(),
+        batch.maturity.clone(),
+        batch.rate.clone(),
+        batch.volatility.clone(),
+        (0..n).map(|i| i as f32).collect(),
+        vec![0.0; n],
+        vec![0.0; n],
+    ];
+    // Registers: 0 s, 1 k, 2 t, 3 r, 4 σ; 5–7 d1/d2 chain, 8 nd1,
+    // 9 nd2, 10 nd1m, 11 nd2m, 12 disc/k·disc, 13–15 price assembly.
+    let mut insts: Vec<VInst> = (0..5u8)
+        .map(|p| VInst::Gather { dst: p, data: p as usize, indices: 5 })
+        .collect();
+    insts.extend([
+        alu(FpOp::Recip, 5, vec![r(1)]),
+        alu(FpOp::Mul, 5, vec![r(0), r(5)]),
+        alu(FpOp::Log2, 5, vec![r(5)]),
+        alu(FpOp::Mul, 5, vec![r(5), im(LN_2)]), // ln(S/K)
+        alu(FpOp::Mul, 6, vec![r(4), r(4)]),
+        alu(FpOp::Mul, 6, vec![r(6), im(0.5)]),
+        alu(FpOp::Add, 6, vec![r(3), r(6)]), // drift = r + σ²/2
+        alu(FpOp::MulAdd, 6, vec![r(6), r(2), r(5)]), // num
+        alu(FpOp::Sqrt, 7, vec![r(2)]),
+        alu(FpOp::Mul, 7, vec![r(4), r(7)]), // den = σ·√T
+        alu(FpOp::Recip, 8, vec![r(7)]),
+        alu(FpOp::Mul, 6, vec![r(6), r(8)]), // d1
+        alu(FpOp::Sub, 7, vec![r(6), r(7)]), // d2
+    ]);
+    cnd_ir(&mut insts, 6, 8, [10, 11, 12, 13]);
+    cnd_ir(&mut insts, 7, 9, [10, 11, 12, 13]);
+    insts.extend([
+        alu(FpOp::Sub, 10, vec![im(1.0), r(8)]), // N(−d1)
+        alu(FpOp::Sub, 11, vec![im(1.0), r(9)]), // N(−d2)
+        alu(FpOp::Mul, 12, vec![r(3), r(2)]),
+        alu(FpOp::Neg, 12, vec![r(12)]),
+        alu(FpOp::Mul, 12, vec![r(12), im(LOG2_E)]),
+        alu(FpOp::Exp2, 12, vec![r(12)]), // disc = e^{−rT}
+        alu(FpOp::Mul, 12, vec![r(1), r(12)]), // K·disc
+        alu(FpOp::Mul, 13, vec![r(0), r(8)]),
+        alu(FpOp::Mul, 14, vec![r(12), r(9)]),
+        alu(FpOp::Sub, 13, vec![r(13), r(14)]), // call
+        alu(FpOp::Mul, 14, vec![r(12), r(11)]),
+        alu(FpOp::Mul, 15, vec![r(0), r(10)]),
+        alu(FpOp::Sub, 14, vec![r(14), r(15)]), // put
+        VInst::Scatter { src: 13, data: 6, indices: 5 },
+        VInst::Scatter { src: 14, data: 7, indices: 5 },
+    ]);
+    bundle(
+        VProgram::new(16, insts).expect("black-scholes IR is well-formed"),
+        Bindings::new(buffers),
+        n,
+        KernelSignature {
+            name: "black_scholes",
+            bindings: vec![
+                BufferBinding::new(0, BufferRole::Input, "spot"),
+                BufferBinding::new(1, BufferRole::Input, "strike"),
+                BufferBinding::new(2, BufferRole::Input, "maturity"),
+                BufferBinding::new(3, BufferRole::Input, "rate"),
+                BufferBinding::new(4, BufferRole::Input, "volatility"),
+                BufferBinding::new(5, BufferRole::Indices, "identity"),
+                BufferBinding::new(6, BufferRole::Output, "call"),
+                BufferBinding::new(7, BufferRole::Output, "put"),
+            ],
+            register_budget: 16,
+            outputs: vec![6, 7],
+        },
+    )
+}
+
+/// Builds binomial-lattice pricing as a vector program — the IR twin of
+/// [`crate::binomial::BinomialKernel`], one wavefront per option.
+///
+/// Wavefront-uniform CRR parameters become per-work-item broadcast
+/// buffers (gathered, so their splat-like operand streams hit the memo
+/// FIFOs exactly as the closure's splats do); the lattice masks become
+/// 0/1 predicate buffers pushed onto the mask stack; the neighbour read
+/// of the backward induction becomes a [`VInst::LaneShift`].
+///
+/// # Panics
+///
+/// Panics if `steps` is zero or `steps + 1` lattice nodes exceed
+/// `wavefront_size`.
+#[must_use]
+pub fn binomial_program(
+    options: &[OptionSpec],
+    steps: usize,
+    wavefront_size: usize,
+) -> ImageProgram {
+    assert!(steps > 0, "need at least one lattice step");
+    assert!(
+        steps < wavefront_size,
+        "steps + 1 lattice nodes must fit one wavefront"
+    );
+    let wf = wavefront_size;
+    let n = options.len() * wf;
+    let broadcast = |f: fn(&OptionSpec) -> f32| -> Vec<f32> {
+        (0..n).map(|g| f(&options[g / wf])).collect()
+    };
+    let lane_flag = |pred: &dyn Fn(usize) -> bool| -> Vec<f32> {
+        (0..n).map(|g| if pred(g % wf) { 1.0 } else { 0.0 }).collect()
+    };
+    let mut buffers = vec![
+        broadcast(|o| o.maturity),
+        broadcast(|o| o.volatility),
+        broadcast(|o| o.rate),
+        broadcast(|o| o.spot),
+        broadcast(|o| o.strike),
+        (0..n).map(|i| i as f32).collect(),
+        (0..n).map(|g| 2.0 * (g % wf) as f32 - steps as f32).collect(),
+        lane_flag(&|j| j <= steps),
+    ];
+    let live_base = buffers.len();
+    for s in 0..steps {
+        buffers.push(lane_flag(&|j| j <= s));
+    }
+    let opt_idx = buffers.len();
+    buffers.push((0..n).map(|g| (g / wf) as f32).collect());
+    let lane0 = buffers.len();
+    buffers.push(lane_flag(&|j| j == 0));
+    let prices = buffers.len();
+    buffers.push(vec![0.0; options.len()]);
+
+    // Registers: 0 T, 1 σ, 2 r, 3 S, 4 K, 5 expo, 6 node/live/lane0
+    // masks (9 reused), 7 dt, 8 u→v chain, 9 d, 10 a→disc, 11 inv(u−d),
+    // 12 pu, 13 pd, 14 step scratch.
+    let mut insts = vec![
+        VInst::Gather { dst: 0, data: 0, indices: 5 },
+        VInst::Gather { dst: 1, data: 1, indices: 5 },
+        VInst::Gather { dst: 2, data: 2, indices: 5 },
+        VInst::Gather { dst: 3, data: 3, indices: 5 },
+        VInst::Gather { dst: 4, data: 4, indices: 5 },
+        VInst::Gather { dst: 5, data: 6, indices: 5 },
+        VInst::Gather { dst: 6, data: 7, indices: 5 },
+        VInst::PushMask { mask: 6 },
+        alu(FpOp::Mul, 7, vec![r(0), im(1.0 / steps as f32)]), // dt
+        alu(FpOp::Sqrt, 8, vec![r(7)]),
+        alu(FpOp::Mul, 8, vec![r(1), r(8)]),
+        alu(FpOp::Mul, 8, vec![r(8), im(LOG2_E)]),
+        alu(FpOp::Exp2, 8, vec![r(8)]), // u
+        alu(FpOp::Recip, 9, vec![r(8)]), // d
+        alu(FpOp::Mul, 10, vec![r(2), r(7)]),
+        alu(FpOp::Mul, 10, vec![r(10), im(LOG2_E)]),
+        alu(FpOp::Exp2, 10, vec![r(10)]), // a
+        alu(FpOp::Sub, 11, vec![r(8), r(9)]),
+        alu(FpOp::Recip, 11, vec![r(11)]),
+        alu(FpOp::Sub, 12, vec![r(10), r(9)]),
+        alu(FpOp::Mul, 12, vec![r(12), r(11)]), // pu
+        alu(FpOp::Sub, 13, vec![im(1.0), r(12)]), // pd
+        alu(FpOp::Recip, 10, vec![r(10)]), // disc
+        alu(FpOp::Log2, 8, vec![r(8)]),
+        alu(FpOp::Mul, 8, vec![r(5), r(8)]),
+        alu(FpOp::Exp2, 8, vec![r(8)]), // u^(2j−steps)
+        alu(FpOp::Mul, 8, vec![r(3), r(8)]),
+        alu(FpOp::Sub, 8, vec![r(8), r(4)]),
+        alu(FpOp::Max, 8, vec![r(8), im(0.0)]), // leaf payoffs
+    ];
+    for step in (0..steps).rev() {
+        insts.extend([
+            VInst::Gather { dst: 6, data: live_base + step, indices: 5 },
+            VInst::PushMask { mask: 6 },
+            VInst::LaneShift { dst: 14, src: 8, offset: 1 },
+            alu(FpOp::Mul, 14, vec![r(12), r(14)]),
+            alu(FpOp::MulAdd, 14, vec![r(13), r(8), r(14)]),
+            // Masked write merges v: inactive lanes keep their values.
+            alu(FpOp::Mul, 8, vec![r(10), r(14)]),
+            VInst::PopMask,
+        ]);
+    }
+    insts.push(VInst::PopMask);
+    insts.extend([
+        VInst::Gather { dst: 6, data: lane0, indices: 5 },
+        VInst::PushMask { mask: 6 },
+        VInst::Scatter { src: 8, data: prices, indices: opt_idx },
+        VInst::PopMask,
+    ]);
+
+    let mut sig_bindings = vec![
+        BufferBinding::new(0, BufferRole::Uniform, "maturity"),
+        BufferBinding::new(1, BufferRole::Uniform, "volatility"),
+        BufferBinding::new(2, BufferRole::Uniform, "rate"),
+        BufferBinding::new(3, BufferRole::Uniform, "spot"),
+        BufferBinding::new(4, BufferRole::Uniform, "strike"),
+        BufferBinding::new(5, BufferRole::Indices, "identity"),
+        BufferBinding::new(6, BufferRole::Input, "exponents"),
+        BufferBinding::new(7, BufferRole::Input, "node_mask"),
+    ];
+    for s in 0..steps {
+        sig_bindings.push(BufferBinding::new(live_base + s, BufferRole::Input, "live_mask"));
+    }
+    sig_bindings.push(BufferBinding::new(opt_idx, BufferRole::Indices, "option_index"));
+    sig_bindings.push(BufferBinding::new(lane0, BufferRole::Input, "lane0_mask"));
+    sig_bindings.push(BufferBinding::new(prices, BufferRole::Output, "prices"));
+    bundle(
+        VProgram::new(15, insts).expect("binomial IR is well-formed"),
+        Bindings::new(buffers),
+        n,
+        KernelSignature {
+            name: "binomial_option",
+            bindings: sig_bindings,
+            register_budget: 15,
+            outputs: vec![prices],
+        },
+    )
+}
+
+/// Builds the bisection eigenvalue solver as a vector program — the IR
+/// twin of [`crate::eigenvalue::EigenValueKernel`]. Lane *k* bisects for
+/// eigenvalue *k*; matrix entries are wavefront-uniform, so they lower
+/// to immediates, and the fully unrolled Sturm recurrence reproduces the
+/// closure's per-row instruction stream exactly.
+///
+/// Buffer layout: 0 = eigenvalues out, 1 = identity indices.
+#[must_use]
+pub fn eigenvalue_program(matrix: &Tridiagonal, iterations: usize) -> ImageProgram {
+    use crate::eigenvalue::STURM_EPS;
+    let n = matrix.n();
+    let (glo, ghi) = matrix.gershgorin_bounds();
+    // Registers: 0 k, 1 lo, 2 hi, 3 sum/mid, 4 t, 5 1/d, 6 |t|,
+    // 7 too_small, 8 d, 9 negative, 10 count, 11 above.
+    let mut insts = vec![VInst::LaneId { dst: 0 }];
+    let mut lo = im(glo);
+    let mut hi = im(ghi);
+    for _ in 0..iterations {
+        insts.push(alu(FpOp::Add, 3, vec![lo, hi]));
+        insts.push(alu(FpOp::Mul, 3, vec![r(3), im(0.5)]));
+        // Sturm count at the per-lane pivots in r3.
+        let mut count = im(0.0);
+        for i in 0..n {
+            insts.push(alu(FpOp::Sub, 4, vec![im(matrix.diag[i]), r(3)]));
+            if i > 0 {
+                let off2 = matrix.off[i - 1] * matrix.off[i - 1];
+                insts.push(alu(FpOp::Recip, 5, vec![r(8)]));
+                insts.push(alu(FpOp::MulAdd, 4, vec![im(-off2), r(5), r(4)]));
+            }
+            insts.push(alu(FpOp::Abs, 6, vec![r(4)]));
+            insts.push(alu(FpOp::SetGt, 7, vec![im(STURM_EPS), r(6)]));
+            insts.push(alu(FpOp::CndEq, 8, vec![r(7), r(4), im(-STURM_EPS)]));
+            insts.push(alu(FpOp::SetGt, 9, vec![im(0.0), r(8)]));
+            insts.push(alu(FpOp::Add, 10, vec![count, r(9)]));
+            count = r(10);
+        }
+        insts.push(alu(FpOp::SetGt, 11, vec![r(10), r(0)]));
+        insts.push(alu(FpOp::CndEq, 2, vec![r(11), hi, r(3)]));
+        insts.push(alu(FpOp::CndEq, 1, vec![r(11), r(3), lo]));
+        hi = r(2);
+        lo = r(1);
+    }
+    insts.push(alu(FpOp::Add, 3, vec![lo, hi]));
+    insts.push(alu(FpOp::Mul, 3, vec![r(3), im(0.5)]));
+    insts.push(VInst::Scatter { src: 3, data: 0, indices: 1 });
+    bundle(
+        VProgram::new(12, insts).expect("eigenvalue IR is well-formed"),
+        Bindings::new(vec![vec![0.0; n], (0..n).map(|i| i as f32).collect()]),
+        n,
+        KernelSignature {
+            name: "eigenvalue",
+            bindings: vec![
+                BufferBinding::new(0, BufferRole::Output, "eigenvalues"),
+                BufferBinding::new(1, BufferRole::Indices, "identity"),
+            ],
+            register_budget: 12,
+            outputs: vec![0],
+        },
+    )
 }
 
 #[cfg(test)]
@@ -355,19 +820,8 @@ mod tests {
         let signal: Vec<f32> = (0..256).map(|i| ((i * 13) % 10) as f32).collect();
         let golden = haar_reference(&signal);
 
-        // Drive the level loop the way run_haar does, via IR dispatches.
         let mut device = Device::new(DeviceConfig::default());
-        let mut out = vec![0.0f32; signal.len()];
-        let mut current = signal;
-        while current.len() > 1 {
-            let half = current.len() / 2;
-            let mut ip = haar_level_program(&current);
-            device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 2);
-            let level_out = ip.bindings.buffer(ip.output);
-            out[half..2 * half].copy_from_slice(&level_out[half..2 * half]);
-            current = level_out[..half].to_vec();
-        }
-        out[0] = current[0];
+        let out = run_haar_ir(&mut device, &signal, 2);
         for (a, b) in out.iter().zip(golden.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -380,17 +834,82 @@ mod tests {
         let golden = fwt_reference(&signal);
 
         let mut device = Device::new(DeviceConfig::default());
-        let mut data = signal;
-        let mut span = 1usize;
-        while span < data.len() {
-            let mut ip = fwt_stage_program(&data, span);
-            device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 4);
-            data = ip.bindings.buffer(ip.output).to_vec();
-            span *= 2;
-        }
-        for (a, b) in data.iter().zip(golden.iter()) {
+        let out = run_fwt_ir(&mut device, &signal, 4);
+        for (a, b) in out.iter().zip(golden.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn black_scholes_ir_twins_the_closure_kernel() {
+        use crate::black_scholes::{black_scholes_reference, BlackScholesKernel};
+        let batch = OptionBatch::generate(256, 42);
+
+        let mut ip = black_scholes_program(&batch);
+        let mut ir_dev = Device::new(DeviceConfig::default());
+        ir_dev.run_program(&ip.program, &mut ip.bindings, ip.global_size, 1);
+
+        let mut cl_dev = Device::new(DeviceConfig::default());
+        let (call, put) = BlackScholesKernel::new(&batch).run(&mut cl_dev);
+
+        let (ir_call, ir_put) = (ip.bindings.buffer(6), ip.bindings.buffer(7));
+        for i in 0..batch.len() {
+            let (rc, rp) = black_scholes_reference(
+                batch.spot[i],
+                batch.strike[i],
+                batch.maturity[i],
+                batch.rate[i],
+                batch.volatility[i],
+            );
+            assert_eq!(ir_call[i].to_bits(), rc.to_bits(), "golden call {i}");
+            assert_eq!(ir_put[i].to_bits(), rp.to_bits(), "golden put {i}");
+            assert_eq!(ir_call[i].to_bits(), call[i].to_bits(), "closure call {i}");
+            assert_eq!(ir_put[i].to_bits(), put[i].to_bits(), "closure put {i}");
+        }
+        // Identical operand streams ⇒ identical cycles, energy, hits.
+        assert_eq!(ir_dev.report(), cl_dev.report());
+    }
+
+    #[test]
+    fn binomial_ir_twins_the_closure_kernel() {
+        use crate::binomial::{binomial_reference, BinomialKernel};
+        let options = OptionSpec::generate(16, 11);
+
+        let mut ip = binomial_program(&options, 20, 64);
+        let mut ir_dev = Device::new(DeviceConfig::default());
+        ir_dev.run_program(&ip.program, &mut ip.bindings, ip.global_size, 1);
+
+        let mut cl_dev = Device::new(DeviceConfig::default());
+        let prices = BinomialKernel::new(&options, 20).run(&mut cl_dev);
+
+        let ir_prices = ip.bindings.buffer(ip.output);
+        for (i, &opt) in options.iter().enumerate() {
+            let golden = binomial_reference(opt, 20);
+            assert_eq!(ir_prices[i].to_bits(), golden.to_bits(), "golden {i}");
+            assert_eq!(ir_prices[i].to_bits(), prices[i].to_bits(), "closure {i}");
+        }
+        assert_eq!(ir_dev.report(), cl_dev.report());
+    }
+
+    #[test]
+    fn eigenvalue_ir_twins_the_closure_kernel() {
+        use crate::eigenvalue::{eigenvalue_reference, EigenValueKernel, Tridiagonal};
+        let matrix = Tridiagonal::generate(16, 7);
+
+        let mut ip = eigenvalue_program(&matrix, 12);
+        let mut ir_dev = Device::new(DeviceConfig::default());
+        ir_dev.run_program(&ip.program, &mut ip.bindings, ip.global_size, 1);
+
+        let mut cl_dev = Device::new(DeviceConfig::default());
+        let eigs = EigenValueKernel::new(&matrix, 12).run(&mut cl_dev);
+
+        let ir_eigs = ip.bindings.buffer(ip.output);
+        for k in 0..matrix.n() {
+            let golden = eigenvalue_reference(&matrix, k, 12);
+            assert_eq!(ir_eigs[k].to_bits(), golden.to_bits(), "golden {k}");
+            assert_eq!(ir_eigs[k].to_bits(), eigs[k].to_bits(), "closure {k}");
+        }
+        assert_eq!(ir_dev.report(), cl_dev.report());
     }
 
     #[test]

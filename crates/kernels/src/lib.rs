@@ -39,10 +39,12 @@ pub mod fwt;
 pub mod gaussian;
 pub mod haar;
 pub mod ir;
+pub mod signature;
 pub mod sobel;
 mod table1;
 pub mod workload;
 
+pub use signature::{BufferBinding, BufferRole, KernelSignature, SignatureError};
 pub use table1::{
     calibrated_threshold, paper_threshold, table1, KernelId, Table1Entry, ALL_KERNELS,
     GRAY_LEVELS_PER_THRESHOLD_UNIT,

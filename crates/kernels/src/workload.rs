@@ -7,6 +7,10 @@ use crate::eigenvalue::{eigenvalue_reference, EigenValueKernel, Tridiagonal};
 use crate::fwt::{fwt_reference, run_fwt};
 use crate::gaussian::GaussianKernel;
 use crate::haar::{haar_reference, run_haar};
+use crate::ir::{
+    binomial_program, black_scholes_program, eigenvalue_program, gaussian_program, run_fwt_ir,
+    run_haar_ir, sobel_program, ImageProgram,
+};
 use crate::sobel::SobelKernel;
 use crate::table1::KernelId;
 use tm_rng::Pcg32;
@@ -85,8 +89,23 @@ pub fn image_side(scale: Scale) -> usize {
 /// *book* (Figs. 4 and 5).
 #[must_use]
 pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
+    build_inner(id, scale, seed, false)
+}
+
+/// Builds the IR twin of [`build`]: the same inputs, references and
+/// acceptance checks, but executed as a [`crate::ir`] vector program
+/// through [`Device::run_program`] at `in_flight = 1` — which makes an
+/// exact-matching run bit-identical to the closure twin, report and all.
+#[must_use]
+pub fn build_ir(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
+    build_inner(id, scale, seed, true)
+}
+
+fn build_inner(id: KernelId, scale: Scale, seed: u64, ir: bool) -> Box<dyn DeviceWorkload> {
     match id {
-        KernelId::Sobel | KernelId::Gaussian => build_image(id, InputImage::Face, scale, seed),
+        KernelId::Sobel | KernelId::Gaussian => {
+            build_image_inner(id, InputImage::Face, scale, seed, ir)
+        }
         KernelId::Haar => {
             let n = match scale {
                 Scale::Test => 256,
@@ -98,7 +117,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
             // source of the kernel's value locality.
             let mut rng = Pcg32::seed_from_u64(seed ^ 0x44A2);
             let signal = (0..n).map(|_| rng.gen_range(0..10) as f32).collect();
-            Box::new(HaarWorkload { signal })
+            Box::new(HaarWorkload { signal, ir })
         }
         KernelId::Fwt => {
             let n = match scale {
@@ -110,7 +129,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
             // SDK-style `rand() % k` small-integer inputs (see DESIGN.md).
             let mut rng = Pcg32::seed_from_u64(seed ^ 0xF3A7);
             let signal = (0..n).map(|_| rng.gen_range(0..8) as f32).collect();
-            Box::new(FwtWorkload { signal })
+            Box::new(FwtWorkload { signal, ir })
         }
         KernelId::BlackScholes => {
             let n = match scale {
@@ -120,6 +139,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
             };
             Box::new(BlackScholesWorkload {
                 batch: OptionBatch::generate(n, seed),
+                ir,
             })
         }
         KernelId::BinomialOption => {
@@ -132,6 +152,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
                 options: OptionSpec::generate(n, seed),
                 // Table 1: input parameter 20 (lattice steps).
                 steps: 20,
+                ir,
             })
         }
         KernelId::EigenValue => {
@@ -145,6 +166,7 @@ pub fn build(id: KernelId, scale: Scale, seed: u64) -> Box<dyn DeviceWorkload> {
             Box::new(EigenValueWorkload {
                 matrix: Tridiagonal::generate(n, seed),
                 iterations,
+                ir,
             })
         }
     }
@@ -162,16 +184,34 @@ pub fn build_image(
     scale: Scale,
     seed: u64,
 ) -> Box<dyn DeviceWorkload> {
+    build_image_inner(id, image, scale, seed, false)
+}
+
+fn build_image_inner(
+    id: KernelId,
+    image: InputImage,
+    scale: Scale,
+    seed: u64,
+    ir: bool,
+) -> Box<dyn DeviceWorkload> {
     let input = image.generate(image_side(scale), seed);
     match id {
-        KernelId::Sobel => Box::new(SobelWorkload { input }),
-        KernelId::Gaussian => Box::new(GaussianWorkload { input }),
+        KernelId::Sobel => Box::new(SobelWorkload { input, ir }),
+        KernelId::Gaussian => Box::new(GaussianWorkload { input, ir }),
         other => panic!("{other} is not an image kernel"),
     }
 }
 
+/// Runs a built IR bundle at the parity interleaving depth and returns
+/// its primary output buffer.
+fn run_bundle(device: &mut Device, mut ip: ImageProgram) -> Vec<f32> {
+    device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 1);
+    ip.bindings.buffer(ip.output).to_vec()
+}
+
 struct SobelWorkload {
     input: GrayImage,
+    ir: bool,
 }
 
 impl DeviceWorkload for SobelWorkload {
@@ -179,7 +219,11 @@ impl DeviceWorkload for SobelWorkload {
         KernelId::Sobel
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        SobelKernel::new(&self.input).run(device).into_vec()
+        if self.ir {
+            run_bundle(device, sobel_program(&self.input))
+        } else {
+            SobelKernel::new(&self.input).run(device).into_vec()
+        }
     }
     fn reference(&self) -> Vec<f32> {
         sobel_reference(&self.input).into_vec()
@@ -191,6 +235,7 @@ impl DeviceWorkload for SobelWorkload {
 
 struct GaussianWorkload {
     input: GrayImage,
+    ir: bool,
 }
 
 impl DeviceWorkload for GaussianWorkload {
@@ -198,7 +243,11 @@ impl DeviceWorkload for GaussianWorkload {
         KernelId::Gaussian
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        GaussianKernel::new(&self.input).run(device).into_vec()
+        if self.ir {
+            run_bundle(device, gaussian_program(&self.input))
+        } else {
+            GaussianKernel::new(&self.input).run(device).into_vec()
+        }
     }
     fn reference(&self) -> Vec<f32> {
         gaussian3x3_reference(&self.input).into_vec()
@@ -220,6 +269,7 @@ fn image_acceptable(input: &GrayImage, reference: &[f32], output: &[f32]) -> boo
 
 struct HaarWorkload {
     signal: Vec<f32>,
+    ir: bool,
 }
 
 impl DeviceWorkload for HaarWorkload {
@@ -227,7 +277,11 @@ impl DeviceWorkload for HaarWorkload {
         KernelId::Haar
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        run_haar(device, &self.signal)
+        if self.ir {
+            run_haar_ir(device, &self.signal, 1)
+        } else {
+            run_haar(device, &self.signal)
+        }
     }
     fn reference(&self) -> Vec<f32> {
         haar_reference(&self.signal)
@@ -239,6 +293,7 @@ impl DeviceWorkload for HaarWorkload {
 
 struct FwtWorkload {
     signal: Vec<f32>,
+    ir: bool,
 }
 
 impl DeviceWorkload for FwtWorkload {
@@ -246,7 +301,11 @@ impl DeviceWorkload for FwtWorkload {
         KernelId::Fwt
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        run_fwt(device, &self.signal)
+        if self.ir {
+            run_fwt_ir(device, &self.signal, 1)
+        } else {
+            run_fwt(device, &self.signal)
+        }
     }
     fn reference(&self) -> Vec<f32> {
         fwt_reference(&self.signal)
@@ -258,6 +317,7 @@ impl DeviceWorkload for FwtWorkload {
 
 struct BlackScholesWorkload {
     batch: OptionBatch,
+    ir: bool,
 }
 
 impl DeviceWorkload for BlackScholesWorkload {
@@ -265,9 +325,17 @@ impl DeviceWorkload for BlackScholesWorkload {
         KernelId::BlackScholes
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        let (mut call, mut put) = BlackScholesKernel::new(&self.batch).run(device);
-        call.append(&mut put);
-        call
+        if self.ir {
+            let mut ip = black_scholes_program(&self.batch);
+            device.run_program(&ip.program, &mut ip.bindings, ip.global_size, 1);
+            let mut out = ip.bindings.buffer(ip.signature.outputs[0]).to_vec();
+            out.extend_from_slice(ip.bindings.buffer(ip.signature.outputs[1]));
+            out
+        } else {
+            let (mut call, mut put) = BlackScholesKernel::new(&self.batch).run(device);
+            call.append(&mut put);
+            call
+        }
     }
     fn reference(&self) -> Vec<f32> {
         let n = self.batch.len();
@@ -295,6 +363,7 @@ impl DeviceWorkload for BlackScholesWorkload {
 struct BinomialWorkload {
     options: Vec<OptionSpec>,
     steps: usize,
+    ir: bool,
 }
 
 impl DeviceWorkload for BinomialWorkload {
@@ -302,7 +371,12 @@ impl DeviceWorkload for BinomialWorkload {
         KernelId::BinomialOption
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        BinomialKernel::new(&self.options, self.steps).run(device)
+        if self.ir {
+            let wf = device.config().wavefront_size;
+            run_bundle(device, binomial_program(&self.options, self.steps, wf))
+        } else {
+            BinomialKernel::new(&self.options, self.steps).run(device)
+        }
     }
     fn reference(&self) -> Vec<f32> {
         self.options
@@ -318,6 +392,7 @@ impl DeviceWorkload for BinomialWorkload {
 struct EigenValueWorkload {
     matrix: Tridiagonal,
     iterations: usize,
+    ir: bool,
 }
 
 impl DeviceWorkload for EigenValueWorkload {
@@ -325,7 +400,11 @@ impl DeviceWorkload for EigenValueWorkload {
         KernelId::EigenValue
     }
     fn run(&mut self, device: &mut Device) -> Vec<f32> {
-        EigenValueKernel::new(&self.matrix, self.iterations).run(device)
+        if self.ir {
+            run_bundle(device, eigenvalue_program(&self.matrix, self.iterations))
+        } else {
+            EigenValueKernel::new(&self.matrix, self.iterations).run(device)
+        }
     }
     fn reference(&self) -> Vec<f32> {
         (0..self.matrix.n())

@@ -1,0 +1,1390 @@
+//! Bytecode lowering and the lane-vectorized program VM.
+//!
+//! [`crate::program::VProgram`] is the canonical kernel form, but a
+//! direct tree-walk over [`crate::program::VInst`] pays avoidable
+//! per-instruction costs: immediates are re-splatted on every ALU step,
+//! gather/scatter addressing re-reads and re-converts `f32` index
+//! buffers lane by lane, and every instruction is a fresh dispatch.
+//! Lowering into a flat [`CompiledProgram`] once per program removes all
+//! of that from the interpreter's inner loop:
+//!
+//! - **Cursors** — ALU operand slots are precomputed into
+//!   register/immediate-pool cursors; the immediate pool is deduplicated
+//!   and splatted **once per launch** ([`LaunchState`]), not per step.
+//! - **Index caches** — when no scatter targets an index buffer (the
+//!   addressing is static, which validation of the packet stream checks
+//!   once at build), every index buffer is converted to `usize` once per
+//!   launch; the gather/scatter loops become straight lane-blocked
+//!   walks over precomputed indices.
+//! - **Packets** — runs of *free* (non-issuing) instructions — gathers,
+//!   lane ids, lane shifts, mask pushes/pops — collapse into one `Free`
+//!   packet; scatters of an ALU's destination fold into that ALU's
+//!   packet as a "pipe" tail (gather→alu→scatter without re-dispatch);
+//!   `MUL`-by-immediate + `EXP` pairs fuse into an exp-chain
+//!   superinstruction.
+//! - **Optional `MUL`+`ADD` → `MULADD` rewriting**
+//!   ([`CompileOptions::fuse_muladd`]) — off by default because the
+//!   hardware `MULADD` is a *fused* multiply-add: it changes both the
+//!   FIFO-visible op stream and (by one rounding) the numerics, so it is
+//!   a stream-altering optimization the bit-identity contract cannot
+//!   include. Everything above is stream-preserving.
+//!
+//! # Interleaving invariants
+//!
+//! The packet is the unit of wavefront interleaving (`in_flight`).
+//! Every packet either only *reads* buffers (a `Free` run) or only
+//! *writes* them (an ALU body with its scatter tail, or a standalone
+//! scatter run), so coarsening the interleave from instructions to
+//! packets cannot change what any hazard-free or lane-private program
+//! computes. And because non-ALU instructions issue nothing to the
+//! FPUs, the per-CU sequence of `(wavefront, op, operands)` issues — the
+//! stream temporal memoization lives on — is *identical* to the
+//! instruction-granular walk at any `in_flight`, with one documented
+//! exception: an exp-chain packet issues its two ops back to back, where
+//! the instruction-granular walk could interleave another wavefront
+//! between them when `in_flight > 1`. At `in_flight == 1` (the closure
+//! oracle's semantics) every backend is bit-identical either way.
+//!
+//! Lane order is fixed: every loop here walks lanes `0..lanes` in
+//! ascending order (the stream-core-major issue order lives inside
+//! [`ComputeUnit`] and is shared with the closure path), so all three
+//! backends produce byte-identical [`crate::DeviceReport`]s.
+
+use crate::compute_unit::{ComputeUnit, ShardJournal};
+use crate::program::{Bindings, BufferId, Src, VInst, VProgram, VReg8};
+use std::collections::BTreeSet;
+use std::ops::Range;
+use tm_fpu::{FpOp, MAX_ARITY};
+
+/// Lane-ops (`instructions × global_size`) below which the threaded
+/// engines delegate a program launch to the sequential engine: for tiny
+/// launches (a Haar level, an FWT stage) thread spawn plus journal merge
+/// costs more than the work itself — the fwt-ir "parallel cliff".
+pub const SMALL_KERNEL_LANE_OPS: usize = 1 << 18;
+
+/// Knobs for [`CompiledProgram::compile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Rewrite `MUL t, a, b; ADD d, t, c` into `MULADD d, a, b, c` when
+    /// `t` is dead afterwards. **Stream-altering**: the fused op changes
+    /// the per-FPU operand streams and (by one rounding step) the
+    /// numerics, so reports are no longer comparable to the unfused
+    /// form. Defaults to `false`.
+    pub fuse_muladd: bool,
+}
+
+/// An ALU operand slot, resolved at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cursor {
+    /// A vector register.
+    Reg(VReg8),
+    /// An index into the deduplicated immediate pool.
+    Imm(u16),
+}
+
+/// One lowered ALU instruction plus its folded scatter tail.
+#[derive(Debug, Clone, Copy)]
+struct AluStep {
+    op: FpOp,
+    dst: VReg8,
+    arity: u8,
+    srcs: [Cursor; MAX_ARITY],
+    scatter_first: u32,
+    scatter_len: u32,
+}
+
+/// One lowered free (non-issuing) instruction.
+#[derive(Debug, Clone, Copy)]
+enum FreeStep {
+    LaneId { dst: VReg8 },
+    Gather { dst: VReg8, data: BufferId, indices: BufferId },
+    LaneShift { dst: VReg8, src: VReg8, offset: i32 },
+    PushMask { mask: VReg8 },
+    PopMask,
+}
+
+/// One lowered scatter.
+#[derive(Debug, Clone, Copy)]
+struct ScatterStep {
+    src: VReg8,
+    data: BufferId,
+    indices: BufferId,
+}
+
+/// One interpreter dispatch: the unit of wavefront interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Packet {
+    /// `frees[first..first+len]` — buffer reads and register moves only.
+    Free { first: u32, len: u32 },
+    /// `alus[idx]` with its scatter tail — one FPU issue, then writes.
+    Alu { idx: u32 },
+    /// `alus[idx]` (a `MUL` by an immediate) immediately followed by
+    /// `alus[idx + 1]` (the `EXP` of its result) — two FPU issues.
+    ExpChain { idx: u32 },
+    /// `scatters[first..first+len]` — buffer writes only.
+    Scatters { first: u32, len: u32 },
+}
+
+/// A [`VProgram`] lowered into flat bytecode. Built once per program
+/// (validation included), executed by every backend.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    source: VProgram,
+    packets: Vec<Packet>,
+    alus: Vec<AluStep>,
+    frees: Vec<FreeStep>,
+    scatters: Vec<ScatterStep>,
+    imms: Vec<f32>,
+    registers: usize,
+    /// Registers read (or masked-written) before their first full
+    /// write — the only ones a fresh wavefront must zero-initialize.
+    zero_regs: Vec<VReg8>,
+    /// No scatter targets an index buffer, so per-launch index caches
+    /// are sound.
+    static_indices: bool,
+    exp_chains: usize,
+    fused_muladds: usize,
+}
+
+impl CompiledProgram {
+    /// Lowers a validated program into bytecode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program needs more than `u16::MAX` distinct
+    /// immediates (no real kernel comes close).
+    #[must_use]
+    pub fn compile(program: &VProgram, options: &CompileOptions) -> Self {
+        let source = program.clone();
+        let (insts, fused_muladds) = if options.fuse_muladd {
+            rewrite_muladd(program.instructions())
+        } else {
+            (program.instructions().to_vec(), 0)
+        };
+
+        let mut packets: Vec<Packet> = Vec::new();
+        let mut alus: Vec<AluStep> = Vec::new();
+        let mut frees: Vec<FreeStep> = Vec::new();
+        let mut scatters: Vec<ScatterStep> = Vec::new();
+        let mut imms: Vec<f32> = Vec::new();
+
+        fn push_free(packets: &mut Vec<Packet>, frees: &mut Vec<FreeStep>, step: FreeStep) {
+            let pos = frees.len() as u32;
+            frees.push(step);
+            match packets.last_mut() {
+                Some(Packet::Free { first, len }) if *first + *len == pos => *len += 1,
+                _ => packets.push(Packet::Free { first: pos, len: 1 }),
+            }
+        }
+
+        for inst in &insts {
+            match inst {
+                VInst::LaneId { dst } => {
+                    push_free(&mut packets, &mut frees, FreeStep::LaneId { dst: *dst });
+                }
+                VInst::Gather { dst, data, indices } => push_free(
+                    &mut packets,
+                    &mut frees,
+                    FreeStep::Gather { dst: *dst, data: *data, indices: *indices },
+                ),
+                VInst::LaneShift { dst, src, offset } => push_free(
+                    &mut packets,
+                    &mut frees,
+                    FreeStep::LaneShift { dst: *dst, src: *src, offset: *offset },
+                ),
+                VInst::PushMask { mask } => {
+                    push_free(&mut packets, &mut frees, FreeStep::PushMask { mask: *mask });
+                }
+                VInst::PopMask => push_free(&mut packets, &mut frees, FreeStep::PopMask),
+                VInst::Alu { op, dst, srcs } => {
+                    let mut cursors = [Cursor::Reg(0); MAX_ARITY];
+                    for (k, s) in srcs.iter().enumerate() {
+                        cursors[k] = match s {
+                            Src::Reg(r) => Cursor::Reg(*r),
+                            Src::Imm(v) => Cursor::Imm(intern_imm(&mut imms, *v)),
+                        };
+                    }
+                    alus.push(AluStep {
+                        op: *op,
+                        dst: *dst,
+                        arity: srcs.len() as u8,
+                        srcs: cursors,
+                        scatter_first: 0,
+                        scatter_len: 0,
+                    });
+                    packets.push(Packet::Alu { idx: (alus.len() - 1) as u32 });
+                }
+                VInst::Scatter { src, data, indices } => {
+                    let step = ScatterStep { src: *src, data: *data, indices: *indices };
+                    // Fold into the producing ALU's tail: the packet
+                    // stays write-only (the ALU reads registers, not
+                    // buffers) and the fold is contiguous by
+                    // construction (the ALU is still the last packet).
+                    if let Some(Packet::Alu { idx }) = packets.last().copied() {
+                        let a = &mut alus[idx as usize];
+                        if a.dst == *src {
+                            if a.scatter_len == 0 {
+                                a.scatter_first = scatters.len() as u32;
+                            }
+                            scatters.push(step);
+                            a.scatter_len += 1;
+                            continue;
+                        }
+                    }
+                    let pos = scatters.len() as u32;
+                    scatters.push(step);
+                    match packets.last_mut() {
+                        Some(Packet::Scatters { first, len }) if *first + *len == pos => *len += 1,
+                        _ => packets.push(Packet::Scatters { first: pos, len: 1 }),
+                    }
+                }
+            }
+        }
+
+        // Exp-chain fusion: MUL-by-immediate feeding an EXP of its
+        // result (the `exp(x) = exp2(x·log2 e)` shape every
+        // transcendental lowering emits). Purely structural — both ops
+        // still issue, in order, with unchanged operands.
+        let mut fused = Vec::with_capacity(packets.len());
+        let mut exp_chains = 0usize;
+        let mut p = 0;
+        while p < packets.len() {
+            if p + 1 < packets.len() {
+                if let (Packet::Alu { idx: i }, Packet::Alu { idx: j }) =
+                    (packets[p], packets[p + 1])
+                {
+                    let (a, b) = (&alus[i as usize], &alus[j as usize]);
+                    if j == i + 1
+                        && a.op == FpOp::Mul
+                        && a.scatter_len == 0
+                        && a.srcs[..2].iter().any(|c| matches!(c, Cursor::Imm(_)))
+                        && b.op == FpOp::Exp2
+                        && b.srcs[0] == Cursor::Reg(a.dst)
+                    {
+                        fused.push(Packet::ExpChain { idx: i });
+                        exp_chains += 1;
+                        p += 2;
+                        continue;
+                    }
+                }
+            }
+            fused.push(packets[p]);
+            p += 1;
+        }
+
+        let scattered: BTreeSet<BufferId> = source
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                VInst::Scatter { data, .. } => Some(*data),
+                _ => None,
+            })
+            .collect();
+        let index_bufs: BTreeSet<BufferId> = source
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                VInst::Gather { indices, .. } | VInst::Scatter { indices, .. } => Some(*indices),
+                _ => None,
+            })
+            .collect();
+        let static_indices = scattered.intersection(&index_bufs).next().is_none();
+
+        Self {
+            registers: source.registers(),
+            zero_regs: regs_needing_zero(&insts, source.registers()),
+            source,
+            packets: fused,
+            alus,
+            frees,
+            scatters,
+            imms,
+            static_indices,
+            exp_chains,
+            fused_muladds,
+        }
+    }
+
+    /// The program this bytecode was lowered from (the canonical form —
+    /// hazard analysis and disassembly run against it).
+    #[must_use]
+    pub fn source(&self) -> &VProgram {
+        &self.source
+    }
+
+    /// Number of interpreter packets (dispatches per wavefront pass).
+    #[must_use]
+    pub fn packet_count(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Number of fused exp-chain superinstructions.
+    #[must_use]
+    pub fn exp_chains(&self) -> usize {
+        self.exp_chains
+    }
+
+    /// Number of `MUL`+`ADD` pairs rewritten to `MULADD`
+    /// (always 0 unless [`CompileOptions::fuse_muladd`] was set).
+    #[must_use]
+    pub fn fused_muladds(&self) -> usize {
+        self.fused_muladds
+    }
+
+    /// Whether a threaded engine should delegate this launch to the
+    /// sequential engine (see [`SMALL_KERNEL_LANE_OPS`]).
+    #[must_use]
+    pub fn prefers_sequential(&self, global_size: usize) -> bool {
+        self.source.len().saturating_mul(global_size) < SMALL_KERNEL_LANE_OPS
+    }
+}
+
+/// Registers whose initial 0.0 contents are observable: read (as an ALU
+/// source, mask, lane-shift input or scatter payload) — or written under
+/// a mask, which preserves inactive lanes — before their first full
+/// unconditional write. Everything else is overwritten before any read,
+/// so a fresh wavefront can skip zeroing it.
+fn regs_needing_zero(insts: &[VInst], registers: usize) -> Vec<VReg8> {
+    let mut written = vec![false; registers];
+    let mut needs = vec![false; registers];
+    let mut depth = 0usize;
+    for inst in insts {
+        let read = |r: VReg8, written: &[bool], needs: &mut [bool]| {
+            if !written[r as usize] {
+                needs[r as usize] = true;
+            }
+        };
+        match inst {
+            VInst::Alu { dst, srcs, .. } => {
+                for s in srcs {
+                    if let Src::Reg(r) = s {
+                        read(*r, &written, &mut needs);
+                    }
+                }
+                if depth > 0 {
+                    // Masked write-back keeps the old value in inactive
+                    // lanes — that is a read of the destination.
+                    read(*dst, &written, &mut needs);
+                }
+                written[*dst as usize] = true;
+            }
+            VInst::Gather { dst, .. } | VInst::LaneId { dst } => written[*dst as usize] = true,
+            VInst::LaneShift { dst, src, .. } => {
+                read(*src, &written, &mut needs);
+                written[*dst as usize] = true;
+            }
+            VInst::PushMask { mask } => {
+                read(*mask, &written, &mut needs);
+                depth += 1;
+            }
+            VInst::PopMask => depth = depth.saturating_sub(1),
+            VInst::Scatter { src, .. } => read(*src, &written, &mut needs),
+        }
+    }
+    (0..registers)
+        .filter(|&r| needs[r])
+        .map(|r| r as VReg8)
+        .collect()
+}
+
+/// Deduplicates an immediate into the pool (bitwise, so `-0.0` and
+/// `NaN` payloads stay distinct where they were distinct).
+fn intern_imm(imms: &mut Vec<f32>, v: f32) -> u16 {
+    let at = imms
+        .iter()
+        .position(|x| x.to_bits() == v.to_bits())
+        .unwrap_or_else(|| {
+            imms.push(v);
+            imms.len() - 1
+        });
+    u16::try_from(at).expect("immediate pool exceeds u16 indices")
+}
+
+/// `MUL t, a, b; ADD d, t, c → MULADD d, a, b, c` where `t` is dead
+/// after the pair. Returns the rewritten list and the rewrite count.
+fn rewrite_muladd(insts: &[VInst]) -> (Vec<VInst>, usize) {
+    let reg_read_later = |from: usize, reg: VReg8| {
+        insts[from..].iter().any(|inst| match inst {
+            VInst::Alu { srcs, .. } => {
+                srcs.iter().any(|s| matches!(s, Src::Reg(r) if *r == reg))
+            }
+            VInst::Scatter { src, .. } => *src == reg,
+            VInst::PushMask { mask } => *mask == reg,
+            VInst::LaneShift { src, .. } => *src == reg,
+            VInst::Gather { .. } | VInst::LaneId { .. } | VInst::PopMask => false,
+        })
+    };
+    let mut out = Vec::with_capacity(insts.len());
+    let mut fused = 0usize;
+    let mut i = 0;
+    while i < insts.len() {
+        if i + 1 < insts.len() {
+            if let (
+                VInst::Alu { op: FpOp::Mul, dst: t, srcs: mul_srcs },
+                VInst::Alu { op: FpOp::Add, dst: d, srcs: add_srcs },
+            ) = (&insts[i], &insts[i + 1])
+            {
+                let uses_t: Vec<bool> = add_srcs
+                    .iter()
+                    .map(|s| matches!(s, Src::Reg(r) if r == t))
+                    .collect();
+                let t_dead = *d == *t || !reg_read_later(i + 2, *t);
+                if uses_t.iter().filter(|u| **u).count() == 1 && t_dead {
+                    let c = if uses_t[0] { add_srcs[1] } else { add_srcs[0] };
+                    out.push(VInst::Alu {
+                        op: FpOp::MulAdd,
+                        dst: *d,
+                        srcs: vec![mul_srcs[0], mul_srcs[1], c],
+                    });
+                    fused += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push(insts[i].clone());
+        i += 1;
+    }
+    (out, fused)
+}
+
+/// One journaled scatter write (`bindings[data][index] = value`) for the
+/// parallel engine's CU-order replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ScatterWrite {
+    pub data: BufferId,
+    pub index: usize,
+    pub value: f32,
+}
+
+/// One journaled scatter write with its intra-CU merge key: the scatter
+/// step's ordinal in the CU queue's deterministic interleaving
+/// (identical across shards) and the lane position within the wavefront.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScatterRec {
+    pub ordinal: u32,
+    pub lane: u32,
+    pub data: BufferId,
+    pub index: usize,
+    pub value: f32,
+}
+
+/// Per-launch derived state, shared read-only by every CU/worker: the
+/// immediate pool splatted to wavefront width, and (when addressing is
+/// static) every index buffer pre-converted to `usize`.
+#[derive(Debug)]
+pub(crate) struct LaunchState {
+    imm_lanes: Vec<Vec<f32>>,
+    index_cache: Vec<Option<Vec<usize>>>,
+}
+
+impl LaunchState {
+    pub fn new(
+        compiled: &CompiledProgram,
+        bindings: &Bindings,
+        max_lanes: usize,
+        global_size: usize,
+    ) -> Self {
+        let imm_lanes = compiled.imms.iter().map(|&v| vec![v; max_lanes]).collect();
+        let mut index_cache: Vec<Option<Vec<usize>>> = vec![None; bindings.len()];
+        if compiled.static_indices {
+            let used: BTreeSet<BufferId> = compiled
+                .frees
+                .iter()
+                .filter_map(|f| match f {
+                    FreeStep::Gather { indices, .. } => Some(*indices),
+                    _ => None,
+                })
+                .chain(compiled.scatters.iter().map(|s| s.indices))
+                .collect();
+            for id in used {
+                // Out-of-range or short buffers fall back to live reads,
+                // preserving the uncached panic-on-use semantics (a
+                // fully masked scatter must not panic eagerly).
+                if id < bindings.len() && bindings.buffer(id).len() >= global_size {
+                    index_cache[id] = Some(
+                        bindings.buffer(id)[..global_size]
+                            .iter()
+                            .map(|&x| x as usize)
+                            .collect(),
+                    );
+                }
+            }
+        }
+        Self { imm_lanes, index_cache }
+    }
+}
+
+/// One in-flight wavefront: program counter over packets, register
+/// file, and the mask stack (each entry already intersected with its
+/// predecessors, so the top *is* the active mask).
+#[derive(Debug, Default)]
+struct WaveState {
+    start: usize,
+    lanes: usize,
+    pc: usize,
+    regs: Vec<Vec<f32>>,
+    masks: Vec<Vec<bool>>,
+    mask_pool: Vec<Vec<bool>>,
+}
+
+impl WaveState {
+    fn new(range: Range<usize>, compiled: &CompiledProgram) -> Self {
+        let mut s = Self::default();
+        s.reset(range, compiled);
+        s
+    }
+
+    /// Re-targets this state at a fresh wavefront, reusing every
+    /// allocation. Only registers whose initial value is observable
+    /// ([`CompiledProgram::zero_regs`]) are zeroed — the rest are fully
+    /// overwritten before any read, so their stale lanes never escape.
+    fn reset(&mut self, range: Range<usize>, compiled: &CompiledProgram) {
+        self.start = range.start;
+        self.lanes = range.len();
+        self.pc = 0;
+        self.regs.resize_with(compiled.registers, Vec::new);
+        for r in &mut self.regs {
+            r.resize(self.lanes, 0.0);
+        }
+        for &r in &compiled.zero_regs {
+            self.regs[r as usize].fill(0.0);
+        }
+        self.mask_pool.append(&mut self.masks);
+    }
+}
+
+/// Reusable buffers for one CU queue drain: the all-active mask and the
+/// ALU result/lane-shift temporary. Steady state allocates nothing.
+#[derive(Debug, Default)]
+struct ExecScratch {
+    active: Vec<bool>,
+    result: Vec<f32>,
+}
+
+/// Drains one CU's wavefront queue with `in_flight`-way packet
+/// interleaving. With a journal, scatters are applied to the (local)
+/// bindings *and* recorded for later replay onto the shared bindings.
+pub(crate) fn run_cu_compiled_queue(
+    cu: &mut ComputeUnit,
+    compiled: &CompiledProgram,
+    launch: &LaunchState,
+    queue: Vec<Range<usize>>,
+    bindings: &mut Bindings,
+    in_flight: usize,
+    mut journal: Option<&mut Vec<ScatterWrite>>,
+) {
+    let mut scratch = ExecScratch::default();
+    let mut pending = queue.into_iter();
+    let mut active: Vec<WaveState> = pending
+        .by_ref()
+        .take(in_flight)
+        .map(|r| WaveState::new(r, compiled))
+        .collect();
+    while !active.is_empty() {
+        let mut i = 0;
+        while i < active.len() {
+            step_packet(
+                cu,
+                compiled,
+                launch,
+                &mut active[i],
+                bindings,
+                journal.as_deref_mut(),
+                &mut scratch,
+            );
+            if active[i].pc >= compiled.packets.len() {
+                match pending.next() {
+                    Some(fresh) => active[i].reset(fresh, compiled),
+                    None => {
+                        active.remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Executes one packet of one wavefront.
+fn step_packet(
+    cu: &mut ComputeUnit,
+    compiled: &CompiledProgram,
+    launch: &LaunchState,
+    ws: &mut WaveState,
+    bindings: &mut Bindings,
+    mut journal: Option<&mut Vec<ScatterWrite>>,
+    scratch: &mut ExecScratch,
+) {
+    match compiled.packets[ws.pc] {
+        Packet::Free { first, len } => {
+            for k in first..first + len {
+                exec_free(compiled.frees[k as usize], launch, ws, bindings, scratch);
+            }
+        }
+        Packet::Alu { idx } => {
+            exec_alu(cu, compiled, launch, ws, bindings, journal, scratch, idx as usize);
+        }
+        Packet::ExpChain { idx } => {
+            exec_alu(
+                cu,
+                compiled,
+                launch,
+                ws,
+                bindings,
+                journal.as_deref_mut(),
+                scratch,
+                idx as usize,
+            );
+            exec_alu(cu, compiled, launch, ws, bindings, journal, scratch, idx as usize + 1);
+        }
+        Packet::Scatters { first, len } => {
+            for k in first..first + len {
+                exec_scatter(
+                    compiled.scatters[k as usize],
+                    launch,
+                    ws,
+                    bindings,
+                    journal.as_deref_mut(),
+                );
+            }
+        }
+    }
+    ws.pc += 1;
+}
+
+/// Executes one free (non-issuing) step.
+fn exec_free(
+    step: FreeStep,
+    launch: &LaunchState,
+    ws: &mut WaveState,
+    bindings: &Bindings,
+    scratch: &mut ExecScratch,
+) {
+    match step {
+        FreeStep::LaneId { dst } => {
+            let start = ws.start;
+            for (l, r) in ws.regs[dst as usize].iter_mut().enumerate() {
+                *r = (start + l) as f32;
+            }
+        }
+        FreeStep::Gather { dst, data, indices } => {
+            let reg = &mut ws.regs[dst as usize];
+            if let Some(cache) = launch.index_cache.get(indices).and_then(Option::as_ref) {
+                let data = bindings.buffer(data);
+                for (r, &idx) in reg.iter_mut().zip(&cache[ws.start..ws.start + ws.lanes]) {
+                    *r = data[idx];
+                }
+            } else {
+                let start = ws.start;
+                for (l, r) in reg.iter_mut().enumerate() {
+                    *r = bindings.gather(data, indices, start + l);
+                }
+            }
+        }
+        FreeStep::LaneShift { dst, src, offset } => {
+            let lanes = ws.lanes;
+            let mut tmp = std::mem::take(&mut scratch.result);
+            tmp.clear();
+            tmp.resize(lanes, 0.0);
+            let srcv = &ws.regs[src as usize];
+            for (l, t) in tmp.iter_mut().enumerate() {
+                let from = l as i64 + i64::from(offset);
+                if (0..lanes as i64).contains(&from) {
+                    *t = srcv[from as usize];
+                }
+            }
+            std::mem::swap(&mut ws.regs[dst as usize], &mut tmp);
+            scratch.result = tmp;
+        }
+        FreeStep::PushMask { mask } => {
+            let mut m = ws.mask_pool.pop().unwrap_or_default();
+            m.clear();
+            let reg = &ws.regs[mask as usize];
+            match ws.masks.last() {
+                Some(top) => m.extend(reg.iter().zip(top).map(|(&v, &a)| a && v != 0.0)),
+                None => m.extend(reg.iter().map(|&v| v != 0.0)),
+            }
+            ws.masks.push(m);
+        }
+        FreeStep::PopMask => {
+            if let Some(m) = ws.masks.pop() {
+                ws.mask_pool.push(m);
+            }
+        }
+    }
+}
+
+/// Executes one ALU step (issue + masked write-back + scatter tail).
+#[allow(clippy::too_many_arguments)]
+fn exec_alu(
+    cu: &mut ComputeUnit,
+    compiled: &CompiledProgram,
+    launch: &LaunchState,
+    ws: &mut WaveState,
+    bindings: &mut Bindings,
+    mut journal: Option<&mut Vec<ScatterWrite>>,
+    scratch: &mut ExecScratch,
+    idx: usize,
+) {
+    let step = compiled.alus[idx];
+    let lanes = ws.lanes;
+    let mut result = std::mem::take(&mut scratch.result);
+    {
+        let mut slices = [[].as_slice(); MAX_ARITY];
+        for (k, cursor) in step.srcs[..step.arity as usize].iter().enumerate() {
+            slices[k] = match cursor {
+                Cursor::Reg(r) => &ws.regs[*r as usize],
+                Cursor::Imm(i) => &launch.imm_lanes[*i as usize][..lanes],
+            };
+        }
+        let active: &[bool] = match ws.masks.last() {
+            Some(m) => m,
+            None => {
+                // `scratch.active` only ever holds `true`, so a matching
+                // length means it is already the all-lanes mask.
+                if scratch.active.len() != lanes {
+                    scratch.active.clear();
+                    scratch.active.resize(lanes, true);
+                }
+                &scratch.active
+            }
+        };
+        cu.issue_vector_into(step.op, &slices[..step.arity as usize], active, &mut result);
+        // Masked write-back preserves the destination in inactive lanes
+        // (Evergreen predication), subsuming the closure kernels'
+        // host-side `v = live ? v_new : v` merges for free.
+        if let Some(m) = ws.masks.last() {
+            let old = &ws.regs[step.dst as usize];
+            for (l, r) in result.iter_mut().enumerate() {
+                if !m[l] {
+                    *r = old[l];
+                }
+            }
+        }
+    }
+    std::mem::swap(&mut ws.regs[step.dst as usize], &mut result);
+    scratch.result = result;
+    for k in step.scatter_first..step.scatter_first + step.scatter_len {
+        exec_scatter(
+            compiled.scatters[k as usize],
+            launch,
+            ws,
+            bindings,
+            journal.as_deref_mut(),
+        );
+    }
+}
+
+/// Executes one scatter step. Respects the mask: only active lanes
+/// store (matching the closure kernels' host-side conditional writes).
+fn exec_scatter(
+    step: ScatterStep,
+    launch: &LaunchState,
+    ws: &WaveState,
+    bindings: &mut Bindings,
+    mut journal: Option<&mut Vec<ScatterWrite>>,
+) {
+    let mask = ws.masks.last();
+    let reg = &ws.regs[step.src as usize];
+    let cache = launch.index_cache.get(step.indices).and_then(Option::as_ref);
+    for l in 0..ws.lanes {
+        if mask.is_some_and(|m| !m[l]) {
+            continue;
+        }
+        let gid = ws.start + l;
+        let index = match cache {
+            Some(c) => c[gid],
+            None => bindings.scatter_index(step.indices, gid),
+        };
+        bindings.apply_write(step.data, index, reg[l]);
+        if let Some(j) = journal.as_deref_mut() {
+            j.push(ScatterWrite { data: step.data, index, value: reg[l] });
+        }
+    }
+}
+
+/// The shard-restricted twin of [`run_cu_compiled_queue`]: identical
+/// packet interleaving (so scatter ordinals align across shards), but
+/// each step touches only the shard's owned lanes, journaling issued
+/// events and scatters for the deterministic merge.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_cu_compiled_queue_sharded(
+    cu: &mut ComputeUnit,
+    compiled: &CompiledProgram,
+    launch: &LaunchState,
+    queue: &[Range<usize>],
+    bindings: &mut Bindings,
+    in_flight: usize,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    journal: &mut ShardJournal,
+    scatters: &mut Vec<ScatterRec>,
+) {
+    debug_assert!(
+        !compiled.source.has_cross_lane_ops(),
+        "cross-lane programs cannot be lane-sharded"
+    );
+    let mut scratch = ExecScratch::default();
+    let mut ordinal: u32 = 0;
+    let mut pending = queue.iter().cloned();
+    let mut active: Vec<WaveState> = pending
+        .by_ref()
+        .take(in_flight)
+        .map(|r| WaveState::new(r, compiled))
+        .collect();
+    while !active.is_empty() {
+        let mut i = 0;
+        while i < active.len() {
+            step_packet_sharded(
+                cu,
+                compiled,
+                launch,
+                &mut active[i],
+                bindings,
+                sc_range,
+                num_scs,
+                journal,
+                scatters,
+                &mut ordinal,
+                &mut scratch,
+            );
+            if active[i].pc >= compiled.packets.len() {
+                match pending.next() {
+                    Some(fresh) => active[i].reset(fresh, compiled),
+                    None => {
+                        active.remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Executes one packet for the shard's owned lanes only.
+#[allow(clippy::too_many_arguments)]
+fn step_packet_sharded(
+    cu: &mut ComputeUnit,
+    compiled: &CompiledProgram,
+    launch: &LaunchState,
+    ws: &mut WaveState,
+    bindings: &mut Bindings,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    journal: &mut ShardJournal,
+    scatters: &mut Vec<ScatterRec>,
+    ordinal: &mut u32,
+    scratch: &mut ExecScratch,
+) {
+    match compiled.packets[ws.pc] {
+        Packet::Free { first, len } => {
+            for k in first..first + len {
+                exec_free_sharded(
+                    compiled.frees[k as usize],
+                    launch,
+                    ws,
+                    bindings,
+                    sc_range,
+                    num_scs,
+                    scratch,
+                );
+            }
+        }
+        Packet::Alu { idx } => exec_alu_sharded(
+            cu, compiled, launch, ws, bindings, sc_range, num_scs, journal, scatters, ordinal,
+            scratch, idx as usize,
+        ),
+        Packet::ExpChain { idx } => {
+            exec_alu_sharded(
+                cu, compiled, launch, ws, bindings, sc_range, num_scs, journal, scatters, ordinal,
+                scratch, idx as usize,
+            );
+            exec_alu_sharded(
+                cu,
+                compiled,
+                launch,
+                ws,
+                bindings,
+                sc_range,
+                num_scs,
+                journal,
+                scatters,
+                ordinal,
+                scratch,
+                idx as usize + 1,
+            );
+        }
+        Packet::Scatters { first, len } => {
+            for k in first..first + len {
+                exec_scatter_sharded(
+                    compiled.scatters[k as usize],
+                    launch,
+                    ws,
+                    bindings,
+                    sc_range,
+                    num_scs,
+                    scatters,
+                    ordinal,
+                );
+            }
+        }
+    }
+    ws.pc += 1;
+}
+
+/// Executes one free step for a shard. Lane ids and masks fill every
+/// lane (they are pure functions of shard-visible state); gathers fill
+/// owned lanes only — non-owned registers stay 0.0 and feed nothing the
+/// shard executes.
+fn exec_free_sharded(
+    step: FreeStep,
+    launch: &LaunchState,
+    ws: &mut WaveState,
+    bindings: &Bindings,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    scratch: &mut ExecScratch,
+) {
+    match step {
+        FreeStep::Gather { dst, data, indices } => {
+            let start = ws.start;
+            let reg = &mut ws.regs[dst as usize];
+            if let Some(cache) = launch.index_cache.get(indices).and_then(Option::as_ref) {
+                let data = bindings.buffer(data);
+                for (l, r) in reg.iter_mut().enumerate() {
+                    if sc_range.contains(&(l % num_scs)) {
+                        *r = data[cache[start + l]];
+                    }
+                }
+            } else {
+                for (l, r) in reg.iter_mut().enumerate() {
+                    if sc_range.contains(&(l % num_scs)) {
+                        *r = bindings.gather(data, indices, start + l);
+                    }
+                }
+            }
+        }
+        FreeStep::LaneShift { .. } => {
+            unreachable!("cross-lane programs fall back before sharded execution")
+        }
+        other => exec_free(other, launch, ws, bindings, scratch),
+    }
+}
+
+/// Executes one ALU step for a shard: owned lanes issue through the
+/// shard's stream cores into the journal.
+#[allow(clippy::too_many_arguments)]
+fn exec_alu_sharded(
+    cu: &mut ComputeUnit,
+    compiled: &CompiledProgram,
+    launch: &LaunchState,
+    ws: &mut WaveState,
+    bindings: &mut Bindings,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    journal: &mut ShardJournal,
+    scatters: &mut Vec<ScatterRec>,
+    ordinal: &mut u32,
+    scratch: &mut ExecScratch,
+    idx: usize,
+) {
+    let step = compiled.alus[idx];
+    let lanes = ws.lanes;
+    let mut result = std::mem::take(&mut scratch.result);
+    {
+        let mut slices = [[].as_slice(); MAX_ARITY];
+        for (k, cursor) in step.srcs[..step.arity as usize].iter().enumerate() {
+            slices[k] = match cursor {
+                Cursor::Reg(r) => &ws.regs[*r as usize],
+                Cursor::Imm(i) => &launch.imm_lanes[*i as usize][..lanes],
+            };
+        }
+        let active: &[bool] = match ws.masks.last() {
+            Some(m) => m,
+            None => {
+                // Same length-guarded refill as the unsharded path above.
+                if scratch.active.len() != lanes {
+                    scratch.active.clear();
+                    scratch.active.resize(lanes, true);
+                }
+                &scratch.active
+            }
+        };
+        cu.issue_vector_sharded(
+            step.op,
+            &slices[..step.arity as usize],
+            active,
+            sc_range.clone(),
+            false,
+            &mut result,
+            journal,
+        );
+        if let Some(m) = ws.masks.last() {
+            let old = &ws.regs[step.dst as usize];
+            for (l, r) in result.iter_mut().enumerate() {
+                if !m[l] {
+                    *r = old[l];
+                }
+            }
+        }
+    }
+    std::mem::swap(&mut ws.regs[step.dst as usize], &mut result);
+    scratch.result = result;
+    for k in step.scatter_first..step.scatter_first + step.scatter_len {
+        exec_scatter_sharded(
+            compiled.scatters[k as usize],
+            launch,
+            ws,
+            bindings,
+            sc_range,
+            num_scs,
+            scatters,
+            ordinal,
+        );
+    }
+}
+
+/// Executes one scatter step for a shard's owned (and active) lanes.
+/// Every shard executes every scatter step, so the ordinal counter
+/// stays aligned across shards even when a shard owns no active lane.
+#[allow(clippy::too_many_arguments)]
+fn exec_scatter_sharded(
+    step: ScatterStep,
+    launch: &LaunchState,
+    ws: &WaveState,
+    bindings: &mut Bindings,
+    sc_range: &Range<usize>,
+    num_scs: usize,
+    scatters: &mut Vec<ScatterRec>,
+    ordinal: &mut u32,
+) {
+    let mask = ws.masks.last();
+    let reg = &ws.regs[step.src as usize];
+    let cache = launch.index_cache.get(step.indices).and_then(Option::as_ref);
+    for l in 0..ws.lanes {
+        if !sc_range.contains(&(l % num_scs)) || mask.is_some_and(|m| !m[l]) {
+            continue;
+        }
+        let gid = ws.start + l;
+        let index = match cache {
+            Some(c) => c[gid],
+            None => bindings.scatter_index(step.indices, gid),
+        };
+        bindings.apply_write(step.data, index, reg[l]);
+        scatters.push(ScatterRec {
+            ordinal: *ordinal,
+            lane: l as u32,
+            data: step.data,
+            index,
+            value: reg[l],
+        });
+    }
+    *ordinal += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine};
+    use crate::intra_cu::IntraCuEngine;
+    use crate::program::{Src, VInst};
+
+    fn cus(config: &DeviceConfig, n: usize) -> Vec<ComputeUnit> {
+        (0..n).map(|i| ComputeUnit::new(config, i)).collect()
+    }
+
+    /// `out[i] = sqrt(in[i]) * 2 + in[i]` with identity indices — one
+    /// free run, three ALU packets (last with a folded scatter tail).
+    fn simple_program() -> VProgram {
+        VProgram::new(
+            3,
+            vec![
+                VInst::Gather { dst: 0, data: 0, indices: 1 },
+                VInst::Alu { op: FpOp::Sqrt, dst: 1, srcs: vec![Src::Reg(0)] },
+                VInst::Alu {
+                    op: FpOp::Mul,
+                    dst: 1,
+                    srcs: vec![Src::Reg(1), Src::Imm(2.0)],
+                },
+                VInst::Alu {
+                    op: FpOp::Add,
+                    dst: 2,
+                    srcs: vec![Src::Reg(1), Src::Reg(0)],
+                },
+                VInst::Scatter { src: 2, data: 2, indices: 1 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_folds_frees_and_scatter_tails() {
+        let cp = CompiledProgram::compile(&simple_program(), &CompileOptions::default());
+        // Free{gather}, Alu{sqrt}, Alu{mul}, Alu{add + scatter tail}.
+        assert_eq!(cp.packet_count(), 4);
+        assert_eq!(cp.alus[2].scatter_len, 1);
+        assert_eq!(cp.exp_chains(), 0);
+        assert_eq!(cp.fused_muladds(), 0);
+        assert!(cp.static_indices);
+    }
+
+    #[test]
+    fn immediates_are_deduplicated() {
+        let p = VProgram::new(
+            1,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Alu { op: FpOp::Add, dst: 0, srcs: vec![Src::Reg(0), Src::Imm(3.0)] },
+                VInst::Alu { op: FpOp::Mul, dst: 0, srcs: vec![Src::Reg(0), Src::Imm(3.0)] },
+                VInst::Alu { op: FpOp::Max, dst: 0, srcs: vec![Src::Reg(0), Src::Imm(-3.0)] },
+            ],
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p, &CompileOptions::default());
+        assert_eq!(cp.imms, vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn exp_chain_detected_and_numerically_exact() {
+        // exp(x) = exp2(x * log2 e): the canonical chain.
+        let p = VProgram::new(
+            2,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Alu {
+                    op: FpOp::Mul,
+                    dst: 1,
+                    srcs: vec![Src::Reg(0), Src::Imm(std::f32::consts::LOG2_E)],
+                },
+                VInst::Alu { op: FpOp::Exp2, dst: 1, srcs: vec![Src::Reg(1)] },
+                VInst::Scatter { src: 1, data: 0, indices: 1 },
+            ],
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p, &CompileOptions::default());
+        assert_eq!(cp.exp_chains(), 1);
+        // LaneId, ExpChain (two issues, with the exp's scatter tail).
+        assert_eq!(cp.packet_count(), 2);
+
+        let n = 64;
+        let config = DeviceConfig::default();
+        let mut b = Bindings::new(vec![vec![0.0; n], (0..n).map(|i| i as f32).collect()]);
+        let schedule = Schedule::new(n, config.wavefront_size, 1);
+        SequentialEngine::new().run_compiled(&mut cus(&config, 1), &cp, &mut b, &schedule, 1);
+        for (i, &v) in b.buffer(0).iter().enumerate() {
+            let expect = (i as f32 * std::f32::consts::LOG2_E).exp2();
+            assert_eq!(v, expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn muladd_rewrite_is_opt_in_and_counts() {
+        // t = a*b; d = t + c with t dead → one MULADD under the option.
+        let p = VProgram::new(
+            4,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Alu { op: FpOp::Mul, dst: 1, srcs: vec![Src::Reg(0), Src::Imm(0.5)] },
+                VInst::Alu { op: FpOp::Add, dst: 2, srcs: vec![Src::Reg(1), Src::Imm(1.0)] },
+                VInst::Scatter { src: 2, data: 0, indices: 1 },
+            ],
+        )
+        .unwrap();
+        let plain = CompiledProgram::compile(&p, &CompileOptions::default());
+        assert_eq!(plain.fused_muladds(), 0);
+        let fused = CompiledProgram::compile(&p, &CompileOptions { fuse_muladd: true });
+        assert_eq!(fused.fused_muladds(), 1);
+
+        let n = 128;
+        let config = DeviceConfig::default();
+        let schedule = Schedule::new(n, config.wavefront_size, 1);
+        let mk = || Bindings::new(vec![vec![0.0; n], (0..n).map(|i| i as f32).collect()]);
+        let mut b_plain = mk();
+        let mut plain_cus = cus(&config, 1);
+        SequentialEngine::new().run_compiled(&mut plain_cus, &plain, &mut b_plain, &schedule, 1);
+        let mut b_fused = mk();
+        let mut fused_cus = cus(&config, 1);
+        SequentialEngine::new().run_compiled(&mut fused_cus, &fused, &mut b_fused, &schedule, 1);
+        // One instruction fewer issues per wavefront...
+        assert!(
+            fused_cus[0].cycles() < plain_cus[0].cycles(),
+            "MULADD rewrite should shorten the issue stream"
+        );
+        // ...and the fused numerics agree to FMA rounding.
+        for (a, b) in b_plain.buffer(0).iter().zip(b_fused.buffer(0)) {
+            assert!((a - b).abs() <= a.abs().max(1.0) * 1e-6);
+        }
+    }
+
+    /// The masked/lane-shifted feature program: a backward-induction
+    /// shaped loop body exercising PushMask, preserve-dst, LaneShift
+    /// and a masked scatter. Large enough (per caller) to clear the
+    /// small-kernel heuristic when a threaded path must be exercised.
+    fn masked_program() -> VProgram {
+        VProgram::new(
+            4,
+            vec![
+                VInst::LaneId { dst: 0 },
+                VInst::Gather { dst: 1, data: 0, indices: 1 },   // v
+                VInst::Gather { dst: 2, data: 2, indices: 1 },   // predicate
+                VInst::LaneShift { dst: 3, src: 1, offset: 1 },  // v_up
+                VInst::PushMask { mask: 2 },
+                VInst::Alu {
+                    op: FpOp::MulAdd,
+                    dst: 1,
+                    srcs: vec![Src::Reg(3), Src::Imm(0.5), Src::Reg(1)],
+                },
+                VInst::Scatter { src: 1, data: 3, indices: 1 },
+                VInst::PopMask,
+                VInst::Alu { op: FpOp::Add, dst: 1, srcs: vec![Src::Reg(1), Src::Imm(1.0)] },
+                VInst::Scatter { src: 1, data: 4, indices: 1 },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn masked_bindings(n: usize) -> Bindings {
+        Bindings::new(vec![
+            (0..n).map(|i| (i % 13) as f32).collect(),
+            (0..n).map(|i| i as f32).collect(),
+            (0..n).map(|i| f32::from(i % 3 == 0)).collect(),
+            vec![-1.0; n],
+            vec![0.0; n],
+        ])
+    }
+
+    #[test]
+    fn masked_alu_preserves_dst_and_masked_scatter_skips_lanes() {
+        let n = 64;
+        let config = DeviceConfig::default();
+        let mut b = masked_bindings(n);
+        let schedule = Schedule::new(n, config.wavefront_size, 1);
+        let cp = CompiledProgram::compile(&masked_program(), &CompileOptions::default());
+        SequentialEngine::new().run_compiled(&mut cus(&config, 1), &cp, &mut b, &schedule, 1);
+        for i in 0..n {
+            let v0 = (i % 13) as f32;
+            let up = if i + 1 < n { ((i + 1) % 13) as f32 } else { 0.0 };
+            let live = i % 3 == 0;
+            let v1 = if live { up.mul_add(0.5, v0) } else { v0 };
+            // Masked scatter: only live lanes stored into buf3.
+            let expect3 = if live { v1 } else { -1.0 };
+            assert_eq!(b.buffer(3)[i], expect3, "masked scatter lane {i}");
+            // Post-pop ALU sees the merged register (preserve-dst).
+            assert_eq!(b.buffer(4)[i], v1 + 1.0, "preserve-dst lane {i}");
+        }
+    }
+
+    #[test]
+    fn masked_and_cross_lane_programs_agree_across_backends() {
+        // Large enough that the threaded engines do NOT take the
+        // small-kernel sequential fallback (10 insts × 64k lanes).
+        let n = 1 << 16;
+        let config = DeviceConfig::default();
+        let cp = CompiledProgram::compile(&masked_program(), &CompileOptions::default());
+        assert!(!cp.prefers_sequential(n));
+        let schedule = Schedule::new(n, config.wavefront_size, 2);
+
+        let mut seq_b = masked_bindings(n);
+        let mut seq_cus = cus(&config, 2);
+        SequentialEngine::new().run_compiled(&mut seq_cus, &cp, &mut seq_b, &schedule, 2);
+
+        let mut par_b = masked_bindings(n);
+        let mut par_cus = cus(&config, 2);
+        ParallelEngine::new().run_compiled(&mut par_cus, &cp, &mut par_b, &schedule, 2);
+
+        // IntraCu must detect the cross-lane shift and still agree (it
+        // falls back to the parallel engine).
+        let mut icu_b = masked_bindings(n);
+        let mut icu_cus = cus(&config, 2);
+        IntraCuEngine::with_shards(4).run_compiled(&mut icu_cus, &cp, &mut icu_b, &schedule, 2);
+
+        assert_eq!(seq_b, par_b);
+        assert_eq!(seq_b, icu_b);
+        for (a, b) in seq_cus.iter().zip(&par_cus) {
+            assert_eq!(a.cycles(), b.cycles());
+            assert_eq!(a.ledger().total_pj(), b.ledger().total_pj());
+        }
+        for (a, b) in seq_cus.iter().zip(&icu_cus) {
+            assert_eq!(a.cycles(), b.cycles());
+            assert_eq!(a.ledger().total_pj(), b.ledger().total_pj());
+        }
+    }
+
+    #[test]
+    fn masked_program_shards_bit_identically_without_lane_shift() {
+        // Same shape minus the LaneShift: IntraCu takes the true
+        // sharded path and must still match sequentially.
+        let p = VProgram::new(
+            3,
+            vec![
+                VInst::Gather { dst: 0, data: 0, indices: 1 },
+                VInst::Gather { dst: 2, data: 2, indices: 1 },
+                VInst::PushMask { mask: 2 },
+                VInst::Alu { op: FpOp::Sqrt, dst: 0, srcs: vec![Src::Reg(0)] },
+                VInst::Scatter { src: 0, data: 3, indices: 1 },
+                VInst::PopMask,
+                VInst::Alu { op: FpOp::Add, dst: 0, srcs: vec![Src::Reg(0), Src::Imm(1.0)] },
+                VInst::Scatter { src: 0, data: 4, indices: 1 },
+            ],
+        )
+        .unwrap();
+        let n = 1 << 16;
+        let cp = CompiledProgram::compile(&p, &CompileOptions::default());
+        assert!(!cp.prefers_sequential(n));
+        let config = DeviceConfig::default();
+        let schedule = Schedule::new(n, config.wavefront_size, 1);
+
+        let mut seq_b = masked_bindings(n);
+        let mut seq_cus = cus(&config, 1);
+        SequentialEngine::new().run_compiled(&mut seq_cus, &cp, &mut seq_b, &schedule, 3);
+
+        let mut icu_b = masked_bindings(n);
+        let mut icu_cus = cus(&config, 1);
+        IntraCuEngine::with_shards(4).run_compiled(&mut icu_cus, &cp, &mut icu_b, &schedule, 3);
+
+        assert_eq!(seq_b, icu_b);
+        assert_eq!(seq_cus[0].cycles(), icu_cus[0].cycles());
+        assert_eq!(seq_cus[0].ledger().total_pj(), icu_cus[0].ledger().total_pj());
+    }
+
+    #[test]
+    fn small_kernel_heuristic_thresholds_on_lane_ops() {
+        let cp = CompiledProgram::compile(&simple_program(), &CompileOptions::default());
+        assert!(cp.prefers_sequential(1024)); // 5 × 1024 « 2^18
+        assert!(!cp.prefers_sequential(1 << 17)); // 5 × 131072 ≥ 2^18
+    }
+
+    #[test]
+    fn short_index_buffer_under_full_mask_does_not_panic_at_launch() {
+        // The scatter's index buffer is too short for the ND-range, but
+        // every lane that would use it is masked off: the launch-time
+        // cache must fall back to (never-executed) live reads instead
+        // of eagerly converting.
+        let p = VProgram::new(
+            2,
+            vec![
+                VInst::Gather { dst: 0, data: 0, indices: 1 },
+                VInst::Alu { op: FpOp::Mul, dst: 1, srcs: vec![Src::Reg(0), Src::Imm(0.0)] },
+                VInst::PushMask { mask: 1 },
+                VInst::Scatter { src: 0, data: 0, indices: 2 },
+                VInst::PopMask,
+            ],
+        )
+        .unwrap();
+        let n = 64;
+        let mut b = Bindings::new(vec![
+            vec![1.0; n],
+            (0..n).map(|i| i as f32).collect(),
+            vec![0.0; 1], // short: would panic if eagerly cached
+        ]);
+        let config = DeviceConfig::default();
+        let schedule = Schedule::new(n, config.wavefront_size, 1);
+        let cp = CompiledProgram::compile(&p, &CompileOptions::default());
+        SequentialEngine::new().run_compiled(&mut cus(&config, 1), &cp, &mut b, &schedule, 1);
+        assert_eq!(b.buffer(0), vec![1.0; n].as_slice());
+    }
+}

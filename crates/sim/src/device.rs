@@ -1,5 +1,6 @@
 //! The top-level device: dispatch and reporting.
 
+use crate::compiled::{CompileOptions, CompiledProgram};
 use crate::compute_unit::ComputeUnit;
 use crate::config::{DeviceConfig, ExecBackend};
 use crate::engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKernel};
@@ -243,26 +244,65 @@ impl Device {
         global_size: usize,
         in_flight: usize,
     ) {
+        let compile_start = self.obs.as_ref().map(DeviceObs::now_us);
+        let compiled = CompiledProgram::compile(program, &CompileOptions::default());
+        if let (Some(obs), Some(start)) = (&self.obs, compile_start) {
+            obs.wall_span(
+                "program:compile".to_string(),
+                "compile",
+                0,
+                start,
+                vec![
+                    (
+                        "instructions".to_string(),
+                        ArgValue::U64(program.len() as u64),
+                    ),
+                    (
+                        "packets".to_string(),
+                        ArgValue::U64(compiled.packet_count() as u64),
+                    ),
+                ],
+            );
+        }
+        self.run_compiled(&compiled, bindings, global_size, in_flight);
+    }
+
+    /// Runs pre-lowered bytecode (see [`CompiledProgram::compile`]) with
+    /// `in_flight` wavefronts interleaved per compute unit — the
+    /// compile-once path for stage loops and campaigns. Semantics match
+    /// [`Device::run_program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_size` or `in_flight` is zero, or a
+    /// gather/scatter index leaves its buffer.
+    pub fn run_compiled(
+        &mut self,
+        compiled: &CompiledProgram,
+        bindings: &mut Bindings,
+        global_size: usize,
+        in_flight: usize,
+    ) {
         let schedule = self.schedule(global_size);
         let mark = self.mark_launch();
         self.wavefronts_dispatched += match self.config.backend {
-            ExecBackend::Sequential => SequentialEngine::with_obs(self.obs.clone()).run_program(
+            ExecBackend::Sequential => SequentialEngine::with_obs(self.obs.clone()).run_compiled(
                 &mut self.compute_units,
-                program,
+                compiled,
                 bindings,
                 &schedule,
                 in_flight,
             ),
-            ExecBackend::Parallel => ParallelEngine::with_obs(self.obs.clone()).run_program(
+            ExecBackend::Parallel => ParallelEngine::with_obs(self.obs.clone()).run_compiled(
                 &mut self.compute_units,
-                program,
+                compiled,
                 bindings,
                 &schedule,
                 in_flight,
             ),
-            ExecBackend::IntraCu => self.intra_cu_engine().run_program(
+            ExecBackend::IntraCu => self.intra_cu_engine().run_compiled(
                 &mut self.compute_units,
-                program,
+                compiled,
                 bindings,
                 &schedule,
                 in_flight,

@@ -24,10 +24,13 @@
 //! index order, falling back to the sequential engine when a program
 //! gathers from a scattered buffer (a cross-wavefront data hazard).
 
+use crate::compiled::{
+    run_cu_compiled_queue, CompileOptions, CompiledProgram, LaunchState, ScatterWrite,
+};
 use crate::compute_unit::ComputeUnit;
 use crate::kernel::Kernel;
 use crate::obs::DeviceObs;
-use crate::program::{Bindings, BufferId, Src, VInst, VProgram, WavefrontContext};
+use crate::program::{Bindings, BufferId, VInst, VProgram};
 use crate::wave::WaveCtx;
 use std::collections::BTreeSet;
 use std::ops::Range;
@@ -141,6 +144,17 @@ impl Schedule {
             .flat_map(|a| a.lane_range.clone())
             .collect()
     }
+
+    /// The widest wavefront in the schedule (all but the trailing
+    /// partial are `wavefront_size` wide) — sizes per-launch splats.
+    #[must_use]
+    pub fn max_wavefront_lanes(&self) -> usize {
+        self.assignments
+            .iter()
+            .map(|a| a.lane_range.len())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// A kernel whose per-run state can be sharded across compute units.
@@ -177,10 +191,29 @@ pub trait ExecEngine {
 
     /// Runs `program` over `schedule` with `in_flight` wavefronts
     /// interleaved per CU, returning wavefronts dispatched.
+    ///
+    /// Provided: lowers the program with default [`CompileOptions`] and
+    /// delegates to [`ExecEngine::run_compiled`]. Callers that launch
+    /// the same program repeatedly (stage loops, campaigns) should
+    /// compile once and call `run_compiled` directly.
     fn run_program(
         &self,
         cus: &mut [ComputeUnit],
         program: &VProgram,
+        bindings: &mut Bindings,
+        schedule: &Schedule,
+        in_flight: usize,
+    ) -> u64 {
+        let compiled = CompiledProgram::compile(program, &CompileOptions::default());
+        self.run_compiled(cus, &compiled, bindings, schedule, in_flight)
+    }
+
+    /// Runs pre-lowered bytecode over `schedule` with `in_flight`
+    /// wavefronts interleaved per CU, returning wavefronts dispatched.
+    fn run_compiled(
+        &self,
+        cus: &mut [ComputeUnit],
+        compiled: &CompiledProgram,
         bindings: &mut Bindings,
         schedule: &Schedule,
         in_flight: usize,
@@ -251,28 +284,34 @@ impl ExecEngine for SequentialEngine {
         self.run_any_kernel(cus, kernel, schedule)
     }
 
-    fn run_program(
+    fn run_compiled(
         &self,
         cus: &mut [ComputeUnit],
-        program: &VProgram,
+        compiled: &CompiledProgram,
         bindings: &mut Bindings,
         schedule: &Schedule,
         in_flight: usize,
     ) -> u64 {
         assert!(in_flight > 0, "need at least one wavefront in flight");
+        let launch = LaunchState::new(
+            compiled,
+            bindings,
+            schedule.max_wavefront_lanes(),
+            schedule.global_size(),
+        );
         for (cu_idx, queue) in schedule.queues().into_iter().enumerate() {
-            run_cu_program_queue(&mut cus[cu_idx], program, queue, bindings, in_flight, None);
+            run_cu_compiled_queue(
+                &mut cus[cu_idx],
+                compiled,
+                &launch,
+                queue,
+                bindings,
+                in_flight,
+                None,
+            );
         }
         schedule.wavefronts() as u64
     }
-}
-
-/// One journaled scatter write: `bindings[data][index] = value`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct ScatterWrite {
-    data: BufferId,
-    index: usize,
-    value: f32,
 }
 
 /// The multi-threaded engine: one scoped worker per compute unit.
@@ -355,25 +394,45 @@ impl ExecEngine for ParallelEngine {
         schedule.wavefronts() as u64
     }
 
-    fn run_program(
+    fn run_compiled(
         &self,
         cus: &mut [ComputeUnit],
-        program: &VProgram,
+        compiled: &CompiledProgram,
         bindings: &mut Bindings,
         schedule: &Schedule,
         in_flight: usize,
     ) -> u64 {
         assert!(in_flight > 0, "need at least one wavefront in flight");
-        if program_needs_sequential_fallback(program, bindings, schedule) {
+        // The size check comes first: it is O(1), while the hazard
+        // analysis walks every index buffer — on a 13-stage FWT that
+        // analysis alone used to cost 2x the whole sequential run.
+        if compiled.prefers_sequential(schedule.global_size()) {
+            // Thread spawn plus journal replay dwarfs a tiny launch (a
+            // Haar level, an FWT stage) — the fwt-ir parallel cliff.
+            if let Some(obs) = &self.obs {
+                obs.inc("engine.small_kernel_sequential", 1);
+            }
+            return SequentialEngine::with_obs(self.obs.clone()).run_compiled(
+                cus, compiled, bindings, schedule, in_flight,
+            );
+        }
+        if program_needs_sequential_fallback(compiled.source(), bindings, schedule) {
             // A gather (or scatter addressing) may observe another CU's
             // scatter; only the sequential order is well-defined.
             if let Some(obs) = &self.obs {
                 obs.inc("engine.fallback_to_sequential", 1);
             }
-            return SequentialEngine::with_obs(self.obs.clone()).run_program(
-                cus, program, bindings, schedule, in_flight,
+            return SequentialEngine::with_obs(self.obs.clone()).run_compiled(
+                cus, compiled, bindings, schedule, in_flight,
             );
         }
+        let launch = LaunchState::new(
+            compiled,
+            bindings,
+            schedule.max_wavefront_lanes(),
+            schedule.global_size(),
+        );
+        let launch = &launch;
         let queues = schedule.queues();
         let journals: Vec<Vec<ScatterWrite>> = std::thread::scope(|scope| {
             let handles: Vec<_> = cus
@@ -389,9 +448,10 @@ impl ExecEngine for ParallelEngine {
                         let worker_start = obs.as_ref().map(DeviceObs::now_us);
                         let wavefronts = queue.len() as u64;
                         let mut journal = Vec::new();
-                        run_cu_program_queue(
+                        run_cu_compiled_queue(
                             cu,
-                            program,
+                            compiled,
+                            launch,
                             queue,
                             &mut local,
                             in_flight,
@@ -458,134 +518,19 @@ fn has_cross_wavefront_hazard(program: &VProgram) -> bool {
             scattered.contains(data) || scattered.contains(indices)
         }
         VInst::Scatter { indices, .. } => scattered.contains(indices),
-        VInst::Alu { .. } | VInst::LaneId { .. } => false,
+        VInst::Alu { .. }
+        | VInst::LaneId { .. }
+        | VInst::PushMask { .. }
+        | VInst::PopMask
+        | VInst::LaneShift { .. } => false,
     })
-}
-
-/// Drains one CU's wavefront queue with `in_flight`-way interleaving.
-/// With a journal, scatters are applied to the (local) bindings *and*
-/// recorded for later replay onto the shared bindings.
-fn run_cu_program_queue(
-    cu: &mut ComputeUnit,
-    program: &VProgram,
-    queue: Vec<Range<usize>>,
-    bindings: &mut Bindings,
-    in_flight: usize,
-    mut journal: Option<&mut Vec<ScatterWrite>>,
-) {
-    let mut scratch = ProgramScratch::default();
-    let mut pending = queue
-        .into_iter()
-        .map(|range| WavefrontContext::new(range.collect(), program.registers()));
-    let mut active: Vec<WavefrontContext> = pending.by_ref().take(in_flight).collect();
-    while !active.is_empty() {
-        let mut i = 0;
-        while i < active.len() {
-            step_program(
-                cu,
-                program,
-                &mut active[i],
-                bindings,
-                journal.as_deref_mut(),
-                &mut scratch,
-            );
-            if active[i].done(program) {
-                match pending.next() {
-                    Some(fresh) => active[i] = fresh,
-                    None => {
-                        active.remove(i);
-                        continue;
-                    }
-                }
-            }
-            i += 1;
-        }
-    }
-}
-
-/// Reusable buffers for the program-path issue loop: immediate splats,
-/// the all-active mask, and the ALU result vector. One per CU queue
-/// drain — the steady-state per-instruction path allocates nothing.
-#[derive(Debug, Default)]
-struct ProgramScratch {
-    imm: [Vec<f32>; tm_fpu::MAX_ARITY],
-    active: Vec<bool>,
-    result: Vec<f32>,
-}
-
-/// Executes one instruction of one wavefront context.
-fn step_program(
-    cu: &mut ComputeUnit,
-    program: &VProgram,
-    ctx: &mut WavefrontContext,
-    bindings: &mut Bindings,
-    journal: Option<&mut Vec<ScatterWrite>>,
-    scratch: &mut ProgramScratch,
-) {
-    let lanes = ctx.lane_ids.len();
-    let inst = &program.instructions()[ctx.pc];
-    match inst {
-        VInst::LaneId { dst } => {
-            for l in 0..lanes {
-                ctx.regs[*dst as usize][l] = ctx.lane_ids[l] as f32;
-            }
-        }
-        VInst::Gather { dst, data, indices } => {
-            for l in 0..lanes {
-                ctx.regs[*dst as usize][l] = bindings.gather(*data, *indices, ctx.lane_ids[l]);
-            }
-        }
-        VInst::Scatter { src, data, indices } => {
-            let mut journal = journal;
-            for l in 0..lanes {
-                let v = ctx.regs[*src as usize][l];
-                if let Some(j) = journal.as_deref_mut() {
-                    let index = bindings.scatter_index(*indices, ctx.lane_ids[l]);
-                    bindings.apply_write(*data, index, v);
-                    j.push(ScatterWrite {
-                        data: *data,
-                        index,
-                        value: v,
-                    });
-                } else {
-                    bindings.scatter(*data, *indices, ctx.lane_ids[l], v);
-                }
-            }
-        }
-        VInst::Alu { op, dst, srcs } => {
-            // Splat immediates into reusable scratch; register operands
-            // are borrowed in place (no clone — results land in scratch
-            // first, so `dst` aliasing a source is safe).
-            for (slot, s) in scratch.imm.iter_mut().zip(srcs.iter()) {
-                if let Src::Imm(v) = s {
-                    slot.clear();
-                    slot.resize(lanes, *v);
-                }
-            }
-            let mut slices = [[].as_slice(); tm_fpu::MAX_ARITY];
-            for (k, s) in srcs.iter().enumerate() {
-                slices[k] = match s {
-                    Src::Reg(r) => ctx.regs[*r as usize].as_slice(),
-                    Src::Imm(_) => scratch.imm[k].as_slice(),
-                };
-            }
-            scratch.active.clear();
-            scratch.active.resize(lanes, true);
-            let mut result = std::mem::take(&mut scratch.result);
-            cu.issue_vector_into(*op, &slices[..srcs.len()], &scratch.active, &mut result);
-            std::mem::swap(&mut ctx.regs[*dst as usize], &mut result);
-            // The displaced destination register becomes the next
-            // instruction's result buffer.
-            scratch.result = result;
-        }
-    }
-    ctx.pc += 1;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::DeviceConfig;
+    use crate::program::Src;
     use tm_fpu::FpOp;
 
     #[test]

@@ -42,6 +42,7 @@
 //! back to the sequential engine, exactly like the parallel engine
 //! does.
 
+use crate::compiled::{run_cu_compiled_queue_sharded, CompiledProgram, LaunchState, ScatterRec};
 use crate::compute_unit::{ComputeUnit, ShardJournal};
 use crate::config::ArchMode;
 use crate::engine::{
@@ -49,7 +50,7 @@ use crate::engine::{
     ShardKernel,
 };
 use crate::obs::DeviceObs;
-use crate::program::{Bindings, BufferId, Src, VInst, VProgram, WavefrontContext};
+use crate::program::Bindings;
 use crate::sink::LaneEvent;
 use crate::wave::WaveCtx;
 use std::ops::Range;
@@ -313,10 +314,10 @@ impl ExecEngine for IntraCuEngine {
         schedule.wavefronts() as u64
     }
 
-    fn run_program(
+    fn run_compiled(
         &self,
         cus: &mut [ComputeUnit],
-        program: &VProgram,
+        compiled: &CompiledProgram,
         bindings: &mut Bindings,
         schedule: &Schedule,
         in_flight: usize,
@@ -330,17 +331,43 @@ impl ExecEngine for IntraCuEngine {
                 obs.inc("intra_cu.fallback_to_parallel", 1);
             }
             return ParallelEngine::with_obs(self.obs.clone())
-                .run_program(cus, program, bindings, schedule, in_flight);
+                .run_compiled(cus, compiled, bindings, schedule, in_flight);
         }
-        if program_needs_sequential_fallback(program, bindings, schedule) {
+        // Size check before hazard analysis — the latter walks every
+        // index buffer, which dwarfs a tiny launch all by itself.
+        if compiled.prefers_sequential(schedule.global_size()) {
+            // Task spawn + two-stage merge dwarfs a tiny launch.
+            if let Some(obs) = &self.obs {
+                obs.inc("engine.small_kernel_sequential", 1);
+            }
+            return SequentialEngine::with_obs(self.obs.clone())
+                .run_compiled(cus, compiled, bindings, schedule, in_flight);
+        }
+        if program_needs_sequential_fallback(compiled.source(), bindings, schedule) {
             if let Some(obs) = &self.obs {
                 obs.inc("intra_cu.fallback_to_sequential", 1);
             }
             return SequentialEngine::with_obs(self.obs.clone())
-                .run_program(cus, program, bindings, schedule, in_flight);
+                .run_compiled(cus, compiled, bindings, schedule, in_flight);
+        }
+        if compiled.source().has_cross_lane_ops() {
+            // A LaneShift reads lanes the shard does not own; CU-level
+            // parallelism keeps whole wavefronts together.
+            if let Some(obs) = &self.obs {
+                obs.inc("intra_cu.fallback_cross_lane", 1);
+            }
+            return ParallelEngine::with_obs(self.obs.clone())
+                .run_compiled(cus, compiled, bindings, schedule, in_flight);
         }
         let ranges = shard_ranges(num_scs, shards);
         let queues = schedule.queues();
+        let launch = LaunchState::new(
+            compiled,
+            bindings,
+            schedule.max_wavefront_lanes(),
+            schedule.global_size(),
+        );
+        let launch = &launch;
 
         struct Task {
             id: usize,
@@ -387,9 +414,10 @@ impl ExecEngine for IntraCuEngine {
                         let id = task.id;
                         let mut journal = ShardJournal::default();
                         let mut scatters = Vec::new();
-                        run_cu_program_queue_sharded(
+                        run_cu_compiled_queue_sharded(
                             &mut task.cu,
-                            program,
+                            compiled,
+                            launch,
                             &queues[task.cu_idx],
                             &mut task.bindings,
                             in_flight,
@@ -454,20 +482,6 @@ fn task_span_name(cu_idx: usize, sc_range: &Range<usize>) -> String {
     format!("cu{cu_idx}:sc{}-{}", sc_range.start, sc_range.end)
 }
 
-/// One journaled scatter write with its merge key: the step ordinal (the
-/// position of the issuing `step_program` call in the CU queue's
-/// deterministic interleaving, identical across shards) and the lane
-/// position within the wavefront (the order the sequential walk applies
-/// writes within one scatter instruction).
-#[derive(Debug, Clone, Copy)]
-struct ScatterRec {
-    ordinal: u32,
-    lane: u32,
-    data: BufferId,
-    index: usize,
-    value: f32,
-}
-
 /// K-way merges the shards' scatter logs by `(ordinal, lane)` — each log
 /// is already sorted by that key — and applies them in order, which is
 /// exactly the sequential engine's write order for this CU's queue.
@@ -490,148 +504,6 @@ fn replay_scatters(bindings: &mut Bindings, logs: &[Vec<ScatterRec>]) {
         bindings.apply_write(r.data, r.index, r.value);
         cursors[s] += 1;
     }
-}
-
-/// The shard-restricted twin of the engine's CU queue drain: identical
-/// `in_flight` interleaving (so step ordinals align across shards), but
-/// each step executes only the shard's owned lanes.
-#[allow(clippy::too_many_arguments)]
-fn run_cu_program_queue_sharded(
-    cu: &mut ComputeUnit,
-    program: &VProgram,
-    queue: &[Range<usize>],
-    bindings: &mut Bindings,
-    in_flight: usize,
-    sc_range: &Range<usize>,
-    num_scs: usize,
-    journal: &mut ShardJournal,
-    scatters: &mut Vec<ScatterRec>,
-) {
-    let mut scratch = ShardProgramScratch::default();
-    let mut ordinal: u32 = 0;
-    let mut pending = queue
-        .iter()
-        .map(|range| WavefrontContext::new(range.clone().collect(), program.registers()));
-    let mut active: Vec<WavefrontContext> = pending.by_ref().take(in_flight).collect();
-    while !active.is_empty() {
-        let mut i = 0;
-        while i < active.len() {
-            step_program_sharded(
-                cu,
-                program,
-                &mut active[i],
-                bindings,
-                sc_range,
-                num_scs,
-                journal,
-                scatters,
-                ordinal,
-                &mut scratch,
-            );
-            ordinal += 1;
-            if active[i].done(program) {
-                match pending.next() {
-                    Some(fresh) => active[i] = fresh,
-                    None => {
-                        active.remove(i);
-                        continue;
-                    }
-                }
-            }
-            i += 1;
-        }
-    }
-}
-
-/// Reusable buffers for the sharded program stepper (mirrors the
-/// engine's `ProgramScratch`).
-#[derive(Debug, Default)]
-struct ShardProgramScratch {
-    imm: [Vec<f32>; tm_fpu::MAX_ARITY],
-    active: Vec<bool>,
-    result: Vec<f32>,
-}
-
-/// Executes one instruction of one wavefront context for the shard's
-/// owned lanes only.
-#[allow(clippy::too_many_arguments)]
-fn step_program_sharded(
-    cu: &mut ComputeUnit,
-    program: &VProgram,
-    ctx: &mut WavefrontContext,
-    bindings: &mut Bindings,
-    sc_range: &Range<usize>,
-    num_scs: usize,
-    journal: &mut ShardJournal,
-    scatters: &mut Vec<ScatterRec>,
-    ordinal: u32,
-    scratch: &mut ShardProgramScratch,
-) {
-    let lanes = ctx.lane_ids.len();
-    let owned = |l: usize| sc_range.contains(&(l % num_scs));
-    let inst = &program.instructions()[ctx.pc];
-    match inst {
-        VInst::LaneId { dst } => {
-            // Lane ids are known to every shard; filling all lanes keeps
-            // the register file identical to the full walk for free.
-            for l in 0..lanes {
-                ctx.regs[*dst as usize][l] = ctx.lane_ids[l] as f32;
-            }
-        }
-        VInst::Gather { dst, data, indices } => {
-            // Non-owned lanes keep 0.0: their registers feed nothing the
-            // shard executes, and their index values may be garbage.
-            for l in (0..lanes).filter(|&l| owned(l)) {
-                ctx.regs[*dst as usize][l] = bindings.gather(*data, *indices, ctx.lane_ids[l]);
-            }
-        }
-        VInst::Scatter { src, data, indices } => {
-            for l in (0..lanes).filter(|&l| owned(l)) {
-                let value = ctx.regs[*src as usize][l];
-                let index = bindings.scatter_index(*indices, ctx.lane_ids[l]);
-                bindings.apply_write(*data, index, value);
-                scatters.push(ScatterRec {
-                    ordinal,
-                    lane: l as u32,
-                    data: *data,
-                    index,
-                    value,
-                });
-            }
-        }
-        VInst::Alu { op, dst, srcs } => {
-            for (slot, s) in scratch.imm.iter_mut().zip(srcs.iter()) {
-                if let Src::Imm(v) = s {
-                    slot.clear();
-                    slot.resize(lanes, *v);
-                }
-            }
-            let mut slices = [[].as_slice(); tm_fpu::MAX_ARITY];
-            for (k, s) in srcs.iter().enumerate() {
-                slices[k] = match s {
-                    Src::Reg(r) => ctx.regs[*r as usize].as_slice(),
-                    Src::Imm(_) => scratch.imm[k].as_slice(),
-                };
-            }
-            scratch.active.clear();
-            scratch.active.resize(lanes, true);
-            let mut result = std::mem::take(&mut scratch.result);
-            cu.issue_vector_sharded(
-                *op,
-                &slices[..srcs.len()],
-                &scratch.active,
-                sc_range.clone(),
-                false,
-                &mut result,
-                journal,
-            );
-            // Non-owned destination lanes become 0.0; nothing the shard
-            // executes ever consumes them.
-            std::mem::swap(&mut ctx.regs[*dst as usize], &mut result);
-            scratch.result = result;
-        }
-    }
-    ctx.pc += 1;
 }
 
 #[cfg(test)]

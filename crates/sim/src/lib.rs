@@ -74,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 mod compute_unit;
 mod config;
 mod device;
@@ -89,6 +90,7 @@ mod stream_core;
 mod trace;
 mod wave;
 
+pub use compiled::{CompileOptions, CompiledProgram};
 pub use compute_unit::{ComputeUnit, OpTally};
 pub use config::{
     ArchMode, ConfigError, DeviceConfig, DeviceConfigBuilder, ErrorMode, ExecBackend,

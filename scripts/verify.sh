@@ -41,6 +41,13 @@ test -s "$obs_dir/campaign.jsonl"
 grep -q '"kind":"trial"' "$obs_dir/campaign.jsonl"
 grep -q '"acceptable":true' "$obs_dir/campaign.jsonl"
 
+echo "== hot-path bench regression gate (frozen baseline, >20% drop fails) =="
+bench_out="$(cargo run --release --offline -p tm-bench --bin repro -- \
+    --experiment bench --scale default --gate)"
+echo "$bench_out"
+grep -q "gate:" <<<"$bench_out"
+test -s BENCH_hotpath.json
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== cargo clippy -D warnings -D clippy::perf (offline, workspace) =="
     cargo clippy --workspace --all-targets --offline -- -D warnings -D clippy::perf
