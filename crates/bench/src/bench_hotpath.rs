@@ -102,18 +102,42 @@ pub fn hotpath_bench(cfg: &ExperimentConfig, repeats: usize) -> Vec<BenchRow> {
     rows
 }
 
-/// Renders rows (plus host metadata) as a JSON object. Hand-rolled —
-/// the workspace is hermetic, no serde.
-///
-/// The host core count appears both at the top level and in every row:
-/// `BENCH_hotpath.json` keeps the first-ever run as a frozen baseline, so
-/// each entry must carry the parallelism it was measured under even after
-/// baseline and current were produced on different hosts.
+/// Renders rows (plus host metadata) as a JSON object, collecting run
+/// metadata on the spot with no caller-supplied timestamp. See
+/// [`rows_to_json_with_meta`].
 #[must_use]
 pub fn rows_to_json(rows: &[BenchRow]) -> String {
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    rows_to_json_with_meta(rows, &tm_obs::RunMeta::collect(None))
+}
+
+/// Renders rows (plus run metadata) as a JSON object. Hand-rolled —
+/// the workspace is hermetic, no serde.
+///
+/// The header carries the attribution fields (`git_rev`, `host_cores`,
+/// the caller's `timestamp`); the host core count additionally appears
+/// in every row: `BENCH_hotpath.json` keeps the first-ever run as a
+/// frozen baseline, so each entry must carry the parallelism it was
+/// measured under even after baseline and current were produced on
+/// different hosts.
+#[must_use]
+pub fn rows_to_json_with_meta(rows: &[BenchRow], meta: &tm_obs::RunMeta) -> String {
+    let cores = meta.host_cores;
     let mut out = String::from("{\n");
+    let str_or_null = |out: &mut String, key: &str, value: &Option<String>| {
+        out.push_str(&format!("  \"{key}\": "));
+        match value {
+            Some(v) => {
+                out.push('"');
+                tm_obs::json::escape_into(out, v);
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n");
+    };
+    str_or_null(&mut out, "git_rev", &meta.git_rev);
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    str_or_null(&mut out, "timestamp", &meta.timestamp);
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
@@ -181,5 +205,37 @@ mod tests {
             row.get("host_cores").and_then(tm_obs::JsonValue::as_u64),
             parsed.get("host_cores").and_then(tm_obs::JsonValue::as_u64)
         );
+        // Attribution fields are always present (null when unknown).
+        assert!(parsed.get("git_rev").is_some());
+        assert!(parsed.get("timestamp").is_some());
+    }
+
+    #[test]
+    fn meta_header_round_trips_with_escaping() {
+        let rows = vec![super::row("x", ExecBackend::Parallel, (10, 2.0))];
+        let meta = tm_obs::RunMeta {
+            git_rev: Some("abc1234".into()),
+            host_cores: 6,
+            timestamp: Some("2026-08-08 12:00 \"local\"".into()),
+        };
+        let json = rows_to_json_with_meta(&rows, &meta);
+        let parsed = tm_obs::JsonValue::parse(&json).expect("bench JSON parses");
+        assert_eq!(parsed.get("git_rev").unwrap().as_str(), Some("abc1234"));
+        assert_eq!(parsed.get("host_cores").unwrap().as_u64(), Some(6));
+        assert_eq!(
+            parsed.get("timestamp").unwrap().as_str(),
+            Some("2026-08-08 12:00 \"local\"")
+        );
+        let absent = rows_to_json_with_meta(
+            &rows,
+            &tm_obs::RunMeta {
+                git_rev: None,
+                host_cores: 6,
+                timestamp: None,
+            },
+        );
+        let parsed = tm_obs::JsonValue::parse(&absent).unwrap();
+        assert_eq!(parsed.get("git_rev"), Some(&tm_obs::JsonValue::Null));
+        assert_eq!(parsed.get("timestamp"), Some(&tm_obs::JsonValue::Null));
     }
 }

@@ -14,21 +14,29 @@
 //! pass `--trace-out FILE` / `--metrics-out FILE` to write its Perfetto
 //! trace and JSONL metrics dump. `campaign` runs the Monte Carlo
 //! fault-injection campaign; `--trials N` sets trials per sweep point
-//! and `--campaign-out FILE` writes the per-trial JSONL.
+//! and `--campaign-out FILE` writes the per-trial JSONL. Pass
+//! `--telemetry-addr ADDR` to serve a live Prometheus-text snapshot of
+//! the campaign over HTTP while it runs (with heartbeat progress lines
+//! on stderr); `report` renders the telemetry snapshot plus the
+//! `BENCH_hotpath.json` trajectory into one self-contained HTML file
+//! (`--report-out FILE`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 use tm_bench::chart::{bar_chart, line_chart};
 use tm_bench::csv;
 use tm_bench::{
     fifo_sweep, fig10, fig10_average_savings, fig11, fig11_average_savings,
     fig6_7, fig8, frequency_sweep, gating_ablation, interleaving_sweep, locality_analysis,
     lut_exploration,
-    matching_ablation, psnr_sweep, recovery_ablation, replacement_ablation, run_campaign,
+    matching_ablation, psnr_sweep, recovery_ablation, replacement_ablation,
+    run_campaign_observed,
     scorecard,
     sensitivity_sweep, spatial_ablation, CampaignSpec, ExperimentConfig, FIG10_ERROR_RATES,
     FIG11_VOLTAGES, LUT_SHAPES,
 };
+use tm_obs::{Heartbeat, RunMeta, TelemetryHub, TelemetryServer};
 use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
@@ -46,6 +54,18 @@ struct RunCtx<'a> {
     /// Whether `bench` gates current throughput against the frozen
     /// baseline (`--gate`); a failed gate exits non-zero.
     gate: bool,
+    /// Address the campaign's live Prometheus endpoint binds to
+    /// (`--telemetry-addr`); `None` disables the live layer.
+    telemetry_addr: Option<&'a str>,
+    /// How long the endpoint stays up after the campaign finishes,
+    /// waiting for one last scrape (`--telemetry-hold-ms`).
+    telemetry_hold_ms: u64,
+    /// Caller-supplied attribution timestamp recorded in JSON outputs
+    /// (`--timestamp`); never sampled here, so outputs stay
+    /// reproducible byte-for-byte.
+    timestamp: Option<&'a str>,
+    /// Where `report` writes its HTML (`--report-out`).
+    report_out: Option<&'a Path>,
 }
 
 /// One registered experiment: a stable id, one-line help for `--list`,
@@ -71,7 +91,7 @@ const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "bench",
         help: "hot-path throughput bench with tracked JSON baseline",
-        run: |ctx| print_bench(ctx.cfg, ctx.gate),
+        run: print_bench,
     },
     Experiment {
         name: "obs-demo",
@@ -82,6 +102,11 @@ const REGISTRY: &[Experiment] = &[
         name: "campaign",
         help: "Monte Carlo fault-injection campaign with adaptive quality control",
         run: print_campaign,
+    },
+    Experiment {
+        name: "report",
+        help: "self-contained HTML report: campaign telemetry + bench trajectory",
+        run: print_report,
     },
     Experiment {
         name: "locality",
@@ -205,6 +230,10 @@ fn main() -> ExitCode {
     let mut trials: u32 = 8;
     let mut campaign_out: Option<PathBuf> = None;
     let mut gate = false;
+    let mut telemetry_addr: Option<String> = None;
+    let mut telemetry_hold_ms: u64 = 0;
+    let mut timestamp: Option<String> = None;
+    let mut report_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -290,6 +319,46 @@ fn main() -> ExitCode {
             "--gate" => {
                 gate = true;
             }
+            "--telemetry-addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) => telemetry_addr = Some(addr.clone()),
+                    None => {
+                        eprintln!("--telemetry-addr needs HOST:PORT (port 0 picks a free one)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--telemetry-hold-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(ms) => telemetry_hold_ms = ms,
+                    None => {
+                        eprintln!("--telemetry-hold-ms needs a number of milliseconds");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timestamp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(ts) => timestamp = Some(ts.clone()),
+                    None => {
+                        eprintln!("--timestamp needs a value (it is recorded verbatim)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--report-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => report_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--report-out needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 for e in REGISTRY {
                     println!("{:<22} {}", e.name, e.help);
@@ -298,7 +367,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE] [--gate]"
+                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE] [--gate] [--telemetry-addr HOST:PORT] [--telemetry-hold-ms N] [--timestamp STR] [--report-out FILE]"
                 );
                 println!(
                     "--gate makes `bench` fail (exit 1) on a >{:.0}% per-case instr/s drop vs the frozen baseline",
@@ -312,6 +381,12 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "--trials/--campaign-out set the campaign's trials per point and JSONL path"
+                );
+                println!(
+                    "--telemetry-addr serves a live Prometheus snapshot of the campaign (port 0 picks a free one); --telemetry-hold-ms keeps it up after the run for one last scrape"
+                );
+                println!(
+                    "--timestamp is recorded verbatim in JSON/HTML outputs (never sampled, so outputs stay reproducible); --report-out sets the HTML path for `report`"
                 );
                 println!("experiments (see --list for help):");
                 for e in REGISTRY {
@@ -349,6 +424,10 @@ fn main() -> ExitCode {
         trials,
         campaign_out: campaign_out.as_deref(),
         gate,
+        telemetry_addr: telemetry_addr.as_deref(),
+        telemetry_hold_ms,
+        timestamp: timestamp.as_deref(),
+        report_out: report_out.as_deref(),
     };
     if experiment == "all" {
         for e in REGISTRY {
@@ -378,19 +457,50 @@ fn run(experiment: &Experiment, ctx: &RunCtx) {
     (experiment.run)(ctx);
 }
 
-fn print_campaign(ctx: &RunCtx) {
-    let spec = CampaignSpec {
+fn campaign_spec(ctx: &RunCtx) -> CampaignSpec {
+    CampaignSpec {
         scale: ctx.cfg.scale,
         seed: ctx.cfg.seed,
         trials: ctx.trials,
         backend: ctx.cfg.backend,
         ..CampaignSpec::default()
-    };
+    }
+}
+
+/// Heartbeat cadence: ~8 progress lines per campaign, at least one.
+fn heartbeat_interval(total: u64) -> u64 {
+    (total / 8).max(1)
+}
+
+fn print_campaign(ctx: &RunCtx) {
+    let spec = campaign_spec(ctx);
     println!(
         "Monte Carlo resilience campaign ({} trials per sweep point; adaptive 30 dB quality floor)",
         spec.trials
     );
-    let out = run_campaign(&spec, None);
+    // The live layer: a telemetry hub every trial publishes into, served
+    // as Prometheus text over HTTP for the lifetime of the run. A failed
+    // bind degrades to an offline campaign, never a dead one.
+    let mut hub = None;
+    let mut server = None;
+    if let Some(addr) = ctx.telemetry_addr {
+        let h = TelemetryHub::new();
+        match TelemetryServer::bind(addr, h.clone()) {
+            Ok(s) => {
+                println!("telemetry: listening on {}", s.addr());
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("telemetry: cannot bind {addr}: {e} (running without the endpoint)");
+            }
+        }
+        hub = Some(h);
+    }
+    let total = spec.error_rates.len() as u64 * u64::from(spec.trials);
+    let mut heartbeat = hub
+        .is_some()
+        .then(|| Heartbeat::new("campaign", total, heartbeat_interval(total)));
+    let out = run_campaign_observed(&spec, None, hub.as_ref(), heartbeat.as_mut());
     print!("{}", out.summary_table());
     let adapted: usize = out.records.iter().filter(|r| !r.adaptations.is_empty()).count();
     println!(
@@ -398,7 +508,8 @@ fn print_campaign(ctx: &RunCtx) {
         out.records.len()
     );
     if let Some(path) = ctx.campaign_out {
-        match std::fs::write(path, out.jsonl()) {
+        let meta = RunMeta::collect(ctx.timestamp.map(str::to_owned));
+        match std::fs::write(path, out.jsonl_with_meta(&meta)) {
             Ok(()) => println!("(campaign JSONL written to {})", path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
@@ -408,6 +519,48 @@ fn print_campaign(ctx: &RunCtx) {
             Ok(()) => println!("(campaign metrics written to {})", path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
+    }
+    if let Some(server) = server {
+        if ctx.telemetry_hold_ms > 0 && server.scrapes() == 0 {
+            println!(
+                "telemetry: holding up to {}ms for a scrape of {}",
+                ctx.telemetry_hold_ms,
+                server.addr()
+            );
+            server.wait_for_scrape(Duration::from_millis(ctx.telemetry_hold_ms));
+        }
+        println!("telemetry: served {} scrape(s)", server.scrapes());
+        server.stop();
+    }
+}
+
+fn print_report(ctx: &RunCtx) {
+    let spec = campaign_spec(ctx);
+    println!(
+        "rendering the run report from a fresh campaign ({} trials per sweep point)",
+        spec.trials
+    );
+    let hub = TelemetryHub::new();
+    let total = spec.error_rates.len() as u64 * u64::from(spec.trials);
+    let mut heartbeat = Heartbeat::new("report campaign", total, heartbeat_interval(total));
+    let out = run_campaign_observed(&spec, None, Some(&hub), Some(&mut heartbeat));
+    print!("{}", out.summary_table());
+    let bench_json = std::fs::read_to_string("BENCH_hotpath.json").ok();
+    if bench_json.is_none() {
+        println!(
+            "(no BENCH_hotpath.json here — run `repro --experiment bench` first for the trajectory section)"
+        );
+    }
+    let meta = RunMeta::collect(ctx.timestamp.map(str::to_owned));
+    let html =
+        tm_bench::report::render_html_report(&hub.snapshot(), &meta, bench_json.as_deref());
+    let path = ctx.report_out.unwrap_or_else(|| Path::new("TM_report.html"));
+    match std::fs::write(path, &html) {
+        Ok(()) => println!(
+            "(report written to {} — a single file, opens offline in any browser)",
+            path.display()
+        ),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 
@@ -749,7 +902,8 @@ fn extract_baseline(json: &str) -> Option<&str> {
     None
 }
 
-fn print_bench(cfg: &ExperimentConfig, gate: bool) {
+fn print_bench(ctx: &RunCtx) {
+    let (cfg, gate) = (ctx.cfg, ctx.gate);
     let repeats = match cfg.scale {
         Scale::Test | Scale::Default => 3,
         Scale::Paper => 2,
@@ -769,7 +923,8 @@ fn print_bench(cfg: &ExperimentConfig, gate: bool) {
             r.instr_per_sec
         );
     }
-    let current = tm_bench::rows_to_json(&rows);
+    let meta = RunMeta::collect(ctx.timestamp.map(str::to_owned));
+    let current = tm_bench::rows_to_json_with_meta(&rows, &meta);
     let path = Path::new("BENCH_hotpath.json");
     let baseline = std::fs::read_to_string(path)
         .ok()

@@ -35,10 +35,18 @@ use std::fmt::Write as _;
 use tm_image::{gaussian3x3_reference, psnr, sobel_reference, synth, GrayImage};
 use tm_kernels::ir::{gaussian_program, sobel_program, ImageProgram};
 use tm_kernels::{workload, KernelId, Scale, GRAY_LEVELS_PER_THRESHOLD_UNIT};
-use tm_obs::{MetricsRegistry, ObjWriter, SharedRecorder};
+use tm_obs::{Heartbeat, MetricsRegistry, ObjWriter, RunMeta, SharedRecorder, TelemetryHub};
 use tm_rng::SplitMix64;
 use tm_sim::prelude::*;
 use tm_timing::HeterogeneousErrors;
+
+/// The fixed hub scope every campaign trial device publishes under.
+///
+/// A campaign builds one fresh device per attempt; binding them all to
+/// one scope keeps the hub at a constant series count (counters keep
+/// accumulating, gauges show the latest attempt) instead of growing a
+/// scope per device.
+pub const CAMPAIGN_DEVICE_SCOPE: &str = "campaign.device.";
 
 /// PSNR is ∞ when the output matches the reference exactly (threshold 0
 /// ⇒ exact matching); JSON has no ∞, so records cap it here. Any capped
@@ -279,6 +287,14 @@ fn reference_output(kernel: KernelId, image: &GrayImage) -> GrayImage {
     }
 }
 
+/// The optional observation sinks a campaign publishes into: the span
+/// recorder (trace export) and the telemetry hub (live series).
+#[derive(Clone, Copy)]
+struct TrialSinks<'a> {
+    rec: Option<&'a SharedRecorder>,
+    hub: Option<&'a TelemetryHub>,
+}
+
 /// Runs one attempt (one device, one program execution) and measures it.
 fn run_attempt(
     spec: &CampaignSpec,
@@ -287,7 +303,7 @@ fn run_attempt(
     error_rate: f64,
     seed: u64,
     threshold: f32,
-    rec: Option<&SharedRecorder>,
+    sinks: TrialSinks<'_>,
 ) -> (f64, DeviceReport) {
     let policy = if threshold <= 0.0 {
         MatchPolicy::Exact
@@ -305,8 +321,11 @@ fn run_attempt(
         .expect("campaign device config must be consistent");
     let mut ip = build_program(spec.kernel, image);
     let mut device = Device::new(config);
-    if let Some(rec) = rec {
+    if let Some(rec) = sinks.rec {
         device.attach_recorder(rec);
+    }
+    if let Some(hub) = sinks.hub {
+        device.attach_hub_scoped(hub, CAMPAIGN_DEVICE_SCOPE);
     }
     device.run_program(&ip.program, &mut ip.bindings, ip.global_size, spec.in_flight);
     let out = GrayImage::from_vec(
@@ -326,19 +345,22 @@ fn run_trial(
     error_rate: f64,
     trial: u32,
     seed: u64,
-    rec: Option<&SharedRecorder>,
+    sinks: TrialSinks<'_>,
 ) -> TrialRecord {
     let mut threshold = spec.threshold;
     let mut adaptations = Vec::new();
     loop {
-        let (q, report) = run_attempt(spec, image, golden, error_rate, seed, threshold, rec);
+        let (q, report) = run_attempt(spec, image, golden, error_rate, seed, threshold, sinks);
         match spec
             .controller
             .next_threshold(threshold, q, adaptations.len() as u32)
         {
             Some(next) => {
-                if let Some(rec) = rec {
+                if let Some(rec) = sinks.rec {
                     rec.inc("campaign.adaptations", 1);
+                }
+                if let Some(hub) = sinks.hub {
+                    hub.counter_add("campaign.adaptations", 1);
                 }
                 adaptations.push(AdaptationStep {
                     from_threshold: threshold,
@@ -348,8 +370,14 @@ fn run_trial(
                 threshold = next;
             }
             None => {
-                if let Some(rec) = rec {
+                if let Some(rec) = sinks.rec {
                     rec.inc("campaign.trials", 1);
+                }
+                if let Some(hub) = sinks.hub {
+                    hub.counter_add("campaign.trials_done", 1);
+                    hub.observe("campaign.psnr_db", q);
+                    hub.observe("campaign.energy_pj", report.total_energy_pj());
+                    hub.gauge_set("campaign.hit_rate", report.weighted_hit_rate());
                 }
                 return TrialRecord {
                     error_rate,
@@ -385,6 +413,36 @@ fn run_trial(
 /// reference (anything but Sobel/Gaussian).
 #[must_use]
 pub fn run_campaign(spec: &CampaignSpec, rec: Option<&SharedRecorder>) -> CampaignOutcome {
+    run_campaign_observed(spec, rec, None, None)
+}
+
+/// [`run_campaign`] with the live-telemetry layer attached.
+///
+/// When `hub` is given, every trial publishes into it as it finishes —
+/// `campaign.trials_done` / `campaign.adaptations` counters,
+/// `campaign.psnr_db` / `campaign.energy_pj` sketches, a
+/// `campaign.hit_rate` gauge — and every trial device additionally
+/// publishes its launch telemetry under [`CAMPAIGN_DEVICE_SCOPE`]
+/// (latency sketches, energy gauges, engine steal/fallback counters),
+/// so a scrape endpoint over the hub shows live mid-run state.
+///
+/// When `heartbeat` is given, each finished trial ticks it with the
+/// trial's PSNR and any due progress line is printed to **stderr** —
+/// stdout stays reserved for machine-readable output.
+///
+/// Observation never changes results: the returned outcome (and its
+/// JSONL) is bit-identical to an unobserved run of the same spec.
+///
+/// # Panics
+///
+/// Panics as [`run_campaign`] does.
+#[must_use]
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    rec: Option<&SharedRecorder>,
+    hub: Option<&TelemetryHub>,
+    mut heartbeat: Option<&mut Heartbeat>,
+) -> CampaignOutcome {
     let side = workload::image_side(spec.scale);
     let image = synth::face(side, side, spec.seed);
     let golden = reference_output(spec.kernel, &image);
@@ -394,7 +452,13 @@ pub fn run_campaign(spec: &CampaignSpec, rec: Option<&SharedRecorder>) -> Campai
     for &rate in &spec.error_rates {
         for trial in 0..spec.trials {
             let seed = trial_seeds.next_u64();
-            records.push(run_trial(spec, &image, &golden, rate, trial, seed, rec));
+            let record = run_trial(spec, &image, &golden, rate, trial, seed, TrialSinks { rec, hub });
+            if let Some(hb) = heartbeat.as_deref_mut() {
+                if let Some(line) = hb.tick(record.psnr_db) {
+                    eprintln!("{line}");
+                }
+            }
+            records.push(record);
         }
     }
 
@@ -453,6 +517,31 @@ pub fn run_campaign(spec: &CampaignSpec, rec: Option<&SharedRecorder>) -> Campai
 }
 
 impl CampaignOutcome {
+    /// [`CampaignOutcome::jsonl`] preceded by one `meta` header line
+    /// carrying run attribution (`git_rev`, `host_cores`, the caller's
+    /// timestamp) plus the campaign shape, so an exported dump can be
+    /// traced back to the code revision and host that produced it.
+    ///
+    /// The meta line is the only difference from [`CampaignOutcome::jsonl`]:
+    /// trial/adapt lines stay backend-invariant and byte-identical, and
+    /// because `meta` is caller-supplied, so is the whole document for a
+    /// fixed `meta`.
+    #[must_use]
+    pub fn jsonl_with_meta(&self, meta: &RunMeta) -> String {
+        let mut w = ObjWriter::new();
+        w.str_field("kind", "meta");
+        meta.write_fields(&mut w);
+        w.str_field("kernel", &self.spec.kernel.to_string());
+        w.str_field("model", self.spec.error_model.name());
+        w.u64_field("trials_per_point", u64::from(self.spec.trials));
+        w.u64_field("sweep_points", self.spec.error_rates.len() as u64);
+        w.u64_field("seed", self.spec.seed);
+        let mut out = w.finish();
+        out.push('\n');
+        out.push_str(&self.jsonl());
+        out
+    }
+
     /// The campaign as JSONL: one `trial` line per trial, preceded by
     /// one `adapt` line per controller step, in deterministic (rate,
     /// trial, step) order. Backend-invariant by construction (no
@@ -619,5 +708,61 @@ mod tests {
             ..mini_spec()
         };
         let _ = run_campaign(&spec, None);
+    }
+
+    #[test]
+    fn observed_campaign_matches_unobserved_and_fills_the_hub() {
+        let spec = mini_spec();
+        let plain = run_campaign(&spec, None);
+
+        let hub = TelemetryHub::new();
+        let mut hb = Heartbeat::new("campaign", 4, 2);
+        let observed = run_campaign_observed(&spec, None, Some(&hub), Some(&mut hb));
+
+        assert_eq!(
+            plain.jsonl(),
+            observed.jsonl(),
+            "hub + heartbeat must not perturb campaign results"
+        );
+        assert_eq!(hub.counter("campaign.trials_done"), 4);
+        let snap = hub.snapshot();
+        let Some(tm_obs::HubMetric::Sketch(psnr)) = snap.get("campaign.psnr_db") else {
+            panic!("per-trial PSNR sketch missing");
+        };
+        assert_eq!(psnr.count(), 4);
+        assert!(psnr.p50() >= PSNR_FLOOR_DB);
+        // Trial devices published under the fixed scope — and only it.
+        assert!(
+            hub.counter(&format!("{CAMPAIGN_DEVICE_SCOPE}launches")) >= 4,
+            "every attempt launches at least once under the shared scope"
+        );
+        assert!(
+            snap.iter().all(|(name, _)| name.starts_with("campaign.")),
+            "campaign telemetry stays under the campaign prefix"
+        );
+        assert_eq!(hb.done(), 4);
+        assert_eq!(hb.quality().count(), 4);
+    }
+
+    #[test]
+    fn jsonl_meta_header_is_attributable_and_stable() {
+        let out = run_campaign(&mini_spec(), None);
+        let meta = RunMeta {
+            git_rev: Some("abc1234".into()),
+            host_cores: 8,
+            timestamp: Some("2026-08-08T00:00:00Z".into()),
+        };
+        let a = out.jsonl_with_meta(&meta);
+        let b = out.jsonl_with_meta(&meta);
+        assert_eq!(a, b, "fixed meta must keep the document byte-identical");
+
+        let first = a.lines().next().unwrap();
+        let v = tm_obs::JsonValue::parse(first).expect("meta line parses");
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("meta"));
+        assert_eq!(v.get("git_rev").unwrap().as_str(), Some("abc1234"));
+        assert_eq!(v.get("host_cores").unwrap().as_u64(), Some(8));
+        assert_eq!(v.get("trials_per_point").unwrap().as_u64(), Some(2));
+        // Everything after the header is exactly the plain document.
+        assert_eq!(a.split_once('\n').unwrap().1, out.jsonl());
     }
 }

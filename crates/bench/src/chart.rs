@@ -124,6 +124,230 @@ pub fn line_chart(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, h
     out
 }
 
+/// Escapes `&`, `<`, `>` and `"` for embedding in SVG/HTML text nodes
+/// and attribute values.
+#[must_use]
+pub fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a chart value compactly: large magnitudes get thousands
+/// separators dropped in favour of engineering suffixes, small ones keep
+/// three significant decimals.
+fn chart_value(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a horizontal bar chart as a self-contained `<svg>` fragment
+/// (inline styles only — pastes into any HTML document with no external
+/// assets). Bars scale to the maximum absolute value; negative values
+/// render in a distinct colour. Non-finite values get a zero-width bar
+/// with the raw value printed.
+///
+/// # Examples
+///
+/// ```
+/// use tm_bench::chart::svg_bar_chart;
+///
+/// let svg = svg_bar_chart("savings", &[("sobel".into(), 55.0)], 300);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("sobel"));
+/// ```
+#[must_use]
+pub fn svg_bar_chart(title: &str, bars: &[(String, f64)], bar_width: u32) -> String {
+    const ROW_H: u32 = 20;
+    const TITLE_H: u32 = 26;
+    let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0) as u32 * 8 + 12;
+    let value_w = 90;
+    let width = label_w + bar_width + value_w + 16;
+    let height = TITLE_H + bars.len() as u32 * ROW_H + 8;
+    let max_abs = bars
+        .iter()
+        .map(|&(_, v)| if v.is_finite() { v.abs() } else { 0.0 })
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {width} {height}\" \
+         width=\"{width}\" height=\"{height}\" role=\"img\" \
+         font-family=\"system-ui, sans-serif\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"4\" y=\"17\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        xml_escape(title)
+    ));
+    for (i, (label, value)) in bars.iter().enumerate() {
+        let y = TITLE_H + i as u32 * ROW_H;
+        let w = if value.is_finite() {
+            ((value.abs() / max_abs) * f64::from(bar_width)).round() as u32
+        } else {
+            0
+        };
+        let fill = if *value < 0.0 { "#b04a4a" } else { "#4878a8" };
+        out.push_str(&format!(
+            "  <text x=\"{label_w}\" y=\"{ty}\" font-size=\"12\" text-anchor=\"end\">{label}</text>\n",
+            label_w = label_w - 6,
+            ty = y + 14,
+            label = xml_escape(label),
+        ));
+        out.push_str(&format!(
+            "  <rect x=\"{label_w}\" y=\"{ry}\" width=\"{w}\" height=\"{h}\" fill=\"{fill}\"/>\n",
+            ry = y + 3,
+            h = ROW_H - 6,
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{tx}\" y=\"{ty}\" font-size=\"12\">{v}</text>\n",
+            tx = label_w + w + 6,
+            ty = y + 14,
+            v = xml_escape(&chart_value(*value)),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders an XY line chart as a self-contained `<svg>` fragment:
+/// polylines plus a legend, axes annotated with the data min/max. The
+/// SVG twin of [`line_chart`], for the HTML report.
+#[must_use]
+pub fn svg_line_chart(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: u32,
+    height: u32,
+) -> String {
+    const COLORS: [&str; 6] =
+        ["#4878a8", "#b04a4a", "#4a8a54", "#8a6d3b", "#6d4a8a", "#3b8a8a"];
+    const MARGIN_L: u32 = 70;
+    const MARGIN_B: u32 = 24;
+    const TITLE_H: u32 = 26;
+    let legend_h = series.len() as u32 * 18 + 6;
+    let total_w = MARGIN_L + width + 16;
+    let total_h = TITLE_H + height + MARGIN_B + legend_h;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {total_w} {total_h}\" \
+         width=\"{total_w}\" height=\"{total_h}\" role=\"img\" \
+         font-family=\"system-ui, sans-serif\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"4\" y=\"17\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        xml_escape(title)
+    ));
+
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        out.push_str(&format!(
+            "  <text x=\"{MARGIN_L}\" y=\"{}\" font-size=\"12\">(no finite data)</text>\n</svg>\n",
+            TITLE_H + height / 2
+        ));
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let px = |x: f64| MARGIN_L as f64 + (x - x_min) / (x_max - x_min) * f64::from(width);
+    let py =
+        |y: f64| f64::from(TITLE_H) + (1.0 - (y - y_min) / (y_max - y_min)) * f64::from(height);
+
+    // Plot frame + axis labels.
+    out.push_str(&format!(
+        "  <rect x=\"{MARGIN_L}\" y=\"{TITLE_H}\" width=\"{width}\" height=\"{height}\" \
+         fill=\"none\" stroke=\"#999\"/>\n"
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{tx}\" y=\"{ty}\" font-size=\"11\" text-anchor=\"end\">{v}</text>\n",
+        tx = MARGIN_L - 4,
+        ty = TITLE_H + 10,
+        v = xml_escape(&chart_value(y_max)),
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{tx}\" y=\"{ty}\" font-size=\"11\" text-anchor=\"end\">{v}</text>\n",
+        tx = MARGIN_L - 4,
+        ty = TITLE_H + height,
+        v = xml_escape(&chart_value(y_min)),
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{MARGIN_L}\" y=\"{ty}\" font-size=\"11\">{v}</text>\n",
+        ty = TITLE_H + height + 14,
+        v = xml_escape(&chart_value(x_min)),
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{tx}\" y=\"{ty}\" font-size=\"11\" text-anchor=\"end\">{v}</text>\n",
+        tx = MARGIN_L + width,
+        ty = TITLE_H + height + 14,
+        v = xml_escape(&chart_value(x_max)),
+    ));
+
+    for (si, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        if path.len() > 1 {
+            out.push_str(&format!(
+                "  <polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+                path.join(" ")
+            ));
+        }
+        for p in &path {
+            let (cx, cy) = p.split_once(',').unwrap();
+            out.push_str(&format!(
+                "  <circle cx=\"{cx}\" cy=\"{cy}\" r=\"2.5\" fill=\"{color}\"/>\n"
+            ));
+        }
+        let ly = TITLE_H + height + MARGIN_B + si as u32 * 18;
+        out.push_str(&format!(
+            "  <rect x=\"{MARGIN_L}\" y=\"{ry}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n",
+            ry = ly - 10,
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{tx}\" y=\"{ly}\" font-size=\"12\">{n}</text>\n",
+            tx = MARGIN_L + 18,
+            n = xml_escape(name),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +401,60 @@ mod tests {
         let nan = [(f64::NAN, 1.0)];
         let s = line_chart("t", &[("nan", &nan)], 10, 4);
         assert!(s.contains("no finite data"));
+    }
+
+    #[test]
+    fn svg_bar_chart_is_well_formed_and_escaped() {
+        let bars = vec![
+            ("a<b>&\"c".to_string(), 10.0),
+            ("neg".to_string(), -5.0),
+            ("nan".to_string(), f64::NAN),
+        ];
+        let svg = svg_bar_chart("title <&>", &bars, 200);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c"), "labels must be escaped");
+        assert!(svg.contains("title &lt;&amp;&gt;"), "title must be escaped");
+        assert!(!svg.contains("a<b>"), "raw label must not leak");
+        assert!(svg.contains("#b04a4a"), "negative bar uses the negative colour");
+        // One rect per bar, even the NaN one (zero width).
+        assert_eq!(svg.matches("<rect ").count(), bars.len());
+        assert!(svg.contains("width=\"0\""), "NaN gets a zero-width bar");
+    }
+
+    #[test]
+    fn svg_bar_chart_scales_to_max() {
+        let bars = vec![("a".to_string(), 10.0), ("b".to_string(), 5.0)];
+        let svg = svg_bar_chart("t", &bars, 200);
+        assert!(svg.contains("width=\"200\" height=\"14\""));
+        assert!(svg.contains("width=\"100\" height=\"14\""));
+    }
+
+    #[test]
+    fn svg_line_chart_plots_series_with_legend() {
+        let a: Vec<(f64, f64)> = (0..5).map(|i| (f64::from(i), f64::from(i * i))).collect();
+        let b = [(0.0, 3.0), (4.0, 1.0)];
+        let svg = svg_line_chart("quad", &[("x^2", &a), ("line", &b)], 300, 120);
+        assert!(svg.starts_with("<svg "));
+        assert_eq!(svg.matches("<polyline ").count(), 2);
+        assert!(svg.contains(">x^2</text>"));
+        assert!(svg.contains(">line</text>"));
+        assert_eq!(svg.matches("<circle ").count(), a.len() + b.len());
+    }
+
+    #[test]
+    fn svg_line_chart_survives_no_finite_data() {
+        let nan = [(f64::NAN, 1.0)];
+        let svg = svg_line_chart("t", &[("nan", &nan)], 100, 50);
+        assert!(svg.contains("(no finite data)"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn chart_values_render_compactly() {
+        assert_eq!(chart_value(2_500_000.0), "2.50M");
+        assert_eq!(chart_value(1_500.0), "1.5k");
+        assert_eq!(chart_value(0.125), "0.125");
+        assert_eq!(chart_value(-3.2e9), "-3.20G");
     }
 }

@@ -37,6 +37,7 @@ mod interleave;
 mod lut_explore;
 mod obs_demo;
 mod psnr;
+pub mod report;
 mod runner;
 mod scorecard;
 mod sensitivity;
@@ -48,12 +49,13 @@ pub use ablation::{
     ReplacementAblationRow, SpatialAblationRow,
 };
 pub use bench_hotpath::{
-    backend_label, hotpath_bench, rows_to_json, BenchRow, BENCH_BACKENDS,
+    backend_label, hotpath_bench, rows_to_json, rows_to_json_with_meta, BenchRow,
+    BENCH_BACKENDS,
 };
 pub use campaign::{
-    run_campaign, AdaptationStep, CampaignOutcome, CampaignSpec, MetricStats,
-    QualityController, SweepSummary, TrialRecord, CAMPAIGN_ERROR_RATES, PSNR_CAP_DB,
-    PSNR_FLOOR_DB,
+    run_campaign, run_campaign_observed, AdaptationStep, CampaignOutcome, CampaignSpec,
+    MetricStats, QualityController, SweepSummary, TrialRecord, CAMPAIGN_DEVICE_SCOPE,
+    CAMPAIGN_ERROR_RATES, PSNR_CAP_DB, PSNR_FLOOR_DB,
 };
 pub use energy::{
     energy_comparison, fig10, fig10_average_savings, fig11, fig11_average_savings,

@@ -1,0 +1,342 @@
+//! Self-contained HTML run report (`repro --experiment report`).
+//!
+//! Renders a [`tm_obs::HubSnapshot`] — the live telemetry state of a
+//! campaign — plus the `BENCH_hotpath.json` throughput trajectory into
+//! one HTML file with inline SVG charts (see [`crate::chart`]). No
+//! external assets, scripts or stylesheets: the file opens offline in
+//! any browser and survives being mailed around as a single artifact.
+
+use crate::chart::{svg_bar_chart, svg_line_chart, xml_escape};
+use tm_obs::{HubMetric, HubSnapshot, JsonValue, RunMeta};
+
+/// Quantiles the sketch sections chart, lowest first.
+const REPORT_QUANTILES: [(f64, &str); 5] =
+    [(0.0, "min"), (0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (1.0, "max")];
+
+/// Renders the full report document.
+///
+/// `bench_json` is the raw contents of `BENCH_hotpath.json` when
+/// available; a missing or unparseable file degrades to an explanatory
+/// paragraph, never an error — the report is a best-effort view of
+/// whatever artifacts the run produced.
+#[must_use]
+pub fn render_html_report(
+    snap: &HubSnapshot,
+    meta: &RunMeta,
+    bench_json: Option<&str>,
+) -> String {
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>Temporal memoization &mdash; run report</title>\n<style>\n\
+         body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #222; }\n\
+         h1 { border-bottom: 2px solid #4878a8; padding-bottom: .3rem; }\n\
+         h2 { margin-top: 2rem; color: #34597d; }\n\
+         table { border-collapse: collapse; margin: .5rem 0; }\n\
+         th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; font-size: .9rem; }\n\
+         th { background: #eef2f6; }\n\
+         td.num { text-align: right; font-variant-numeric: tabular-nums; }\n\
+         p.note { color: #666; font-style: italic; }\n\
+         .meta { color: #555; font-size: .9rem; }\n\
+         </style>\n</head>\n<body>\n",
+    );
+    html.push_str("<h1>Temporal memoization &mdash; run report</h1>\n");
+    write_meta_line(&mut html, meta);
+    write_campaign_section(&mut html, snap);
+    write_sketch_sections(&mut html, snap);
+    write_series_table(&mut html, snap);
+    write_bench_section(&mut html, bench_json);
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+fn write_meta_line(html: &mut String, meta: &RunMeta) {
+    let rev = meta.git_rev.as_deref().unwrap_or("unknown");
+    let ts = meta.timestamp.as_deref().unwrap_or("not recorded");
+    html.push_str(&format!(
+        "<p class=\"meta\">git revision <code>{}</code> &middot; {} host cores &middot; timestamp: {}</p>\n",
+        xml_escape(rev),
+        meta.host_cores,
+        xml_escape(ts),
+    ));
+}
+
+/// The campaign headline: scalar counters and gauges, with the
+/// campaign-runner series (`campaign.*`) listed first.
+fn write_campaign_section(html: &mut String, snap: &HubSnapshot) {
+    html.push_str("<h2>Campaign counters &amp; gauges</h2>\n");
+    let scalars: Vec<(&str, String)> = snap
+        .iter()
+        .filter_map(|(name, metric)| match metric {
+            HubMetric::Counter(v) => Some((name, v.to_string())),
+            HubMetric::Gauge(v) => Some((name, format!("{v:.4}"))),
+            HubMetric::Sketch(_) => None,
+        })
+        .collect();
+    if scalars.is_empty() {
+        html.push_str("<p class=\"note\">The telemetry hub recorded no scalar series.</p>\n");
+        return;
+    }
+    html.push_str("<table>\n<tr><th>series</th><th>value</th></tr>\n");
+    let campaign_first = scalars
+        .iter()
+        .filter(|(n, _)| n.starts_with("campaign."))
+        .chain(scalars.iter().filter(|(n, _)| !n.starts_with("campaign.")));
+    for (name, value) in campaign_first {
+        html.push_str(&format!(
+            "<tr><td><code>{}</code></td><td class=\"num\">{}</td></tr>\n",
+            xml_escape(name),
+            xml_escape(value),
+        ));
+    }
+    html.push_str("</table>\n");
+}
+
+/// One quantile bar chart per histogram sketch in the snapshot.
+fn write_sketch_sections(html: &mut String, snap: &HubSnapshot) {
+    let sketches: Vec<(&str, &tm_obs::HistogramSketch)> = snap
+        .iter()
+        .filter_map(|(name, metric)| match metric {
+            HubMetric::Sketch(s) if !s.is_empty() => Some((name, s)),
+            _ => None,
+        })
+        .collect();
+    if sketches.is_empty() {
+        return;
+    }
+    html.push_str("<h2>Distributions</h2>\n");
+    for (name, sketch) in sketches {
+        let bars: Vec<(String, f64)> = REPORT_QUANTILES
+            .iter()
+            .map(|&(q, label)| (label.to_string(), sketch.quantile(q)))
+            .collect();
+        html.push_str(&svg_bar_chart(
+            &format!("{name} (n={}, mean {:.3})", sketch.count(), sketch.mean()),
+            &bars,
+            320,
+        ));
+        html.push('\n');
+    }
+}
+
+/// The exhaustive listing: every series with its kind and value. Sketch
+/// rows render the headline quantiles inline.
+fn write_series_table(html: &mut String, snap: &HubSnapshot) {
+    html.push_str("<h2>All series</h2>\n");
+    if snap.is_empty() {
+        html.push_str("<p class=\"note\">The telemetry hub is empty.</p>\n");
+        return;
+    }
+    html.push_str("<table>\n<tr><th>series</th><th>kind</th><th>value</th></tr>\n");
+    for (name, metric) in snap.iter() {
+        let (kind, value) = match metric {
+            HubMetric::Counter(v) => ("counter", v.to_string()),
+            HubMetric::Gauge(v) => ("gauge", format!("{v:.6}")),
+            HubMetric::Sketch(s) if s.is_empty() => ("sketch", "(empty)".to_string()),
+            HubMetric::Sketch(s) => (
+                "sketch",
+                format!(
+                    "n={} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+                    s.count(),
+                    s.p50(),
+                    s.p90(),
+                    s.p99(),
+                    s.max()
+                ),
+            ),
+        };
+        html.push_str(&format!(
+            "<tr><td><code>{}</code></td><td>{kind}</td><td class=\"num\">{}</td></tr>\n",
+            xml_escape(name),
+            xml_escape(&value),
+        ));
+    }
+    html.push_str("</table>\n");
+}
+
+/// One `(case, backend, instr_per_sec)` row pulled out of the bench
+/// JSON's `baseline` or `current` object.
+fn bench_rows(doc: &JsonValue, which: &str) -> Vec<(String, String, f64)> {
+    let Some(rows) = doc.get(which).and_then(|v| v.get("rows")).and_then(JsonValue::as_arr)
+    else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            Some((
+                r.get("case")?.as_str()?.to_owned(),
+                r.get("backend")?.as_str()?.to_owned(),
+                r.get("instr_per_sec")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// The hot-path throughput trajectory: current vs frozen-baseline
+/// instr/s per case, one line chart per backend plus a chart of the
+/// per-case speed ratios.
+fn write_bench_section(html: &mut String, bench_json: Option<&str>) {
+    html.push_str("<h2>Hot-path bench trajectory</h2>\n");
+    let Some(raw) = bench_json else {
+        html.push_str(
+            "<p class=\"note\">No <code>BENCH_hotpath.json</code> found &mdash; run \
+             <code>repro --experiment bench</code> first to chart the throughput trajectory.</p>\n",
+        );
+        return;
+    };
+    let doc = match JsonValue::parse(raw) {
+        Ok(doc) => doc,
+        Err(e) => {
+            html.push_str(&format!(
+                "<p class=\"note\">BENCH_hotpath.json did not parse ({}); skipping the trajectory.</p>\n",
+                xml_escape(&e.to_string()),
+            ));
+            return;
+        }
+    };
+    let baseline = bench_rows(&doc, "baseline");
+    let current = bench_rows(&doc, "current");
+    if current.is_empty() {
+        html.push_str("<p class=\"note\">BENCH_hotpath.json carries no current rows.</p>\n");
+        return;
+    }
+
+    // Per-backend chart: case index on x, instr/s on y, one series per
+    // run so baseline and current overlay directly.
+    let mut backends: Vec<&str> = current.iter().map(|(_, b, _)| b.as_str()).collect();
+    backends.sort_unstable();
+    backends.dedup();
+    for backend in &backends {
+        let pick = |rows: &[(String, String, f64)]| -> Vec<(f64, f64)> {
+            rows.iter()
+                .filter(|(_, b, _)| b == backend)
+                .enumerate()
+                .map(|(i, (_, _, ips))| (i as f64, *ips))
+                .collect()
+        };
+        let cur_pts = pick(&current);
+        let base_pts = pick(&baseline);
+        let mut series: Vec<(&str, &[(f64, f64)])> = vec![("current", &cur_pts)];
+        if !base_pts.is_empty() {
+            series.push(("baseline", &base_pts));
+        }
+        html.push_str(&svg_line_chart(
+            &format!("instr/s by case index — {backend} backend"),
+            &series,
+            420,
+            140,
+        ));
+        html.push('\n');
+    }
+
+    // Ratio chart: current/baseline per (case, backend) — the actual
+    // regression-gate quantity, so drifts are visible at a glance.
+    let ratios: Vec<(String, f64)> = current
+        .iter()
+        .filter_map(|(case, backend, ips)| {
+            let base = baseline
+                .iter()
+                .find(|(c, b, _)| c == case && b == backend)
+                .map(|(_, _, v)| *v)?;
+            (base > 0.0).then(|| (format!("{case} [{backend}]"), ips / base))
+        })
+        .collect();
+    if ratios.is_empty() {
+        html.push_str(
+            "<p class=\"note\">No baseline rows to compare against &mdash; this run seeds the baseline.</p>\n",
+        );
+    } else {
+        html.push_str(&svg_bar_chart(
+            "current / baseline speed ratio (1.0 = no drift)",
+            &ratios,
+            320,
+        ));
+        html.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_obs::TelemetryHub;
+
+    fn sample_meta() -> RunMeta {
+        RunMeta {
+            git_rev: Some("abc1234".into()),
+            host_cores: 8,
+            timestamp: Some("2026-08-08".into()),
+        }
+    }
+
+    fn populated_snapshot() -> HubSnapshot {
+        let hub = TelemetryHub::new();
+        hub.counter_add("campaign.trials_done", 6);
+        hub.gauge_set("campaign.hit_rate", 0.625);
+        for v in [28.0, 31.5, 33.0, 35.5] {
+            hub.observe("campaign.psnr_db", v);
+        }
+        hub.counter_add("sim0.launches", 6);
+        hub.snapshot()
+    }
+
+    #[test]
+    fn report_is_self_contained_html() {
+        let html = render_html_report(&populated_snapshot(), &sample_meta(), None);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        // Self-contained: nothing that could trigger an external fetch.
+        // (The SVG xmlns namespace URI is an identifier, not a link.)
+        assert!(!html.contains("href="), "no links");
+        assert!(!html.contains("src="), "no embedded resources");
+        assert!(!html.contains("<link"), "no external stylesheets");
+        assert!(!html.contains("<script"), "no scripts");
+        assert!(html.contains("<svg "), "charts are inline SVG");
+        assert!(html.contains("abc1234"), "git revision shown");
+        assert!(html.contains("campaign.trials_done"));
+        assert!(html.contains("campaign.psnr_db"), "sketch section present");
+        assert!(html.contains("BENCH_hotpath.json"), "missing-bench note present");
+    }
+
+    #[test]
+    fn report_charts_bench_trajectory_with_ratios() {
+        let bench = r#"{
+            "baseline": {"rows": [
+                {"case": "sobel", "backend": "sequential", "instr_per_sec": 100.0},
+                {"case": "sobel", "backend": "parallel", "instr_per_sec": 300.0}
+            ]},
+            "current": {"rows": [
+                {"case": "sobel", "backend": "sequential", "instr_per_sec": 110.0},
+                {"case": "sobel", "backend": "parallel", "instr_per_sec": 270.0}
+            ]}
+        }"#;
+        let html = render_html_report(&populated_snapshot(), &sample_meta(), Some(bench));
+        assert!(html.contains("speed ratio"), "ratio chart present");
+        assert!(html.contains("sobel [sequential]"));
+        assert!(html.contains("sequential backend"));
+        assert!(html.contains("parallel backend"));
+        assert!(html.contains(">baseline</text>"), "baseline series in legend");
+    }
+
+    #[test]
+    fn report_degrades_gracefully_on_bad_inputs() {
+        let empty = TelemetryHub::new().snapshot();
+        let meta = RunMeta {
+            git_rev: None,
+            host_cores: 1,
+            timestamp: None,
+        };
+        let html = render_html_report(&empty, &meta, Some("{not json"));
+        assert!(html.contains("did not parse"), "malformed bench JSON is reported");
+        assert!(html.contains("telemetry hub is empty"));
+        assert!(html.contains("unknown"), "absent git rev degrades to 'unknown'");
+        assert!(html.trim_end().ends_with("</html>"), "document still closes");
+    }
+
+    #[test]
+    fn metric_names_and_values_are_escaped() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("weird.<b>&name", 1);
+        let html = render_html_report(&hub.snapshot(), &sample_meta(), None);
+        assert!(html.contains("weird.&lt;b&gt;&amp;name"));
+        assert!(!html.contains("weird.<b>"), "raw metric name must not leak into HTML");
+    }
+}

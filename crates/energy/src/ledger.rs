@@ -30,6 +30,20 @@ impl EnergyBreakdown {
     pub fn memo_module_pj(&self) -> f64 {
         self.lut_lookup_pj + self.lut_update_pj
     }
+
+    /// Every component as a `(name, picojoules)` pair — the telemetry
+    /// tap live exporters iterate so a new component can't silently be
+    /// left out of published energy gauges.
+    #[must_use]
+    pub const fn named_components(&self) -> [(&'static str, f64); 5] {
+        [
+            ("fpu_exec", self.fpu_exec_pj),
+            ("hit", self.hit_pj),
+            ("lut_lookup", self.lut_lookup_pj),
+            ("lut_update", self.lut_update_pj),
+            ("recovery", self.recovery_pj),
+        ]
+    }
 }
 
 impl AddAssign for EnergyBreakdown {

@@ -326,13 +326,12 @@ impl FpOp {
 
     /// Stable dense index of the opcode, in [`ALL_OPS`] order.
     ///
-    /// Useful for array-indexed per-op statistics.
+    /// Useful for array-indexed per-op statistics. `ALL_OPS` lists the
+    /// variants in declaration order, so this is the discriminant; a
+    /// unit test pins the two orders together.
     #[must_use]
-    pub fn index(self) -> usize {
-        ALL_OPS
-            .iter()
-            .position(|&op| op == self)
-            .expect("every FpOp is listed in ALL_OPS")
+    pub const fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -351,6 +350,13 @@ mod tests {
     fn all_ops_has_27_distinct_entries() {
         let set: HashSet<FpOp> = ALL_OPS.iter().copied().collect();
         assert_eq!(set.len(), 27);
+    }
+
+    #[test]
+    fn index_is_dense_and_follows_all_ops_order() {
+        for (i, op) in ALL_OPS.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op} out of declaration order");
+        }
     }
 
     #[test]

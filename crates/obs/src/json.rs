@@ -32,7 +32,7 @@ pub enum JsonValue {
 impl JsonValue {
     /// Parses a complete JSON document, rejecting trailing garbage.
     pub fn parse(text: &str) -> Result<Self, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -116,14 +116,30 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per level, so unbounded depth would let a
+/// short adversarial input (`[[[[...`) abort the process with a stack
+/// overflow instead of returning an error. 128 is far beyond anything
+/// the exporters emit (their documents nest 3-4 levels).
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> JsonError {
         JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -168,11 +184,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.descend()?;
         self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(map));
         }
         loop {
@@ -188,6 +206,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -196,11 +215,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.descend()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -211,6 +232,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),

@@ -14,6 +14,11 @@
 //! * [`chrome`] + [`json`] — exporters: Chrome trace-event JSON (loadable in
 //!   Perfetto / `chrome://tracing`) and JSONL metric dumps, with a built-in
 //!   parser so round-trips can be validated without external crates.
+//! * [`sketch`] + [`telemetry`] + [`prom`] + [`serve`] — the *live* layer:
+//!   mergeable log-bucketed [`HistogramSketch`]es feeding a shared
+//!   [`TelemetryHub`], rendered as Prometheus exposition text and served
+//!   from a hand-rolled [`TelemetryServer`] scrape endpoint, with a
+//!   [`Heartbeat`] progress line for long campaign runs.
 //!
 //! Everything here is dependency-free on purpose: the workspace builds
 //! offline against an empty registry, and the observability layer must be
@@ -25,11 +30,19 @@
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod serve;
 pub mod series;
+pub mod sketch;
 pub mod span;
+pub mod telemetry;
 
 pub use chrome::{validate_chrome_trace, TraceStats};
 pub use json::{parse_jsonl, JsonError, JsonValue, ObjWriter};
 pub use metrics::{Histogram, Metric, MetricsRegistry};
+pub use prom::{sanitize_metric_name, to_prometheus_text, validate_prometheus_text, PromStats};
+pub use serve::TelemetryServer;
 pub use series::WindowedSeries;
+pub use sketch::HistogramSketch;
 pub use span::{ArgValue, Recorder, SharedRecorder, Span};
+pub use telemetry::{Heartbeat, HubMetric, HubSnapshot, RunMeta, TelemetryHub};

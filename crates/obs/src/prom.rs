@@ -1,0 +1,270 @@
+//! Prometheus text exposition (format 0.0.4), hand-rolled.
+//!
+//! Renders a [`HubSnapshot`] as the plain-text format every Prometheus
+//! scraper understands: `# TYPE` headers, `name value` sample lines,
+//! and summary-style quantile series for sketches. No client library —
+//! the format is simple enough to emit (and validate) directly, which
+//! keeps `tm-obs` dependency-free.
+//!
+//! Hub series names are dot-separated (`sim0.launch_us.sobel`); dots
+//! and any other characters outside the Prometheus name alphabet are
+//! rewritten to `_` by [`sanitize_metric_name`]. [`validate_prometheus_text`]
+//! is the round-trip check used by tests and the verify.sh scrape gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::telemetry::{HubMetric, HubSnapshot};
+
+/// Rewrites `name` into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, and a
+/// leading digit gets a `_` prefix. Empty input becomes `"_"`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_obs::sanitize_metric_name;
+///
+/// assert_eq!(sanitize_metric_name("sim0.launch_us.sobel"), "sim0_launch_us_sobel");
+/// assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+/// ```
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let valid = ch.is_ascii_alphabetic()
+            || ch == '_'
+            || ch == ':'
+            || (i > 0 && ch.is_ascii_digit());
+        if valid {
+            out.push(ch);
+        } else if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn write_f64_sample(out: &mut String, value: f64) {
+    if value == value.trunc() && value.abs() < 1e15 {
+        let _ = write!(out, "{value:.1}");
+    } else {
+        let _ = write!(out, "{value}");
+    }
+}
+
+/// Renders a hub snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges become single samples; sketches become a
+/// summary: `{quantile="0.5|0.9|0.99"}` series plus `_sum`, `_count`,
+/// `_min` and `_max`. Distinct hub names that sanitize to the same
+/// Prometheus name are disambiguated with a numeric suffix so the
+/// output never declares one metric twice.
+#[must_use]
+pub fn to_prometheus_text(snap: &HubSnapshot) -> String {
+    let mut used: BTreeMap<String, u32> = BTreeMap::new();
+    let mut out = String::new();
+    for (name, metric) in snap.iter() {
+        let mut prom = sanitize_metric_name(name);
+        let n = used.entry(prom.clone()).or_insert(0);
+        *n += 1;
+        if *n > 1 {
+            let _ = write!(prom, "_{}", *n - 1);
+        }
+        match metric {
+            HubMetric::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {prom} counter");
+                let _ = writeln!(out, "{prom} {v}");
+            }
+            HubMetric::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {prom} gauge");
+                let _ = write!(out, "{prom} ");
+                write_f64_sample(&mut out, *v);
+                out.push('\n');
+            }
+            HubMetric::Sketch(s) => {
+                let _ = writeln!(out, "# TYPE {prom} summary");
+                for (q, v) in [(0.5, s.p50()), (0.9, s.p90()), (0.99, s.p99())] {
+                    let _ = write!(out, "{prom}{{quantile=\"{q}\"}} ");
+                    write_f64_sample(&mut out, v);
+                    out.push('\n');
+                }
+                let _ = write!(out, "{prom}_sum ");
+                write_f64_sample(&mut out, s.sum());
+                out.push('\n');
+                let _ = writeln!(out, "{prom}_count {}", s.count());
+                let _ = writeln!(out, "# TYPE {prom}_min gauge");
+                let _ = write!(out, "{prom}_min ");
+                write_f64_sample(&mut out, s.min());
+                out.push('\n');
+                let _ = writeln!(out, "# TYPE {prom}_max gauge");
+                let _ = write!(out, "{prom}_max ");
+                write_f64_sample(&mut out, s.max());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Summary statistics from [`validate_prometheus_text`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromStats {
+    /// Number of `# TYPE` declarations.
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_sample(line: &str) -> bool {
+    // name[{labels}] value — split the name (and optional label block)
+    // from the value.
+    let (name_part, value_part) = if let Some(open) = line.find('{') {
+        let Some(close) = line.rfind('}') else {
+            return false;
+        };
+        if close < open {
+            return false;
+        }
+        let labels = &line[open + 1..close];
+        // Minimal label check: key="value" pairs, comma-separated.
+        if !labels.is_empty()
+            && !labels.split(',').all(|pair| {
+                pair.split_once('=').is_some_and(|(k, v)| {
+                    valid_name(k.trim()) && v.trim().starts_with('"') && v.trim().ends_with('"')
+                })
+            })
+        {
+            return false;
+        }
+        (&line[..open], line[close + 1..].trim())
+    } else {
+        match line.split_once(char::is_whitespace) {
+            Some((n, v)) => (n, v.trim()),
+            None => return false,
+        }
+    };
+    if !valid_name(name_part.trim()) {
+        return false;
+    }
+    let value = value_part.split_whitespace().next().unwrap_or("");
+    value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN")
+}
+
+/// Structurally validates Prometheus exposition text: every non-comment
+/// line must be a well-formed sample, every `# TYPE` must declare a
+/// valid name and type, and at least one sample must be present.
+///
+/// # Errors
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus_text(text: &str) -> Result<PromStats, String> {
+    let mut stats = PromStats::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {}: bad metric name '{name}'", i + 1));
+            }
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(format!("line {}: bad metric type '{kind}'", i + 1));
+            }
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+        if !valid_sample(line) {
+            return Err(format!("line {}: bad sample '{line}'", i + 1));
+        }
+        stats.samples += 1;
+    }
+    if stats.samples == 0 {
+        return Err("no samples".into());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TelemetryHub;
+
+    #[test]
+    fn sanitize_rewrites_invalid_chars() {
+        assert_eq!(sanitize_metric_name("a.b-c d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("1x"), "_1x");
+    }
+
+    #[test]
+    fn exposition_round_trips_through_validator() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("campaign.trials_done", 12);
+        hub.gauge_set("sim0.hit_rate", 0.75);
+        hub.observe("sim0.launch_us.sobel", 120.0);
+        hub.observe("sim0.launch_us.sobel", 180.0);
+        let text = hub.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE campaign_trials_done counter"));
+        assert!(text.contains("campaign_trials_done 12"));
+        assert!(text.contains("sim0_hit_rate 0.75"));
+        assert!(text.contains("sim0_launch_us_sobel{quantile=\"0.5\"}"));
+        assert!(text.contains("sim0_launch_us_sobel_count 2"));
+        let stats = validate_prometheus_text(&text).expect("self-emitted text validates");
+        assert_eq!(stats.families, 5); // counter, gauge, summary, min, max
+        assert!(stats.samples >= 8);
+    }
+
+    #[test]
+    fn colliding_sanitized_names_get_suffixes() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("a.b", 1);
+        hub.counter_add("a_b", 2);
+        let text = hub.snapshot().to_prometheus();
+        assert!(text.contains("a_b 1"));
+        assert!(text.contains("a_b_1 2"));
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus_text("").is_err());
+        assert!(validate_prometheus_text("just words no value\n").is_err());
+        assert!(validate_prometheus_text("name not_a_number\n").is_err());
+        assert!(validate_prometheus_text("# TYPE bad-name counter\nx 1\n").is_err());
+        assert!(validate_prometheus_text("# TYPE x sideways\nx 1\n").is_err());
+        assert!(validate_prometheus_text("m{quantile=\"0.5\" 3\n").is_err());
+        validate_prometheus_text("x 1\n").unwrap();
+        validate_prometheus_text("x{q=\"a\",r=\"b\"} 2.5\n").unwrap();
+    }
+
+    #[test]
+    fn integer_valued_gauges_render_with_decimal_point() {
+        let hub = TelemetryHub::new();
+        hub.gauge_set("g", 3.0);
+        let text = hub.snapshot().to_prometheus();
+        assert!(text.contains("g 3.0"), "text: {text}");
+    }
+}

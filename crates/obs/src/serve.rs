@@ -1,0 +1,244 @@
+//! A hand-rolled, zero-dependency telemetry scrape endpoint.
+//!
+//! [`TelemetryServer`] binds a `std::net::TcpListener`, spawns one
+//! background thread, and answers every HTTP GET with the current
+//! [`TelemetryHub`] snapshot rendered as Prometheus exposition text
+//! (`text/plain; version=0.0.4`). It is deliberately minimal — one
+//! request per connection, no keep-alive, no TLS, no routing — because
+//! a scrape endpoint needs none of that, and the workspace builds
+//! offline against an empty registry.
+//!
+//! The listener runs nonblocking with a short accept poll so
+//! [`TelemetryServer::stop`] (and `Drop`) can halt the thread promptly.
+//! [`TelemetryServer::scrapes`] counts served responses; callers that
+//! want "stay up until someone scraped" (the verify.sh gate) poll it
+//! via [`TelemetryServer::wait_for_scrape`].
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::telemetry::TelemetryHub;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A background Prometheus scrape endpoint over a [`TelemetryHub`].
+///
+/// Stops (and joins its thread) on [`TelemetryServer::stop`] or drop.
+///
+/// # Examples
+///
+/// ```
+/// use tm_obs::{TelemetryHub, TelemetryServer};
+///
+/// let hub = TelemetryHub::new();
+/// hub.counter_add("demo.events", 3);
+/// // Port 0: the OS picks a free port; addr() reports it.
+/// let server = TelemetryServer::bind("127.0.0.1:0", hub).unwrap();
+/// assert_ne!(server.addr().port(), 0);
+/// server.stop();
+/// ```
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    scrapes: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, or port 0 for an
+    /// OS-assigned port) and starts serving `hub` snapshots.
+    ///
+    /// # Errors
+    /// Returns the bind/configure error, e.g. when the port is taken.
+    pub fn bind(addr: &str, hub: TelemetryHub) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let scrapes = Arc::clone(&scrapes);
+            std::thread::Builder::new()
+                .name("tm-obs-telemetry".into())
+                .spawn(move || serve_loop(&listener, &hub, &stop, &scrapes))?
+        };
+        Ok(Self {
+            addr: local,
+            stop,
+            scrapes: Arc::clone(&scrapes),
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub const fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of scrape responses served so far.
+    #[must_use]
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until at least one scrape has been served or `deadline`
+    /// elapses; returns whether a scrape happened.
+    pub fn wait_for_scrape(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if self.scrapes() > 0 {
+                return true;
+            }
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        self.scrapes() > 0
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    hub: &TelemetryHub,
+    stop: &AtomicBool,
+    scrapes: &AtomicU64,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if serve_one(stream, hub).is_ok() {
+                    scrapes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, hub: &TelemetryHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    // Read until the end of the request head (or timeout). The request
+    // line/headers are irrelevant: every GET gets the same snapshot.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let body = hub.snapshot().to_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::validate_prometheus_text;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_valid_prometheus_snapshot() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("demo.events", 3);
+        hub.observe("demo.latency_us", 42.0);
+        let server = TelemetryServer::bind("127.0.0.1:0", hub.clone()).unwrap();
+        let response = scrape(server.addr());
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let stats = validate_prometheus_text(body).expect("valid exposition");
+        assert!(stats.samples >= 2);
+        assert!(body.contains("demo_events 3"));
+        assert!(server.wait_for_scrape(Duration::from_secs(1)));
+        assert_eq!(server.scrapes(), 1);
+        server.stop();
+    }
+
+    #[test]
+    fn snapshot_is_live_across_scrapes() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("ticks", 1);
+        let server = TelemetryServer::bind("127.0.0.1:0", hub.clone()).unwrap();
+        assert!(scrape(server.addr()).contains("ticks 1"));
+        hub.counter_add("ticks", 1);
+        assert!(scrape(server.addr()).contains("ticks 2"));
+        assert_eq!(server.scrapes(), 2);
+    }
+
+    #[test]
+    fn drop_joins_the_server_thread() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("x", 1);
+        let addr = {
+            let server = TelemetryServer::bind("127.0.0.1:0", hub).unwrap();
+            server.addr()
+        };
+        // After drop the port must refuse (or reset) new connections
+        // once the listener is gone; binding it again must succeed.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port should be free after drop");
+    }
+
+    #[test]
+    fn wait_for_scrape_times_out_cleanly() {
+        let hub = TelemetryHub::new();
+        let server = TelemetryServer::bind("127.0.0.1:0", hub).unwrap();
+        assert!(!server.wait_for_scrape(Duration::from_millis(50)));
+    }
+}

@@ -1,0 +1,394 @@
+//! Log-bucketed histogram sketches with quantile queries.
+//!
+//! A [`HistogramSketch`] is the live-telemetry counterpart of the
+//! fixed-bucket [`crate::Histogram`]: instead of caller-chosen bounds it
+//! covers the whole positive `f64` range with logarithmic buckets
+//! (HDR-histogram style), so one layout serves nanosecond latencies and
+//! picojoule energies alike. The layout is a compile-time constant,
+//! which buys the two properties live aggregation needs:
+//!
+//! * **fixed size** — the bucket array never grows, so recording is
+//!   allocation-free after construction and a sketch is safe to keep on
+//!   a hot path;
+//! * **mergeable** — any two sketches add bucket-wise, and a merge of
+//!   shard sketches is *exactly* equal (bucket counts, min/max, and
+//!   hence every quantile) to the monolithic sketch that saw all
+//!   observations; only the running `sum` may differ in the last bits,
+//!   because float addition reassociates across shards. Sharded
+//!   campaigns lean on this invariant; it is pinned by
+//!   `tests/sketch_merge.rs`.
+//!
+//! Bucket indexing uses the raw IEEE-754 exponent plus the top
+//! [`SUB_BUCKET_BITS`] mantissa bits, so classification is integer-only
+//! and deterministic across hosts. The relative quantile error is
+//! bounded by one sub-bucket: `2^(1/16) - 1` ≈ 4.4%.
+
+/// Mantissa bits used to subdivide each power-of-two range.
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+/// Sub-buckets per power-of-two range (`2^SUB_BUCKET_BITS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Smallest distinguishable exponent: values in `(0, 2^MIN_EXP)` clamp
+/// into the first bucket. `2^-32` ≈ 2.3e-10 — far below a microsecond,
+/// a picojoule or a dB.
+const MIN_EXP: i32 = -32;
+
+/// Largest distinguishable exponent: values at or above `2^MAX_EXP`
+/// (≈ 8.8e12) clamp into the last bucket.
+const MAX_EXP: i32 = 43;
+
+/// Total number of log buckets.
+pub const SKETCH_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize * SUB_BUCKETS;
+
+/// A fixed-size, mergeable, log-bucketed histogram sketch.
+///
+/// Records non-negative finite values (zero and negatives count into a
+/// dedicated zero bucket; non-finite values are dropped and counted).
+/// Supports `p50`/`p90`/`p99`-style quantile queries, exact min/max/sum,
+/// and exact bucket-wise merge.
+///
+/// # Examples
+///
+/// ```
+/// use tm_obs::HistogramSketch;
+///
+/// let mut s = HistogramSketch::new();
+/// for v in [1.0, 2.0, 4.0, 1000.0] {
+///     s.observe(v);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.max(), 1000.0);
+/// // p50 lands on the bucket holding 2.0, within the 1/16 relative bound.
+/// assert!((s.quantile(0.5) - 2.0).abs() / 2.0 < 0.07);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSketch {
+    counts: Vec<u64>,
+    /// Observations of exactly zero or below (clamped to the floor).
+    zero_count: u64,
+    /// Non-finite observations, dropped from the distribution.
+    dropped: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for HistogramSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSketch {
+    /// Creates an empty sketch (one fixed allocation of
+    /// [`SKETCH_BUCKETS`] counters).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; SKETCH_BUCKETS],
+            zero_count: 0,
+            dropped: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index for a positive finite value: IEEE exponent
+    /// (clamped to the covered range) times [`SUB_BUCKETS`], plus the
+    /// top mantissa bits. Integer-only, so identical on every host.
+    fn bucket_index(value: f64) -> usize {
+        let bits = value.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        let sub = ((bits >> (52 - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        if exp < MIN_EXP {
+            return 0;
+        }
+        if exp > MAX_EXP {
+            return SKETCH_BUCKETS - 1;
+        }
+        (exp - MIN_EXP) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The representative value reported for a bucket: its geometric
+    /// lower edge nudged to the sub-bucket midpoint.
+    fn bucket_value(index: usize) -> f64 {
+        let exp = MIN_EXP + (index / SUB_BUCKETS) as i32;
+        let sub = (index % SUB_BUCKETS) as f64;
+        // 2^exp * (1 + (sub + 0.5)/SUB_BUCKETS): midpoint of the linear
+        // sub-bucket within the octave.
+        (2.0f64).powi(exp) * (1.0 + (sub + 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Records one observation. Zero and negative values count into the
+    /// zero bucket; NaN/∞ are dropped (see [`HistogramSketch::dropped`]).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.dropped += 1;
+            return;
+        }
+        if value > 0.0 {
+            self.counts[Self::bucket_index(value)] += 1;
+        } else {
+            self.zero_count += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded (finite) observations.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of non-finite observations dropped.
+    #[must_use]
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sum of recorded observations.
+    #[must_use]
+    pub const fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the representative value
+    /// of the bucket where the cumulative count crosses `q * count`,
+    /// clamped into the exact observed `[min, max]` range. Returns 0
+    /// when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is not within `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // The endpoints are tracked exactly; report them exactly.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // Rank of the target observation, 1-based; q = 0 means the first.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero_count;
+        if seen >= rank {
+            return self.min.max(0.0).min(self.max);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand (`quantile(0.5)`).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile shorthand.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th percentile shorthand.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every bucket, count and extremum of `other` into `self`.
+    ///
+    /// Because the layout is a compile-time constant, merging shard
+    /// sketches is exact: bucket counts, min/max and every quantile
+    /// equal the sketch that would have observed every value directly;
+    /// the `sum` agrees up to float-addition reordering (see
+    /// `tests/sketch_merge.rs`).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.zero_count += other.zero_count;
+        self.dropped += other.dropped;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(representative value, count)` pairs in
+    /// ascending value order, with the zero bucket (if any) first.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let zero = (self.zero_count > 0).then_some((0.0, self.zero_count));
+        zero.into_iter().chain(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::bucket_value(i), c)),
+        )
+    }
+
+    /// Zeroes the sketch, keeping its (fixed) layout and allocation.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.zero_count = 0;
+        self.dropped = 0;
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let mut s = HistogramSketch::new();
+        for i in 1..=1000 {
+            s.observe(f64::from(i));
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 1000.0);
+        for (q, expect) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = s.quantile(q);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.07, "q{q}: got {got}, want ~{expect} (rel {rel:.3})");
+        }
+        assert_eq!(s.quantile(1.0), 1000.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn wide_dynamic_range_keeps_relative_error() {
+        let mut s = HistogramSketch::new();
+        for v in [1e-9, 1e-3, 1.0, 1e3, 1e9] {
+            s.observe(v);
+        }
+        // p50 should land on the middle observation's bucket.
+        let got = s.p50();
+        assert!((got - 1.0).abs() < 0.07, "p50 {got} should be ~1.0");
+    }
+
+    #[test]
+    fn zero_and_negative_fold_into_zero_bucket() {
+        let mut s = HistogramSketch::new();
+        s.observe(0.0);
+        s.observe(-5.0);
+        s.observe(10.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -5.0);
+        // Two of three observations are at/below zero: p50 is the floor.
+        assert!(s.p50() <= 0.0);
+    }
+
+    #[test]
+    fn non_finite_is_dropped_not_recorded() {
+        let mut s = HistogramSketch::new();
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        s.observe(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.sum(), 2.0);
+    }
+
+    #[test]
+    fn empty_sketch_is_all_zeros() {
+        let s = HistogramSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_edge_buckets() {
+        let mut s = HistogramSketch::new();
+        s.observe(1e-300);
+        s.observe(1e300);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), 1e300);
+        // Quantiles stay within the observed range even when clamped.
+        assert!(s.quantile(0.99) <= 1e300);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_layout() {
+        let mut s = HistogramSketch::new();
+        s.observe(3.0);
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.occupied_buckets().count(), 0);
+        s.observe(3.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn occupied_buckets_cover_all_counts() {
+        let mut s = HistogramSketch::new();
+        for v in [0.0, 0.5, 0.5, 8.0] {
+            s.observe(v);
+        }
+        let total: u64 = s.occupied_buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        let values: Vec<f64> = s.occupied_buckets().map(|(v, _)| v).collect();
+        assert!(values.windows(2).all(|w| w[0] < w[1]), "ascending order");
+    }
+}

@@ -1,0 +1,501 @@
+//! The live telemetry hub: a shared snapshot registry engines and
+//! campaign runners publish into while they run.
+//!
+//! Where [`crate::metrics::MetricsRegistry`] is a plain value type for
+//! post-hoc export, a [`TelemetryHub`] is the *live* aggregation point:
+//! one cheaply-cloneable handle shared by devices, engines and the
+//! campaign runner, safe to publish into from worker threads, and
+//! snapshottable at any moment by a scrape endpoint
+//! ([`crate::serve::TelemetryServer`]) or a report renderer. Three
+//! metric kinds are supported: monotonic counters, last-write-wins
+//! gauges and [`HistogramSketch`] distributions (per-kernel latency,
+//! per-trial PSNR/energy, ...).
+//!
+//! Publishing takes one short mutex hold (a `BTreeMap` probe plus an
+//! integer bump or a sketch insert) and happens at *launch/trial*
+//! granularity, never per instruction, so the hub stays well inside the
+//! ≤5% observability-overhead budget (`tm-sim/tests/obs_overhead.rs`).
+//!
+//! Series names are dot-separated (`sim0.launch_us.sobel`); device
+//! attachments allocate a scope prefix via [`TelemetryHub::alloc_scope`]
+//! so a warm-reused device can clear exactly its own series on
+//! `reset_stats` ([`TelemetryHub::remove_prefix`]) without touching the
+//! rest of the hub — the tm-serve pool pattern.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::sketch::HistogramSketch;
+
+/// One live metric in the hub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HubMetric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins sampled value.
+    Gauge(f64),
+    /// Log-bucketed distribution with quantile queries.
+    Sketch(HistogramSketch),
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    metrics: BTreeMap<String, HubMetric>,
+    next_scope: u64,
+}
+
+/// A shared, live registry of counters, gauges and histogram sketches.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone publishes into the
+/// same registry. All methods take `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_obs::{HubMetric, TelemetryHub};
+///
+/// let hub = TelemetryHub::new();
+/// hub.counter_add("campaign.trials_done", 1);
+/// hub.observe("campaign.psnr_db", 34.5);
+/// let snap = hub.snapshot();
+/// assert_eq!(snap.get("campaign.trials_done"), Some(&HubMetric::Counter(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryHub(Arc<Mutex<HubInner>>);
+
+impl TelemetryHub {
+    /// Creates an empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        // Telemetry must not double-panic over a poisoned lock: take the
+        // data as-is (same policy as SharedRecorder).
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Allocates a fresh dot-terminated scope prefix (`"{base}{n}."`)
+    /// for a publisher, so its series can later be cleared as a unit
+    /// with [`TelemetryHub::remove_prefix`].
+    #[must_use]
+    pub fn alloc_scope(&self, base: &str) -> String {
+        let mut inner = self.lock();
+        let n = inner.next_scope;
+        inner.next_scope += 1;
+        format!("{base}{n}.")
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn counter_add(&self, name: &str, by: u64) {
+        let mut inner = self.lock();
+        match inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert(HubMetric::Counter(0))
+        {
+            HubMetric::Counter(v) => *v += by,
+            other => panic!("hub metric '{name}' is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert(HubMetric::Gauge(0.0))
+        {
+            HubMetric::Gauge(v) => *v = value,
+            other => panic!("hub metric '{name}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `value` into the sketch `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| HubMetric::Sketch(HistogramSketch::new()))
+        {
+            HubMetric::Sketch(s) => s.observe(value),
+            other => panic!("hub metric '{name}' is not a sketch: {other:?}"),
+        }
+    }
+
+    /// Merges `sketch` into the sketch `name`, creating it if absent —
+    /// the shard-aggregation path.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn merge_sketch(&self, name: &str, sketch: &HistogramSketch) {
+        let mut inner = self.lock();
+        match inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| HubMetric::Sketch(HistogramSketch::new()))
+        {
+            HubMetric::Sketch(s) => s.merge(sketch),
+            other => panic!("hub metric '{name}' is not a sketch: {other:?}"),
+        }
+    }
+
+    /// Removes every series whose name starts with `prefix`, returning
+    /// how many were removed. A reused device calls this from
+    /// `reset_stats` with its scope so telemetry never leaks across
+    /// jobs.
+    pub fn remove_prefix(&self, prefix: &str) -> usize {
+        let mut inner = self.lock();
+        let doomed: Vec<String> = inner
+            .metrics
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            inner.metrics.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// Number of registered series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().metrics.len()
+    }
+
+    /// True when no series is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().metrics.is_empty()
+    }
+
+    /// The current counter value, or 0 if absent/not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.lock().metrics.get(name) {
+            Some(HubMetric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A point-in-time copy of every series — the unit the scrape
+    /// endpoint and the report renderer work from.
+    #[must_use]
+    pub fn snapshot(&self) -> HubSnapshot {
+        HubSnapshot {
+            metrics: self.lock().metrics.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`TelemetryHub`]'s series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HubSnapshot {
+    metrics: BTreeMap<String, HubMetric>,
+}
+
+impl HubSnapshot {
+    /// Looks up one series by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&HubMetric> {
+        self.metrics.get(name)
+    }
+
+    /// Iterates series in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &HubMetric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of series in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when the snapshot holds no series.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (see [`crate::prom`]).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::to_prometheus_text(self)
+    }
+}
+
+/// A one-line progress reporter for long campaign runs.
+///
+/// Tracks trials done against the expected total, wall-clock elapsed
+/// time, an ETA extrapolated from the current rate, and a rolling
+/// [`HistogramSketch`] of a quality metric (PSNR by default). Every
+/// `interval` ticks, [`Heartbeat::tick`] returns a formatted line for
+/// the caller to emit; in between it returns `None`, so heartbeats stay
+/// cheap at any trial rate.
+///
+/// # Examples
+///
+/// ```
+/// use tm_obs::Heartbeat;
+///
+/// let mut hb = Heartbeat::new("campaign", 4, 2);
+/// assert!(hb.tick(31.0).is_none());
+/// let line = hb.tick(35.0).expect("every 2nd tick reports");
+/// assert!(line.contains("2/4"));
+/// assert!(line.contains("p50"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    label: String,
+    total: u64,
+    done: u64,
+    interval: u64,
+    start: Instant,
+    quality: HistogramSketch,
+}
+
+impl Heartbeat {
+    /// Creates a reporter for `total` expected ticks that emits a line
+    /// every `interval` ticks (clamped to at least 1).
+    #[must_use]
+    pub fn new(label: &str, total: u64, interval: u64) -> Self {
+        Self {
+            label: label.to_string(),
+            total,
+            done: 0,
+            interval: interval.max(1),
+            start: Instant::now(),
+            quality: HistogramSketch::new(),
+        }
+    }
+
+    /// Records one finished unit with its quality sample; returns the
+    /// heartbeat line when this tick hits the reporting interval (or
+    /// finishes the run).
+    pub fn tick(&mut self, quality: f64) -> Option<String> {
+        self.done += 1;
+        self.quality.observe(quality);
+        if self.done.is_multiple_of(self.interval) || self.done == self.total {
+            Some(self.line())
+        } else {
+            None
+        }
+    }
+
+    /// Units finished so far.
+    #[must_use]
+    pub const fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// The rolling quality sketch (e.g. for publishing into a hub).
+    #[must_use]
+    pub const fn quality(&self) -> &HistogramSketch {
+        &self.quality
+    }
+
+    /// The current progress line: done/total, percent, elapsed, ETA and
+    /// rolling quality p50.
+    #[must_use]
+    pub fn line(&self) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            self.done as f64 / self.total as f64 * 100.0
+        };
+        let eta = if self.done == 0 || self.done >= self.total {
+            0.0
+        } else {
+            elapsed / self.done as f64 * (self.total - self.done) as f64
+        };
+        format!(
+            "heartbeat {}: {}/{} ({pct:.0}%) | elapsed {elapsed:.1}s eta {eta:.1}s | psnr p50 {:.1} dB",
+            self.label, self.done, self.total, self.quality.p50()
+        )
+    }
+}
+
+/// Attribution metadata stamped into exported telemetry (campaign JSONL
+/// headers, bench JSON, HTML reports) so a dump can be traced back to
+/// the code revision and host that produced it.
+///
+/// The timestamp is **passed in by the caller** (e.g. `repro
+/// --timestamp`), never sampled here, so library output stays
+/// deterministic under test.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMeta {
+    /// Short git revision of the working tree, when discoverable.
+    pub git_rev: Option<String>,
+    /// Host logical core count.
+    pub host_cores: u64,
+    /// Caller-supplied timestamp string (any format; absent by default).
+    pub timestamp: Option<String>,
+}
+
+impl RunMeta {
+    /// Collects metadata: host cores from the runtime, the git revision
+    /// by invoking `git rev-parse --short HEAD` (silently absent when
+    /// git or the repo is unavailable), and the caller's timestamp.
+    #[must_use]
+    pub fn collect(timestamp: Option<String>) -> Self {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        Self {
+            git_rev,
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            timestamp,
+        }
+    }
+
+    /// Appends the metadata fields to a JSON object under construction.
+    pub fn write_fields(&self, w: &mut crate::json::ObjWriter) {
+        match &self.git_rev {
+            Some(rev) => w.str_field("git_rev", rev),
+            None => w.raw_field("git_rev", "null"),
+        }
+        w.u64_field("host_cores", self.host_cores);
+        match &self.timestamp {
+            Some(ts) => w.str_field("timestamp", ts),
+            None => w.raw_field("timestamp", "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_registers_and_snapshots_all_kinds() {
+        let hub = TelemetryHub::new();
+        hub.counter_add("a.count", 2);
+        hub.counter_add("a.count", 3);
+        hub.gauge_set("a.rate", 0.5);
+        hub.observe("a.latency", 10.0);
+        hub.observe("a.latency", 20.0);
+        assert_eq!(hub.counter("a.count"), 5);
+        let snap = hub.snapshot();
+        assert_eq!(snap.len(), 3);
+        let Some(HubMetric::Sketch(s)) = snap.get("a.latency") else {
+            panic!("missing sketch");
+        };
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), 30.0);
+    }
+
+    #[test]
+    fn clones_publish_into_one_registry() {
+        let hub = TelemetryHub::new();
+        let clone = hub.clone();
+        clone.counter_add("x", 1);
+        hub.counter_add("x", 1);
+        assert_eq!(hub.counter("x"), 2);
+    }
+
+    #[test]
+    fn scopes_are_unique_and_removable() {
+        let hub = TelemetryHub::new();
+        let a = hub.alloc_scope("sim");
+        let b = hub.alloc_scope("sim");
+        assert_ne!(a, b);
+        hub.counter_add(&format!("{a}launches"), 1);
+        hub.observe(&format!("{a}launch_us.sobel"), 4.0);
+        hub.counter_add(&format!("{b}launches"), 7);
+        assert_eq!(hub.remove_prefix(&a), 2);
+        assert_eq!(hub.len(), 1);
+        assert_eq!(hub.counter(&format!("{b}launches")), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn hub_kind_mismatch_panics() {
+        let hub = TelemetryHub::new();
+        hub.gauge_set("x", 1.0);
+        hub.counter_add("x", 1);
+    }
+
+    #[test]
+    fn merge_sketch_aggregates_shards() {
+        let hub = TelemetryHub::new();
+        let mut shard = HistogramSketch::new();
+        shard.observe(5.0);
+        shard.observe(7.0);
+        hub.merge_sketch("lat", &shard);
+        hub.merge_sketch("lat", &shard);
+        let snap = hub.snapshot();
+        let Some(HubMetric::Sketch(s)) = snap.get("lat") else {
+            panic!("missing sketch");
+        };
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn heartbeat_reports_on_interval_and_completion() {
+        let mut hb = Heartbeat::new("campaign", 5, 2);
+        assert!(hb.tick(30.0).is_none());
+        assert!(hb.tick(32.0).is_some());
+        assert!(hb.tick(34.0).is_none());
+        assert!(hb.tick(36.0).is_some());
+        let last = hb.tick(38.0).expect("final tick always reports");
+        assert!(last.contains("5/5"), "line: {last}");
+        assert!(last.contains("(100%)"), "line: {last}");
+        assert_eq!(hb.done(), 5);
+        assert_eq!(hb.quality().count(), 5);
+    }
+
+    #[test]
+    fn run_meta_collects_cores_and_writes_json() {
+        let meta = RunMeta::collect(Some("2026-08-08T12:00:00Z".into()));
+        assert!(meta.host_cores >= 1);
+        let mut w = crate::json::ObjWriter::new();
+        meta.write_fields(&mut w);
+        let text = w.finish();
+        let v = crate::json::JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            v.get("timestamp").unwrap().as_str(),
+            Some("2026-08-08T12:00:00Z")
+        );
+        assert!(v.get("host_cores").unwrap().as_u64().unwrap() >= 1);
+        assert!(v.get("git_rev").is_some());
+    }
+
+    #[test]
+    fn run_meta_without_timestamp_is_null() {
+        let meta = RunMeta {
+            git_rev: None,
+            host_cores: 4,
+            timestamp: None,
+        };
+        let mut w = crate::json::ObjWriter::new();
+        meta.write_fields(&mut w);
+        let v = crate::json::JsonValue::parse(&w.finish()).unwrap();
+        assert_eq!(v.get("timestamp"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("git_rev"), Some(&crate::json::JsonValue::Null));
+    }
+}

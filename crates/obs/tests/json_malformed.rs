@@ -1,0 +1,127 @@
+//! Malformed-input corpus for the hand-rolled JSON parser.
+//!
+//! Every input here must produce a graceful [`JsonError`] — never a
+//! panic, never a stack-overflow abort. The parser sits on the trust
+//! boundary of every exporter round-trip check and of `parse_jsonl`
+//! over externally-produced campaign dumps, so hostile bytes must fail
+//! closed.
+
+use tm_obs::json::MAX_DEPTH;
+use tm_obs::{parse_jsonl, JsonValue};
+
+/// Inputs that must all return `Err`, labelled for failure messages.
+const MALFORMED: &[(&str, &str)] = &[
+    // Truncated containers.
+    ("truncated object", "{"),
+    ("truncated object after key", "{\"a\""),
+    ("truncated object after colon", "{\"a\":"),
+    ("truncated object after value", "{\"a\":1"),
+    ("truncated object after comma", "{\"a\":1,"),
+    ("truncated array", "["),
+    ("truncated array after value", "[1"),
+    ("truncated array after comma", "[1,"),
+    ("truncated nested", "{\"a\":[{\"b\":"),
+    // Bad escapes and strings.
+    ("unterminated string", "\"abc"),
+    ("unterminated escape", "\"abc\\"),
+    ("unknown escape", "\"ab\\qcd\""),
+    ("truncated unicode escape", "\"\\u00\""),
+    ("non-hex unicode escape", "\"\\uZZZZ\""),
+    ("bare key", "{a:1}"),
+    // Bad scalars and separators.
+    ("lone minus", "-"),
+    ("double dot number", "1.2.3"),
+    ("bare exponent", "e10"),
+    ("trailing comma object", "{\"a\":1,}"),
+    ("trailing comma array", "[1,2,]"),
+    ("missing colon", "{\"a\" 1}"),
+    ("missing comma", "[1 2]"),
+    ("trailing garbage", "{} {}"),
+    ("empty input", ""),
+    ("whitespace only", "   \n\t "),
+    ("capitalised keyword", "True"),
+    ("truncated keyword", "nul"),
+    ("mismatched close", "[1}"),
+];
+
+#[test]
+fn malformed_corpus_errors_gracefully() {
+    for (label, input) in MALFORMED {
+        let result = JsonValue::parse(input);
+        assert!(
+            result.is_err(),
+            "{label}: expected parse error, got {result:?}"
+        );
+        let err = result.unwrap_err();
+        assert!(
+            err.offset <= input.len(),
+            "{label}: error offset {} beyond input length {}",
+            err.offset,
+            input.len()
+        );
+        assert!(!err.message.is_empty(), "{label}: empty error message");
+        // Display must render without panicking.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_overflowed() {
+    // Well beyond MAX_DEPTH: without the parser's depth limit this
+    // would abort the process with a stack overflow.
+    for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+        let depth = 50_000;
+        let mut doc = open.repeat(depth);
+        doc.push('1');
+        doc.push_str(&close.repeat(depth));
+        let err = JsonValue::parse(&doc).expect_err("deep nesting must error");
+        assert!(
+            err.message.contains("MAX_DEPTH"),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn nesting_at_the_limit_still_parses() {
+    let depth = MAX_DEPTH;
+    let mut doc = "[".repeat(depth);
+    doc.push('1');
+    doc.push_str(&"]".repeat(depth));
+    let v = JsonValue::parse(&doc).expect("MAX_DEPTH levels must parse");
+    // Walk back down to the scalar.
+    let mut cur = &v;
+    for _ in 0..depth {
+        cur = &cur.as_arr().expect("array at every level")[0];
+    }
+    assert_eq!(cur.as_f64(), Some(1.0));
+
+    // One level deeper fails.
+    let mut doc = "[".repeat(depth + 1);
+    doc.push('1');
+    doc.push_str(&"]".repeat(depth + 1));
+    assert!(JsonValue::parse(&doc).is_err());
+}
+
+#[test]
+fn jsonl_surfaces_malformed_lines_with_global_offsets() {
+    let text = "{\"ok\":1}\n{\"broken\":\n{\"ok\":2}\n";
+    let err = parse_jsonl(text).expect_err("line 2 is malformed");
+    assert!(
+        err.offset >= 9,
+        "offset {} should point past line 1",
+        err.offset
+    );
+
+    // A deeply nested line inside JSONL also errors instead of aborting.
+    let mut bomb = "[".repeat(10_000);
+    bomb.push('1');
+    let text = format!("{{\"ok\":1}}\n{bomb}\n");
+    assert!(parse_jsonl(&text).is_err());
+}
+
+#[test]
+fn lone_surrogates_fold_to_replacement_char_without_panic() {
+    let v = JsonValue::parse("\"\\ud800\"").expect("lone surrogate is tolerated");
+    assert_eq!(v.as_str(), Some("\u{FFFD}"));
+}

@@ -1,0 +1,155 @@
+//! Property test pinning the sketch-merge invariant sharded campaigns
+//! rely on: merging per-shard [`HistogramSketch`]es must be *exactly*
+//! equal — bucket counts, sum, min/max, and therefore every quantile —
+//! to one monolithic sketch that observed all values directly.
+//!
+//! Seeded SplitMix64 generation (same generator family the campaign
+//! seed fan-out uses) keeps the corpus deterministic across runs and
+//! hosts: no external property-testing crate needed.
+
+use tm_obs::HistogramSketch;
+
+/// SplitMix64 — tiny, seedable, and identical on every host.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A value from a deliberately nasty distribution: log-uniform over
+    /// ~24 decades, with occasional zeros, negatives and non-finites.
+    fn next_sample(&mut self) -> f64 {
+        match self.next_u64() % 20 {
+            0 => 0.0,
+            1 => -self.next_f64() * 10.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            _ => {
+                let exponent = self.next_f64() * 24.0 - 12.0; // 1e-12 ..= 1e12
+                self.next_f64().max(f64::MIN_POSITIVE) * 10f64.powf(exponent)
+            }
+        }
+    }
+}
+
+fn assert_sketches_identical(merged: &HistogramSketch, mono: &HistogramSketch, ctx: &str) {
+    // Bucket-level equality: every occupied bucket, same count, in the
+    // same order. This is what makes quantiles exact across sharding.
+    let a: Vec<(u64, u64)> = merged
+        .occupied_buckets()
+        .map(|(v, c)| (v.to_bits(), c))
+        .collect();
+    let b: Vec<(u64, u64)> = mono
+        .occupied_buckets()
+        .map(|(v, c)| (v.to_bits(), c))
+        .collect();
+    assert_eq!(a, b, "{ctx}: bucket contents differ");
+    assert_eq!(merged.count(), mono.count(), "{ctx}: count");
+    assert_eq!(merged.dropped(), mono.dropped(), "{ctx}: dropped");
+    assert_eq!(merged.min(), mono.min(), "{ctx}: min");
+    assert_eq!(merged.max(), mono.max(), "{ctx}: max");
+    for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            merged.quantile(q),
+            mono.quantile(q),
+            "{ctx}: quantile({q})"
+        );
+    }
+    // The sum is the one aggregate accumulated in float order, so
+    // sharding may legally reassociate it; it must still agree tightly.
+    let (s, m) = (merged.sum(), mono.sum());
+    let scale = s.abs().max(m.abs()).max(1.0);
+    assert!(
+        (s - m).abs() / scale < 1e-9,
+        "{ctx}: sum diverged: {s} vs {m}"
+    );
+}
+
+#[test]
+fn merged_shards_equal_monolithic_sketch() {
+    // 32 seeded cases over varying shard counts and sizes.
+    for case in 0u64..32 {
+        let mut rng = SplitMix64(0x5EED_0000 + case);
+        let shards = 1 + (rng.next_u64() % 8) as usize;
+        let per_shard = 1 + (rng.next_u64() % 500) as usize;
+
+        let mut mono = HistogramSketch::new();
+        let mut parts: Vec<HistogramSketch> = Vec::new();
+        for _ in 0..shards {
+            let mut shard = HistogramSketch::new();
+            for _ in 0..per_shard {
+                let v = rng.next_sample();
+                shard.observe(v);
+                mono.observe(v);
+            }
+            parts.push(shard);
+        }
+
+        let mut merged = HistogramSketch::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_sketches_identical(
+            &merged,
+            &mono,
+            &format!("case {case} ({shards} shards x {per_shard})"),
+        );
+    }
+}
+
+#[test]
+fn merge_order_does_not_matter() {
+    let mut rng = SplitMix64(0xDEAD_BEEF);
+    let shards: Vec<HistogramSketch> = (0..5)
+        .map(|_| {
+            let mut s = HistogramSketch::new();
+            for _ in 0..200 {
+                s.observe(rng.next_sample());
+            }
+            s
+        })
+        .collect();
+
+    let mut forward = HistogramSketch::new();
+    for s in &shards {
+        forward.merge(s);
+    }
+    let mut backward = HistogramSketch::new();
+    for s in shards.iter().rev() {
+        backward.merge(s);
+    }
+    // Bucket counts, count, min and max are order-independent by
+    // construction; the sum is the one float accumulation, so this also
+    // documents that shard sums are added in caller order.
+    assert_eq!(forward.count(), backward.count());
+    assert_eq!(forward.min(), backward.min());
+    assert_eq!(forward.max(), backward.max());
+    for q in [0.1, 0.5, 0.99] {
+        assert_eq!(forward.quantile(q), backward.quantile(q));
+    }
+}
+
+#[test]
+fn merging_empty_sketches_is_identity() {
+    let mut rng = SplitMix64(7);
+    let mut base = HistogramSketch::new();
+    for _ in 0..100 {
+        base.observe(rng.next_sample());
+    }
+    let snapshot = base.clone();
+    base.merge(&HistogramSketch::new());
+    assert_sketches_identical(&base, &snapshot, "identity merge");
+
+    let mut empty = HistogramSketch::new();
+    empty.merge(&snapshot);
+    assert_sketches_identical(&empty, &snapshot, "merge into empty");
+}

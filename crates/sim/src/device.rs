@@ -12,7 +12,7 @@ use crate::program::{Bindings, VProgram};
 use crate::report::{DeviceReport, OpReport};
 use tm_core::MemoStats;
 use tm_fpu::ALL_OPS;
-use tm_obs::{ArgValue, SharedRecorder};
+use tm_obs::{ArgValue, SharedRecorder, TelemetryHub};
 
 /// A simulated Evergreen-style GPGPU.
 ///
@@ -27,8 +27,9 @@ pub struct Device {
 }
 
 /// Wall-clock and per-CU cycle snapshots taken just before a launch
-/// (only when a recorder is attached).
+/// (only when a recorder or hub is attached).
 struct LaunchMark {
+    wall: std::time::Instant,
     start_us: u64,
     cu_cycles: Vec<u64>,
 }
@@ -64,13 +65,64 @@ impl Device {
     /// [`Device::reset_stats`] while a recorder is attached restarts the
     /// cycle timebase and can produce overlapping cycle spans — detach
     /// first (or use a fresh device) when a well-formed trace matters.
+    ///
+    /// A previously attached telemetry hub stays bound.
     pub fn attach_recorder(&mut self, rec: &SharedRecorder) {
-        self.obs = Some(DeviceObs::attach(rec));
+        let hub = self.obs.as_mut().and_then(DeviceObs::take_hub);
+        let mut obs = DeviceObs::attach(rec);
+        if let Some((hub, scope)) = hub {
+            obs.bind_hub(&hub, &scope);
+        }
+        self.obs = Some(obs);
     }
 
-    /// Detaches the span recorder, if any; later launches record nothing.
+    /// Detaches the span recorder, if any; later launches record no
+    /// spans. A telemetry hub, if attached, stays bound.
     pub fn detach_recorder(&mut self) {
-        self.obs = None;
+        self.obs = self
+            .obs
+            .as_mut()
+            .and_then(DeviceObs::take_hub)
+            .map(|(hub, scope)| DeviceObs::hub_only(&hub, &scope));
+    }
+
+    /// Attaches a telemetry hub under a freshly allocated scope prefix
+    /// and returns that scope. Every subsequent launch publishes live
+    /// series under it: a per-kernel latency sketch
+    /// (`<scope>launch_us.<kernel>`), launch/wavefront counters, a
+    /// cumulative hit-rate gauge, error/recovery tallies and per-
+    /// component energy gauges — plus the engine overhead counters
+    /// (steals, fallbacks) the engines publish through [`DeviceObs`].
+    ///
+    /// Composes with [`Device::attach_recorder`]; either may be attached
+    /// first. [`Device::reset_stats`] clears the device's hub series.
+    pub fn attach_hub(&mut self, hub: &TelemetryHub) -> String {
+        let scope = hub.alloc_scope("sim");
+        self.attach_hub_scoped(hub, &scope);
+        scope
+    }
+
+    /// Attaches a telemetry hub under a caller-chosen scope prefix
+    /// (normally ending in `.`). Long-running callers that rebuild
+    /// devices — e.g. a campaign building one device per attempt — use a
+    /// fixed scope so the hub holds one set of series instead of growing
+    /// per device.
+    pub fn attach_hub_scoped(&mut self, hub: &TelemetryHub, scope: &str) {
+        match &mut self.obs {
+            Some(obs) => obs.bind_hub(hub, scope),
+            None => self.obs = Some(DeviceObs::hub_only(hub, scope)),
+        }
+    }
+
+    /// Detaches the telemetry hub, if any, leaving its published series
+    /// in place. A span recorder, if attached, stays bound.
+    pub fn detach_hub(&mut self) {
+        if let Some(obs) = &mut self.obs {
+            let _ = obs.take_hub();
+            if !obs.has_recorder() {
+                self.obs = None;
+            }
+        }
     }
 
     /// The attached tracing handle, if any.
@@ -79,9 +131,11 @@ impl Device {
         self.obs.as_ref()
     }
 
-    /// Snapshots clocks before a launch (no-op without a recorder).
+    /// Snapshots clocks before a launch (no-op without a recorder or
+    /// hub).
     fn mark_launch(&self) -> Option<LaunchMark> {
         self.obs.as_ref().map(|obs| LaunchMark {
+            wall: std::time::Instant::now(),
             start_us: obs.now_us(),
             cu_cycles: self.compute_units.iter().map(ComputeUnit::cycles).collect(),
         })
@@ -89,41 +143,96 @@ impl Device {
 
     /// Closes a launch: one wall span for the whole dispatch (wall track
     /// 0) and one cycle span per CU that advanced (cycle track = CU
-    /// index).
+    /// index) into the recorder, and the live series into the hub —
+    /// whichever backends are attached.
     fn record_launch(&self, mark: Option<LaunchMark>, name: &str, backend: &str, schedule: &Schedule) {
         let (Some(obs), Some(mark)) = (&self.obs, mark) else {
             return;
         };
-        for (cu_idx, (cu, before)) in self.compute_units.iter().zip(&mark.cu_cycles).enumerate() {
-            let after = cu.cycles();
-            if after > *before {
-                obs.cycle_span(
-                    format!("launch:{name}"),
-                    "kernel",
-                    cu_idx as u64,
-                    *before,
-                    after,
-                    Vec::new(),
-                );
+        if obs.has_recorder() {
+            for (cu_idx, (cu, before)) in
+                self.compute_units.iter().zip(&mark.cu_cycles).enumerate()
+            {
+                let after = cu.cycles();
+                if after > *before {
+                    obs.cycle_span(
+                        format!("launch:{name}"),
+                        "kernel",
+                        cu_idx as u64,
+                        *before,
+                        after,
+                        Vec::new(),
+                    );
+                }
             }
+            obs.wall_span(
+                format!("launch:{name}"),
+                "kernel",
+                0,
+                mark.start_us,
+                vec![
+                    ("backend".to_string(), ArgValue::Str(backend.to_string())),
+                    (
+                        "global_size".to_string(),
+                        ArgValue::U64(schedule.global_size() as u64),
+                    ),
+                    (
+                        "wavefronts".to_string(),
+                        ArgValue::U64(schedule.wavefronts() as u64),
+                    ),
+                ],
+            );
         }
-        obs.wall_span(
-            format!("launch:{name}"),
-            "kernel",
-            0,
-            mark.start_us,
-            vec![
-                ("backend".to_string(), ArgValue::Str(backend.to_string())),
-                (
-                    "global_size".to_string(),
-                    ArgValue::U64(schedule.global_size() as u64),
-                ),
-                (
-                    "wavefronts".to_string(),
-                    ArgValue::U64(schedule.wavefronts() as u64),
-                ),
-            ],
+        self.publish_launch(obs, name, schedule, mark.wall.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Publishes one finished launch into the attached hub (no-op
+    /// without one): latency sketch, launch/wavefront counters, and the
+    /// cumulative hit-rate / error / energy state of the device. All
+    /// reads — the simulation state is untouched, so reports stay
+    /// bit-identical with a hub attached.
+    fn publish_launch(&self, obs: &DeviceObs, name: &str, schedule: &Schedule, elapsed_us: f64) {
+        let Some((hub, scope)) = obs.hub() else {
+            return;
+        };
+        hub.counter_add(&format!("{scope}launches"), 1);
+        hub.counter_add(&format!("{scope}wavefronts"), schedule.wavefronts() as u64);
+        hub.observe(&format!("{scope}launch_us.{name}"), elapsed_us);
+
+        let total: MemoStats = ALL_OPS.iter().map(|&op| self.op_stats(op)).sum();
+        if total.lookups > 0 {
+            hub.gauge_set(
+                &format!("{scope}hit_rate"),
+                total.hits as f64 / total.lookups as f64,
+            );
+        }
+
+        // ECU tap: cumulative recovery tallies summed across CUs.
+        let mut recoveries = 0u64;
+        let mut stall_cycles = 0u64;
+        for cu in &self.compute_units {
+            let [(_, r), (_, s)] = cu.ecu().telemetry_counters();
+            recoveries += r;
+            stall_cycles += s;
+        }
+        hub.gauge_set(&format!("{scope}recoveries"), recoveries as f64);
+        hub.gauge_set(&format!("{scope}recovery_stall_cycles"), stall_cycles as f64);
+        hub.gauge_set(
+            &format!("{scope}errors_injected"),
+            self.compute_units
+                .iter()
+                .map(ComputeUnit::errors_injected)
+                .sum::<u64>() as f64,
         );
+
+        // Energy tap: one gauge per breakdown component.
+        let mut energy = tm_energy::EnergyLedger::new();
+        for cu in &self.compute_units {
+            energy.merge(cu.ledger());
+        }
+        for (component, pj) in energy.breakdown().named_components() {
+            hub.gauge_set(&format!("{scope}energy_pj.{component}"), pj);
+        }
     }
 
     /// The device configuration.
@@ -337,11 +446,18 @@ impl Device {
     /// Resets every statistic on the device (see
     /// [`ComputeUnit::reset_stats`]) while keeping FIFO contents — the
     /// per-kernel measurement boundary.
+    ///
+    /// Any telemetry-hub series published under this device's scope are
+    /// cleared too, so a warm-reused device (the pool pattern) never
+    /// leaks telemetry from the previous job into the next.
     pub fn reset_stats(&mut self) {
         for cu in &mut self.compute_units {
             cu.reset_stats();
         }
         self.wavefronts_dispatched = 0;
+        if let Some(obs) = &self.obs {
+            obs.clear_hub_series();
+        }
     }
 
     /// Builds the full post-run report.

@@ -1,56 +1,106 @@
-//! Device-level observability: the span-recording handle the engines
-//! thread through kernel dispatch.
+//! Device-level observability: the span-recording and telemetry handle
+//! the engines thread through kernel dispatch.
 //!
-//! A [`DeviceObs`] is an optional, cheaply cloneable handle to a
-//! [`SharedRecorder`]. Attaching one to a [`crate::Device`] (via
-//! [`crate::Device::attach_recorder`]) makes the device and whichever
-//! [`crate::engine`] backend it dispatches through record:
+//! A [`DeviceObs`] is an optional, cheaply cloneable handle carrying up
+//! to two backends:
 //!
-//! - **cycle-stamped spans** on the device's *cycle* track group: kernel
-//!   launches and per-wavefront execution, timestamped in simulated
-//!   cycles (tid = compute-unit index);
-//! - **wall-clock spans** on the device's *wall* track group: host-side
-//!   self-profiling of the engines (per-CU worker threads, intra-CU
-//!   shard tasks, journal merges), timestamped in microseconds;
-//! - **overhead counters**: work-steal counts and
-//!   fallback-to-parallel/sequential events.
+//! * a [`SharedRecorder`] (via [`crate::Device::attach_recorder`]) for
+//!   **post-hoc tracing** — cycle-stamped spans on the device's *cycle*
+//!   track group (kernel launches and per-wavefront execution, tid =
+//!   compute-unit index), wall-clock spans on the *wall* track group
+//!   (per-CU worker threads, intra-CU shard tasks, journal merges), and
+//!   named overhead counters (steals, fallbacks);
+//! * a [`TelemetryHub`] (via [`crate::Device::attach_hub`]) for **live
+//!   telemetry** — the same overhead counters published as hub counters
+//!   under the device's scope prefix, plus per-launch latency sketches,
+//!   hit-rate/energy gauges and error/recovery tallies published by the
+//!   device itself after every launch.
 //!
-//! Recording never changes simulation results: the handle only *reads*
-//! cycle counters and wall clocks around the existing execution paths,
-//! so [`crate::DeviceReport`]s stay bit-identical with and without a
-//! recorder attached (asserted in `tests/obs.rs`).
+//! Either backend can be attached alone or both together. Recording
+//! never changes simulation results: the handle only *reads* cycle
+//! counters and wall clocks around the existing execution paths, so
+//! [`crate::DeviceReport`]s stay bit-identical with and without a
+//! recorder or hub attached (asserted in `tests/obs.rs`).
 
-use tm_obs::{ArgValue, SharedRecorder, Span};
+use tm_obs::{ArgValue, SharedRecorder, Span, TelemetryHub};
 
-/// The tracing handle one device (and its engines) records through.
+/// The observability handle one device (and its engines) records through.
 ///
-/// Each handle owns two track groups (`pid`s) allocated from the shared
-/// recorder — one for wall-clock spans, one for cycle-stamped spans — so
-/// several devices (e.g. one per backend in an A/B run) can share a
-/// recorder without their span nesting colliding.
+/// When a recorder is attached the handle owns two track groups (`pid`s)
+/// allocated from it — one for wall-clock spans, one for cycle-stamped
+/// spans — so several devices (e.g. one per backend in an A/B run) can
+/// share a recorder without their span nesting colliding. When a hub is
+/// attached the handle owns a dot-terminated scope prefix, so several
+/// devices can share a hub and a reused device can clear exactly its
+/// own series.
 #[derive(Debug, Clone)]
 pub struct DeviceObs {
-    rec: SharedRecorder,
+    rec: Option<SharedRecorder>,
     wall_pid: u64,
     cycle_pid: u64,
+    hub: Option<TelemetryHub>,
+    scope: String,
 }
 
 impl DeviceObs {
     /// Creates a handle recording into `rec`, allocating the device's
-    /// wall-clock and cycle track groups.
+    /// wall-clock and cycle track groups. No hub is bound.
     #[must_use]
     pub fn attach(rec: &SharedRecorder) -> Self {
         Self {
-            rec: rec.clone(),
+            rec: Some(rec.clone()),
             wall_pid: rec.alloc_pid(),
             cycle_pid: rec.alloc_pid(),
+            hub: None,
+            scope: String::new(),
         }
     }
 
-    /// The underlying shared recorder.
+    /// Creates a handle publishing only into `hub` under `scope` (no
+    /// span recorder; span methods become no-ops).
     #[must_use]
-    pub const fn recorder(&self) -> &SharedRecorder {
-        &self.rec
+    pub fn hub_only(hub: &TelemetryHub, scope: &str) -> Self {
+        Self {
+            rec: None,
+            wall_pid: 0,
+            cycle_pid: 0,
+            hub: Some(hub.clone()),
+            scope: scope.to_string(),
+        }
+    }
+
+    /// Binds (or rebinds) a hub and scope onto this handle, keeping any
+    /// recorder.
+    pub fn bind_hub(&mut self, hub: &TelemetryHub, scope: &str) {
+        self.hub = Some(hub.clone());
+        self.scope = scope.to_string();
+    }
+
+    /// Drops the hub binding, returning it (keeps any recorder).
+    pub fn take_hub(&mut self) -> Option<(TelemetryHub, String)> {
+        let hub = self.hub.take()?;
+        Some((hub, std::mem::take(&mut self.scope)))
+    }
+
+    /// The bound hub and scope, if any.
+    #[must_use]
+    pub fn hub(&self) -> Option<(&TelemetryHub, &str)> {
+        self.hub.as_ref().map(|h| (h, self.scope.as_str()))
+    }
+
+    /// Whether a span recorder is attached.
+    #[must_use]
+    pub const fn has_recorder(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Removes every hub series under this handle's scope, returning
+    /// how many were cleared (0 without a hub).
+    pub fn clear_hub_series(&self) -> usize {
+        match &self.hub {
+            Some(hub) => hub.remove_prefix(&self.scope),
+            None => 0,
+        }
     }
 
     /// The track group carrying wall-clock (host-side) spans.
@@ -66,14 +116,15 @@ impl DeviceObs {
     }
 
     /// Microseconds since the recorder's origin — the start timestamp
-    /// for a wall-clock span.
+    /// for a wall-clock span. 0 without a recorder.
     #[must_use]
     pub fn now_us(&self) -> u64 {
-        self.rec.now_us()
+        self.rec.as_ref().map_or(0, SharedRecorder::now_us)
     }
 
     /// Records a completed wall-clock span that started at `start_us`
-    /// (from [`DeviceObs::now_us`]) on wall track `tid`.
+    /// (from [`DeviceObs::now_us`]) on wall track `tid`. No-op without
+    /// a recorder.
     pub fn wall_span(
         &self,
         name: impl Into<String>,
@@ -82,8 +133,9 @@ impl DeviceObs {
         start_us: u64,
         args: Vec<(String, ArgValue)>,
     ) {
-        let now = self.rec.now_us();
-        self.rec.record(Span {
+        let Some(rec) = &self.rec else { return };
+        let now = rec.now_us();
+        rec.record(Span {
             name: name.into(),
             cat: cat.to_string(),
             pid: self.wall_pid,
@@ -96,7 +148,7 @@ impl DeviceObs {
 
     /// Records a completed cycle-stamped span covering
     /// `start_cycle..end_cycle` on cycle track `tid` (one track per
-    /// compute unit by convention).
+    /// compute unit by convention). No-op without a recorder.
     pub fn cycle_span(
         &self,
         name: impl Into<String>,
@@ -106,7 +158,8 @@ impl DeviceObs {
         end_cycle: u64,
         args: Vec<(String, ArgValue)>,
     ) {
-        self.rec.record(Span {
+        let Some(rec) = &self.rec else { return };
+        rec.record(Span {
             name: name.into(),
             cat: cat.to_string(),
             pid: self.cycle_pid,
@@ -117,9 +170,16 @@ impl DeviceObs {
         });
     }
 
-    /// Adds `by` to a named overhead counter on the shared recorder.
+    /// Adds `by` to a named overhead counter on every attached backend:
+    /// the shared recorder's counter table and, under the device scope,
+    /// the telemetry hub.
     pub fn inc(&self, name: &str, by: u64) {
-        self.rec.inc(name, by);
+        if let Some(rec) = &self.rec {
+            rec.inc(name, by);
+        }
+        if let Some(hub) = &self.hub {
+            hub.counter_add(&format!("{}{name}", self.scope), by);
+        }
     }
 }
 
@@ -157,5 +217,37 @@ mod tests {
             assert_eq!(r.spans()[1].tid, 3);
         });
         assert_eq!(rec.counter_snapshot(), vec![("steals".to_string(), 2)]);
+    }
+
+    #[test]
+    fn hub_only_handle_publishes_counters_and_skips_spans() {
+        let hub = TelemetryHub::new();
+        let obs = DeviceObs::hub_only(&hub, "sim0.");
+        assert!(!obs.has_recorder());
+        obs.inc("intra_cu.steals", 3);
+        obs.wall_span("ignored", "test", 0, 0, Vec::new());
+        obs.cycle_span("ignored", "test", 0, 0, 1, Vec::new());
+        assert_eq!(hub.counter("sim0.intra_cu.steals"), 3);
+        assert_eq!(hub.len(), 1, "span calls must not create series");
+        assert_eq!(obs.clear_hub_series(), 1);
+        assert!(hub.is_empty());
+    }
+
+    #[test]
+    fn inc_feeds_recorder_and_hub_together() {
+        let rec = SharedRecorder::new();
+        let hub = TelemetryHub::new();
+        let mut obs = DeviceObs::attach(&rec);
+        obs.bind_hub(&hub, "dev3.");
+        obs.inc("engine.fallback_to_sequential", 1);
+        assert_eq!(
+            rec.counter_snapshot(),
+            vec![("engine.fallback_to_sequential".to_string(), 1)]
+        );
+        assert_eq!(hub.counter("dev3.engine.fallback_to_sequential"), 1);
+        let (taken_hub, scope) = obs.take_hub().expect("hub was bound");
+        assert_eq!(scope, "dev3.");
+        taken_hub.counter_add("x", 1);
+        assert!(obs.hub().is_none());
     }
 }

@@ -23,7 +23,7 @@ use crate::trace::{TraceBuffer, TraceEvent};
 use std::collections::{BTreeMap, HashMap};
 use tm_energy::{EnergyLedger, EnergyModel};
 use tm_obs::WindowedSeries;
-use tm_fpu::{FpOp, Operands};
+use tm_fpu::{FpOp, Operands, ALL_OPS};
 use tm_timing::RecoveryPolicy;
 
 /// Per-opcode execution tallies of one compute unit.
@@ -436,7 +436,10 @@ impl EventSink for LocalitySink {
 pub struct MetricsSink {
     window: u64,
     total: WindowedSeries<METRICS_CHANNELS>,
-    per_op: BTreeMap<FpOp, WindowedSeries<METRICS_CHANNELS>>,
+    // Dense by `FpOp::index()` — the fold path runs twice per vector
+    // instruction, so per-op lookup must be an array index, not a tree
+    // walk.
+    per_op: Vec<Option<WindowedSeries<METRICS_CHANNELS>>>,
 }
 
 /// Number of channels in each [`MetricsSink`] series (see the channel
@@ -471,8 +474,14 @@ impl MetricsSink {
         Self {
             window,
             total: WindowedSeries::new(window, Self::MAX_WINDOWS),
-            per_op: BTreeMap::new(),
+            per_op: vec![None; ALL_OPS.len()],
         }
+    }
+
+    fn per_op_series(&mut self, op: FpOp) -> &mut WindowedSeries<METRICS_CHANNELS> {
+        let window = self.window;
+        self.per_op[op.index()]
+            .get_or_insert_with(|| WindowedSeries::new(window, Self::MAX_WINDOWS))
     }
 
     /// The configured initial window width in cycles.
@@ -490,12 +499,15 @@ impl MetricsSink {
     /// The series for one opcode, if any instruction of it was observed.
     #[must_use]
     pub fn series(&self, op: FpOp) -> Option<&WindowedSeries<METRICS_CHANNELS>> {
-        self.per_op.get(&op)
+        self.per_op[op.index()].as_ref()
     }
 
     /// Opcodes with a populated series, in opcode order.
     pub fn ops(&self) -> impl Iterator<Item = FpOp> + '_ {
-        self.per_op.keys().copied()
+        self.per_op
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| ALL_OPS[i]))
     }
 
     /// Per-window hit rate of the totals series:
@@ -520,28 +532,35 @@ impl MetricsSink {
         let Some(first) = events.first() else {
             return;
         };
+        // Tally in integers — counts are exact, the loop stays branch-light
+        // and vectorizable, and only the four totals convert to f64. This
+        // is the whole per-instruction cost of the sink, guarded at ≤5% by
+        // `tests/obs_overhead.rs`.
+        let mut hits = 0u32;
+        let mut errors = 0u32;
+        let mut masked = 0u32;
+        let mut recoveries = 0u32;
+        for e in events {
+            let hit = match e.kind {
+                LaneEventKind::SpatialReuse => true,
+                LaneEventKind::Issue { hit, recovered, .. } => {
+                    recoveries += u32::from(!hit && recovered);
+                    hit
+                }
+            };
+            hits += u32::from(hit);
+            errors += u32::from(e.error);
+            masked += u32::from(e.error & hit);
+        }
         let mut sample = [0.0f64; METRICS_CHANNELS];
         sample[Self::LANES] = events.len() as f64;
-        for e in events {
-            let hit = e.is_hit();
-            sample[Self::HITS] += f64::from(hit);
-            sample[Self::ERRORS] += f64::from(e.error);
-            sample[Self::MASKED] += f64::from(e.error && hit);
-            if let LaneEventKind::Issue {
-                hit: false,
-                recovered: true,
-                ..
-            } = e.kind
-            {
-                sample[Self::RECOVERIES] += 1.0;
-            }
-        }
+        sample[Self::HITS] = f64::from(hits);
+        sample[Self::ERRORS] = f64::from(errors);
+        sample[Self::MASKED] = f64::from(masked);
+        sample[Self::RECOVERIES] = f64::from(recoveries);
         let cycle = first.cycle;
         self.total.fold(cycle, &sample);
-        self.per_op
-            .entry(op)
-            .or_insert_with(|| WindowedSeries::new(self.window, Self::MAX_WINDOWS))
-            .fold(cycle, &sample);
+        self.per_op_series(op).fold(cycle, &sample);
     }
 }
 
@@ -554,15 +573,12 @@ impl EventSink for MetricsSink {
         let mut sample = [0.0f64; METRICS_CHANNELS];
         sample[Self::ENERGY_PJ] = event.energy_pj;
         self.total.fold(event.cycle, &sample);
-        self.per_op
-            .entry(event.op)
-            .or_insert_with(|| WindowedSeries::new(self.window, Self::MAX_WINDOWS))
-            .fold(event.cycle, &sample);
+        self.per_op_series(event.op).fold(event.cycle, &sample);
     }
 
     fn reset(&mut self) {
         self.total.reset();
-        for series in self.per_op.values_mut() {
+        for series in self.per_op.iter_mut().flatten() {
             series.reset();
         }
     }

@@ -1,11 +1,12 @@
-//! Observability integration tests: attaching a span recorder and a
-//! windowed metrics sink must never perturb simulation results, the
-//! emitted trace must be schema-valid Chrome trace JSON covering every
-//! execution backend, and `Device::reset_stats` must clear windowed
-//! series so a reused device never leaks metrics across measurement
+//! Observability integration tests: attaching a span recorder, a
+//! windowed metrics sink or a live telemetry hub must never perturb
+//! simulation results, the emitted trace must be schema-valid Chrome
+//! trace JSON covering every execution backend, and
+//! `Device::reset_stats` must clear windowed series *and* hub series so
+//! a reused device never leaks observability state across measurement
 //! boundaries.
 
-use tm_obs::{validate_chrome_trace, SharedRecorder};
+use tm_obs::{validate_chrome_trace, HubMetric, SharedRecorder, TelemetryHub};
 use tm_sim::{
     Device, DeviceConfig, ErrorMode, ExecBackend, Kernel, MetricsSink, ShardKernel, VReg,
     WaveCtx,
@@ -182,4 +183,138 @@ fn reset_stats_clears_metrics_windows_without_leaking() {
         "lane accounting must restart from zero"
     );
     assert_eq!(second.total().width(), first.total().width());
+}
+
+#[test]
+fn hub_publication_never_perturbs_results_on_any_backend() {
+    let hub = TelemetryHub::new();
+    for backend in ALL_BACKENDS {
+        let mut observed = Device::new(config(backend));
+        let scope = observed.attach_hub(&hub);
+        let mut observed_k = MixedShard::new(400);
+        observed.dispatch(&mut observed_k, 400);
+
+        let mut plain = Device::new(config(backend));
+        let mut plain_k = MixedShard::new(400);
+        plain.dispatch(&mut plain_k, 400);
+
+        assert_eq!(
+            observed.report(),
+            plain.report(),
+            "{backend:?}: hub publication must not change the report"
+        );
+        assert_eq!(
+            observed_k.out, plain_k.out,
+            "{backend:?}: hub publication must not change kernel output"
+        );
+
+        // The launch landed in the hub under this device's scope.
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.get(&format!("{scope}launches")),
+            Some(&HubMetric::Counter(1)),
+            "{backend:?}: launch counter"
+        );
+        let Some(HubMetric::Sketch(lat)) = snap.get(&format!("{scope}launch_us.mixed_shard"))
+        else {
+            panic!("{backend:?}: per-kernel latency sketch missing");
+        };
+        assert_eq!(lat.count(), 1);
+        let Some(HubMetric::Gauge(hit_rate)) = snap.get(&format!("{scope}hit_rate")) else {
+            panic!("{backend:?}: hit-rate gauge missing");
+        };
+        assert!((0.0..=1.0).contains(hit_rate));
+        // The energy tap publishes one gauge per breakdown component,
+        // consistent with the report's total.
+        let energy_total: f64 = snap
+            .iter()
+            .filter(|(name, _)| name.starts_with(&format!("{scope}energy_pj.")))
+            .map(|(_, m)| match m {
+                HubMetric::Gauge(v) => *v,
+                other => panic!("energy series must be gauges, got {other:?}"),
+            })
+            .sum();
+        assert!(
+            (energy_total - observed.report().energy.total_pj()).abs() < 1e-6,
+            "{backend:?}: energy gauges must sum to the report total"
+        );
+        // The ECU tap tracks the report exactly.
+        assert_eq!(
+            snap.get(&format!("{scope}recoveries")),
+            Some(&HubMetric::Gauge(observed.report().recoveries as f64)),
+            "{backend:?}: recoveries gauge"
+        );
+    }
+}
+
+/// Satellite: a warm-reused device (the pool pattern) must not leak hub
+/// series across `reset_stats` — the twin of the windowed-metrics leak
+/// test above, for the live telemetry layer.
+#[test]
+fn reset_stats_clears_hub_series_without_leaking() {
+    let hub = TelemetryHub::new();
+    let mut device = Device::new(config(ExecBackend::Sequential));
+    let scope = device.attach_hub(&hub);
+
+    // Series from another publisher (e.g. the campaign runner) must
+    // survive a device reset untouched.
+    hub.counter_add("campaign.trials_done", 3);
+
+    let mut k = MixedShard::new(256);
+    device.dispatch(&mut k, 256);
+    assert!(
+        hub.snapshot()
+            .iter()
+            .any(|(name, _)| name.starts_with(&scope)),
+        "first job must publish under the device scope"
+    );
+
+    device.reset_stats();
+    let snap = hub.snapshot();
+    assert!(
+        !snap.iter().any(|(name, _)| name.starts_with(&scope)),
+        "reset_stats must clear every series under the device scope"
+    );
+    assert_eq!(
+        snap.get("campaign.trials_done"),
+        Some(&HubMetric::Counter(3)),
+        "series outside the device scope must survive"
+    );
+
+    // The next job starts from clean series, not stacked ones.
+    let mut k2 = MixedShard::new(256);
+    device.dispatch(&mut k2, 256);
+    assert_eq!(
+        hub.snapshot().get(&format!("{scope}launches")),
+        Some(&HubMetric::Counter(1)),
+        "launch counter must restart from zero after reset"
+    );
+}
+
+#[test]
+fn hub_and_recorder_compose_and_detach_independently() {
+    let hub = TelemetryHub::new();
+    let rec = SharedRecorder::new();
+    let mut device = Device::new(config(ExecBackend::Sequential));
+    let scope = device.attach_hub(&hub);
+    device.attach_recorder(&rec);
+
+    let mut k = MixedShard::new(128);
+    device.dispatch(&mut k, 128);
+    assert!(rec.span_count() > 0, "recorder sees spans");
+    assert_eq!(hub.counter(&format!("{scope}launches")), 1, "hub sees launches");
+
+    // Dropping the recorder keeps the hub publishing.
+    device.detach_recorder();
+    let spans_before = rec.span_count();
+    let mut k2 = MixedShard::new(128);
+    device.dispatch(&mut k2, 128);
+    assert_eq!(rec.span_count(), spans_before, "no spans after detach");
+    assert_eq!(hub.counter(&format!("{scope}launches")), 2, "hub still live");
+
+    // Dropping the hub stops publication without disturbing series.
+    device.detach_hub();
+    let mut k3 = MixedShard::new(128);
+    device.dispatch(&mut k3, 128);
+    assert_eq!(hub.counter(&format!("{scope}launches")), 2, "hub detached");
 }

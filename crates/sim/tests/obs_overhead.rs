@@ -1,20 +1,36 @@
-//! Overhead guard: the windowed metrics sink must cost at most 5% of
-//! hot-path throughput.
+//! Overhead guards: the windowed metrics sink and the live telemetry
+//! hub must each cost at most 5% of hot-path throughput.
 //!
-//! Two compute units — identical except that one carries a
-//! [`tm_sim::MetricsSink`] — issue the same instruction mix. Timing is
-//! interleaved (plain, metered, plain, metered, ...) and best-of-N per
-//! variant so scheduler noise and frequency ramps hit both variants
-//! alike; the minima are what a profiler would call the true cost.
+//! Two otherwise-identical executors — one plain, one observed — run
+//! the same work. Timing is interleaved (plain, observed, plain,
+//! observed, ...) and best-of-N per variant so scheduler noise and
+//! frequency ramps hit both variants alike; the minima are what a
+//! profiler would call the true cost.
 
 use std::hint::black_box;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use tm_fpu::FpOp;
-use tm_sim::{ComputeUnit, DeviceConfig};
+use tm_obs::TelemetryHub;
+use tm_sim::{ComputeUnit, Device, DeviceConfig, Kernel, VReg, WaveCtx};
 
+// Bursts are kept short (~1ms release, ~15ms debug): a burst spanning
+// many scheduler quanta can never dodge a busy neighbour on a one-core
+// host, while short bursts slip into the idle gaps — the minima below
+// then converge on the true cost. More trials compensate per burst.
 const LANES: usize = 64;
-const ITERS: usize = 400;
-const TRIALS: usize = 30;
+const ITERS: usize = 100;
+const TRIALS: usize = 40;
+const ATTEMPTS: usize = 5;
+
+/// Serializes the timing tests in this binary: run in parallel on a
+/// small host they time-slice against each other and corrupt each
+/// other's minima.
+static TIMING_GATE: Mutex<()> = Mutex::new(());
+
+fn timing_lock() -> MutexGuard<'static, ()> {
+    TIMING_GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn issue_burst(cu: &mut ComputeUnit, a: &mut [f32], b: &[f32], active: &[bool]) {
     let mut out = Vec::with_capacity(LANES);
@@ -46,6 +62,7 @@ fn best_of(cu: &mut ComputeUnit, trials: usize) -> f64 {
 
 #[test]
 fn metrics_sink_costs_at_most_five_percent() {
+    let _gate = timing_lock();
     let plain_cfg = DeviceConfig::builder().with_compute_units(1).build().unwrap();
     let metered_cfg = plain_cfg
         .clone()
@@ -60,13 +77,33 @@ fn metrics_sink_costs_at_most_five_percent() {
 
     // Interleave the trials: alternate single-trial measurements so any
     // transient slowdown (another test thread, a frequency step) is as
-    // likely to land on either variant.
+    // likely to land on either variant. Retry the whole measurement a
+    // few times, carrying the minima forward — sustained background
+    // load on a single-core host can poison one pass end to end, which
+    // interleaving cannot fix, and more trials only ever sharpen a
+    // minimum; systematic sink overhead would fail every pass alike.
     let mut best_plain = f64::INFINITY;
     let mut best_metered = f64::INFINITY;
-    for _ in 0..TRIALS {
-        best_plain = best_plain.min(best_of(&mut plain, 1));
-        best_metered = best_metered.min(best_of(&mut metered, 1));
+    for attempt in 0..ATTEMPTS {
+        for _ in 0..TRIALS {
+            best_plain = best_plain.min(best_of(&mut plain, 1));
+            best_metered = best_metered.min(best_of(&mut metered, 1));
+        }
+        if best_metered <= best_plain * 1.05 + 50e-6 {
+            break;
+        }
+        eprintln!(
+            "attempt {attempt}: metered {:.1}µs vs plain {:.1}µs — retrying under assumed transient load",
+            best_metered * 1e6,
+            best_plain * 1e6,
+        );
     }
+    eprintln!(
+        "metrics sink: plain {:.1}µs metered {:.1}µs (ratio {:.3})",
+        best_plain * 1e6,
+        best_metered * 1e6,
+        best_metered / best_plain,
+    );
 
     // 5% relative budget plus a small absolute epsilon so a sub-µs timer
     // quantum cannot fail the test on very fast hosts.
@@ -75,6 +112,94 @@ fn metrics_sink_costs_at_most_five_percent() {
         best_metered <= budget,
         "metrics sink overhead too high: metered {:.1}µs vs plain {:.1}µs (budget {:.1}µs)",
         best_metered * 1e6,
+        best_plain * 1e6,
+        budget * 1e6,
+    );
+}
+
+/// A kernel with a varied operand stream — misses and updates keep the
+/// expensive memoization paths live under the hub-attached device.
+struct SqrtMix;
+impl Kernel for SqrtMix {
+    fn name(&self) -> &'static str {
+        "sqrt_mix"
+    }
+    fn execute(&mut self, ctx: &mut WaveCtx<'_>) {
+        let x = VReg::from_fn(ctx.lanes(), |l| (l % 13) as f32 * 0.75 + 0.5);
+        let s = ctx.sqrt(&x);
+        let _ = ctx.add(&s, &x);
+        black_box(&s);
+    }
+}
+
+fn device_burst(device: &mut Device) {
+    for _ in 0..8 {
+        device.run(&mut SqrtMix, 4096);
+    }
+}
+
+fn device_best_of(device: &mut Device, trials: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        device_burst(device);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Gate for the telemetry hub: publication happens once per *launch*
+/// (sketch insert + a handful of gauge/counter updates under one short
+/// mutex hold), never per instruction, so a hub-attached device must
+/// stay within the same ≤5% budget as the metrics sink.
+///
+/// The whole measurement retries a few times, carrying minima forward:
+/// a device burst runs milliseconds, so on a busy single-core host a
+/// sustained background load can poison every trial of one measurement
+/// pass — something the interleaving cannot average away. Systematic
+/// hub overhead would fail every pass alike; transient load does not.
+#[test]
+fn telemetry_hub_costs_at_most_five_percent() {
+    let _gate = timing_lock();
+    let cfg = DeviceConfig::builder().with_compute_units(1).build().unwrap();
+    let mut plain = Device::new(cfg.clone());
+    let hub = TelemetryHub::new();
+    let mut observed = Device::new(cfg);
+    observed.attach_hub(&hub);
+
+    // Warm-up instantiates per-op units and hub series.
+    device_burst(&mut plain);
+    device_burst(&mut observed);
+
+    let mut best_plain = f64::INFINITY;
+    let mut best_observed = f64::INFINITY;
+    for attempt in 0..ATTEMPTS {
+        for _ in 0..TRIALS {
+            best_plain = best_plain.min(device_best_of(&mut plain, 1));
+            best_observed = best_observed.min(device_best_of(&mut observed, 1));
+        }
+        if best_observed <= best_plain * 1.05 + 50e-6 {
+            break;
+        }
+        eprintln!(
+            "attempt {attempt}: observed {:.1}µs vs plain {:.1}µs — retrying under assumed transient load",
+            best_observed * 1e6,
+            best_plain * 1e6,
+        );
+    }
+    eprintln!(
+        "telemetry hub: plain {:.1}µs observed {:.1}µs (ratio {:.3})",
+        best_plain * 1e6,
+        best_observed * 1e6,
+        best_observed / best_plain,
+    );
+
+    assert!(hub.counter("sim0.launches") > 0, "hub actually saw launches");
+    let budget = best_plain * 1.05 + 50e-6;
+    assert!(
+        best_observed <= budget,
+        "telemetry hub overhead too high: observed {:.1}µs vs plain {:.1}µs (budget {:.1}µs)",
+        best_observed * 1e6,
         best_plain * 1e6,
         budget * 1e6,
     );

@@ -160,6 +160,16 @@ impl Ecu {
         self.recovery_cycles
     }
 
+    /// Both tallies as `(name, value)` pairs — the telemetry tap live
+    /// exporters iterate instead of hard-coding field names.
+    #[must_use]
+    pub const fn telemetry_counters(&self) -> [(&'static str, u64); 2] {
+        [
+            ("recoveries", self.recoveries),
+            ("recovery_stall_cycles", self.recovery_cycles),
+        ]
+    }
+
     /// Resets the tallies.
     pub fn reset(&mut self) {
         self.recoveries = 0;
