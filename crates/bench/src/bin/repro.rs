@@ -19,7 +19,10 @@
 //! the campaign over HTTP while it runs (with heartbeat progress lines
 //! on stderr); `report` renders the telemetry snapshot plus the
 //! `BENCH_hotpath.json` trajectory into one self-contained HTML file
-//! (`--report-out FILE`).
+//! (`--report-out FILE`). Pass `--serve-addr HOST:PORT` to submit the
+//! campaign to a running `tm-served` job server over the `PROTOCOL.md`
+//! wire protocol instead of running it in-process — the trial/adapt
+//! JSONL bytes are identical either way.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -36,7 +39,7 @@ use tm_bench::{
     sensitivity_sweep, spatial_ablation, CampaignSpec, ExperimentConfig, FIG10_ERROR_RATES,
     FIG11_VOLTAGES, LUT_SHAPES,
 };
-use tm_obs::{Heartbeat, RunMeta, TelemetryHub, TelemetryServer};
+use tm_obs::{Heartbeat, JsonValue, ObjWriter, RunMeta, TelemetryHub, TelemetryServer};
 use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
@@ -66,6 +69,11 @@ struct RunCtx<'a> {
     timestamp: Option<&'a str>,
     /// Where `report` writes its HTML (`--report-out`).
     report_out: Option<&'a Path>,
+    /// Address of a running `tm-served` job server (`--serve-addr`);
+    /// when set, `campaign` submits the job over the wire instead of
+    /// running in-process. The trial/adapt JSONL bytes are identical
+    /// either way (pinned by test and by the verify.sh gate).
+    serve_addr: Option<&'a str>,
 }
 
 /// One registered experiment: a stable id, one-line help for `--list`,
@@ -234,6 +242,7 @@ fn main() -> ExitCode {
     let mut telemetry_hold_ms: u64 = 0;
     let mut timestamp: Option<String> = None;
     let mut report_out: Option<PathBuf> = None;
+    let mut serve_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -359,6 +368,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--serve-addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) => serve_addr = Some(addr.clone()),
+                    None => {
+                        eprintln!("--serve-addr needs HOST:PORT of a running tm-served");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 for e in REGISTRY {
                     println!("{:<22} {}", e.name, e.help);
@@ -367,7 +386,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE] [--gate] [--telemetry-addr HOST:PORT] [--telemetry-hold-ms N] [--timestamp STR] [--report-out FILE]"
+                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE] [--gate] [--telemetry-addr HOST:PORT] [--telemetry-hold-ms N] [--timestamp STR] [--report-out FILE] [--serve-addr HOST:PORT]"
                 );
                 println!(
                     "--gate makes `bench` fail (exit 1) on a >{:.0}% per-case instr/s drop vs the frozen baseline",
@@ -387,6 +406,9 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "--timestamp is recorded verbatim in JSON/HTML outputs (never sampled, so outputs stay reproducible); --report-out sets the HTML path for `report`"
+                );
+                println!(
+                    "--serve-addr submits `campaign` to a running tm-served job server (see PROTOCOL.md); the trial/adapt JSONL bytes match the in-process run"
                 );
                 println!("experiments (see --list for help):");
                 for e in REGISTRY {
@@ -428,6 +450,7 @@ fn main() -> ExitCode {
         telemetry_hold_ms,
         timestamp: timestamp.as_deref(),
         report_out: report_out.as_deref(),
+        serve_addr: serve_addr.as_deref(),
     };
     if experiment == "all" {
         for e in REGISTRY {
@@ -437,7 +460,12 @@ fn main() -> ExitCode {
     } else if let Some(e) = REGISTRY.iter().find(|e| e.name == experiment) {
         run(e, &ctx);
     } else {
-        eprintln!("unknown experiment {experiment} (try --list)");
+        match nearest_experiment(&experiment) {
+            Some(suggestion) => eprintln!(
+                "unknown experiment {experiment} — did you mean {suggestion:?}? (try --list)"
+            ),
+            None => eprintln!("unknown experiment {experiment} (try --list)"),
+        }
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -457,6 +485,37 @@ fn run(experiment: &Experiment, ctx: &RunCtx) {
     (experiment.run)(ctx);
 }
 
+/// The closest registry name by edit distance, for "did you mean"
+/// suggestions on unknown `--experiment` values. `None` when nothing is
+/// plausibly close (distance > half the typed name, minimum 2).
+fn nearest_experiment(typed: &str) -> Option<&'static str> {
+    let budget = (typed.len() / 2).max(2);
+    REGISTRY
+        .iter()
+        .map(|e| (levenshtein(typed, e.name), e.name))
+        .min()
+        .filter(|&(d, _)| d <= budget)
+        .map(|(_, name)| name)
+}
+
+/// Classic two-row Levenshtein distance (both inputs are short ASCII
+/// experiment ids, so O(nm) is trivially fine).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 fn campaign_spec(ctx: &RunCtx) -> CampaignSpec {
     CampaignSpec {
         scale: ctx.cfg.scale,
@@ -473,6 +532,10 @@ fn heartbeat_interval(total: u64) -> u64 {
 }
 
 fn print_campaign(ctx: &RunCtx) {
+    if let Some(addr) = ctx.serve_addr {
+        serve_campaign(ctx, addr);
+        return;
+    }
     let spec = campaign_spec(ctx);
     println!(
         "Monte Carlo resilience campaign ({} trials per sweep point; adaptive 30 dB quality floor)",
@@ -532,6 +595,113 @@ fn print_campaign(ctx: &RunCtx) {
         println!("telemetry: served {} scrape(s)", server.scrapes());
         server.stop();
     }
+}
+
+/// Client mode: submit the campaign to a running `tm-served` over the
+/// wire protocol of `PROTOCOL.md` and write the returned JSONL.
+///
+/// This is deliberately *not* built on the `tm-serve` crate's `Client`
+/// type (`tm-serve` depends on this crate, and more importantly the
+/// protocol document — not a shared library — is the contract), so the
+/// ~60 lines below are written from `PROTOCOL.md` alone using the same
+/// `tm-obs` JSON both ends use.
+fn serve_campaign(ctx: &RunCtx, addr: &str) {
+    let spec = campaign_spec(ctx);
+    println!(
+        "Monte Carlo resilience campaign served by {addr} ({} trials per sweep point)",
+        spec.trials
+    );
+    let mut request = ObjWriter::new();
+    request.u64_field("v", 1);
+    request.str_field("type", "campaign");
+    request.str_field("id", "repro-campaign");
+    request.str_field("tenant", "repro");
+    request.str_field("kernel", spec.kernel.name());
+    request.str_field(
+        "scale",
+        match spec.scale {
+            Scale::Test => "test",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        },
+    );
+    request.u64_field("trials", u64::from(spec.trials));
+    request.u64_field("seed", spec.seed);
+    request.str_field("backend", spec.backend.name());
+    let request = request.finish();
+
+    let response = match wire_request(addr, &request) {
+        Ok(line) => line,
+        Err(e) => {
+            eprintln!("serve: {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let response = match JsonValue::parse(&response) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: unparseable response from {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if response.get_str("type") == Some("error") {
+        eprintln!(
+            "serve: {addr} rejected the campaign [{}]: {}",
+            response.get_str("code").unwrap_or("unknown"),
+            response.get_str("message").unwrap_or(""),
+        );
+        std::process::exit(1);
+    }
+    let Some(jsonl) = response.get_str("jsonl") else {
+        eprintln!("serve: response from {addr} carries no \"jsonl\" field");
+        std::process::exit(1);
+    };
+    let trial_lines = jsonl.lines().filter(|l| l.contains("\"kind\":\"trial\"")).count();
+    println!(
+        "served campaign returned {trial_lines} trial lines ({} bytes of JSONL)",
+        jsonl.len()
+    );
+    if let Some(path) = ctx.campaign_out {
+        // Same document the in-process path writes: one meta header (the
+        // field order of `CampaignOutcome::jsonl_with_meta`) + the
+        // served trial/adapt lines, byte-identical to an in-process run.
+        let meta = RunMeta::collect(ctx.timestamp.map(str::to_owned));
+        let mut w = ObjWriter::new();
+        w.str_field("kind", "meta");
+        meta.write_fields(&mut w);
+        w.str_field("kernel", &spec.kernel.to_string());
+        w.str_field("model", spec.error_model.name());
+        w.u64_field("trials_per_point", u64::from(spec.trials));
+        w.u64_field("sweep_points", spec.error_rates.len() as u64);
+        w.u64_field("seed", spec.seed);
+        let mut doc = w.finish();
+        doc.push('\n');
+        doc.push_str(jsonl);
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("(campaign JSONL written to {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// One NDJSON request/response exchange over a fresh TCP connection.
+fn wire_request(addr: &str, line: &str) -> std::io::Result<String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut response = String::new();
+    let n = BufReader::new(stream).read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    Ok(response.trim_end().to_string())
 }
 
 fn print_report(ctx: &RunCtx) {

@@ -97,6 +97,27 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Looks up a string field on an object (protocol helper:
+    /// `get(key)` + [`JsonValue::as_str`] in one step).
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JsonValue::as_str)
+    }
+
+    /// Looks up an unsigned-integer field on an object.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(JsonValue::as_u64)
+    }
+
+    /// Looks up a numeric field on an object.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// Looks up a boolean field on an object.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(JsonValue::as_bool)
+    }
 }
 
 /// A parse failure with the byte offset where it occurred.
@@ -448,6 +469,21 @@ pub fn u64_array(values: &[u64]) -> String {
     out
 }
 
+/// Renders a slice of strings as a JSON array (helper for `raw_field`).
+pub fn str_array<S: AsRef<str>>(values: &[S]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, v.as_ref());
+        out.push('"');
+    }
+    out.push(']');
+    out
+}
+
 /// Renders a slice of `f64` as a JSON array (helper for `raw_field`).
 pub fn f64_array(values: &[f64]) -> String {
     let mut out = String::from("[");
@@ -501,6 +537,20 @@ mod tests {
         assert_eq!(v.get("x").unwrap().as_f64(), Some(0.1 + 0.2));
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("arr").unwrap().as_arr().unwrap()[2].as_f64(), Some(-2.25));
+    }
+
+    #[test]
+    fn typed_getters_and_str_array() {
+        let v = JsonValue::parse(r#"{"s":"x","n":3,"f":1.5,"b":true}"#).unwrap();
+        assert_eq!(v.get_str("s"), Some("x"));
+        assert_eq!(v.get_u64("n"), Some(3));
+        assert_eq!(v.get_f64("f"), Some(1.5));
+        assert_eq!(v.get_bool("b"), Some(true));
+        assert_eq!(v.get_str("n"), None);
+        assert_eq!(v.get_str("missing"), None);
+        let arr = str_array(&["a", "b\"c"]);
+        assert_eq!(arr, r#"["a","b\"c"]"#);
+        assert_eq!(JsonValue::parse(&arr).unwrap().as_arr().unwrap().len(), 2);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod span;
 pub mod telemetry;
 
 pub use chrome::{validate_chrome_trace, TraceStats};
-pub use json::{parse_jsonl, JsonError, JsonValue, ObjWriter};
+pub use json::{parse_jsonl, str_array, JsonError, JsonValue, ObjWriter};
 pub use metrics::{Histogram, Metric, MetricsRegistry};
 pub use prom::{sanitize_metric_name, to_prometheus_text, validate_prometheus_text, PromStats};
 pub use serve::TelemetryServer;

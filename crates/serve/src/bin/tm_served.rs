@@ -1,0 +1,95 @@
+//! `tm-served`: the job-server daemon.
+//!
+//! ```text
+//! tm-served [--addr HOST:PORT] [--workers N] [--queue-limit N]
+//!           [--pool-idle N] [--telemetry-addr HOST:PORT]
+//! ```
+//!
+//! Binds the wire-protocol listener (default `127.0.0.1:0`, an
+//! OS-assigned port printed as `serve: listening on ADDR`), optionally
+//! exposes the `serve.*` telemetry hub as a Prometheus scrape endpoint,
+//! and runs until killed. See `PROTOCOL.md` for the protocol and
+//! EXPERIMENTS.md for a walkthrough.
+
+use std::process::ExitCode;
+
+use tm_obs::{TelemetryHub, TelemetryServer};
+use tm_serve::{JobServer, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut telemetry_addr: Option<String> = None;
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" | "-a" => {
+                let Some(v) = args.next() else { return usage() };
+                addr = v;
+            }
+            "--telemetry-addr" => {
+                let Some(v) = args.next() else { return usage() };
+                telemetry_addr = Some(v);
+            }
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.workers = n,
+                _ => return usage(),
+            },
+            "--queue-limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.queue_limit = n,
+                _ => return usage(),
+            },
+            "--pool-idle" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.pool_idle = n,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    let hub = TelemetryHub::new();
+    let server = match JobServer::bind(&addr, config, hub.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serve: listening on {}", server.addr());
+    println!(
+        "serve: {} workers, queue limit {} jobs/tenant, {} warm devices",
+        config.workers, config.queue_limit, config.pool_idle
+    );
+
+    let _telemetry = telemetry_addr.map(|t| match TelemetryServer::bind(&t, hub) {
+        Ok(s) => {
+            println!("telemetry: listening on {}", s.addr());
+            Some(s)
+        }
+        Err(e) => {
+            eprintln!("telemetry: cannot bind {t}: {e} (running without the endpoint)");
+            None
+        }
+    });
+
+    // Serve until killed (verify.sh and the walkthroughs background this
+    // process and `kill` it when done).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tm-served [--addr HOST:PORT] [--workers N] [--queue-limit N] [--pool-idle N] [--telemetry-addr HOST:PORT]"
+    );
+    ExitCode::FAILURE
+}

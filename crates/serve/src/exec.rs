@@ -1,0 +1,151 @@
+//! Job execution: what a worker thread does with a claimed job.
+//!
+//! Launches run on pooled devices ([`tm_sim::DevicePool`]): a warm
+//! acquisition keeps the previous job's memo-FIFO contents, so repeated
+//! launch traffic enjoys cross-job temporal locality — the serving-layer
+//! extension of the paper's observation. The response reports
+//! `pool_warm` so clients can tell the two cases apart.
+//!
+//! Campaigns go through [`tm_bench::run_campaign_observed`], which
+//! builds its own cold devices per trial; their JSONL is therefore
+//! byte-identical to an in-process run of the same spec, warm pool or
+//! not — the property the end-to-end identity test pins.
+
+use std::sync::Mutex;
+
+use tm_bench::run_campaign_observed;
+use tm_kernels::workload;
+use tm_obs::{SharedRecorder, TelemetryHub};
+use tm_sim::DevicePool;
+
+use crate::protocol::{CampaignJob, LaunchResult, LaunchSpec, Request, WireError};
+
+/// The job-level result fanned out to every coalesced waiter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultPayload {
+    /// Outcome of a [`Request::Launch`].
+    Launch(LaunchResult),
+    /// Outcome of a [`Request::Campaign`]: the kernel name, trial count
+    /// and the full campaign JSONL document.
+    Campaign {
+        /// Kernel that was swept.
+        kernel: String,
+        /// Trials per sweep point.
+        trials: u32,
+        /// The campaign JSONL (`trial` + `adapt` lines), bytes identical
+        /// to the in-process run of the same spec.
+        jsonl: String,
+    },
+}
+
+/// Executes one queued job (launch or campaign).
+///
+/// # Errors
+/// Returns a [`WireError`] (code `internal`) only for defects that
+/// escaped request validation; well-formed requests execute infallibly.
+pub fn execute(
+    request: &Request,
+    pool: &Mutex<DevicePool>,
+    hub: &TelemetryHub,
+    rec: &SharedRecorder,
+) -> Result<ResultPayload, WireError> {
+    match request {
+        Request::Launch(spec) => run_launch(spec, pool, rec),
+        Request::Campaign(job) => Ok(run_campaign_job(job, hub, rec)),
+        Request::Ping | Request::Stats => Err(WireError {
+            code: crate::protocol::ErrorCode::Internal,
+            message: "inline request reached the worker pool".to_string(),
+        }),
+    }
+}
+
+fn run_launch(
+    spec: &LaunchSpec,
+    pool: &Mutex<DevicePool>,
+    rec: &SharedRecorder,
+) -> Result<ResultPayload, WireError> {
+    let config = spec.device_config()?;
+    let (mut device, pool_warm) = {
+        let mut pool = pool.lock().expect("device pool lock");
+        let warm_before = pool.stats().warm_hits;
+        let device = pool.acquire(&config);
+        (device, pool.stats().warm_hits > warm_before)
+    };
+    device.attach_recorder(rec);
+    let mut wl = workload::build(spec.kernel, spec.scale, spec.seed);
+    let output = wl.run(&mut device);
+    let passed = wl.acceptable(&output);
+    let report = device.report();
+    pool.lock().expect("device pool lock").release(device);
+    Ok(ResultPayload::Launch(LaunchResult {
+        kernel: spec.kernel.name().to_string(),
+        passed,
+        pool_warm,
+        hit_rate: report.weighted_hit_rate(),
+        energy_pj: report.total_energy_pj(),
+        cycles: report.cycles_max,
+        instructions: report.total_instructions(),
+        wavefronts: report.wavefronts,
+        errors_injected: report.errors_injected,
+        recoveries: report.recoveries,
+    }))
+}
+
+fn run_campaign_job(job: &CampaignJob, hub: &TelemetryHub, rec: &SharedRecorder) -> ResultPayload {
+    let spec = job.spec();
+    let outcome = run_campaign_observed(&spec, Some(rec), Some(hub), None);
+    ResultPayload::Campaign {
+        kernel: job.kernel.name().to_string(),
+        trials: job.trials,
+        jsonl: outcome.jsonl(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+    use tm_bench::run_campaign;
+
+    #[test]
+    fn launch_executes_and_reports_pool_warmth() {
+        let pool = Mutex::new(DevicePool::new(2));
+        let hub = TelemetryHub::new();
+        let rec = SharedRecorder::new();
+        let env = parse_request(
+            r#"{"type":"launch","kernel":"sobel","scale":"test","seed":7,"backend":"sequential"}"#,
+        )
+        .unwrap();
+        let first = execute(&env.request, &pool, &hub, &rec).unwrap();
+        let ResultPayload::Launch(cold) = &first else { panic!("not a launch") };
+        assert!(cold.passed);
+        assert!(!cold.pool_warm);
+        assert!(cold.instructions > 0);
+
+        let second = execute(&env.request, &pool, &hub, &rec).unwrap();
+        let ResultPayload::Launch(warm) = &second else { panic!("not a launch") };
+        assert!(warm.pool_warm, "second identical launch must reuse the device");
+        assert!(warm.passed);
+        // Warm FIFOs can only help the hit rate on identical traffic.
+        assert!(warm.hit_rate >= cold.hit_rate);
+        assert!(rec.span_count() > 0, "launches must record spans");
+    }
+
+    #[test]
+    fn served_campaign_jsonl_matches_in_process_run() {
+        let pool = Mutex::new(DevicePool::new(2));
+        let hub = TelemetryHub::new();
+        let rec = SharedRecorder::new();
+        let env = parse_request(
+            r#"{"type":"campaign","kernel":"sobel","scale":"test","trials":2,"seed":51878422,"backend":"parallel"}"#,
+        )
+        .unwrap();
+        let out = execute(&env.request, &pool, &hub, &rec).unwrap();
+        let ResultPayload::Campaign { jsonl, .. } = &out else { panic!("not a campaign") };
+
+        let Request::Campaign(job) = &env.request else { unreachable!() };
+        let expected = run_campaign(&job.spec(), None).jsonl();
+        assert_eq!(jsonl, &expected, "served campaign must be byte-identical");
+        assert!(hub.counter("campaign.trials_done") > 0);
+    }
+}

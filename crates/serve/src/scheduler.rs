@@ -1,0 +1,316 @@
+//! Fair multi-tenant job scheduling with coalescing and backpressure.
+//!
+//! The scheduler is deliberately pure — no threads, no sockets, no
+//! clocks — so its three guarantees are unit-testable in isolation:
+//!
+//! 1. **Coalescing**: submitting a job whose [coalescing
+//!    key](crate::protocol::Request::job_key) matches a pending *or
+//!    running* job attaches the new waiter to that job instead of
+//!    queuing a duplicate. One execution fans its result out to every
+//!    waiter.
+//! 2. **Fairness**: tenants are drained round-robin. A tenant with 100
+//!    queued jobs cannot starve a tenant with 1; each scheduling step
+//!    takes the front job of the next tenant in rotation.
+//! 3. **Backpressure**: each tenant holds at most `quota` queued jobs.
+//!    Submissions beyond that are rejected immediately
+//!    ([`Submit::Rejected`]) so the client gets a structured
+//!    `queue_full` error instead of unbounded latency. Coalesced
+//!    attaches are free: they add no work, so they bypass the quota.
+//!
+//! The scheduler is generic over the job description `J` (what a worker
+//! executes) and the result `R` (what waiters receive); the server
+//! instantiates it with its protocol types and wraps it in a `Mutex`,
+//! signalling a `Condvar` on submit. Workers call
+//! [`Scheduler::take_next`] and [`Scheduler::complete`] around each
+//! execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_serve::scheduler::{Scheduler, Submit};
+//! use std::sync::mpsc;
+//!
+//! let mut s: Scheduler<String, String> = Scheduler::new(2);
+//! let (tx, rx) = mpsc::channel();
+//! let first = s.submit("alice", "key-a".into(), "job-a".into(), "r1".into(), tx.clone());
+//! assert!(matches!(first, Submit::Queued(_)));
+//! // An identical submission coalesces — even from another tenant.
+//! let dup = s.submit("bob", "key-a".into(), "job-a".into(), "r2".into(), tx);
+//! assert!(matches!(dup, Submit::Coalesced(_)));
+//!
+//! let job = s.take_next().unwrap();
+//! for (waiter, outcome) in s.complete(job.id, "the-result".to_string()) {
+//!     let _ = waiter.tx.send(outcome);
+//! }
+//! assert_eq!(rx.iter().take(2).count(), 2); // both submissions get the result
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+
+/// Identifies one queued-or-running job.
+pub type JobId = u64;
+
+/// One party waiting on a job's completion.
+#[derive(Debug)]
+pub struct Waiter<R> {
+    /// The client correlation id this waiter's response must echo.
+    pub request_id: String,
+    /// Channel the result is fanned out on.
+    pub tx: Sender<JobOutcome<R>>,
+}
+
+/// What a completed job hands each waiter.
+///
+/// `payload` is the job-level result (cloned to every coalesced waiter);
+/// the connection thread renders the per-waiter response line around it.
+#[derive(Debug, Clone)]
+pub struct JobOutcome<R> {
+    /// The waiter's own request id, echoed back.
+    pub request_id: String,
+    /// Job-level result payload (identical for every waiter).
+    pub payload: R,
+}
+
+/// The outcome of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// A new job was queued under this id.
+    Queued(JobId),
+    /// The request attached to an existing identical job.
+    Coalesced(JobId),
+    /// The tenant is at quota; the request was not queued.
+    Rejected,
+}
+
+/// A job handed to a worker by [`Scheduler::take_next`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimedJob<J> {
+    /// Id to pass back to [`Scheduler::complete`].
+    pub id: JobId,
+    /// The job description submitted by the connection layer.
+    pub job: J,
+}
+
+#[derive(Debug)]
+struct PendingJob<J, R> {
+    key: String,
+    tenant: String,
+    job: J,
+    waiters: Vec<Waiter<R>>,
+}
+
+/// The multi-tenant scheduler state. See the [module docs](self).
+#[derive(Debug)]
+pub struct Scheduler<J, R> {
+    quota: usize,
+    next_id: JobId,
+    jobs: HashMap<JobId, PendingJob<J, R>>,
+    by_key: HashMap<String, JobId>,
+    queues: HashMap<String, VecDeque<JobId>>,
+    rotation: VecDeque<String>,
+}
+
+impl<J: Clone, R: Clone> Scheduler<J, R> {
+    /// Creates a scheduler allowing `quota` queued jobs per tenant.
+    #[must_use]
+    pub fn new(quota: usize) -> Self {
+        Self {
+            quota,
+            next_id: 0,
+            jobs: HashMap::new(),
+            by_key: HashMap::new(),
+            queues: HashMap::new(),
+            rotation: VecDeque::new(),
+        }
+    }
+
+    /// Submits a job for `tenant`.
+    ///
+    /// `key` is the coalescing key, `job` the description a worker will
+    /// execute, and (`request_id`, `tx`) the waiter to notify on
+    /// completion.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        key: String,
+        job: J,
+        request_id: String,
+        tx: Sender<JobOutcome<R>>,
+    ) -> Submit {
+        if let Some(&id) = self.by_key.get(&key) {
+            if let Some(pending) = self.jobs.get_mut(&id) {
+                pending.waiters.push(Waiter { request_id, tx });
+                return Submit::Coalesced(id);
+            }
+        }
+        let queued = self.queues.get(tenant).map_or(0, VecDeque::len);
+        if queued >= self.quota {
+            return Submit::Rejected;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            PendingJob {
+                key: key.clone(),
+                tenant: tenant.to_string(),
+                job,
+                waiters: vec![Waiter { request_id, tx }],
+            },
+        );
+        self.by_key.insert(key, id);
+        if !self.queues.contains_key(tenant) {
+            self.rotation.push_back(tenant.to_string());
+        }
+        self.queues.entry(tenant.to_string()).or_default().push_back(id);
+        Submit::Queued(id)
+    }
+
+    /// Claims the next job, fair round-robin across tenants.
+    ///
+    /// The job stays coalescable (it is *running*, not gone) until
+    /// [`Scheduler::complete`] removes it. Returns `None` when every
+    /// queue is empty.
+    pub fn take_next(&mut self) -> Option<ClaimedJob<J>> {
+        let tenant = self.rotation.pop_front()?;
+        let queue = self.queues.get_mut(&tenant)?;
+        let id = queue.pop_front()?;
+        if queue.is_empty() {
+            self.queues.remove(&tenant);
+        } else {
+            self.rotation.push_back(tenant);
+        }
+        let pending = self.jobs.get(&id)?;
+        Some(ClaimedJob { id, job: pending.job.clone() })
+    }
+
+    /// Completes a job: removes it and returns its waiters, each paired
+    /// with a clone of `payload`. The caller sends outside any lock;
+    /// sends may fail if a client disconnected — ignore those.
+    pub fn complete(&mut self, id: JobId, payload: R) -> Vec<(Waiter<R>, JobOutcome<R>)> {
+        let Some(pending) = self.jobs.remove(&id) else {
+            return Vec::new();
+        };
+        self.by_key.remove(&pending.key);
+        pending
+            .waiters
+            .into_iter()
+            .map(|w| {
+                let outcome =
+                    JobOutcome { request_id: w.request_id.clone(), payload: payload.clone() };
+                (w, outcome)
+            })
+            .collect()
+    }
+
+    /// Jobs queued but not yet claimed, across all tenants.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Jobs queued or running.
+    #[must_use]
+    pub fn open_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The tenant a queued/running job belongs to (telemetry hook).
+    #[must_use]
+    pub fn job_tenant(&self, id: JobId) -> Option<&str> {
+        self.jobs.get(&id).map(|p| p.tenant.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn sub(
+        s: &mut Scheduler<String, String>,
+        tenant: &str,
+        key: &str,
+    ) -> (Submit, mpsc::Receiver<JobOutcome<String>>) {
+        let (tx, rx) = mpsc::channel();
+        let outcome =
+            s.submit(tenant, key.into(), format!("job:{key}"), format!("id:{key}"), tx);
+        (outcome, rx)
+    }
+
+    #[test]
+    fn identical_submissions_share_one_execution() {
+        let mut s = Scheduler::new(8);
+        let (a, rx_a) = sub(&mut s, "alice", "k");
+        let (b, rx_b) = sub(&mut s, "bob", "k");
+        let (c, rx_c) = sub(&mut s, "alice", "k");
+        assert!(matches!(a, Submit::Queued(_)));
+        assert!(matches!(b, Submit::Coalesced(_)));
+        assert!(matches!(c, Submit::Coalesced(_)));
+        assert_eq!(s.open_jobs(), 1, "duplicates must not queue new work");
+
+        let claimed = s.take_next().expect("one job to run");
+        assert!(s.take_next().is_none(), "exactly one execution");
+        for (w, out) in s.complete(claimed.id, "payload".to_string()) {
+            let _ = w.tx.send(out);
+        }
+        // Every waiter received the identical job-level payload.
+        for rx in [rx_a, rx_b, rx_c] {
+            let out = rx.try_recv().expect("waiter notified");
+            assert_eq!(out.payload, "payload");
+        }
+    }
+
+    #[test]
+    fn coalescing_attaches_to_running_jobs_but_not_completed_ones() {
+        let mut s = Scheduler::new(8);
+        let (_, rx1) = sub(&mut s, "t", "k");
+        let claimed = s.take_next().unwrap();
+        // Job is running: a duplicate still coalesces.
+        let (dup, rx2) = sub(&mut s, "t", "k");
+        assert!(matches!(dup, Submit::Coalesced(_)));
+        assert_eq!(s.complete(claimed.id, "r".to_string()).len(), 2);
+        drop((rx1, rx2));
+        // Job is gone: the same key starts fresh work.
+        let (fresh, _rx3) = sub(&mut s, "t", "k");
+        assert!(matches!(fresh, Submit::Queued(_)));
+    }
+
+    #[test]
+    fn over_quota_tenant_is_rejected_while_others_proceed() {
+        let mut s = Scheduler::new(2);
+        assert!(matches!(sub(&mut s, "greedy", "g1").0, Submit::Queued(_)));
+        assert!(matches!(sub(&mut s, "greedy", "g2").0, Submit::Queued(_)));
+        assert_eq!(sub(&mut s, "greedy", "g3").0, Submit::Rejected);
+        // Another tenant is unaffected by greedy's full queue.
+        assert!(matches!(sub(&mut s, "polite", "p1").0, Submit::Queued(_)));
+        // Coalescing onto greedy's queued work is still allowed: no new work.
+        assert!(matches!(sub(&mut s, "greedy", "g1").0, Submit::Coalesced(_)));
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let mut s = Scheduler::new(16);
+        for i in 0..3 {
+            let _ = sub(&mut s, "a", &format!("a{i}"));
+        }
+        let _ = sub(&mut s, "b", "b0");
+        let order: Vec<String> = std::iter::from_fn(|| s.take_next()).map(|c| c.job).collect();
+        // Tenant b's single job runs second, not behind all of a's.
+        assert_eq!(order, vec!["job:a0", "job:b0", "job:a1", "job:a2"]);
+    }
+
+    #[test]
+    fn queue_depth_tracks_unclaimed_jobs() {
+        let mut s = Scheduler::new(8);
+        let _ = sub(&mut s, "t", "x");
+        let _ = sub(&mut s, "t", "y");
+        assert_eq!(s.queue_depth(), 2);
+        let c = s.take_next().unwrap();
+        assert_eq!(s.queue_depth(), 1);
+        assert_eq!(s.open_jobs(), 2);
+        let _ = s.complete(c.id, "r".to_string());
+        assert_eq!(s.open_jobs(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Keeps `PROTOCOL.md` honest: every ```json fenced block in the spec
+//! must parse with the same `tm-obs` JSON parser the server uses, every
+//! documented *request* example must be accepted by
+//! [`tm_serve::parse_request`], and every request/response type and
+//! error code the server implements must be documented.
+
+use tm_obs::JsonValue;
+use tm_serve::{parse_request, ErrorCode};
+
+fn protocol_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROTOCOL.md");
+    std::fs::read_to_string(path).expect("PROTOCOL.md at the repository root")
+}
+
+/// Extracts the lines of every ```json fenced block.
+fn json_example_lines(doc: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut in_json = false;
+    for line in doc.lines() {
+        if line.trim() == "```json" {
+            in_json = true;
+        } else if line.trim() == "```" {
+            in_json = false;
+        } else if in_json && !line.trim().is_empty() {
+            lines.push(line.to_string());
+        }
+    }
+    lines
+}
+
+#[test]
+fn every_documented_payload_parses() {
+    let doc = protocol_md();
+    let examples = json_example_lines(&doc);
+    assert!(
+        examples.len() >= 9,
+        "expected the spec to carry at least 9 example payloads, found {}",
+        examples.len()
+    );
+    for line in &examples {
+        let v = JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("PROTOCOL.md example does not parse: {e}\n  {line}"));
+        assert!(v.as_obj().is_some(), "examples are single objects: {line}");
+        assert_eq!(v.get_u64("v"), Some(1), "examples carry v:1: {line}");
+    }
+}
+
+#[test]
+fn every_documented_request_is_accepted() {
+    let doc = protocol_md();
+    for line in json_example_lines(&doc) {
+        let v = JsonValue::parse(&line).expect("parses (covered above)");
+        let ty = v.get_str("type").expect("examples carry a type");
+        // Response examples use response types; requests must round-trip
+        // through the real parser.
+        if matches!(ty, "ping" | "launch" | "campaign" | "stats") {
+            parse_request(&line)
+                .unwrap_or_else(|e| panic!("documented request rejected ({e:?}):\n  {line}"));
+        }
+    }
+}
+
+#[test]
+fn spec_documents_every_request_response_type_and_error_code() {
+    let doc = protocol_md();
+    // Request and response types the server implements.
+    for ty in ["ping", "launch", "campaign", "stats", "pong", "result", "error"] {
+        assert!(
+            doc.contains(&format!("\"type\":\"{ty}\"")) || doc.contains(&format!("`{ty}`")),
+            "PROTOCOL.md must document type {ty:?}"
+        );
+    }
+    // Every error code the implementation can emit.
+    for code in [
+        ErrorCode::BadJson,
+        ErrorCode::BadVersion,
+        ErrorCode::UnknownType,
+        ErrorCode::BadRequest,
+        ErrorCode::QueueFull,
+        ErrorCode::Internal,
+    ] {
+        assert!(
+            doc.contains(&format!("`{}`", code.as_str())),
+            "PROTOCOL.md must document error code {:?}",
+            code.as_str()
+        );
+    }
+    // The serve.* telemetry series are documented too.
+    for series in [
+        "serve.requests",
+        "serve.jobs_executed",
+        "serve.coalesced",
+        "serve.rejected",
+        "serve.queue_depth",
+        "serve.job_us",
+    ] {
+        assert!(doc.contains(series), "PROTOCOL.md must document series {series}");
+    }
+}

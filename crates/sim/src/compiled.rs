@@ -10,7 +10,7 @@
 //!
 //! - **Cursors** — ALU operand slots are precomputed into
 //!   register/immediate-pool cursors; the immediate pool is deduplicated
-//!   and splatted **once per launch** ([`LaunchState`]), not per step.
+//!   and splatted **once per launch** (`LaunchState`), not per step.
 //! - **Index caches** — when no scatter targets an index buffer (the
 //!   addressing is static, which validation of the packet stream checks
 //!   once at build), every index buffer is converted to `usize` once per

@@ -83,6 +83,7 @@ pub mod intra_cu;
 mod kernel;
 pub mod locality;
 pub mod obs;
+pub mod pool;
 pub mod program;
 mod report;
 pub mod sink;
@@ -100,6 +101,7 @@ pub use engine::{ExecEngine, ParallelEngine, Schedule, SequentialEngine, ShardKe
 pub use intra_cu::IntraCuEngine;
 pub use kernel::Kernel;
 pub use obs::DeviceObs;
+pub use pool::{DevicePool, PoolStats};
 pub use report::{DeviceReport, OpReport};
 pub use sink::{
     EventSink, LaneEvent, LaneEventKind, MetricsSink, SinkKind, SinkPipeline, VectorEvent,

@@ -18,7 +18,7 @@ cargo test -q --offline -p tm-kernels --test determinism
 
 echo "== observability demo (trace + metrics exporters) =="
 obs_dir="$(mktemp -d)"
-trap 'rm -rf "$obs_dir"; kill "${tele_pid:-}" 2>/dev/null || true' EXIT
+trap 'rm -rf "$obs_dir"; kill "${tele_pid:-}" "${serve_pid:-}" 2>/dev/null || true' EXIT
 obs_out="$(cargo run --release --offline -p tm-bench --bin repro -- \
     --experiment obs-demo --scale test \
     --trace-out "$obs_dir/obs.trace.json" --metrics-out "$obs_dir/obs.jsonl")"
@@ -110,6 +110,36 @@ echo "$bench_out"
 [[ -n "$bench_ok" ]]
 grep -q "gate:" <<<"$bench_out"
 test -s BENCH_hotpath.json
+
+echo "== serving gate (tm-served + repro client, byte-identical JSONL) =="
+serve_log="$obs_dir/serve.log"
+cargo run --release --offline -p tm-serve --bin tm-served -- \
+    --addr 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 300); do
+    serve_addr="$(sed -n 's/^serve: listening on //p' "$serve_log" 2>/dev/null)"
+    [[ -n "$serve_addr" ]] && break
+    sleep 0.1
+done
+test -n "$serve_addr"
+# Same campaign twice — through the server and in-process — with the
+# same verbatim timestamp; the files must be byte-identical (the served
+# client reconstructs the same meta header).
+cargo run --release --offline -p tm-bench --bin repro -- \
+    --experiment campaign --scale test --trials 2 \
+    --serve-addr "$serve_addr" --timestamp "verify.sh" \
+    --campaign-out "$obs_dir/campaign_served.jsonl"
+cargo run --release --offline -p tm-bench --bin repro -- \
+    --experiment campaign --scale test --trials 2 \
+    --timestamp "verify.sh" \
+    --campaign-out "$obs_dir/campaign_inproc.jsonl" >/dev/null
+diff "$obs_dir/campaign_served.jsonl" "$obs_dir/campaign_inproc.jsonl"
+echo "served and in-process campaign JSONL are byte-identical"
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
+# PROTOCOL.md example payloads must parse with the production parser.
+cargo test -q --offline -p tm-serve --test protocol_docs
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== cargo clippy -D warnings -D clippy::perf (offline, workspace) =="
