@@ -3,26 +3,32 @@
 //! ```text
 //! repro --experiment fig10 [--scale test|default|paper] [--seed N]
 //! repro --experiment all
+//! repro --experiment campaign --shard 0/4 --campaign-out shard_0.jsonl
+//! repro merge-shards --out campaign.jsonl shard_0.jsonl shard_1.jsonl
 //! repro --list
 //! ```
 //!
-//! Every experiment registers itself in [`REGISTRY`]; `repro --list`
-//! prints the registry with one-line help for each entry. Pass `--csv
-//! DIR` to also write the figure data as CSV; pass `--parallel` to
-//! execute every workload on one worker thread per compute unit
-//! (bit-identical results). `obs-demo` runs the observability showcase;
-//! pass `--trace-out FILE` / `--metrics-out FILE` to write its Perfetto
-//! trace and JSONL metrics dump. `campaign` runs the Monte Carlo
-//! fault-injection campaign; `--trials N` sets trials per sweep point
-//! and `--campaign-out FILE` writes the per-trial JSONL. Pass
-//! `--telemetry-addr ADDR` to serve a live Prometheus-text snapshot of
-//! the campaign over HTTP while it runs (with heartbeat progress lines
-//! on stderr); `report` renders the telemetry snapshot plus the
-//! `BENCH_hotpath.json` trajectory into one self-contained HTML file
-//! (`--report-out FILE`). Pass `--serve-addr HOST:PORT` to submit the
-//! campaign to a running `tm-served` job server over the `PROTOCOL.md`
-//! wire protocol instead of running it in-process — the trial/adapt
-//! JSONL bytes are identical either way.
+//! Every experiment registers itself in [`REGISTRY`]; every flag
+//! registers itself in [`FLAGS`], the declarative table `--help` is
+//! generated from and unknown-flag suggestions come out of. `repro
+//! --list` prints the registry with one-line help for each entry.
+//!
+//! `campaign` runs the Monte Carlo fault-injection campaign; `--trials
+//! N` sets trials per sweep point and `--campaign-out FILE` writes the
+//! per-trial JSONL. `--shard I/N` runs one deterministic slice of the
+//! campaign's trial space — the shards' JSONL documents merge back into
+//! the monolithic run byte-for-byte with the `merge-shards` subcommand.
+//! `--snapshot-out FILE` writes the final trial's device snapshot
+//! (tm-sim's versioned JSON schema; see DESIGN.md) and `--snapshot-in
+//! FILE` warm-starts every trial's memo FIFOs from such a snapshot.
+//! Pass `--telemetry-addr ADDR` to serve a live Prometheus-text
+//! snapshot of the campaign over HTTP while it runs (with heartbeat
+//! progress lines on stderr); `report` renders the telemetry snapshot
+//! plus the `BENCH_hotpath.json` trajectory into one self-contained
+//! HTML file (`--report-out FILE`). Pass `--serve-addr HOST:PORT` to
+//! submit the campaign to a running `tm-served` job server over the
+//! `PROTOCOL.md` wire protocol instead of running it in-process — the
+//! trial/adapt JSONL bytes are identical either way.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -33,16 +39,18 @@ use tm_bench::{
     fifo_sweep, fig10, fig10_average_savings, fig11, fig11_average_savings,
     fig6_7, fig8, frequency_sweep, gating_ablation, interleaving_sweep, locality_analysis,
     lut_exploration,
-    matching_ablation, psnr_sweep, recovery_ablation, replacement_ablation,
-    run_campaign_observed,
+    matching_ablation, merge_shard_documents, psnr_sweep, recovery_ablation,
+    replacement_ablation,
+    run_campaign_observed, run_campaign_sharded,
     scorecard,
-    sensitivity_sweep, spatial_ablation, CampaignSpec, ExperimentConfig, FIG10_ERROR_RATES,
-    FIG11_VOLTAGES, LUT_SHAPES,
+    sensitivity_sweep, spatial_ablation, CampaignSpec, ExperimentConfig, Shard,
+    FIG10_ERROR_RATES, FIG11_VOLTAGES, LUT_SHAPES,
 };
 use tm_obs::{Heartbeat, JsonValue, ObjWriter, RunMeta, TelemetryHub, TelemetryServer};
 use tm_core::resolve;
 use tm_kernels::workload::InputImage;
 use tm_kernels::{table1, KernelId, Scale, ALL_KERNELS, GRAY_LEVELS_PER_THRESHOLD_UNIT};
+use tm_sim::DeviceSnapshot;
 
 /// Everything an experiment may need, bundled so registry entries share
 /// one `fn(&RunCtx)` shape.
@@ -74,6 +82,15 @@ struct RunCtx<'a> {
     /// running in-process. The trial/adapt JSONL bytes are identical
     /// either way (pinned by test and by the verify.sh gate).
     serve_addr: Option<&'a str>,
+    /// The campaign shard to run (`--shard I/N`); `None` runs the whole
+    /// trial space.
+    shard: Option<Shard>,
+    /// Where `campaign` writes the final trial's device snapshot
+    /// (`--snapshot-out`).
+    snapshot_out: Option<&'a Path>,
+    /// A parsed snapshot every campaign trial warm-starts its memo
+    /// FIFOs from (`--snapshot-in`).
+    snapshot_in: Option<&'a DeviceSnapshot>,
 }
 
 /// One registered experiment: a stable id, one-line help for `--list`,
@@ -228,229 +245,401 @@ const REGISTRY: &[Experiment] = &[
     },
 ];
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment = None;
-    let mut cfg = ExperimentConfig::default();
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut trace_out: Option<PathBuf> = None;
-    let mut metrics_out: Option<PathBuf> = None;
-    let mut trials: u32 = 8;
-    let mut campaign_out: Option<PathBuf> = None;
-    let mut gate = false;
-    let mut telemetry_addr: Option<String> = None;
-    let mut telemetry_hold_ms: u64 = 0;
-    let mut timestamp: Option<String> = None;
-    let mut report_out: Option<PathBuf> = None;
-    let mut serve_addr: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--experiment" | "-e" => {
-                i += 1;
-                experiment = args.get(i).cloned();
-            }
-            "--scale" | "-s" => {
-                i += 1;
-                cfg.scale = match args.get(i).map(String::as_str) {
-                    Some("test") => Scale::Test,
-                    Some("default") => Scale::Default,
-                    Some("paper") => Scale::Paper,
+/// One CLI flag: its spellings, value arity, default and help line.
+///
+/// [`FLAGS`] is the single source of truth the parser matches against
+/// and `--help` renders from; adding a flag means one table row plus
+/// one arm in [`Args::apply`] (the two are cross-checked by test).
+struct Flag {
+    /// Canonical long spelling (`--experiment`).
+    long: &'static str,
+    /// Optional short alias (`-e`).
+    short: Option<&'static str>,
+    /// Value metavariable for flags that consume one; `None` marks a
+    /// boolean switch.
+    value: Option<&'static str>,
+    /// Default shown in `--help` (`None` when there is nothing to show).
+    default: Option<&'static str>,
+    /// One-line help.
+    help: &'static str,
+}
+
+/// Every flag `repro` accepts, in `--help` order.
+const FLAGS: &[Flag] = &[
+    Flag { long: "--experiment", short: Some("-e"), value: Some("<id|all>"), default: None,
+        help: "experiment to run; `all` runs the whole registry in order" },
+    Flag { long: "--scale", short: Some("-s"), value: Some("<test|default|paper>"), default: Some("default"),
+        help: "input scale for every workload" },
+    Flag { long: "--seed", short: None, value: Some("N"), default: Some("0xDA7E2014"),
+        help: "base seed for workloads and error injection" },
+    Flag { long: "--parallel", short: Some("-p"), value: None, default: None,
+        help: "one worker thread per compute unit; results are bit-identical" },
+    Flag { long: "--csv", short: None, value: Some("DIR"), default: None,
+        help: "also write figure data as CSV into DIR" },
+    Flag { long: "--trace-out", short: None, value: Some("FILE"), default: None,
+        help: "write obs-demo's Perfetto trace JSON" },
+    Flag { long: "--metrics-out", short: None, value: Some("FILE"), default: None,
+        help: "write obs-demo's / campaign's JSONL metrics dump" },
+    Flag { long: "--trials", short: None, value: Some("N"), default: Some("8"),
+        help: "campaign trials per sweep point" },
+    Flag { long: "--campaign-out", short: None, value: Some("FILE"), default: None,
+        help: "write the campaign's per-trial JSONL (meta header + trial/adapt lines)" },
+    Flag { long: "--shard", short: None, value: Some("I/N"), default: None,
+        help: "run only shard I of N of the campaign trial space (0-based; reassemble with merge-shards)" },
+    Flag { long: "--snapshot-out", short: None, value: Some("FILE"), default: None,
+        help: "write the final campaign trial's device snapshot (tm-sim versioned JSON)" },
+    Flag { long: "--snapshot-in", short: None, value: Some("FILE"), default: None,
+        help: "warm-start every campaign trial's memo FIFOs from a device snapshot" },
+    Flag { long: "--gate", short: None, value: None, default: None,
+        help: "make `bench` fail (exit 1) on a throughput drop vs the frozen baseline" },
+    Flag { long: "--telemetry-addr", short: None, value: Some("HOST:PORT"), default: None,
+        help: "serve a live Prometheus snapshot of the campaign (port 0 picks a free one)" },
+    Flag { long: "--telemetry-hold-ms", short: None, value: Some("N"), default: Some("0"),
+        help: "keep the telemetry endpoint up after the run for one last scrape" },
+    Flag { long: "--timestamp", short: None, value: Some("STR"), default: None,
+        help: "recorded verbatim in JSON/HTML outputs (never sampled, so outputs stay reproducible)" },
+    Flag { long: "--report-out", short: None, value: Some("FILE"), default: None,
+        help: "HTML path for `report`" },
+    Flag { long: "--serve-addr", short: None, value: Some("HOST:PORT"), default: None,
+        help: "submit `campaign` to a running tm-served (see PROTOCOL.md); JSONL bytes match in-process" },
+    Flag { long: "--list", short: None, value: None, default: None,
+        help: "list the experiment registry and exit" },
+    Flag { long: "--help", short: Some("-h"), value: None, default: None,
+        help: "show this help and exit" },
+];
+
+/// The parsed command line in typed form.
+struct Args {
+    experiment: Option<String>,
+    cfg: ExperimentConfig,
+    csv_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    trials: u32,
+    campaign_out: Option<PathBuf>,
+    gate: bool,
+    telemetry_addr: Option<String>,
+    telemetry_hold_ms: u64,
+    timestamp: Option<String>,
+    report_out: Option<PathBuf>,
+    serve_addr: Option<String>,
+    shard: Option<Shard>,
+    snapshot_out: Option<PathBuf>,
+    snapshot_in: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            experiment: None,
+            cfg: ExperimentConfig::default(),
+            csv_dir: None,
+            trace_out: None,
+            metrics_out: None,
+            trials: 8,
+            campaign_out: None,
+            gate: false,
+            telemetry_addr: None,
+            telemetry_hold_ms: 0,
+            timestamp: None,
+            report_out: None,
+            serve_addr: None,
+            shard: None,
+            snapshot_out: None,
+            snapshot_in: None,
+        }
+    }
+}
+
+impl Args {
+    /// Applies one parsed flag. `value` is `Some` exactly when the
+    /// flag's table row declares a metavariable.
+    fn apply(&mut self, long: &str, value: Option<&str>) -> Result<(), String> {
+        match (long, value) {
+            ("--experiment", Some(v)) => self.experiment = Some(v.to_string()),
+            ("--scale", Some(v)) => {
+                self.cfg.scale = match v {
+                    "test" => Scale::Test,
+                    "default" => Scale::Default,
+                    "paper" => Scale::Paper,
                     other => {
-                        eprintln!("unknown scale {other:?} (use test|default|paper)");
-                        return ExitCode::FAILURE;
+                        return Err(format!("unknown scale {other:?} (use test|default|paper)"))
                     }
-                };
+                }
             }
-            "--seed" => {
+            ("--seed", Some(v)) => {
+                self.cfg.seed = v
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            ("--parallel", None) => self.cfg.backend = tm_sim::ExecBackend::Parallel,
+            ("--csv", Some(v)) => self.csv_dir = Some(PathBuf::from(v)),
+            ("--trace-out", Some(v)) => self.trace_out = Some(PathBuf::from(v)),
+            ("--metrics-out", Some(v)) => self.metrics_out = Some(PathBuf::from(v)),
+            ("--trials", Some(v)) => match v.parse() {
+                Ok(n) if n > 0 => self.trials = n,
+                _ => return Err("--trials needs a positive integer".to_string()),
+            },
+            ("--campaign-out", Some(v)) => self.campaign_out = Some(PathBuf::from(v)),
+            ("--shard", Some(v)) => {
+                self.shard = Some(Shard::parse(v).map_err(|e| format!("--shard: {e}"))?);
+            }
+            ("--snapshot-out", Some(v)) => self.snapshot_out = Some(PathBuf::from(v)),
+            ("--snapshot-in", Some(v)) => self.snapshot_in = Some(PathBuf::from(v)),
+            ("--gate", None) => self.gate = true,
+            ("--telemetry-addr", Some(v)) => self.telemetry_addr = Some(v.to_string()),
+            ("--telemetry-hold-ms", Some(v)) => {
+                self.telemetry_hold_ms = v
+                    .parse()
+                    .map_err(|_| "--telemetry-hold-ms needs a number of milliseconds".to_string())?;
+            }
+            ("--timestamp", Some(v)) => self.timestamp = Some(v.to_string()),
+            ("--report-out", Some(v)) => self.report_out = Some(PathBuf::from(v)),
+            ("--serve-addr", Some(v)) => self.serve_addr = Some(v.to_string()),
+            other => unreachable!("flag table and Args::apply out of sync: {other:?}"),
+        }
+        Ok(())
+    }
+}
+
+/// What the command line asked for, after parsing.
+enum Cli {
+    /// Run an experiment with the given arguments.
+    Run(Box<Args>),
+    /// `--list`: print the experiment registry.
+    List,
+    /// `--help`/`-h`: print the generated help.
+    Help,
+    /// The `merge-shards` subcommand.
+    MergeShards {
+        out: PathBuf,
+        inputs: Vec<PathBuf>,
+    },
+}
+
+/// Parses the full argument vector against [`FLAGS`] (or the
+/// `merge-shards` subcommand grammar when that is the first word).
+fn parse_args(argv: &[String]) -> Result<Cli, String> {
+    if argv.first().map(String::as_str) == Some("merge-shards") {
+        return parse_merge_shards(&argv[1..]);
+    }
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let word = argv[i].as_str();
+        match word {
+            "--list" => return Ok(Cli::List),
+            "--help" | "-h" => return Ok(Cli::Help),
+            _ => {}
+        }
+        let Some(flag) = FLAGS
+            .iter()
+            .find(|f| f.long == word || f.short == Some(word))
+        else {
+            return Err(match nearest_flag(word) {
+                Some(s) => format!("unknown argument {word} — did you mean {s:?}? (try --help)"),
+                None => format!("unknown argument {word} (try --help)"),
+            });
+        };
+        let value = match flag.value {
+            None => None,
+            Some(metavar) => {
                 i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(seed) => cfg.seed = seed,
-                    None => {
-                        eprintln!("--seed needs an integer");
-                        return ExitCode::FAILURE;
-                    }
+                match argv.get(i) {
+                    Some(v) => Some(v.as_str()),
+                    None => return Err(format!("{} needs {metavar}", flag.long)),
                 }
             }
-            "--parallel" | "-p" => {
-                cfg.backend = tm_sim::ExecBackend::Parallel;
-            }
-            "--csv" => {
+        };
+        args.apply(flag.long, value)?;
+        i += 1;
+    }
+    Ok(Cli::Run(Box::new(args)))
+}
+
+/// `merge-shards --out FILE SHARD.jsonl...` — everything that is not a
+/// flag is a shard document path, merged in the order given.
+fn parse_merge_shards(argv: &[String]) -> Result<Cli, String> {
+    let mut out = None;
+    let mut inputs = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" | "-o" => {
                 i += 1;
-                match args.get(i) {
-                    Some(dir) => csv_dir = Some(PathBuf::from(dir)),
-                    None => {
-                        eprintln!("--csv needs a directory");
-                        return ExitCode::FAILURE;
-                    }
+                match argv.get(i) {
+                    Some(path) => out = Some(PathBuf::from(path)),
+                    None => return Err("--out needs FILE".to_string()),
                 }
             }
-            "--trace-out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => trace_out = Some(PathBuf::from(path)),
-                    None => {
-                        eprintln!("--trace-out needs a file path");
-                        return ExitCode::FAILURE;
-                    }
-                }
+            "--help" | "-h" => return Ok(Cli::Help),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown merge-shards argument {flag} (try --help)"));
             }
-            "--metrics-out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => metrics_out = Some(PathBuf::from(path)),
-                    None => {
-                        eprintln!("--metrics-out needs a file path");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--trials" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) if n > 0 => trials = n,
-                    _ => {
-                        eprintln!("--trials needs a positive integer");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--campaign-out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => campaign_out = Some(PathBuf::from(path)),
-                    None => {
-                        eprintln!("--campaign-out needs a file path");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--gate" => {
-                gate = true;
-            }
-            "--telemetry-addr" => {
-                i += 1;
-                match args.get(i) {
-                    Some(addr) => telemetry_addr = Some(addr.clone()),
-                    None => {
-                        eprintln!("--telemetry-addr needs HOST:PORT (port 0 picks a free one)");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--telemetry-hold-ms" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(ms) => telemetry_hold_ms = ms,
-                    None => {
-                        eprintln!("--telemetry-hold-ms needs a number of milliseconds");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--timestamp" => {
-                i += 1;
-                match args.get(i) {
-                    Some(ts) => timestamp = Some(ts.clone()),
-                    None => {
-                        eprintln!("--timestamp needs a value (it is recorded verbatim)");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--report-out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => report_out = Some(PathBuf::from(path)),
-                    None => {
-                        eprintln!("--report-out needs a file path");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--serve-addr" => {
-                i += 1;
-                match args.get(i) {
-                    Some(addr) => serve_addr = Some(addr.clone()),
-                    None => {
-                        eprintln!("--serve-addr needs HOST:PORT of a running tm-served");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--list" => {
-                for e in REGISTRY {
-                    println!("{:<22} {}", e.name, e.help);
-                }
-                return ExitCode::SUCCESS;
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro --experiment <id|all> [--scale test|default|paper] [--seed N] [--parallel] [--csv DIR] [--trace-out FILE] [--metrics-out FILE] [--trials N] [--campaign-out FILE] [--gate] [--telemetry-addr HOST:PORT] [--telemetry-hold-ms N] [--timestamp STR] [--report-out FILE] [--serve-addr HOST:PORT]"
-                );
-                println!(
-                    "--gate makes `bench` fail (exit 1) on a >{:.0}% per-case instr/s drop vs the frozen baseline",
-                    (1.0 - tm_bench::GATE_FLOOR) * 100.0
-                );
-                println!(
-                    "--parallel runs one worker thread per compute unit; results are bit-identical"
-                );
-                println!(
-                    "--trace-out/--metrics-out write obs-demo's Perfetto trace and JSONL metrics"
-                );
-                println!(
-                    "--trials/--campaign-out set the campaign's trials per point and JSONL path"
-                );
-                println!(
-                    "--telemetry-addr serves a live Prometheus snapshot of the campaign (port 0 picks a free one); --telemetry-hold-ms keeps it up after the run for one last scrape"
-                );
-                println!(
-                    "--timestamp is recorded verbatim in JSON/HTML outputs (never sampled, so outputs stay reproducible); --report-out sets the HTML path for `report`"
-                );
-                println!(
-                    "--serve-addr submits `campaign` to a running tm-served job server (see PROTOCOL.md); the trial/adapt JSONL bytes match the in-process run"
-                );
-                println!("experiments (see --list for help):");
-                for e in REGISTRY {
-                    println!("  {:<22} {}", e.name, e.help);
-                }
-                return ExitCode::SUCCESS;
-            }
-            other => {
-                eprintln!("unknown argument {other} (try --help)");
-                return ExitCode::FAILURE;
-            }
+            path => inputs.push(PathBuf::from(path)),
         }
         i += 1;
     }
+    let Some(out) = out else {
+        return Err("merge-shards needs --out FILE".to_string());
+    };
+    if inputs.is_empty() {
+        return Err("merge-shards needs at least one shard JSONL path".to_string());
+    }
+    Ok(Cli::MergeShards { out, inputs })
+}
 
-    let Some(experiment) = experiment else {
+/// The closest flag spelling by edit distance, for "did you mean"
+/// suggestions on unknown arguments.
+fn nearest_flag(typed: &str) -> Option<&'static str> {
+    let budget = (typed.trim_start_matches('-').len() / 2).max(2);
+    FLAGS
+        .iter()
+        .flat_map(|f| [Some(f.long), f.short])
+        .flatten()
+        .map(|name| (levenshtein(typed, name), name))
+        .min()
+        .filter(|&(d, _)| d <= budget)
+        .map(|(_, name)| name)
+}
+
+/// Renders `--help` from [`FLAGS`] and [`REGISTRY`].
+fn print_help() {
+    println!("usage: repro --experiment <id|all> [flags]");
+    println!("       repro merge-shards --out FILE SHARD.jsonl [SHARD.jsonl ...]");
+    println!();
+    println!("flags:");
+    for f in FLAGS {
+        let mut left = match f.short {
+            Some(short) => format!("{short}, {}", f.long),
+            None => format!("    {}", f.long),
+        };
+        if let Some(metavar) = f.value {
+            left.push(' ');
+            left.push_str(metavar);
+        }
+        let mut line = format!("  {left:<42} {}", f.help);
+        if let Some(default) = f.default {
+            line.push_str(&format!(" [default: {default}]"));
+        }
+        println!("{}", line.trim_end());
+    }
+    println!();
+    println!(
+        "the bench gate fails on a >{:.0}% per-case instr/s drop vs the frozen baseline",
+        (1.0 - tm_bench::GATE_FLOOR) * 100.0
+    );
+    println!();
+    println!("experiments (see --list for help):");
+    for e in REGISTRY {
+        println!("  {:<22} {}", e.name, e.help);
+    }
+}
+
+/// Runs the `merge-shards` subcommand: read every shard document,
+/// validate the meta headers agree, write the reassembled monolithic
+/// JSONL.
+fn run_merge_shards(out: &Path, inputs: &[PathBuf]) -> ExitCode {
+    let mut docs = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => docs.push((path.display().to_string(), text)),
+            Err(e) => {
+                eprintln!("cannot read shard {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match merge_shard_documents(&docs) {
+        Ok(doc) => match std::fs::write(out, doc) {
+            Ok(()) => {
+                println!("(merged {} shard(s) into {})", inputs.len(), out.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", out.display());
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("merge-shards: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Cli::Run(args)) => args,
+        Ok(Cli::List) => {
+            for e in REGISTRY {
+                println!("{:<22} {}", e.name, e.help);
+            }
+            return ExitCode::SUCCESS;
+        }
+        Ok(Cli::Help) => {
+            print_help();
+            return ExitCode::SUCCESS;
+        }
+        Ok(Cli::MergeShards { out, inputs }) => return run_merge_shards(&out, &inputs),
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(experiment) = args.experiment.as_deref() else {
         eprintln!("missing --experiment (try --help)");
         return ExitCode::FAILURE;
     };
 
-    if let Some(dir) = &csv_dir {
+    if let Some(dir) = &args.csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create csv directory {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
+    // Load and validate the warm-start snapshot up front so a malformed
+    // file is a structured parse error, not a mid-campaign surprise.
+    let snapshot_in = match &args.snapshot_in {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("--snapshot-in {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match DeviceSnapshot::from_json(&text) {
+                Ok(snap) => Some(snap),
+                Err(e) => {
+                    eprintln!("--snapshot-in {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     let obs_out = ObsOut {
-        trace: trace_out.as_deref(),
-        metrics: metrics_out.as_deref(),
+        trace: args.trace_out.as_deref(),
+        metrics: args.metrics_out.as_deref(),
     };
     let ctx = RunCtx {
-        cfg: &cfg,
-        csv_dir: csv_dir.as_deref(),
+        cfg: &args.cfg,
+        csv_dir: args.csv_dir.as_deref(),
         obs_out: &obs_out,
-        trials,
-        campaign_out: campaign_out.as_deref(),
-        gate,
-        telemetry_addr: telemetry_addr.as_deref(),
-        telemetry_hold_ms,
-        timestamp: timestamp.as_deref(),
-        report_out: report_out.as_deref(),
-        serve_addr: serve_addr.as_deref(),
+        trials: args.trials,
+        campaign_out: args.campaign_out.as_deref(),
+        gate: args.gate,
+        telemetry_addr: args.telemetry_addr.as_deref(),
+        telemetry_hold_ms: args.telemetry_hold_ms,
+        timestamp: args.timestamp.as_deref(),
+        report_out: args.report_out.as_deref(),
+        serve_addr: args.serve_addr.as_deref(),
+        shard: args.shard,
+        snapshot_out: args.snapshot_out.as_deref(),
+        snapshot_in: snapshot_in.as_ref(),
     };
     if experiment == "all" {
         for e in REGISTRY {
@@ -460,7 +649,7 @@ fn main() -> ExitCode {
     } else if let Some(e) = REGISTRY.iter().find(|e| e.name == experiment) {
         run(e, &ctx);
     } else {
-        match nearest_experiment(&experiment) {
+        match nearest_experiment(experiment) {
             Some(suggestion) => eprintln!(
                 "unknown experiment {experiment} — did you mean {suggestion:?}? (try --list)"
             ),
@@ -533,14 +722,31 @@ fn heartbeat_interval(total: u64) -> u64 {
 
 fn print_campaign(ctx: &RunCtx) {
     if let Some(addr) = ctx.serve_addr {
+        // The wire campaign job carries only the five spec knobs
+        // (PROTOCOL.md); sharding and snapshots stay in-process.
+        if ctx.shard.is_some() || ctx.snapshot_in.is_some() || ctx.snapshot_out.is_some() {
+            eprintln!(
+                "--serve-addr cannot be combined with --shard/--snapshot-in/--snapshot-out \
+                 (the wire campaign job carries only kernel/scale/trials/seed/backend)"
+            );
+            std::process::exit(1);
+        }
         serve_campaign(ctx, addr);
         return;
     }
     let spec = campaign_spec(ctx);
-    println!(
-        "Monte Carlo resilience campaign ({} trials per sweep point; adaptive 30 dB quality floor)",
-        spec.trials
-    );
+    match ctx.shard {
+        Some(shard) => println!(
+            "Monte Carlo resilience campaign, shard {}/{} ({} trials per sweep point; adaptive 30 dB quality floor)",
+            shard.index(),
+            shard.count(),
+            spec.trials
+        ),
+        None => println!(
+            "Monte Carlo resilience campaign ({} trials per sweep point; adaptive 30 dB quality floor)",
+            spec.trials
+        ),
+    }
     // The live layer: a telemetry hub every trial publishes into, served
     // as Prometheus text over HTTP for the lifetime of the run. A failed
     // bind degrades to an offline campaign, never a dead one.
@@ -559,11 +765,20 @@ fn print_campaign(ctx: &RunCtx) {
         }
         hub = Some(h);
     }
-    let total = spec.error_rates.len() as u64 * u64::from(spec.trials);
+    let space = spec.error_rates.len() * spec.trials as usize;
+    let (lo, hi) = ctx.shard.map_or((0, space), |s| s.bounds(space));
+    let total = (hi - lo) as u64;
     let mut heartbeat = hub
         .is_some()
         .then(|| Heartbeat::new("campaign", total, heartbeat_interval(total)));
-    let out = run_campaign_observed(&spec, None, hub.as_ref(), heartbeat.as_mut());
+    let out = run_campaign_sharded(
+        &spec,
+        ctx.shard,
+        ctx.snapshot_in,
+        None,
+        hub.as_ref(),
+        heartbeat.as_mut(),
+    );
     print!("{}", out.summary_table());
     let adapted: usize = out.records.iter().filter(|r| !r.adaptations.is_empty()).count();
     println!(
@@ -581,6 +796,17 @@ fn print_campaign(ctx: &RunCtx) {
         match std::fs::write(path, out.metrics.to_jsonl()) {
             Ok(()) => println!("(campaign metrics written to {})", path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = ctx.snapshot_out {
+        match &out.last_snapshot {
+            Some(snap) => match std::fs::write(path, snap.to_json()) {
+                Ok(()) => println!("(device snapshot written to {})", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            },
+            None => eprintln!(
+                "--snapshot-out: the campaign produced no snapshot (empty shard?); nothing written"
+            ),
         }
     }
     if let Some(server) = server {

@@ -35,9 +35,10 @@ use std::fmt::Write as _;
 use tm_image::{gaussian3x3_reference, psnr, sobel_reference, synth, GrayImage};
 use tm_kernels::ir::{gaussian_program, sobel_program, ImageProgram};
 use tm_kernels::{workload, KernelId, Scale, GRAY_LEVELS_PER_THRESHOLD_UNIT};
-use tm_obs::{Heartbeat, MetricsRegistry, ObjWriter, RunMeta, SharedRecorder, TelemetryHub};
+use tm_obs::{Heartbeat, JsonValue, MetricsRegistry, ObjWriter, RunMeta, SharedRecorder, TelemetryHub};
 use tm_rng::SplitMix64;
 use tm_sim::prelude::*;
+use tm_sim::DeviceSnapshot;
 use tm_timing::HeterogeneousErrors;
 
 /// The fixed hub scope every campaign trial device publishes under.
@@ -104,6 +105,96 @@ impl QualityController {
         }
         let next = threshold * self.tighten_factor;
         Some(if next < self.min_threshold { 0.0 } else { next })
+    }
+}
+
+/// One contiguous slice of a sharded campaign.
+///
+/// A campaign's flattened trial space has `error_rates.len() * trials`
+/// entries in (rate-index, trial-index) order; shard `index` of `count`
+/// owns the half-open range `[index * total / count, (index + 1) *
+/// total / count)`. Every shard walks the **full** [`SplitMix64`] seed
+/// stream — advancing it even for trials it does not own — so each
+/// owned trial sees exactly the seed the monolithic run would have
+/// given it, and concatenating the shards' JSONL bodies in index order
+/// reproduces the monolithic document byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// use tm_bench::Shard;
+///
+/// let shard = Shard::parse("1/3").unwrap();
+/// assert_eq!((shard.index(), shard.count()), (1, 3));
+/// // 10 trials over 3 shards: 3 + 4 + 3.
+/// assert_eq!(shard.bounds(10), (3, 6));
+/// assert!(Shard::parse("3/3").is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Builds shard `index` of `count`.
+    ///
+    /// # Errors
+    /// Rejects `count == 0` and `index >= count`.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (indices are 0-based)"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI spelling `"i/n"` (e.g. `"0/4"`).
+    ///
+    /// # Errors
+    /// Rejects anything that is not two integers separated by `/` with
+    /// `i < n`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (i, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected \"i/n\" (e.g. \"0/4\"), got {text:?}"))?;
+        let index = i
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("shard index {i:?} is not an integer"))?;
+        let count = n
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("shard count {n:?} is not an integer"))?;
+        Self::new(index, count)
+    }
+
+    /// The shard's 0-based index.
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The total number of shards.
+    #[must_use]
+    pub const fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The half-open `[start, end)` range of flattened trial indices
+    /// this shard owns out of `total`. The ranges of all `count` shards
+    /// partition `0..total` exactly, each within one trial of
+    /// `total / count`.
+    #[must_use]
+    pub const fn bounds(&self, total: usize) -> (usize, usize) {
+        (
+            self.index * total / self.count,
+            (self.index + 1) * total / self.count,
+        )
     }
 }
 
@@ -269,6 +360,11 @@ pub struct CampaignOutcome {
     /// `campaign.adaptations`, the per-trial adaptation histogram and a
     /// PSNR histogram — the adaptation trajectory in tm-obs form.
     pub metrics: MetricsRegistry,
+    /// Snapshot of the last owned trial's device (the recorded,
+    /// post-adaptation attempt) — the `repro --snapshot-out` payload,
+    /// restorable with [`tm_sim::Device::restore`] or usable to
+    /// warm-start a later campaign. `None` when the run owned no trials.
+    pub last_snapshot: Option<DeviceSnapshot>,
 }
 
 fn build_program(kernel: KernelId, image: &GrayImage) -> ImageProgram {
@@ -287,15 +383,19 @@ fn reference_output(kernel: KernelId, image: &GrayImage) -> GrayImage {
     }
 }
 
-/// The optional observation sinks a campaign publishes into: the span
-/// recorder (trace export) and the telemetry hub (live series).
+/// Per-trial context: the optional observation sinks (span recorder and
+/// telemetry hub) plus the optional warm-start snapshot every attempt's
+/// device preloads its memo FIFOs from.
 #[derive(Clone, Copy)]
 struct TrialSinks<'a> {
     rec: Option<&'a SharedRecorder>,
     hub: Option<&'a TelemetryHub>,
+    warm: Option<&'a DeviceSnapshot>,
 }
 
 /// Runs one attempt (one device, one program execution) and measures it.
+/// Returns the attempt's PSNR and its finished device (for the report
+/// and, on the final trial, the `--snapshot-out` capture).
 fn run_attempt(
     spec: &CampaignSpec,
     image: &GrayImage,
@@ -304,7 +404,7 @@ fn run_attempt(
     seed: u64,
     threshold: f32,
     sinks: TrialSinks<'_>,
-) -> (f64, DeviceReport) {
+) -> (f64, Device) {
     let policy = if threshold <= 0.0 {
         MatchPolicy::Exact
     } else {
@@ -327,6 +427,12 @@ fn run_attempt(
     if let Some(hub) = sinks.hub {
         device.attach_hub_scoped(hub, CAMPAIGN_DEVICE_SCOPE);
     }
+    if let Some(warm) = sinks.warm {
+        // Pure function of the snapshot, applied before every attempt:
+        // every trial — and every shard — warms identically, keeping
+        // the byte-identity contract intact.
+        device.preload_fifos(warm);
+    }
     device.run_program(&ip.program, &mut ip.bindings, ip.global_size, spec.in_flight);
     let out = GrayImage::from_vec(
         image.width(),
@@ -334,7 +440,7 @@ fn run_attempt(
         ip.bindings.buffer(ip.output).to_vec(),
     );
     let q = psnr(golden, &out).min(PSNR_CAP_DB);
-    (q, device.report())
+    (q, device)
 }
 
 /// Runs one trial: attempt, adapt while below the floor, record.
@@ -346,11 +452,11 @@ fn run_trial(
     trial: u32,
     seed: u64,
     sinks: TrialSinks<'_>,
-) -> TrialRecord {
+) -> (TrialRecord, Device) {
     let mut threshold = spec.threshold;
     let mut adaptations = Vec::new();
     loop {
-        let (q, report) = run_attempt(spec, image, golden, error_rate, seed, threshold, sinks);
+        let (q, device) = run_attempt(spec, image, golden, error_rate, seed, threshold, sinks);
         match spec
             .controller
             .next_threshold(threshold, q, adaptations.len() as u32)
@@ -370,6 +476,7 @@ fn run_trial(
                 threshold = next;
             }
             None => {
+                let report = device.report();
                 if let Some(rec) = sinks.rec {
                     rec.inc("campaign.trials", 1);
                 }
@@ -379,7 +486,7 @@ fn run_trial(
                     hub.observe("campaign.energy_pj", report.total_energy_pj());
                     hub.gauge_set("campaign.hit_rate", report.weighted_hit_rate());
                 }
-                return TrialRecord {
+                let record = TrialRecord {
                     error_rate,
                     trial,
                     seed,
@@ -393,6 +500,7 @@ fn run_trial(
                     final_threshold: threshold,
                     acceptable: q >= spec.controller.floor_db,
                 };
+                return (record, device);
             }
         }
     }
@@ -441,18 +549,70 @@ pub fn run_campaign_observed(
     spec: &CampaignSpec,
     rec: Option<&SharedRecorder>,
     hub: Option<&TelemetryHub>,
+    heartbeat: Option<&mut Heartbeat>,
+) -> CampaignOutcome {
+    run_campaign_sharded(spec, None, None, rec, hub, heartbeat)
+}
+
+/// Runs one shard of a campaign — or all of it when `shard` is `None`.
+///
+/// The sharded runner walks the same flattened (rate, trial) space as
+/// the monolithic run, advancing the [`SplitMix64`] seed stream for
+/// *every* trial but executing only those the shard owns (see
+/// [`Shard::bounds`]). Each owned trial therefore runs with exactly the
+/// seed the monolithic run would have fanned out to it, and the
+/// resulting [`CampaignOutcome::jsonl`] bodies concatenate — in shard
+/// index order — to the monolithic document byte-for-byte
+/// (`crates/bench/tests/campaign.rs` pins this on every backend, and
+/// `scripts/verify.sh` gates it end to end through `repro`).
+///
+/// When `warm` is given, every attempt's device preloads its memo FIFOs
+/// from the snapshot before executing ([`Device::preload_fifos`]) —
+/// a deterministic warm start that is identical on every shard, so the
+/// byte-identity contract holds for warmed runs too (against a warmed
+/// monolithic run of the same snapshot).
+///
+/// The returned outcome's summaries and metrics aggregate the **owned**
+/// records only; merge shard JSONL documents with
+/// [`merge_shard_documents`] to reassemble a full run.
+///
+/// # Panics
+///
+/// Panics as [`run_campaign`] does.
+#[must_use]
+pub fn run_campaign_sharded(
+    spec: &CampaignSpec,
+    shard: Option<Shard>,
+    warm: Option<&DeviceSnapshot>,
+    rec: Option<&SharedRecorder>,
+    hub: Option<&TelemetryHub>,
     mut heartbeat: Option<&mut Heartbeat>,
 ) -> CampaignOutcome {
     let side = workload::image_side(spec.scale);
     let image = synth::face(side, side, spec.seed);
     let golden = reference_output(spec.kernel, &image);
 
+    let total = spec.error_rates.len() * spec.trials as usize;
+    let (start, end) = shard.map_or((0, total), |s| s.bounds(total));
     let mut trial_seeds = SplitMix64::new(spec.seed);
-    let mut records = Vec::with_capacity(spec.error_rates.len() * spec.trials as usize);
+    let mut records = Vec::with_capacity(end - start);
+    let mut last_snapshot = None;
+    let mut flat = 0_usize;
     for &rate in &spec.error_rates {
         for trial in 0..spec.trials {
+            // Advance the stream unconditionally: seed k of the shard
+            // must equal seed k of the monolithic run.
             let seed = trial_seeds.next_u64();
-            let record = run_trial(spec, &image, &golden, rate, trial, seed, TrialSinks { rec, hub });
+            let owned = (start..end).contains(&flat);
+            flat += 1;
+            if !owned {
+                continue;
+            }
+            let (record, device) =
+                run_trial(spec, &image, &golden, rate, trial, seed, TrialSinks { rec, hub, warm });
+            if flat == end {
+                last_snapshot = device.snapshot().ok();
+            }
             if let Some(hb) = heartbeat.as_deref_mut() {
                 if let Some(line) = hb.tick(record.psnr_db) {
                     eprintln!("{line}");
@@ -513,7 +673,61 @@ pub fn run_campaign_observed(
         records,
         summaries,
         metrics,
+        last_snapshot,
     }
+}
+
+/// Merges sharded campaign JSONL documents back into the monolithic one.
+///
+/// Each input is a `(label, contents)` pair (the label names the shard
+/// in error messages — typically its file name) holding a full
+/// [`CampaignOutcome::jsonl_with_meta`] document. All meta header lines
+/// must be **byte-identical** — same spec, same [`RunMeta`] (pass a
+/// fixed `--timestamp` when producing shards) — and the inputs must be
+/// given in shard index order. The result is one meta line followed by
+/// the concatenated bodies, byte-identical to the monolithic run's
+/// document.
+///
+/// # Errors
+///
+/// Returns a human-readable message when no documents are given, a
+/// document lacks a parseable `{"kind":"meta",...}` first line, or a
+/// meta line disagrees with the first shard's.
+pub fn merge_shard_documents(docs: &[(String, String)]) -> Result<String, String> {
+    if docs.is_empty() {
+        return Err("no shard documents to merge".to_string());
+    }
+    let mut merged = String::new();
+    let mut expected_meta: Option<&str> = None;
+    for (label, text) in docs {
+        let Some((meta_line, body)) = text.split_once('\n') else {
+            return Err(format!("{label}: document has no newline after the meta header"));
+        };
+        let parsed = JsonValue::parse(meta_line)
+            .map_err(|e| format!("{label}: meta header is not valid JSON: {e}"))?;
+        if parsed.get_str("kind") != Some("meta") {
+            return Err(format!(
+                "{label}: first line is not a {{\"kind\":\"meta\"}} header"
+            ));
+        }
+        match expected_meta {
+            None => {
+                expected_meta = Some(meta_line);
+                merged.push_str(meta_line);
+                merged.push('\n');
+            }
+            Some(first) if first == meta_line => {}
+            Some(_) => {
+                return Err(format!(
+                    "{label}: meta header differs from the first shard's — \
+                     shards must come from one campaign run with identical \
+                     spec and run attribution (fix the --timestamp)"
+                ));
+            }
+        }
+        merged.push_str(body);
+    }
+    Ok(merged)
 }
 
 impl CampaignOutcome {
@@ -764,5 +978,101 @@ mod tests {
         assert_eq!(v.get("trials_per_point").unwrap().as_u64(), Some(2));
         // Everything after the header is exactly the plain document.
         assert_eq!(a.split_once('\n').unwrap().1, out.jsonl());
+    }
+
+    #[test]
+    fn shard_parsing_and_bounds() {
+        assert!(Shard::parse("0/0").is_err(), "zero shards is meaningless");
+        assert!(Shard::parse("2/2").is_err(), "indices are 0-based");
+        assert!(Shard::parse("x/2").is_err());
+        assert!(Shard::parse("1").is_err(), "missing the /n half");
+        let s = Shard::parse(" 1 / 4 ").unwrap();
+        assert_eq!((s.index(), s.count()), (1, 4));
+        // The shards partition the flattened space exactly, in order.
+        for (total, count) in [(10, 3), (4, 3), (2, 5), (7, 1)] {
+            let mut covered = 0;
+            for i in 0..count {
+                let (lo, hi) = Shard::new(i, count).unwrap().bounds(total);
+                assert_eq!(lo, covered, "{total} trials / {count} shards");
+                assert!(hi >= lo);
+                covered = hi;
+            }
+            assert_eq!(covered, total);
+        }
+    }
+
+    #[test]
+    fn shards_concatenate_to_the_monolithic_jsonl() {
+        let spec = mini_spec();
+        let whole = run_campaign(&spec, None).jsonl();
+        let mut cat = String::new();
+        for i in 0..3 {
+            let shard = Shard::new(i, 3).unwrap();
+            let out = run_campaign_sharded(&spec, Some(shard), None, None, None, None);
+            cat.push_str(&out.jsonl());
+        }
+        assert_eq!(cat, whole, "shard bodies must concatenate byte-identically");
+    }
+
+    #[test]
+    fn merge_reassembles_shard_documents() {
+        let meta = RunMeta {
+            git_rev: Some("abc1234".into()),
+            host_cores: 8,
+            timestamp: Some("2026-08-08T00:00:00Z".into()),
+        };
+        let spec = mini_spec();
+        let whole = run_campaign(&spec, None).jsonl_with_meta(&meta);
+        let docs: Vec<(String, String)> = (0..2)
+            .map(|i| {
+                let shard = Shard::new(i, 2).unwrap();
+                let out = run_campaign_sharded(&spec, Some(shard), None, None, None, None);
+                (format!("shard_{i}.jsonl"), out.jsonl_with_meta(&meta))
+            })
+            .collect();
+        assert_eq!(merge_shard_documents(&docs).unwrap(), whole);
+
+        assert!(merge_shard_documents(&[]).is_err());
+        let garbage = vec![("x".to_string(), "not json\n".to_string())];
+        assert!(merge_shard_documents(&garbage).is_err());
+        let mut mismatched = docs;
+        let other = RunMeta {
+            git_rev: Some("abc1234".into()),
+            host_cores: 8,
+            timestamp: Some("2027-01-01T00:00:00Z".into()),
+        };
+        mismatched[1].1 = run_campaign_sharded(
+            &spec,
+            Some(Shard::new(1, 2).unwrap()),
+            None,
+            None,
+            None,
+            None,
+        )
+        .jsonl_with_meta(&other);
+        let err = merge_shard_documents(&mismatched).unwrap_err();
+        assert!(err.contains("meta header differs"), "got: {err}");
+    }
+
+    #[test]
+    fn last_snapshot_restores_and_warm_start_stays_shard_invariant() {
+        let spec = mini_spec();
+        let donor = run_campaign(&spec, None);
+        let snap = donor
+            .last_snapshot
+            .clone()
+            .expect("a campaign that ran trials must capture its final device");
+        tm_sim::Device::restore(&snap).expect("campaign snapshots must be restorable");
+
+        // Warm-starting perturbs results deterministically: the warmed
+        // run reproduces itself and shards of it concatenate to it.
+        let whole = run_campaign_sharded(&spec, None, Some(&snap), None, None, None);
+        let mut cat = String::new();
+        for i in 0..2 {
+            let shard = Shard::new(i, 2).unwrap();
+            let out = run_campaign_sharded(&spec, Some(shard), Some(&snap), None, None, None);
+            cat.push_str(&out.jsonl());
+        }
+        assert_eq!(cat, whole.jsonl(), "warm shards must still concatenate");
     }
 }

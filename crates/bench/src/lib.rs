@@ -53,9 +53,10 @@ pub use bench_hotpath::{
     BENCH_BACKENDS,
 };
 pub use campaign::{
-    run_campaign, run_campaign_observed, AdaptationStep, CampaignOutcome, CampaignSpec,
-    MetricStats, QualityController, SweepSummary, TrialRecord, CAMPAIGN_DEVICE_SCOPE,
-    CAMPAIGN_ERROR_RATES, PSNR_CAP_DB, PSNR_FLOOR_DB,
+    merge_shard_documents, run_campaign, run_campaign_observed, run_campaign_sharded,
+    AdaptationStep, CampaignOutcome, CampaignSpec, MetricStats, QualityController, Shard,
+    SweepSummary, TrialRecord, CAMPAIGN_DEVICE_SCOPE, CAMPAIGN_ERROR_RATES, PSNR_CAP_DB,
+    PSNR_FLOOR_DB,
 };
 pub use energy::{
     energy_comparison, fig10, fig10_average_savings, fig11, fig11_average_savings,

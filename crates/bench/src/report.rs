@@ -36,6 +36,8 @@ pub fn render_html_report(
          th { background: #eef2f6; }\n\
          td.num { text-align: right; font-variant-numeric: tabular-nums; }\n\
          p.note { color: #666; font-style: italic; }\n\
+         div.warn { background: #fdf3d7; border: 1px solid #d4b106; border-radius: 4px; \
+         padding: .6rem .9rem; margin: .5rem 0; color: #5c4a00; }\n\
          .meta { color: #555; font-size: .9rem; }\n\
          </style>\n</head>\n<body>\n",
     );
@@ -153,6 +155,13 @@ fn write_series_table(html: &mut String, snap: &HubSnapshot) {
     html.push_str("</table>\n");
 }
 
+/// A visually distinct warning block for degraded-but-not-fatal report
+/// sections (`message` is trusted HTML from this module, already
+/// escaped where it embeds external text).
+fn warn_block(html: &mut String, message: &str) {
+    html.push_str(&format!("<div class=\"warn\">&#9888; {message}</div>\n"));
+}
+
 /// One `(case, backend, instr_per_sec)` row pulled out of the bench
 /// JSON's `baseline` or `current` object.
 fn bench_rows(doc: &JsonValue, which: &str) -> Vec<(String, String, f64)> {
@@ -177,26 +186,36 @@ fn bench_rows(doc: &JsonValue, which: &str) -> Vec<(String, String, f64)> {
 fn write_bench_section(html: &mut String, bench_json: Option<&str>) {
     html.push_str("<h2>Hot-path bench trajectory</h2>\n");
     let Some(raw) = bench_json else {
-        html.push_str(
-            "<p class=\"note\">No <code>BENCH_hotpath.json</code> found &mdash; run \
-             <code>repro --experiment bench</code> first to chart the throughput trajectory.</p>\n",
+        warn_block(
+            html,
+            "No <code>BENCH_hotpath.json</code> found &mdash; run \
+             <code>repro --experiment bench</code> first to chart the throughput trajectory.",
         );
         return;
     };
     let doc = match JsonValue::parse(raw) {
         Ok(doc) => doc,
         Err(e) => {
-            html.push_str(&format!(
-                "<p class=\"note\">BENCH_hotpath.json did not parse ({}); skipping the trajectory.</p>\n",
-                xml_escape(&e.to_string()),
-            ));
+            warn_block(
+                html,
+                &format!(
+                    "BENCH_hotpath.json did not parse ({}); skipping the trajectory. \
+                     Re-run <code>repro --experiment bench</code> to regenerate it.",
+                    xml_escape(&e.to_string()),
+                ),
+            );
             return;
         }
     };
     let baseline = bench_rows(&doc, "baseline");
     let current = bench_rows(&doc, "current");
     if current.is_empty() {
-        html.push_str("<p class=\"note\">BENCH_hotpath.json carries no current rows.</p>\n");
+        warn_block(
+            html,
+            "BENCH_hotpath.json carries no trajectory rows &mdash; a fresh clone starts \
+             this way. Run <code>repro --experiment bench</code> to record the first \
+             measurement; the report will chart it from then on.",
+        );
         return;
     }
 
@@ -329,6 +348,30 @@ mod tests {
         assert!(html.contains("telemetry hub is empty"));
         assert!(html.contains("unknown"), "absent git rev degrades to 'unknown'");
         assert!(html.trim_end().ends_with("</html>"), "document still closes");
+    }
+
+    #[test]
+    fn rowless_bench_json_renders_a_warning_block_not_a_failure() {
+        // Fresh-clone ergonomics: a BENCH_hotpath.json with no trajectory
+        // rows (or none parseable) must yield a visible warning block and
+        // a complete document, never an error or a broken chart.
+        for rowless in [
+            r#"{"baseline":{"rows":[]},"current":{"rows":[]}}"#,
+            r#"{"current":{"rows":[]}}"#,
+            r#"{"current":{"rows":[{"case":"x"}]}}"#,
+            "{}",
+        ] {
+            let html = render_html_report(&populated_snapshot(), &sample_meta(), Some(rowless));
+            assert!(
+                html.contains("class=\"warn\"") && html.contains("no trajectory rows"),
+                "rowless doc {rowless:?} must render the warning block"
+            );
+            assert!(
+                !html.contains("instr/s by case index"),
+                "no trajectory chart without rows"
+            );
+            assert!(html.trim_end().ends_with("</html>"), "document still closes");
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! floor, and the `repro` experiment registry.
 
 use std::process::Command;
-use tm_bench::{run_campaign, CampaignSpec, QualityController, PSNR_FLOOR_DB};
+use tm_bench::{
+    merge_shard_documents, run_campaign, run_campaign_sharded, CampaignSpec, QualityController,
+    Shard, PSNR_FLOOR_DB,
+};
 use tm_kernels::KernelId;
 use tm_obs::SharedRecorder;
 use tm_sim::prelude::*;
@@ -35,6 +38,42 @@ fn campaign_jsonl_is_byte_identical_across_backends() {
         assert_eq!(
             &outputs[0].1, jsonl,
             "campaign JSONL must be byte-identical on the {name} backend"
+        );
+    }
+}
+
+#[test]
+fn sharded_campaign_concatenates_byte_identically_on_every_backend() {
+    // The ISSUE-pinned acceptance: for a fixed seed, the merged shard
+    // JSONLs are byte-identical to the monolithic run on all three
+    // backends.
+    let meta = tm_obs::RunMeta {
+        git_rev: Some("abc1234".into()),
+        host_cores: 4,
+        timestamp: Some("2026-08-08T00:00:00Z".into()),
+    };
+    for backend in [
+        ExecBackend::Sequential,
+        ExecBackend::Parallel,
+        ExecBackend::IntraCu,
+    ] {
+        let spec = CampaignSpec {
+            backend,
+            ..small_spec()
+        };
+        let whole = run_campaign(&spec, None);
+        let docs: Vec<(String, String)> = (0..2)
+            .map(|i| {
+                let shard = Shard::new(i, 2).unwrap();
+                let out = run_campaign_sharded(&spec, Some(shard), None, None, None, None);
+                (format!("shard_{i}.jsonl"), out.jsonl_with_meta(&meta))
+            })
+            .collect();
+        assert_eq!(
+            merge_shard_documents(&docs).unwrap(),
+            whole.jsonl_with_meta(&meta),
+            "merged shards must be byte-identical to the monolithic run on {}",
+            backend.name()
         );
     }
 }

@@ -1,0 +1,48 @@
+//! Snapshot round-trip determinism across every Table-1 kernel: an
+//! interrupted run (snapshot → JSON → restore) must continue exactly as
+//! the uninterrupted one, output and device state alike.
+
+use tm_kernels::{workload, Scale, ALL_KERNELS};
+use tm_sim::{Device, DeviceConfig, DeviceSnapshot, ErrorMode};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn interrupted_runs_continue_bit_identically_for_all_kernels() {
+    for kernel in ALL_KERNELS {
+        let config = DeviceConfig::builder()
+            .with_error_mode(ErrorMode::FixedRate(0.02))
+            .with_seed(0x5EED)
+            .build()
+            .unwrap();
+
+        // Uninterrupted: two workload phases on one device.
+        let mut uninterrupted = Device::new(config.clone());
+        workload::build(kernel, Scale::Test, 7).run(&mut uninterrupted);
+
+        // Interrupted twin: same first phase, then a full JSON round
+        // trip (capture → serialize → parse → restore) before phase two.
+        let mut first = Device::new(config);
+        workload::build(kernel, Scale::Test, 7).run(&mut first);
+        let json = first.snapshot().unwrap().to_json();
+        let snap = DeviceSnapshot::from_json(&json).unwrap();
+        let mut resumed = Device::restore(&snap).unwrap();
+
+        let a = workload::build(kernel, Scale::Test, 8).run(&mut uninterrupted);
+        let b = workload::build(kernel, Scale::Test, 8).run(&mut resumed);
+        assert_eq!(
+            bits(&a),
+            bits(&b),
+            "{}: the resumed run's output must match the uninterrupted one",
+            kernel.name()
+        );
+        assert_eq!(
+            uninterrupted.snapshot().unwrap().to_json(),
+            resumed.snapshot().unwrap().to_json(),
+            "{}: the resumed device must end in the identical state",
+            kernel.name()
+        );
+    }
+}

@@ -69,6 +69,24 @@ impl Default for GatePolicy {
     }
 }
 
+/// The mutable controller state of an [`AdaptiveGate`], exposed so device
+/// snapshots can capture and restore a mid-run controller exactly. The
+/// policy itself is configuration, not run state, and is rebuilt from the
+/// device config on restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateState {
+    /// Accesses observed in the current evaluation window.
+    pub window_accesses: u64,
+    /// Hits observed in the current evaluation window.
+    pub window_hits: u64,
+    /// Bypassed accesses remaining before the next probe window.
+    pub gated_remaining: u64,
+    /// How many times the gate has tripped.
+    pub times_gated: u64,
+    /// Consecutive low windows seen so far (hysteresis counter).
+    pub low_windows: u32,
+}
+
 /// The controller state for one memoization module.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveGate {
@@ -154,6 +172,27 @@ impl AdaptiveGate {
     #[must_use]
     pub const fn times_gated(&self) -> u64 {
         self.times_gated
+    }
+
+    /// The mutable controller state, for device snapshots.
+    #[must_use]
+    pub const fn state(&self) -> GateState {
+        GateState {
+            window_accesses: self.window_accesses,
+            window_hits: self.window_hits,
+            gated_remaining: self.gated_remaining,
+            times_gated: self.times_gated,
+            low_windows: self.low_windows,
+        }
+    }
+
+    /// Restores snapshotted controller state; the policy is unchanged.
+    pub fn restore_state(&mut self, state: GateState) {
+        self.window_accesses = state.window_accesses;
+        self.window_hits = state.window_hits;
+        self.gated_remaining = state.gated_remaining;
+        self.times_gated = state.times_gated;
+        self.low_windows = state.low_windows;
     }
 }
 

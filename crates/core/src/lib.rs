@@ -59,7 +59,7 @@ mod state;
 mod stats;
 
 pub use fifo::{MemoEntry, MemoFifo, Replacement, DEFAULT_FIFO_DEPTH};
-pub use gate::{AdaptiveGate, GatePolicy};
+pub use gate::{AdaptiveGate, GatePolicy, GateState};
 pub use lut::HashedLut;
 pub use matching::{fraction_mask, mask_for_threshold, MatchPolicy};
 pub use mmio::{ctrl_bits, MmioRegisters, Reg, CTRL_COMMUTATIVE, CTRL_ENABLE, CTRL_THRESHOLD_MODE};

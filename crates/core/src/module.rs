@@ -153,6 +153,17 @@ impl MemoModule {
         self.stats
     }
 
+    /// Whether the miss-with-error ablation switch is set.
+    #[must_use]
+    pub const fn update_after_recovery(&self) -> bool {
+        self.update_after_recovery
+    }
+
+    /// Restores snapshotted statistics onto the module.
+    pub fn restore_stats(&mut self, stats: MemoStats) {
+        self.stats = stats;
+    }
+
     /// Resets the statistics (e.g. between kernels).
     pub fn reset_stats(&mut self) {
         self.stats = MemoStats::default();

@@ -77,6 +77,22 @@ impl FpuPipeline {
         self.slip_cycles
     }
 
+    /// Last cycle the issue port was taken (`None` after a flush or
+    /// before the first issue). Exposed for device snapshots.
+    #[must_use]
+    pub const fn last_issue(&self) -> Option<u64> {
+        self.last_issue
+    }
+
+    /// Restores snapshotted occupancy and counters onto a fresh pipeline
+    /// of the same shape. The stage count is not part of the snapshot: it
+    /// is architectural (derived from the opcode), not run state.
+    pub fn restore_state(&mut self, last_issue: Option<u64>, issued: u64, slip_cycles: u64) {
+        self.last_issue = last_issue;
+        self.issued = issued;
+        self.slip_cycles = slip_cycles;
+    }
+
     /// Issues one instruction at (or after) cycle `now`.
     ///
     /// Returns the actual issue and completion cycles. If the issue port is

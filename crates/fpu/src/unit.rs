@@ -75,6 +75,19 @@ impl Fpu {
         &self.pipeline
     }
 
+    /// Restores snapshotted counters and pipeline state onto a freshly
+    /// constructed unit for the same opcode.
+    pub fn restore_state(
+        &mut self,
+        counters: FpuCounters,
+        last_issue: Option<u64>,
+        issued: u64,
+        slip_cycles: u64,
+    ) {
+        self.counters = counters;
+        self.pipeline.restore_state(last_issue, issued, slip_cycles);
+    }
+
     /// Fully executes one instruction at cycle `now`.
     ///
     /// Returns the result (`Q_S`) and the issue/completion cycles.

@@ -38,6 +38,37 @@ impl<const C: usize> WindowedSeries<C> {
         }
     }
 
+    /// Rebuilds a series from snapshotted parts, re-validating the
+    /// invariants [`WindowedSeries::fold`] maintains: the current width
+    /// is the initial width times a power of two (coalescing only ever
+    /// doubles) and the window count fits `max_windows`.
+    ///
+    /// Returns `None` if the parts violate those invariants, so a
+    /// corrupted snapshot surfaces as a structured error upstream
+    /// instead of a panic here.
+    #[must_use]
+    pub fn from_parts(
+        initial_width: u64,
+        width: u64,
+        max_windows: usize,
+        windows: Vec<[f64; C]>,
+    ) -> Option<Self> {
+        if initial_width == 0 || max_windows < 2 || windows.len() > max_windows {
+            return None;
+        }
+        if width < initial_width || !width.is_multiple_of(initial_width) {
+            return None;
+        }
+        if !(width / initial_width).is_power_of_two() {
+            return None;
+        }
+        let mut restored = Self::new(initial_width, max_windows);
+        restored.width = width;
+        // Keep the reserved-capacity invariant fold() relies on.
+        restored.windows.extend_from_slice(&windows);
+        Some(restored)
+    }
+
     /// The current window width in cycles (grows on coalesce).
     pub fn width(&self) -> u64 {
         self.width
@@ -167,6 +198,29 @@ mod tests {
         assert_eq!(s.windows.capacity(), cap);
         assert_eq!(s.width(), 1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_bad_invariants() {
+        let mut s: WindowedSeries<2> = WindowedSeries::new(10, 8);
+        s.fold(5, &[1.0, 2.0]);
+        s.fold(25, &[3.0, 4.0]);
+        let restored = WindowedSeries::from_parts(
+            s.initial_width(),
+            s.width(),
+            8,
+            s.windows().to_vec(),
+        )
+        .expect("valid parts restore");
+        assert_eq!(restored, s);
+        // Width must be initial * 2^k.
+        assert!(WindowedSeries::<2>::from_parts(10, 30, 8, vec![]).is_none());
+        assert!(WindowedSeries::<2>::from_parts(10, 5, 8, vec![]).is_none());
+        assert!(WindowedSeries::<2>::from_parts(0, 10, 8, vec![]).is_none());
+        // Too many windows for the cap.
+        assert!(
+            WindowedSeries::<2>::from_parts(1, 1, 2, vec![[0.0; 2]; 3]).is_none()
+        );
     }
 
     #[test]

@@ -64,6 +64,21 @@ impl SplitMix64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         mix64(self.state)
     }
+
+    /// The raw generator state, for snapshotting. Feeding it back to
+    /// [`SplitMix64::new`] resumes the sequence exactly:
+    ///
+    /// ```
+    /// use tm_rng::SplitMix64;
+    /// let mut a = SplitMix64::new(7);
+    /// let _ = a.next_u64();
+    /// let mut b = SplitMix64::new(a.state());
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    #[must_use]
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 /// Derives the `stream`-th decorrelated child seed of `seed`.
@@ -131,6 +146,27 @@ impl Pcg32 {
         // One warm-up step so the first output depends on both words.
         let _ = rng.next_u32();
         rng
+    }
+
+    /// The raw `(state, increment)` pair, for snapshotting. Restore with
+    /// [`Pcg32::from_raw_parts`] to resume the sequence exactly.
+    #[must_use]
+    pub const fn state_parts(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuilds a generator from raw parts captured by
+    /// [`Pcg32::state_parts`]. No warm-up step is applied: the next
+    /// output continues the captured sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inc` is even — every valid PCG stream increment is
+    /// odd, so an even value can only come from corrupted state.
+    #[must_use]
+    pub fn from_raw_parts(state: u64, inc: u64) -> Self {
+        assert!(inc & 1 == 1, "PCG increment must be odd");
+        Self { state, inc }
     }
 
     /// Returns the next 32-bit value (the native PCG output).
@@ -388,6 +424,25 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), a.len(), "streams of one root must be distinct");
+    }
+
+    #[test]
+    fn pcg_raw_parts_round_trip_resumes_sequence() {
+        let mut a = Pcg32::seed_from_u64(41);
+        for _ in 0..17 {
+            let _ = a.next_u32();
+        }
+        let (state, inc) = a.state_parts();
+        let mut b = Pcg32::from_raw_parts(state, inc);
+        let rest_a: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let rest_b: Vec<u32> = (0..64).map(|_| b.next_u32()).collect();
+        assert_eq!(rest_a, rest_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "increment must be odd")]
+    fn pcg_rejects_even_increment() {
+        let _ = Pcg32::from_raw_parts(1, 2);
     }
 
     #[test]

@@ -16,9 +16,9 @@ use std::sync::Mutex;
 use tm_bench::run_campaign_observed;
 use tm_kernels::workload;
 use tm_obs::{SharedRecorder, TelemetryHub};
-use tm_sim::DevicePool;
+use tm_sim::{Device, DevicePool};
 
-use crate::protocol::{CampaignJob, LaunchResult, LaunchSpec, Request, WireError};
+use crate::protocol::{CampaignJob, LaunchResult, LaunchSpec, Request, RestoreJob, WireError};
 
 /// The job-level result fanned out to every coalesced waiter.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +36,22 @@ pub enum ResultPayload {
         /// to the in-process run of the same spec.
         jsonl: String,
     },
+    /// Outcome of a [`Request::Snapshot`]: the post-run device snapshot.
+    Snapshot {
+        /// Kernel that ran before the capture.
+        kernel: String,
+        /// Host-side acceptance check result.
+        passed: bool,
+        /// The `tm-device-snapshot` JSON document.
+        snapshot: String,
+    },
+    /// Outcome of a [`Request::Restore`]: the device is back in the pool.
+    Restored {
+        /// Compute units of the revived device.
+        compute_units: u64,
+        /// Memo-FIFO entries the revived device carries.
+        fifo_entries: u64,
+    },
 }
 
 /// Executes one queued job (launch or campaign).
@@ -52,11 +68,47 @@ pub fn execute(
     match request {
         Request::Launch(spec) => run_launch(spec, pool, rec),
         Request::Campaign(job) => Ok(run_campaign_job(job, hub, rec)),
+        Request::Snapshot(spec) => run_snapshot(spec),
+        Request::Restore(job) => Ok(run_restore(job, pool)),
         Request::Ping | Request::Stats => Err(WireError {
             code: crate::protocol::ErrorCode::Internal,
             message: "inline request reached the worker pool".to_string(),
         }),
     }
+}
+
+/// Runs one launch on a *fresh* (never pooled) device and captures its
+/// snapshot, so the returned document is a pure function of the spec —
+/// reproducible no matter what traffic warmed the pool before.
+fn run_snapshot(spec: &LaunchSpec) -> Result<ResultPayload, WireError> {
+    let config = spec.device_config()?;
+    let mut device = Device::new(config);
+    let mut wl = workload::build(spec.kernel, spec.scale, spec.seed);
+    let output = wl.run(&mut device);
+    let passed = wl.acceptable(&output);
+    let snapshot = device.snapshot().map_err(|e| WireError {
+        code: crate::protocol::ErrorCode::Internal,
+        message: format!("snapshot capture failed: {e}"),
+    })?;
+    Ok(ResultPayload::Snapshot {
+        kernel: spec.kernel.name().to_string(),
+        passed,
+        snapshot: snapshot.to_json(),
+    })
+}
+
+/// Revives the snapshot into a device and releases it into the pool,
+/// where the next launch with a matching config acquires it warm.
+fn run_restore(job: &RestoreJob, pool: &Mutex<DevicePool>) -> ResultPayload {
+    let compute_units = job.snapshot.config().compute_units as u64;
+    let fifo_entries = job.snapshot.fifo_entries();
+    // parse_restore round-trips the document, so restore cannot fail on
+    // anything that reached the worker; a defect here is a defect in the
+    // schema validation, and releasing nothing is the safe fallback.
+    if let Ok(device) = Device::restore(&job.snapshot) {
+        pool.lock().expect("device pool lock").release(device);
+    }
+    ResultPayload::Restored { compute_units, fifo_entries }
 }
 
 fn run_launch(
@@ -129,6 +181,43 @@ mod tests {
         // Warm FIFOs can only help the hit rate on identical traffic.
         assert!(warm.hit_rate >= cold.hit_rate);
         assert!(rec.span_count() > 0, "launches must record spans");
+    }
+
+    #[test]
+    fn restored_snapshot_warms_the_pool_for_the_next_matching_launch() {
+        let pool = Mutex::new(DevicePool::new(2));
+        let hub = TelemetryHub::new();
+        let rec = SharedRecorder::new();
+        let launch_line =
+            r#"{"type":"launch","kernel":"sobel","scale":"test","seed":9,"backend":"sequential"}"#;
+
+        // Capture a snapshot of the exact device config the launch implies.
+        let snap_env = parse_request(
+            r#"{"type":"snapshot","kernel":"sobel","scale":"test","seed":9,"backend":"sequential"}"#,
+        )
+        .unwrap();
+        let out = execute(&snap_env.request, &pool, &hub, &rec).unwrap();
+        let ResultPayload::Snapshot { passed, snapshot, .. } = &out else {
+            panic!("not a snapshot")
+        };
+        assert!(passed);
+
+        // Revive it through the wire form (the snapshot rides as an
+        // escaped JSON string inside the restore request).
+        let mut restore_line = tm_obs::ObjWriter::new();
+        restore_line.str_field("type", "restore");
+        restore_line.str_field("snapshot", snapshot);
+        let restore_env = parse_request(&restore_line.finish()).unwrap();
+        let out = execute(&restore_env.request, &pool, &hub, &rec).unwrap();
+        let ResultPayload::Restored { fifo_entries, .. } = &out else { panic!("not a restore") };
+        assert!(*fifo_entries > 0, "the snapshot must carry memo history");
+
+        // The very first matching launch is now served warm.
+        let env = parse_request(launch_line).unwrap();
+        let out = execute(&env.request, &pool, &hub, &rec).unwrap();
+        let ResultPayload::Launch(r) = &out else { panic!("not a launch") };
+        assert!(r.pool_warm, "a restored device must satisfy the first matching launch warm");
+        assert!(r.passed);
     }
 
     #[test]

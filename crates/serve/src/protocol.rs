@@ -30,7 +30,7 @@
 use tm_bench::CampaignSpec;
 use tm_kernels::{KernelId, Scale, ALL_KERNELS};
 use tm_obs::{JsonValue, ObjWriter};
-use tm_sim::{DeviceConfig, ExecBackend};
+use tm_sim::{DeviceConfig, DeviceSnapshot, ExecBackend};
 
 /// Protocol version this server speaks (the `v` envelope field).
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -155,6 +155,22 @@ impl CampaignJob {
     }
 }
 
+/// A restore job: a device snapshot to revive into the warm pool.
+///
+/// The snapshot text is parsed (and therefore validated) at request-parse
+/// time, so a malformed document is a `bad_request` to the submitter, not
+/// a worker-side failure. The worker rebuilds the device and releases it
+/// into the [`tm_sim::DevicePool`]; the next launch whose implied device
+/// config matches is served warm (`pool_warm: true`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoreJob {
+    /// The parsed, validated snapshot.
+    pub snapshot: DeviceSnapshot,
+    /// FNV-1a digest of the snapshot text, the coalescing key's cheap
+    /// stand-in for the full document.
+    pub digest: u64,
+}
+
 /// A parsed request body (everything after the envelope).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -164,6 +180,11 @@ pub enum Request {
     Launch(LaunchSpec),
     /// A campaign job.
     Campaign(CampaignJob),
+    /// Capture a device snapshot after one launch (`snapshot`).
+    Snapshot(LaunchSpec),
+    /// Revive a snapshot into the warm device pool (`restore`). Boxed:
+    /// the parsed snapshot dwarfs every other variant.
+    Restore(Box<RestoreJob>),
     /// Server counters snapshot; answered inline.
     Stats,
 }
@@ -186,6 +207,15 @@ impl Request {
                 l.backend.name(),
                 l.error_rate,
             )),
+            Request::Snapshot(l) => Some(format!(
+                "snapshot/{}/{:?}/{}/{}/{}",
+                l.kernel.name(),
+                l.scale,
+                l.seed,
+                l.backend.name(),
+                l.error_rate,
+            )),
+            Request::Restore(r) => Some(format!("restore/{:016x}", r.digest)),
             Request::Campaign(c) => Some(format!(
                 "campaign/{}/{:?}/{}/{}/{}",
                 c.kernel.name(),
@@ -256,11 +286,13 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
         "stats" => Request::Stats,
         "launch" => Request::Launch(parse_launch(&v)?),
         "campaign" => Request::Campaign(parse_campaign(&v)?),
+        "snapshot" => Request::Snapshot(parse_launch(&v)?),
+        "restore" => Request::Restore(Box::new(parse_restore(&v)?)),
         other => {
             return Err(WireError {
                 code: ErrorCode::UnknownType,
                 message: format!(
-                    "unknown request type {other:?} (expected ping, launch, campaign or stats)"
+                    "unknown request type {other:?} (expected ping, launch, campaign, snapshot, restore or stats)"
                 ),
             });
         }
@@ -352,6 +384,26 @@ fn parse_campaign(v: &JsonValue) -> Result<CampaignJob, WireError> {
     })
 }
 
+fn parse_restore(v: &JsonValue) -> Result<RestoreJob, WireError> {
+    let text = v
+        .get_str("snapshot")
+        .ok_or_else(|| WireError::bad("missing \"snapshot\" field (a tm-device-snapshot JSON document as a string)"))?;
+    let snapshot = DeviceSnapshot::from_json(text)
+        .map_err(|e| WireError::bad(format!("invalid snapshot: {e}")))?;
+    Ok(RestoreJob { snapshot, digest: fnv1a(text.as_bytes()) })
+}
+
+/// FNV-1a over the snapshot text — a stable, cheap coalescing digest
+/// (collisions merely coalesce two restores, never corrupt one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Default seed for launches that omit `seed` — the same seed
 /// `tm-bench`'s [`tm_bench::ExperimentConfig`] defaults to.
 pub const DEFAULT_LAUNCH_SEED: u64 = 0xDA7E_2014;
@@ -435,6 +487,32 @@ pub fn render_campaign_result(id: &str, kernel: &str, trials: u32, jsonl: &str) 
     w.str_field("kernel", kernel);
     w.u64_field("trials", u64::from(trials));
     w.str_field("jsonl", jsonl);
+    w.finish()
+}
+
+/// Renders a snapshot `result` response line (no trailing newline).
+///
+/// `snapshot` is the full `tm-device-snapshot` JSON document carried as
+/// one escaped JSON string; unescaping restores it byte-for-byte, ready
+/// to feed back to a `restore` request or `repro --snapshot-in`.
+#[must_use]
+pub fn render_snapshot_result(id: &str, kernel: &str, passed: bool, snapshot: &str) -> String {
+    let mut w = envelope_writer("result", id);
+    w.str_field("job", "snapshot");
+    w.str_field("kernel", kernel);
+    w.bool_field("passed", passed);
+    w.str_field("snapshot", snapshot);
+    w.finish()
+}
+
+/// Renders a restore `result` response line (no trailing newline).
+#[must_use]
+pub fn render_restore_result(id: &str, compute_units: u64, fifo_entries: u64) -> String {
+    let mut w = envelope_writer("result", id);
+    w.str_field("job", "restore");
+    w.bool_field("released", true);
+    w.u64_field("compute_units", compute_units);
+    w.u64_field("fifo_entries", fifo_entries);
     w.finish()
 }
 

@@ -44,7 +44,8 @@ use tm_sim::DevicePool;
 use crate::exec::{execute, ResultPayload};
 use crate::protocol::{
     parse_request, render_campaign_result, render_error, render_launch_result, render_pong,
-    render_stats_result, ErrorCode, Request, ServerStats,
+    render_restore_result, render_snapshot_result, render_stats_result, ErrorCode, Request,
+    ServerStats,
 };
 use crate::scheduler::{JobOutcome, Scheduler, Submit};
 
@@ -285,7 +286,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
     match &env.request {
         Request::Ping => render_pong(&env.id),
         Request::Stats => render_stats_result(&env.id, &shared.stats()),
-        Request::Launch(_) | Request::Campaign(_) => {
+        Request::Launch(_) | Request::Campaign(_) | Request::Snapshot(_) | Request::Restore(_) => {
             let key = env.request.job_key().expect("jobs have a coalescing key");
             let (tx, rx) = mpsc::channel();
             let submit = {
@@ -344,6 +345,12 @@ fn render_outcome(outcome: &JobOutcome<JobResult>) -> String {
         Ok(ResultPayload::Campaign { kernel, trials, jsonl }) => {
             render_campaign_result(id, kernel, *trials, jsonl)
         }
+        Ok(ResultPayload::Snapshot { kernel, passed, snapshot }) => {
+            render_snapshot_result(id, kernel, *passed, snapshot)
+        }
+        Ok(ResultPayload::Restored { compute_units, fifo_entries }) => {
+            render_restore_result(id, *compute_units, *fifo_entries)
+        }
         Err(e) => render_error(id, e.code, &e.message),
     }
 }
@@ -377,6 +384,8 @@ fn worker_loop(shared: &Arc<Shared>, worker: u64) {
         let kind = match &claimed.job {
             Request::Launch(_) => "launch",
             Request::Campaign(_) => "campaign",
+            Request::Snapshot(_) => "snapshot",
+            Request::Restore(_) => "restore",
             Request::Ping | Request::Stats => "inline",
         };
         shared.recorder.record(Span {

@@ -53,7 +53,7 @@ fn every_documented_request_is_accepted() {
         let ty = v.get_str("type").expect("examples carry a type");
         // Response examples use response types; requests must round-trip
         // through the real parser.
-        if matches!(ty, "ping" | "launch" | "campaign" | "stats") {
+        if matches!(ty, "ping" | "launch" | "campaign" | "snapshot" | "stats") {
             parse_request(&line)
                 .unwrap_or_else(|e| panic!("documented request rejected ({e:?}):\n  {line}"));
         }
@@ -64,7 +64,9 @@ fn every_documented_request_is_accepted() {
 fn spec_documents_every_request_response_type_and_error_code() {
     let doc = protocol_md();
     // Request and response types the server implements.
-    for ty in ["ping", "launch", "campaign", "stats", "pong", "result", "error"] {
+    for ty in [
+        "ping", "launch", "campaign", "snapshot", "restore", "stats", "pong", "result", "error",
+    ] {
         assert!(
             doc.contains(&format!("\"type\":\"{ty}\"")) || doc.contains(&format!("`{ty}`")),
             "PROTOCOL.md must document type {ty:?}"

@@ -212,6 +212,36 @@ impl ComputeUnit {
         &self.stream_cores
     }
 
+    /// The per-stream-core error-injection samplers, for snapshots.
+    pub(crate) fn injectors(&self) -> &[ErrorSampler] {
+        &self.injectors
+    }
+
+    /// Mutable sampler access for the snapshot restore path.
+    pub(crate) fn injectors_mut(&mut self) -> &mut [ErrorSampler] {
+        &mut self.injectors
+    }
+
+    /// Mutable stream-core access for the snapshot restore path.
+    pub(crate) fn stream_cores_mut(&mut self) -> &mut [StreamCore] {
+        &mut self.stream_cores
+    }
+
+    /// Mutable ECU access for the snapshot restore path.
+    pub(crate) fn ecu_mut(&mut self) -> &mut Ecu {
+        &mut self.ecu
+    }
+
+    /// Mutable sink-pipeline access for the snapshot restore path.
+    pub(crate) fn sinks_mut(&mut self) -> &mut SinkPipeline {
+        &mut self.sinks
+    }
+
+    /// Restores the cycle counter from a snapshot.
+    pub(crate) fn set_cycles(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+
     /// Per-opcode instruction tallies.
     ///
     /// # Panics

@@ -1,5 +1,4 @@
-//! Device configuration: the validated builder, error taxonomy, and the
-//! legacy `with_*` shims.
+//! Device configuration: the validated builder and error taxonomy.
 
 use std::fmt;
 use tm_core::{GatePolicy, MatchPolicy, Replacement, DEFAULT_FIFO_DEPTH};
@@ -179,8 +178,8 @@ impl std::error::Error for ConfigError {}
 /// paper's design point: 2-entry FIFOs, exact matching, the 12-cycle
 /// baseline recovery, nominal 0.9 V, no injected errors, the uniform
 /// error model. Experiments override fields through the validated
-/// [`DeviceConfig::builder`]; the legacy `with_*` methods survive as
-/// deprecated shims.
+/// [`DeviceConfig::builder`] (or [`DeviceConfig::rebuild`] to derive a
+/// variant) — the single sanctioned construction path.
 ///
 /// # Examples
 ///
@@ -396,11 +395,10 @@ impl DeviceConfig {
 ///
 /// Obtained from [`DeviceConfig::builder`] (paper defaults) or
 /// [`DeviceConfig::rebuild`] (derive a variant from an existing config).
-/// The `with_*` methods mirror the old [`DeviceConfig`] shims one for
-/// one; [`DeviceConfigBuilder::build`] then rejects inconsistent
-/// combinations — out-of-range shard pins, spatial memoization under the
-/// intra-CU backend, pinned shards with approximate matching — that the
-/// legacy chain silently papered over with run-time fallbacks.
+/// [`DeviceConfigBuilder::build`] rejects inconsistent combinations —
+/// out-of-range shard pins, spatial memoization under the intra-CU
+/// backend, pinned shards with approximate matching — that unvalidated
+/// field edits would silently paper over with run-time fallbacks.
 ///
 /// # Examples
 ///
@@ -574,148 +572,6 @@ impl DeviceConfigBuilder {
             return Err(ConfigError::SpatialIntraCu);
         }
         Ok(c)
-    }
-}
-
-/// Legacy chainable setters, superseded by [`DeviceConfig::builder`].
-///
-/// These mutate the config without validation; the builder performs the
-/// same edits and then cross-checks the result. They are kept as thin
-/// shims so pre-builder call sites keep compiling.
-#[allow(deprecated)]
-impl DeviceConfig {
-    /// Sets the matching policy.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_policy(mut self, policy: MatchPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Sets the architecture variant.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_arch(mut self, arch: ArchMode) -> Self {
-        self.arch = arch;
-        self
-    }
-
-    /// Sets the FIFO depth.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
-        self.fifo_depth = depth;
-        self
-    }
-
-    /// Sets the replacement policy.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
-        self.replacement = replacement;
-        self
-    }
-
-    /// Sets the timing-error source.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_error_mode(mut self, mode: ErrorMode) -> Self {
-        self.error_mode = mode;
-        self
-    }
-
-    /// Sets the recovery policy.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
-        self.recovery = recovery;
-        self
-    }
-
-    /// Sets the FPU supply voltage (VOS experiments).
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_vdd(mut self, vdd: f64) -> Self {
-        self.vdd = vdd;
-        self
-    }
-
-    /// Sets the error-injection seed.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the number of compute units.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_compute_units(mut self, n: usize) -> Self {
-        self.compute_units = n;
-        self
-    }
-
-    /// Enables instruction tracing with the given per-CU capacity.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_trace_depth(mut self, depth: usize) -> Self {
-        self.trace_depth = depth;
-        self
-    }
-
-    /// Enables adaptive power gating of the memoization modules.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_adaptive_gate(mut self, policy: GatePolicy) -> Self {
-        self.adaptive_gate = Some(policy);
-        self
-    }
-
-    /// Selects the execution engine.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
-        self.backend = backend;
-        self
-    }
-
-    /// Shorthand for the parallel backend.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_parallel(self) -> Self {
-        self.with_backend(ExecBackend::Parallel)
-    }
-
-    /// Shorthand for the intra-CU backend.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_intra_cu(self) -> Self {
-        self.with_backend(ExecBackend::IntraCu)
-    }
-
-    /// Selects the intra-CU backend with a pinned shard count.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_intra_cu_shards(mut self, shards: usize) -> Self {
-        self.intra_cu_shards = Some(shards);
-        self.with_backend(ExecBackend::IntraCu)
-    }
-
-    /// Enables online value-locality profiling.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_locality_tracking(mut self) -> Self {
-        self.locality_tracking = true;
-        self
-    }
-
-    /// Enables time-windowed metrics with the given window width.
-    #[deprecated(since = "0.6.0", note = "use DeviceConfig::builder()/.rebuild()")]
-    #[must_use]
-    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
-        self.metrics_window = Some(cycles);
-        self
     }
 }
 
@@ -899,15 +755,4 @@ mod tests {
         assert_eq!(e.to_string(), "FIFO depth must be at least 1");
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_compile_and_mutate() {
-        // Compatibility contract: pre-builder call sites keep working.
-        let c = DeviceConfig::default()
-            .with_fifo_depth(8)
-            .with_seed(1)
-            .with_parallel();
-        assert_eq!(c.fifo_depth, 8);
-        assert_eq!(c.backend, ExecBackend::Parallel);
-    }
 }

@@ -253,6 +253,16 @@ impl Device {
         self.wavefronts_dispatched
     }
 
+    /// Mutable compute-unit access for the snapshot restore path.
+    pub(crate) fn compute_units_mut(&mut self) -> &mut [ComputeUnit] {
+        &mut self.compute_units
+    }
+
+    /// Restores the dispatch counter from a snapshot.
+    pub(crate) fn set_wavefronts_dispatched(&mut self, n: u64) {
+        self.wavefronts_dispatched = n;
+    }
+
     /// The intra-CU engine the configuration asks for: auto-sized from
     /// host parallelism unless a shard count is pinned.
     fn intra_cu_engine(&self) -> IntraCuEngine {

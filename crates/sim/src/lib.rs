@@ -87,6 +87,7 @@ pub mod pool;
 pub mod program;
 mod report;
 pub mod sink;
+mod snapshot;
 mod stream_core;
 mod trace;
 mod wave;
@@ -107,6 +108,7 @@ pub use sink::{
     EventSink, LaneEvent, LaneEventKind, MetricsSink, SinkKind, SinkPipeline, VectorEvent,
     METRICS_CHANNELS,
 };
+pub use snapshot::{DeviceSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use stream_core::{LaneUnit, StreamCore};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use wave::{VReg, WaveCtx};

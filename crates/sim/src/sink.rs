@@ -145,6 +145,11 @@ impl StatsSink {
     pub fn tallies(&self) -> &BTreeMap<FpOp, OpTally> {
         &self.tallies
     }
+
+    /// Mutable tally access for the snapshot restore path.
+    pub(crate) fn tallies_mut(&mut self) -> &mut BTreeMap<FpOp, OpTally> {
+        &mut self.tallies
+    }
 }
 
 impl EventSink for StatsSink {
@@ -192,6 +197,11 @@ impl EnergySink {
     #[must_use]
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
+    }
+
+    /// Mutable ledger access for the snapshot restore path.
+    pub(crate) fn ledger_mut(&mut self) -> &mut EnergyLedger {
+        &mut self.ledger
     }
 
     /// Batched fold of one vector instruction's lane events (all sharing
@@ -510,6 +520,20 @@ impl MetricsSink {
             .filter_map(|(i, s)| s.as_ref().map(|_| ALL_OPS[i]))
     }
 
+    /// Installs restored series wholesale (the snapshot restore path);
+    /// the per-op table is rebuilt dense by [`FpOp::index`].
+    pub(crate) fn restore_series(
+        &mut self,
+        total: WindowedSeries<METRICS_CHANNELS>,
+        per_op: Vec<(FpOp, WindowedSeries<METRICS_CHANNELS>)>,
+    ) {
+        self.total = total;
+        self.per_op = vec![None; ALL_OPS.len()];
+        for (op, series) in per_op {
+            self.per_op[op.index()] = Some(series);
+        }
+    }
+
     /// Per-window hit rate of the totals series:
     /// `(window_start_cycle, window_cycles, hits / lanes)` for every
     /// window with at least one lane.
@@ -771,6 +795,30 @@ impl SinkPipeline {
     #[must_use]
     pub fn metrics(&self) -> Option<&MetricsSink> {
         self.sinks.iter().find_map(|s| match s {
+            SinkKind::Metrics(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Mutable stats-sink access for the snapshot restore path.
+    pub(crate) fn stats_mut(&mut self) -> Option<&mut StatsSink> {
+        self.sinks.iter_mut().find_map(|s| match s {
+            SinkKind::Stats(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// Mutable energy-sink access for the snapshot restore path.
+    pub(crate) fn energy_mut(&mut self) -> Option<&mut EnergySink> {
+        self.sinks.iter_mut().find_map(|s| match s {
+            SinkKind::Energy(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Mutable metrics-sink access for the snapshot restore path.
+    pub(crate) fn metrics_mut(&mut self) -> Option<&mut MetricsSink> {
+        self.sinks.iter_mut().find_map(|s| match s {
             SinkKind::Metrics(m) => Some(m),
             _ => None,
         })

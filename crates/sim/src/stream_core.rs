@@ -52,6 +52,21 @@ impl LaneUnit {
         &self.fpu
     }
 
+    /// Mutable memoization-module access for the snapshot restore path.
+    pub(crate) fn memo_mut(&mut self) -> &mut MemoModule {
+        &mut self.memo
+    }
+
+    /// Mutable FPU access for the snapshot restore path.
+    pub(crate) fn fpu_mut(&mut self) -> &mut Fpu {
+        &mut self.fpu
+    }
+
+    /// Mutable gate-controller access for the snapshot restore path.
+    pub(crate) fn gate_mut(&mut self) -> Option<&mut AdaptiveGate> {
+        self.gate.as_mut()
+    }
+
     /// Clock-gates the FPU for a result supplied from outside the unit
     /// (spatial, cross-lane reuse). Counts as a squashed instruction.
     pub fn squash_for_reuse(&mut self, now: u64) {

@@ -175,6 +175,12 @@ impl Ecu {
         self.recoveries = 0;
         self.recovery_cycles = 0;
     }
+
+    /// Restores snapshotted tallies; the policy stays as configured.
+    pub fn restore_tallies(&mut self, recoveries: u64, recovery_cycles: u64) {
+        self.recoveries = recoveries;
+        self.recovery_cycles = recovery_cycles;
+    }
 }
 
 impl Default for Ecu {

@@ -162,6 +162,51 @@ impl ErrorSampler {
         hit
     }
 
+    /// The mutable run state, for device snapshots.
+    #[must_use]
+    pub fn state(&self) -> ErrorSamplerState {
+        let (pcg_state, pcg_inc) = self.rng.state_parts();
+        ErrorSamplerState {
+            pcg_state,
+            pcg_inc,
+            drawn: self.drawn,
+            errors: self.errors,
+            burst_bad: match &self.kind {
+                SamplerKind::Burst { bad, .. } => Some(*bad),
+                _ => None,
+            },
+        }
+    }
+
+    /// Restores snapshotted run state onto a freshly built sampler of the
+    /// same model/position (which fixes the [`SamplerKind`] parameters —
+    /// those are configuration, not run state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the state is inconsistent with this sampler:
+    /// an even PCG increment (corrupted stream) or a `burst_bad` flag
+    /// whose presence disagrees with whether this is a burst sampler.
+    pub fn restore_state(&mut self, state: &ErrorSamplerState) -> Result<(), &'static str> {
+        if state.pcg_inc & 1 == 0 {
+            return Err("PCG increment must be odd");
+        }
+        match (&mut self.kind, state.burst_bad) {
+            (SamplerKind::Burst { bad, .. }, Some(b)) => *bad = b,
+            (SamplerKind::Burst { .. }, None) => {
+                return Err("burst sampler state is missing its burst_bad flag");
+            }
+            (_, Some(_)) => {
+                return Err("non-burst sampler state carries a burst_bad flag");
+            }
+            (_, None) => {}
+        }
+        self.rng = Pcg32::from_raw_parts(state.pcg_state, state.pcg_inc);
+        self.drawn = state.drawn;
+        self.errors = state.errors;
+        Ok(())
+    }
+
     /// Total instructions drawn.
     #[must_use]
     pub const fn drawn(&self) -> u64 {
@@ -183,6 +228,26 @@ impl ErrorSampler {
             self.errors as f64 / self.drawn as f64
         }
     }
+}
+
+/// The mutable run state of one [`ErrorSampler`], exposed for device
+/// snapshots: the raw PCG32 stream words, the draw/error tallies, and —
+/// for Gilbert–Elliott samplers only — the hidden good/bad state. The
+/// model parameters themselves are configuration and are rebuilt from
+/// the device config on restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorSamplerState {
+    /// Raw PCG32 LCG state word.
+    pub pcg_state: u64,
+    /// Raw PCG32 stream increment (always odd).
+    pub pcg_inc: u64,
+    /// Total instructions drawn.
+    pub drawn: u64,
+    /// Total violations injected.
+    pub errors: u64,
+    /// The hidden Gilbert–Elliott state (`Some` iff the sampler is a
+    /// burst sampler).
+    pub burst_bad: Option<bool>,
 }
 
 /// A source of per-stream-core [`ErrorSampler`]s.
@@ -625,6 +690,48 @@ mod tests {
         assert!(
             bursty_ratio > 3.0 * uniform_ratio,
             "burst model should cluster: {bursty_ratio:.4} vs uniform {uniform_ratio:.4}"
+        );
+    }
+
+    #[test]
+    fn sampler_state_round_trip_resumes_stream() {
+        let vm = VoltageModel::tsmc45();
+        for spec in [
+            ErrorModelSpec::Uniform,
+            ErrorModelSpec::Heterogeneous(HeterogeneousErrors::default()),
+            ErrorModelSpec::VoltageCoupled { sigma_vdd: 0.02 },
+            ErrorModelSpec::Burst(BurstErrors::default()),
+        ] {
+            let model = spec.instantiate(0.84, &vm);
+            let mut live = model.build_sampler(0, 3, 17);
+            for _ in 0..500 {
+                let _ = live.sample_with_rate(0.1);
+            }
+            let state = live.state();
+            let mut resumed = model.build_sampler(0, 3, 17);
+            resumed.restore_state(&state).expect("state fits same position");
+            let rest_a: Vec<bool> = (0..500).map(|_| live.sample_with_rate(0.1)).collect();
+            let rest_b: Vec<bool> = (0..500).map(|_| resumed.sample_with_rate(0.1)).collect();
+            assert_eq!(rest_a, rest_b, "{} must resume exactly", spec.name());
+            assert_eq!(live.drawn(), resumed.drawn());
+            assert_eq!(live.errors(), resumed.errors());
+        }
+    }
+
+    #[test]
+    fn sampler_state_restore_rejects_mismatches() {
+        let mut uniform = UniformErrors.build_sampler(0, 0, 1);
+        let mut burst = BurstErrors::default().build_sampler(0, 0, 1);
+        let mut bad = uniform.state();
+        bad.pcg_inc = 2;
+        assert!(uniform.restore_state(&bad).is_err(), "even increment rejected");
+        assert!(
+            uniform.restore_state(&burst.state()).is_err(),
+            "burst flag on a uniform sampler rejected"
+        );
+        assert!(
+            burst.restore_state(&uniform.state()).is_err(),
+            "missing burst flag on a burst sampler rejected"
         );
     }
 

@@ -106,6 +106,24 @@ impl VoltageModel {
         self.onset_vdd
     }
 
+    /// Error rate at the onset voltage.
+    #[must_use]
+    pub const fn base_rate(&self) -> f64 {
+        self.base_rate
+    }
+
+    /// Exponential growth constant (1/V) of the error rate below onset.
+    #[must_use]
+    pub const fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Threshold voltage of the alpha-power delay model.
+    #[must_use]
+    pub const fn vth(&self) -> f64 {
+        self.vth
+    }
+
     /// Per-instruction timing-error rate at supply `vdd` (constant clock).
     ///
     /// Zero at and above the onset voltage; grows exponentially below it.

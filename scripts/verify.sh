@@ -41,6 +41,25 @@ test -s "$obs_dir/campaign.jsonl"
 grep -q '"kind":"trial"' "$obs_dir/campaign.jsonl"
 grep -q '"acceptable":true' "$obs_dir/campaign.jsonl"
 
+echo "== sharded campaign gate (2 shards merge byte-identical to monolithic) =="
+# Same campaign as one run and as two shards with a pinned timestamp;
+# merge-shards must reassemble the exact monolithic document.
+cargo run --release --offline -p tm-bench --bin repro -- \
+    --experiment campaign --scale test --trials 3 \
+    --timestamp "verify.sh" \
+    --campaign-out "$obs_dir/shard_whole.jsonl" >/dev/null
+for i in 0 1; do
+    cargo run --release --offline -p tm-bench --bin repro -- \
+        --experiment campaign --scale test --trials 3 \
+        --timestamp "verify.sh" --shard "$i/2" \
+        --campaign-out "$obs_dir/shard_$i.jsonl" >/dev/null
+done
+cargo run --release --offline -p tm-bench --bin repro -- \
+    merge-shards --out "$obs_dir/shard_merged.jsonl" \
+    "$obs_dir/shard_0.jsonl" "$obs_dir/shard_1.jsonl"
+diff "$obs_dir/shard_whole.jsonl" "$obs_dir/shard_merged.jsonl"
+echo "merged shard JSONL is byte-identical to the monolithic campaign"
+
 echo "== live telemetry gate (Prometheus endpoint + heartbeat + scrape) =="
 tele_log="$obs_dir/telemetry.log"
 cargo run --release --offline -p tm-bench --bin repro -- \
